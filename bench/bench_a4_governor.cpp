@@ -1,0 +1,70 @@
+// A4 — the reliability study the module seeded (Fowler et al., SC'23
+// poster: "Road To Reliability: Optimizing Self-Driving Consistency With
+// Real-Time Speed Data"): closing a speed loop around the pilot trades a
+// little raw pace for repeatable laps. Compares ungoverned driving against
+// the speed governor at several targets, on the noisy real-car profiles.
+#include "bench_common.hpp"
+
+#include "core/speed_governor.hpp"
+#include "cv/pilots.hpp"
+#include "eval/evaluator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace autolearn;
+
+void BM_GovernorStep(benchmark::State& state) {
+  cv::LineFollowPilot inner;
+  core::SpeedGovernedPilot pilot(inner);
+  camera::Image frame(32, 24, 0.4f);
+  pilot.set_measured_speed(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pilot.act(frame));
+  }
+}
+BENCHMARK(BM_GovernorStep)->Unit(benchmark::kMicrosecond);
+
+void reproduce() {
+  const track::Track track = track::Track::paper_oval();
+  eval::EvalOptions opt;
+  opt.duration_s = 120.0;
+  opt.real_profiles = true;
+
+  util::TablePrinter table({"pilot", "target (m/s)", "mean speed", "laps",
+                            "errors", "lap stddev (s)"});
+  {
+    cv::LineFollowPilot raw;
+    const eval::EvalResult r = eval::run_evaluation(track, raw, opt);
+    table.add_row({"line-follow (ungoverned)", "-",
+                   util::TablePrinter::num(r.mean_speed, 2),
+                   util::TablePrinter::num(r.laps, 2),
+                   util::TablePrinter::num(static_cast<long long>(r.errors)),
+                   util::TablePrinter::num(core::lap_time_stddev(r), 2)});
+  }
+  for (double target : {0.9, 1.1, 1.3}) {
+    cv::LineFollowPilot inner;
+    core::GovernorConfig cfg;
+    cfg.target_speed = target;
+    core::SpeedGovernedPilot pilot(inner, cfg);
+    const eval::EvalResult r =
+        core::run_governed_evaluation(track, pilot, opt);
+    table.add_row({"line-follow + governor",
+                   util::TablePrinter::num(target, 1),
+                   util::TablePrinter::num(r.mean_speed, 2),
+                   util::TablePrinter::num(r.laps, 2),
+                   util::TablePrinter::num(static_cast<long long>(r.errors)),
+                   util::TablePrinter::num(core::lap_time_stddev(r), 2)});
+  }
+  table.print(std::cout,
+              "A4: lap consistency with real-time speed data (Fowler poster)");
+  std::cout << "\nShape to check: the governed rows hold their target speed "
+               "and post a\nlap-time stddev no worse than the ungoverned "
+               "pilot's.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return autolearn::bench::run_bench_main(argc, argv, reproduce);
+}

@@ -1,0 +1,99 @@
+// Shared helpers for the experiment benches (E1-E12, DESIGN.md §3).
+//
+// Every bench binary follows the same pattern: google-benchmark
+// microbenchmarks for the hot primitive the experiment rests on, then a
+// reproduction pass that regenerates the paper-style table through
+// util::TablePrinter. Collected tubs are cached under the system temp
+// directory keyed by their parameters so repeated bench runs are fast.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/collector.hpp"
+#include "data/dataset.hpp"
+#include "data/tubclean.hpp"
+#include "data/tub.hpp"
+#include "ml/trainer.hpp"
+#include "track/track.hpp"
+
+namespace autolearn::bench {
+
+inline std::filesystem::path work_root() {
+  const auto p = std::filesystem::temp_directory_path() / "autolearn_bench";
+  std::filesystem::create_directories(p);
+  return p;
+}
+
+/// Collects (or reuses) a session tub and returns train/val samples.
+struct PreparedData {
+  std::vector<ml::Sample> train;
+  std::vector<ml::Sample> val;
+  data::CollectStats stats;
+};
+
+inline PreparedData prepare_data(const track::Track& track,
+                                 data::DataPath path, double duration_s,
+                                 const vehicle::ExpertConfig& driver = {},
+                                 std::uint64_t seed = 1,
+                                 bool clean = true) {
+  data::CollectOptions copt;
+  copt.duration_s = duration_s;
+  copt.seed = seed;
+  copt.expert = driver;
+  const auto dir = work_root() /
+                   (track.name() + "_" + data::to_string(path) + "_" +
+                    std::to_string(static_cast<int>(duration_s)) + "_" +
+                    std::to_string(seed) + "_" +
+                    std::to_string(static_cast<int>(driver.mistake_rate)) +
+                    "_" + std::to_string(clean));
+  std::filesystem::remove_all(dir);
+  PreparedData out;
+  out.stats = data::collect_session(track, path, copt, dir);
+  data::Tub tub(dir);
+  if (clean) data::review_clean(tub);
+  auto samples = data::build_samples(tub.read_all(), {});
+  auto [train, val] = data::split_train_val(std::move(samples), 0.15, seed);
+  out.train = std::move(train);
+  out.val = std::move(val);
+  return out;
+}
+
+/// Trains a fresh model of the given type on prepared data.
+struct TrainedModel {
+  std::unique_ptr<ml::DrivingModel> model;
+  ml::TrainResult result;
+  double steering_mae = 0.0;
+};
+
+inline TrainedModel train_model(ml::ModelType type, const PreparedData& data,
+                                std::size_t epochs = 6,
+                                const ml::ModelConfig& config = {}) {
+  TrainedModel out;
+  out.model = ml::make_model(type, config);
+  ml::TrainOptions opt;
+  opt.epochs = epochs;
+  out.result = ml::fit(*out.model, data.train, data.val, opt);
+  out.steering_mae = ml::steering_mae(*out.model, data.val);
+  return out;
+}
+
+/// Runs google-benchmark then the experiment's reproduction table.
+inline int run_bench_main(int argc, char** argv,
+                          const std::function<void()>& reproduce) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  reproduce();
+  return 0;
+}
+
+}  // namespace autolearn::bench

@@ -1,0 +1,68 @@
+// E1 — §3.3 "Model training": AutoLearn ships six tested models (linear,
+// memory, 3D, categorical, inferred, RNN). Trains all six on the oval
+// sample dataset and reports size, loss, steering accuracy, real CPU
+// training time, and simulated V100 training time.
+//
+// Microbenchmarks: single-sample inference cost per model type — the
+// quantity that matters in the 20 Hz control loop.
+#include "bench_common.hpp"
+
+#include "gpu/perf_model.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace autolearn;
+
+const bench::PreparedData& shared_data() {
+  static const bench::PreparedData data = [] {
+    const track::Track track = track::Track::paper_oval();
+    vehicle::ExpertConfig driver;
+    driver.steering_noise = 0.08;  // mild weave -> recovery examples
+    return bench::prepare_data(track, data::DataPath::Sample, 90.0, driver);
+  }();
+  return data;
+}
+
+void BM_Inference(benchmark::State& state) {
+  const auto type = static_cast<ml::ModelType>(state.range(0));
+  auto model = ml::make_model(type);
+  const ml::Sample& sample = shared_data().train.front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->predict(sample));
+  }
+  state.SetLabel(ml::to_string(type));
+}
+BENCHMARK(BM_Inference)
+    ->DenseRange(0, 5, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+void reproduce() {
+  const auto& data = shared_data();
+  util::TablePrinter table({"model", "params", "val loss", "steering MAE",
+                            "CPU train (s)", "V100 train (ms, simulated)"});
+  std::cout << "\nTraining all six model types on " << data.train.size()
+            << " samples (paper oval, sample-dataset path)...\n";
+  for (ml::ModelType type : ml::all_model_types()) {
+    const bench::TrainedModel tm = bench::train_model(type, data, 6);
+    gpu::TrainingWorkload load;
+    load.forward_flops = tm.result.forward_flops;
+    load.samples = tm.result.samples_seen;
+    const double v100 = gpu::training_time_s(gpu::device("V100"), load);
+    table.add_row(
+        {ml::to_string(type),
+         util::TablePrinter::num(
+             static_cast<long long>(tm.model->num_parameters())),
+         util::TablePrinter::num(tm.result.best_val_loss, 4),
+         util::TablePrinter::num(tm.steering_mae, 3),
+         util::TablePrinter::num(tm.result.wall_seconds, 1),
+         util::TablePrinter::num(v100 * 1000, 1)});
+  }
+  table.print(std::cout, "E1: six DonkeyCar model types (paper §3.3)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return autolearn::bench::run_bench_main(argc, argv, reproduce);
+}

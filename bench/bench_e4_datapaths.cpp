@@ -1,0 +1,68 @@
+// E4 — Fig. 2: the three data-collection paths (sample datasets, the
+// simulator, and the physical car) all feed the same training pipeline.
+// Trains the same model type from each path and shows that every path
+// yields a driving model; the physical-car path is noisier, so its MAE is
+// expected to be slightly worse.
+//
+// Microbenchmark: camera frame rendering, the per-record cost of
+// collection.
+#include "bench_common.hpp"
+
+#include "camera/camera.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/pilot.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace autolearn;
+
+void BM_CameraRender(benchmark::State& state) {
+  const track::Track track = track::Track::paper_oval();
+  camera::Camera cam(camera::CameraConfig{}, util::Rng(1));
+  vehicle::CarState st;
+  st.pos = track.position_at(1.0);
+  st.heading = track.heading_at(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam.render(track, st));
+  }
+}
+BENCHMARK(BM_CameraRender)->Unit(benchmark::kMicrosecond);
+
+void reproduce() {
+  const track::Track track = track::Track::paper_oval();
+  util::TablePrinter table({"collection path", "records", "flagged", "val MAE",
+                            "laps", "errors"});
+  for (data::DataPath path : {data::DataPath::Sample,
+                              data::DataPath::Simulator,
+                              data::DataPath::PhysicalCar}) {
+    vehicle::ExpertConfig driver;
+    driver.steering_noise = 0.08;
+    const bench::PreparedData data =
+        bench::prepare_data(track, path, 120.0, driver, /*seed=*/3);
+    const bench::TrainedModel tm =
+        bench::train_model(ml::ModelType::Linear, data, 8);
+    eval::ModelPilot pilot(*tm.model);
+    eval::EvalOptions eopt;
+    eopt.duration_s = 45.0;
+    const eval::EvalResult r = eval::run_evaluation(track, pilot, eopt);
+    table.add_row(
+        {data::to_string(path),
+         util::TablePrinter::num(static_cast<long long>(data.stats.records)),
+         util::TablePrinter::num(
+             static_cast<long long>(data.stats.mistake_records)),
+         util::TablePrinter::num(tm.steering_mae, 3),
+         util::TablePrinter::num(r.laps, 2),
+         util::TablePrinter::num(static_cast<long long>(r.errors))});
+  }
+  table.print(std::cout, "E4: the three data-collection paths of Fig. 2");
+  std::cout << "\nShape to check: every path produces a model that drives "
+               "(laps > 0,\nfew errors); the physical-car path is noisier "
+               "than the simulator.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return autolearn::bench::run_bench_main(argc, argv, reproduce);
+}

@@ -1,0 +1,73 @@
+// E5 — Fig. 3: the default orange-tape oval (330 in / 509 in / 27.59 in)
+// vs. the Waveshare commercial track. Trains a model per track and
+// cross-evaluates: models drive their own track well and generalize
+// imperfectly to the other ("accuracy following tracks of different
+// shapes" is one of the paper's competition ideas).
+//
+// Microbenchmark: track projection, the geometric primitive everything
+// rests on.
+#include "bench_common.hpp"
+
+#include "eval/evaluator.hpp"
+#include "eval/pilot.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace autolearn;
+
+void BM_TrackProject(benchmark::State& state) {
+  const track::Track track = track::Track::waveshare();
+  util::Rng rng(4);
+  std::vector<track::Vec2> points;
+  for (int i = 0; i < 256; ++i) {
+    points.push_back({rng.uniform(-1, 4), rng.uniform(-1, 4)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(track.project(points[i++ % points.size()]));
+  }
+}
+BENCHMARK(BM_TrackProject)->Unit(benchmark::kNanosecond);
+
+void reproduce() {
+  const track::Track oval = track::Track::paper_oval();
+  const track::Track wave = track::Track::waveshare();
+  const track::Track* tracks[] = {&oval, &wave};
+
+  vehicle::ExpertConfig driver;
+  driver.steering_noise = 0.08;
+  std::vector<bench::TrainedModel> models;
+  for (const track::Track* t : tracks) {
+    std::cout << "Training on " << t->name() << "...\n";
+    const bench::PreparedData data =
+        bench::prepare_data(*t, data::DataPath::Sample, 120.0, driver);
+    models.push_back(bench::train_model(ml::ModelType::Linear, data, 8));
+  }
+
+  util::TablePrinter table(
+      {"trained on", "evaluated on", "laps", "errors", "score"});
+  for (std::size_t m = 0; m < 2; ++m) {
+    for (std::size_t t = 0; t < 2; ++t) {
+      eval::ModelPilot pilot(*models[m].model);
+      eval::EvalOptions eopt;
+      eopt.duration_s = 45.0;
+      const eval::EvalResult r =
+          eval::run_evaluation(*tracks[t], pilot, eopt);
+      table.add_row(
+          {tracks[m]->name(), tracks[t]->name(),
+           util::TablePrinter::num(r.laps, 2),
+           util::TablePrinter::num(static_cast<long long>(r.errors)),
+           util::TablePrinter::num(r.score(), 3)});
+    }
+  }
+  table.print(std::cout, "E5: cross-track generalization (Fig. 3 tracks)");
+  std::cout << "\nShape to check: the diagonal (same-track) scores beat the "
+               "off-diagonal\n(cross-track) scores.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return autolearn::bench::run_bench_main(argc, argv, reproduce);
+}

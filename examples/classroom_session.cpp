@@ -1,0 +1,139 @@
+// Classroom pathway (§3.4): an instructor prepares a class slot on the
+// testbed, enrolls the fleet of cars via BYOD, and a cohort of students
+// runs the pipeline; results land on a leaderboard and every interaction
+// feeds the Trovi artifact metrics of §5.
+//
+//   $ ./classroom_session
+#include <filesystem>
+#include <iostream>
+
+#include "core/pathway.hpp"
+#include "core/pipeline.hpp"
+#include "edge/container.hpp"
+#include "edge/registry.hpp"
+#include "hub/hub.hpp"
+#include "testbed/deployment.hpp"
+#include "testbed/identity.hpp"
+#include "testbed/inventory.hpp"
+#include "testbed/lease.hpp"
+#include "track/track.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autolearn;
+  namespace fs = std::filesystem;
+
+  // --- 1. The instructor sets up the project and the class slot ---------
+  testbed::IdentityService identity;
+  identity.add_user("instructor", "University of Missouri");
+  identity.create_project("CHI-edu-4242", "Intro to Edge-to-Cloud ML",
+                          testbed::ProjectDomain::Education, "instructor");
+
+  const testbed::Inventory inventory = testbed::Inventory::chameleon();
+  testbed::LeaseManager leases(inventory);
+  util::EventQueue clock;
+
+  // Advance reservation: four V100 nodes for the 2-hour class, starting in
+  // an hour — guaranteed to be there when the class begins (§3.2).
+  testbed::LeaseRequest slot;
+  slot.project_id = "CHI-edu-4242";
+  slot.node_type = "gpu_v100";
+  slot.count = 4;
+  slot.start = 3600;
+  slot.duration = 7200;
+  const auto lease = leases.request(slot);
+  if (!lease) {
+    std::cerr << "class slot unavailable!\n";
+    return 1;
+  }
+  std::cout << "Reserved " << leases.lease(*lease).node_ids.size()
+            << " V100 nodes for the class slot.\n";
+
+  // --- 2. TA enrolls the cars through BYOD ------------------------------
+  edge::EdgeRegistry registry(clock);
+  edge::ContainerService containers(registry, clock);
+  const char* cars[] = {"donkey-01", "donkey-02", "donkey-03"};
+  for (const char* car : cars) {
+    registry.register_device(car, "CHI-edu-4242");
+    registry.flash_device(car);
+    registry.boot_device(car);
+  }
+  clock.run_until(clock.now() + 60);
+  std::cout << "Cars ready: " << registry.ready_devices().size() << "/3\n";
+  for (const char* car : cars) {
+    containers.launch(car, "CHI-edu-4242",
+                      edge::ContainerSpec::autolearn_car());
+  }
+  clock.run();
+  std::cout << "DonkeyCar containers running on every car (zero to ready).\n";
+
+  // --- 3. Class starts: deploy the trainer image on the leased nodes ----
+  clock.run_until(3600);
+  leases.tick(clock.now());
+  testbed::DeploymentService deployments(leases, clock);
+  deployments.deploy(*lease, testbed::ImageSpec::autolearn_trainer());
+  clock.run();
+  std::cout << "Trainer image active on " << deployments.active_count()
+            << " node(s).\n";
+
+  // --- 4. Students work through the pipeline; scores go on the board ----
+  hub::Hub trovi;
+  hub::Artifact& artifact = trovi.create_artifact(
+      "autolearn", "AutoLearn: Learning in the Edge to Cloud Continuum",
+      {"Esquivel Morel", "Fowler", "Keahey", "Zheng", "Sherman", "Anderson"});
+  artifact.publish_version("classroom release", "trovi/autolearn-v1");
+
+  const track::Track track = track::Track::paper_oval();
+  struct Entry {
+    std::string student;
+    ml::ModelType model;
+    double laps;
+    std::size_t errors;
+    double score;
+  };
+  std::vector<Entry> board;
+  const std::pair<const char*, ml::ModelType> students[] = {
+      {"kyle", ml::ModelType::Inferred},
+      {"will", ml::ModelType::Linear},
+      {"dana", ml::ModelType::Categorical},
+  };
+  for (const auto& [student, model] : students) {
+    identity.add_user(student, "Modesto Junior College");
+    identity.add_member("CHI-edu-4242", student);
+    artifact.record_launch(student);
+    artifact.record_cell_execution(student);
+
+    core::PipelineOptions opt;
+    opt.data_path = data::DataPath::Sample;
+    opt.collect_duration_s = 90.0;
+    opt.driver.steering_noise = 0.08;  // recovery examples
+    opt.model = model;
+    opt.train.epochs = 6;
+    opt.eval.duration_s = 45.0;
+    opt.seed = 1;
+    core::Pipeline pipeline(
+        track, opt,
+        fs::temp_directory_path() / (std::string("autolearn_class_") + student));
+    const core::PipelineReport report = pipeline.run();
+    board.push_back({student, model, report.eval_result.laps,
+                     report.eval_result.errors, report.eval_result.score()});
+  }
+
+  std::sort(board.begin(), board.end(),
+            [](const Entry& a, const Entry& b) { return a.score > b.score; });
+  util::TablePrinter table({"student", "model", "laps", "errors", "score"});
+  for (const Entry& e : board) {
+    table.add_row({e.student, ml::to_string(e.model),
+                   util::TablePrinter::num(e.laps, 2),
+                   util::TablePrinter::num(static_cast<long long>(e.errors)),
+                   util::TablePrinter::num(e.score, 3)});
+  }
+  table.print(std::cout, "Class leaderboard (laps/min / (1+errors))");
+
+  const hub::ArtifactMetrics metrics = artifact.metrics();
+  std::cout << "\nTrovi metrics so far: " << metrics.launch_clicks
+            << " launches by " << metrics.unique_launch_users << " users, "
+            << metrics.users_executed_cell << " executed cells, "
+            << metrics.versions << " version(s).\n";
+  return 0;
+}

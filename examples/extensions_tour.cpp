@@ -1,0 +1,147 @@
+// Tour of the §3.3 extension exercises ("Training Additional Models"):
+//
+//   1. edge detection / line following  — classical CV, no ML
+//   2. path following                    — record a GPS trace, follow it
+//   3. stop/go signal classification     — camera identifies the object's
+//                                          colour code; red means stop
+//   4. reinforcement learning            — tabular Q-learning in the sim
+//
+//   $ ./extensions_tour
+#include <iostream>
+
+#include "camera/camera.hpp"
+#include "core/competition.hpp"
+#include "drone/survey.hpp"
+#include "cv/features.hpp"
+#include "cv/pilots.hpp"
+#include "eval/evaluator.hpp"
+#include "rl/qlearning.hpp"
+#include "track/track.hpp"
+#include "util/table.hpp"
+#include "vehicle/car.hpp"
+
+int main() {
+  using namespace autolearn;
+  const track::Track track = track::Track::paper_oval();
+  util::TablePrinter table({"extension", "result"});
+
+  // --- 1. Line following ------------------------------------------------
+  {
+    cv::LineFollowPilot pilot;
+    eval::EvalOptions opt;
+    opt.duration_s = 60.0;
+    const eval::EvalResult r = eval::run_evaluation(track, pilot, opt);
+    table.add_row({"line following (classical CV)",
+                   util::TablePrinter::num(r.laps, 2) + " laps, " +
+                       std::to_string(r.errors) + " errors"});
+  }
+
+  // --- 2. GPS path following --------------------------------------------
+  {
+    // Record the trace by sampling the centerline ("record a path with
+    // GPS"), then follow it from position fixes alone.
+    cv::GpsTrace trace;
+    for (double s = 0; s < track.length(); s += 0.1) {
+      trace.points.push_back(track.position_at(s));
+    }
+    cv::WaypointPilot pilot(trace);
+    vehicle::Car car(vehicle::CarConfig{}, util::Rng(21));
+    car.reset(track.position_at(0), track.heading_at(0));
+    double progress = 0, s_prev = 0;
+    int off_track = 0;
+    for (int i = 0; i < 1200; ++i) {  // 60 s at 20 Hz
+      car.step(pilot.decide(car.state().pos, car.state().heading), 0.05);
+      const auto proj = track.project(car.state().pos);
+      progress += track.progress_delta(s_prev, proj.s);
+      s_prev = proj.s;
+      off_track += !proj.on_track;
+    }
+    table.add_row({"GPS path following",
+                   util::TablePrinter::num(progress / track.length(), 2) +
+                       " laps, " + std::to_string(off_track) +
+                       " off-track steps"});
+  }
+
+  // --- 3. Stop/go signals -------------------------------------------------
+  {
+    cv::LineFollowPilot inner;
+    cv::SignalAwarePilot pilot(inner);
+    camera::Camera cam(camera::CameraConfig{}, util::Rng(22));
+    vehicle::Car car(vehicle::CarConfig{}, util::Rng(23));
+    car.reset(track.position_at(0), track.heading_at(0));
+    // A stop signal placed a third of the way around the lap.
+    const camera::GroundPatch stop_patch{
+        track.position_at(track.length() / 3), 0.16, 0.98f};
+    double min_speed_after_seen = 1e9;
+    bool seen = false;
+    for (int i = 0; i < 1200; ++i) {
+      const camera::Image frame =
+          cam.render(track, car.state(), {stop_patch});
+      car.step(pilot.act(frame), 0.05);
+      if (pilot.stops_observed() > 0) seen = true;
+      if (seen) min_speed_after_seen = std::min(min_speed_after_seen,
+                                                car.state().speed);
+    }
+    table.add_row({"stop/go signal detection",
+                   std::to_string(pilot.stops_observed()) +
+                       " stop(s), min speed " +
+                       util::TablePrinter::num(min_speed_after_seen, 2) +
+                       " m/s"});
+  }
+
+  // --- 4. Reinforcement learning ------------------------------------------
+  {
+    rl::QConfig cfg;
+    cfg.episodes = 80;
+    rl::QLearningPilot agent(track, cfg, util::Rng(24));
+    const auto history = agent.train();
+    const rl::EpisodeStats before_stats = history.front();
+    const rl::EpisodeStats run = agent.evaluate(60.0);
+    table.add_row({"Q-learning (80 episodes)",
+                   util::TablePrinter::num(run.distance_m / track.length(), 2) +
+                       " laps greedy (first episode reward " +
+                       util::TablePrinter::num(before_stats.total_reward, 1) +
+                       " -> last " +
+                       util::TablePrinter::num(history.back().total_reward, 1) +
+                       ")"});
+  }
+
+  // --- 5. Track-day competition (§3.3 "students might also compete") ----
+  {
+    core::Competition comp(core::ScoringRule::SpeedAccuracy);
+    cv::LineFollowPilot steady;
+    cv::LineFollowConfig hot_cfg;
+    hot_cfg.throttle = 0.5;  // faster, riskier
+    cv::LineFollowPilot hot(hot_cfg);
+    comp.add_entrant({"team-steady", [&]() -> eval::Pilot& { return steady; }});
+    comp.add_entrant({"team-hot", [&]() -> eval::Pilot& { return hot; }});
+    eval::EvalOptions opt;
+    opt.duration_s = 30.0;
+    opt.real_profiles = true;
+    comp.add_round(&track, opt);
+    const auto standings = comp.run();
+    table.add_row({"track-day competition",
+                   standings[0].team + " wins (score " +
+                       util::TablePrinter::num(standings[0].total_score, 2) +
+                       " vs " +
+                       util::TablePrinter::num(standings[1].total_score, 2) +
+                       ")"});
+  }
+
+  // --- 6. Drone survey (paper §6 future work) -----------------------------
+  {
+    drone::Drone uav(drone::DroneConfig{}, util::Rng(25));
+    drone::Field field;
+    field.width = 80;
+    field.height = 50;
+    const drone::MissionResult r =
+        drone::fly_survey(uav, field, drone::MissionConfig{});
+    table.add_row({"drone field survey (future work)",
+                   util::TablePrinter::num(r.coverage * 100, 1) +
+                       "% coverage in " +
+                       util::TablePrinter::num(r.duration_s, 0) + " s"});
+  }
+
+  table.print(std::cout, "AutoLearn extension exercises (paper §3.3, §6)");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the whole AutoLearn pipeline in one sitting.
+//
+// Collects a driving session on the paper's tape oval (sample-dataset
+// path, so no hardware and no randomness), cleans it, trains the inferred
+// model, reports the simulated Chameleon GPU time, and closes the loop by
+// driving the trained model around the track.
+//
+//   $ ./quickstart
+#include <filesystem>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "track/track.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace autolearn;
+
+  const track::Track track = track::Track::paper_oval();
+  std::cout << "Track: " << track.name() << " (" << track.length()
+            << " m centerline, " << track.width() << " m wide)\n";
+
+  core::PipelineOptions options;
+  options.data_path = data::DataPath::Sample;   // no car needed
+  options.collect_duration_s = 120.0;           // 2 minutes of driving
+  // Weave slightly while collecting: the recorded corrections teach the
+  // model to recover (the trick the DonkeyCar instructions recommend).
+  options.driver.steering_noise = 0.08;
+  options.model = ml::ModelType::Inferred;      // the paper's favourite
+  options.train.epochs = 8;
+  options.gpu_device = "V100";                  // the node §3.5 used
+  options.eval.duration_s = 60.0;
+
+  const std::filesystem::path workdir =
+      std::filesystem::temp_directory_path() / "autolearn_quickstart";
+  core::Pipeline pipeline(track, options, workdir);
+  const core::PipelineReport report = pipeline.run();
+
+  util::TablePrinter table({"phase", "result"});
+  table.add_row({"collected records",
+                 util::TablePrinter::num(
+                     static_cast<long long>(report.collect.records))});
+  table.add_row({"records cleaned",
+                 util::TablePrinter::num(
+                     static_cast<long long>(report.clean.deleted))});
+  table.add_row({"training samples",
+                 util::TablePrinter::num(
+                     static_cast<long long>(report.train_samples))});
+  table.add_row({"final val loss",
+                 util::TablePrinter::num(report.train_result.best_val_loss, 4)});
+  table.add_row({"steering MAE",
+                 util::TablePrinter::num(report.steering_mae, 3)});
+  table.add_row({"simulated V100 train time (ms)",
+                 util::TablePrinter::num(report.simulated_gpu_seconds * 1000,
+                                         1)});
+  table.add_row({"closed-loop laps",
+                 util::TablePrinter::num(report.eval_result.laps, 2)});
+  table.add_row({"closed-loop errors",
+                 util::TablePrinter::num(
+                     static_cast<long long>(report.eval_result.errors))});
+  table.add_row({"combined score",
+                 util::TablePrinter::num(report.eval_result.score(), 3)});
+  table.print(std::cout, "AutoLearn quickstart");
+
+  std::cout << "\nDone. Swap options.model for any of: linear, categorical,\n"
+               "inferred, memory, rnn, 3d — and options.data_path for\n"
+               "Simulator or PhysicalCar to explore the other Fig. 2 paths.\n";
+  return 0;
+}

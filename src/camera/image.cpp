@@ -1,0 +1,18 @@
+#include "camera/image.hpp"
+
+#include <algorithm>
+
+namespace autolearn::camera {
+
+float Image::mean() const {
+  if (pixels_.empty()) return 0.0f;
+  double sum = 0;
+  for (float p : pixels_) sum += p;
+  return static_cast<float>(sum / static_cast<double>(pixels_.size()));
+}
+
+void Image::clamp() {
+  for (float& p : pixels_) p = std::clamp(p, 0.0f, 1.0f);
+}
+
+}  // namespace autolearn::camera

@@ -1,0 +1,59 @@
+// Grayscale image buffer used throughout the vision pipeline.
+//
+// DonkeyCar records 160x120 RGB JPEGs; the learning signal for lane
+// following is lane-marking geometry, which survives grayscale and heavy
+// downscaling. AutoLearn's frames are single-channel float images in
+// [0, 1], row-major, top row first — small enough (default 32x24) that
+// six-model CPU training finishes in seconds while preserving the task.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace autolearn::camera {
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, float fill = 0.0f)
+      : width_(width), height_(height), pixels_(width * height, fill) {
+    if (width == 0 || height == 0) {
+      throw std::invalid_argument("Image: zero dimension");
+    }
+  }
+
+  std::size_t width() const { return width_; }
+  std::size_t height() const { return height_; }
+  std::size_t size() const { return pixels_.size(); }
+  bool empty() const { return pixels_.empty(); }
+
+  float& at(std::size_t x, std::size_t y) { return pixels_[y * width_ + x]; }
+  float at(std::size_t x, std::size_t y) const {
+    return pixels_[y * width_ + x];
+  }
+
+  /// Bounds-checked accessor used by tests.
+  float at_checked(std::size_t x, std::size_t y) const {
+    if (x >= width_ || y >= height_) {
+      throw std::out_of_range("Image: pixel out of range");
+    }
+    return at(x, y);
+  }
+
+  const std::vector<float>& pixels() const { return pixels_; }
+  std::vector<float>& pixels() { return pixels_; }
+
+  /// Mean intensity, used for sanity checks and exposure normalization.
+  float mean() const;
+
+  /// Clamps every pixel into [0, 1].
+  void clamp();
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<float> pixels_;
+};
+
+}  // namespace autolearn::camera

@@ -1,0 +1,83 @@
+#include "core/competition.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace autolearn::core {
+
+const char* to_string(ScoringRule rule) {
+  switch (rule) {
+    case ScoringRule::SpeedAccuracy: return "speed-accuracy";
+    case ScoringRule::Generalist: return "generalist";
+  }
+  return "?";
+}
+
+Competition::Competition(ScoringRule rule) : rule_(rule) {}
+
+void Competition::add_entrant(Entrant entrant) {
+  if (entrant.team.empty() || !entrant.pilot) {
+    throw std::invalid_argument("competition: bad entrant");
+  }
+  for (const Entrant& e : entrants_) {
+    if (e.team == entrant.team) {
+      throw std::invalid_argument("competition: duplicate team " +
+                                  entrant.team);
+    }
+  }
+  entrants_.push_back(std::move(entrant));
+}
+
+void Competition::add_round(const track::Track* track,
+                            eval::EvalOptions options) {
+  if (!track) throw std::invalid_argument("competition: null track");
+  rounds_.push_back(Round{track, options});
+}
+
+std::vector<Standing> Competition::run() {
+  if (entrants_.empty() || rounds_.empty()) {
+    throw std::logic_error("competition: need entrants and rounds");
+  }
+  results_.clear();
+  std::map<std::string, Standing> standings;
+  for (const Entrant& e : entrants_) {
+    standings[e.team].team = e.team;
+  }
+
+  for (const Round& round : rounds_) {
+    // Evaluate everyone on this round, then assign ranks within it.
+    std::vector<std::pair<std::string, double>> round_scores;
+    for (const Entrant& e : entrants_) {
+      eval::Pilot& pilot = e.pilot();
+      const eval::EvalResult r =
+          eval::run_evaluation(*round.track, pilot, round.options);
+      results_.push_back(RoundResult{e.team, round.track->name(), r});
+      Standing& st = standings[e.team];
+      st.total_score += r.score();
+      st.total_errors += r.errors;
+      ++st.rounds;
+      round_scores.emplace_back(e.team, r.score());
+    }
+    std::sort(round_scores.begin(), round_scores.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (std::size_t rank = 0; rank < round_scores.size(); ++rank) {
+      standings[round_scores[rank].first].rank_sum +=
+          static_cast<double>(rank + 1);
+    }
+  }
+
+  std::vector<Standing> out;
+  out.reserve(standings.size());
+  for (auto& [team, st] : standings) out.push_back(st);
+  std::sort(out.begin(), out.end(), [this](const Standing& a,
+                                           const Standing& b) {
+    if (rule_ == ScoringRule::SpeedAccuracy) {
+      return a.total_score > b.total_score;
+    }
+    return a.rank_sum < b.rank_sum;  // generalist: lower rank sum wins
+  });
+  return out;
+}
+
+}  // namespace autolearn::core

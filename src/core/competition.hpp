@@ -1,0 +1,69 @@
+// Student competitions (§3.3: "Students might also compete to train models
+// yielding a combination of fastest speed with fewest errors, or accuracy
+// following tracks of different shapes").
+//
+// A Competition runs every entrant on every round's track and aggregates
+// standings. Two scoring rules mirror the paper's two suggested contests:
+//   SpeedAccuracy  the combined score (laps/min divided by 1+errors)
+//   Generalist     rank-sum across tracks of different shapes
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "eval/evaluator.hpp"
+#include "track/track.hpp"
+
+namespace autolearn::core {
+
+enum class ScoringRule { SpeedAccuracy, Generalist };
+
+const char* to_string(ScoringRule rule);
+
+struct Entrant {
+  std::string team;
+  /// Factory so each round gets a fresh pilot (no state leaks between
+  /// rounds). The pilot must outlive the evaluation; the factory returns a
+  /// reference to a pilot owned elsewhere.
+  std::function<eval::Pilot&()> pilot;
+};
+
+struct RoundResult {
+  std::string team;
+  std::string track;
+  eval::EvalResult result;
+};
+
+struct Standing {
+  std::string team;
+  double total_score = 0.0;   // SpeedAccuracy: sum of scores
+  double rank_sum = 0.0;      // Generalist: lower is better
+  std::size_t rounds = 0;
+  std::size_t total_errors = 0;
+};
+
+class Competition {
+ public:
+  explicit Competition(ScoringRule rule = ScoringRule::SpeedAccuracy);
+
+  void add_entrant(Entrant entrant);
+  void add_round(const track::Track* track, eval::EvalOptions options);
+
+  /// Runs all rounds; returns standings sorted best-first.
+  std::vector<Standing> run();
+
+  const std::vector<RoundResult>& round_results() const { return results_; }
+
+ private:
+  ScoringRule rule_;
+  std::vector<Entrant> entrants_;
+  struct Round {
+    const track::Track* track;
+    eval::EvalOptions options;
+  };
+  std::vector<Round> rounds_;
+  std::vector<RoundResult> results_;
+};
+
+}  // namespace autolearn::core

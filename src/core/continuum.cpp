@@ -1,0 +1,127 @@
+#include "core/continuum.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace autolearn::core {
+
+const char* to_string(Placement p) {
+  switch (p) {
+    case Placement::OnDevice: return "on-device";
+    case Placement::Cloud: return "cloud";
+    case Placement::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+double placement_latency_s(Placement placement, const ContinuumOptions& opt,
+                           std::uint64_t edge_model_flops,
+                           std::uint64_t cloud_model_flops) {
+  const auto scaled = [&](std::uint64_t flops) {
+    return static_cast<std::uint64_t>(static_cast<double>(flops) *
+                                      opt.flops_scale);
+  };
+  const double edge_infer = gpu::inference_latency_s(
+      gpu::device(opt.edge_device), scaled(edge_model_flops));
+  const double cloud_infer = gpu::inference_latency_s(
+      gpu::device(opt.cloud_device), scaled(cloud_model_flops));
+  switch (placement) {
+    case Placement::OnDevice:
+      // On-device runs the edge-sized model (the big one does not hold
+      // the control rate on a Pi).
+      return edge_infer;
+    case Placement::Cloud: return opt.network_rtt_s + cloud_infer;
+    case Placement::Hybrid:
+      // The loop is never blocked longer than the edge model's latency.
+      return edge_infer;
+  }
+  throw std::invalid_argument("placement_latency: bad placement");
+}
+
+HybridPilot::HybridPilot(ml::DrivingModel& edge_model,
+                         ml::DrivingModel& cloud_model,
+                         const ContinuumOptions& options, util::Rng rng)
+    : edge_(edge_model),
+      cloud_(cloud_model),
+      cloud_model_(cloud_model),
+      options_(options),
+      rng_(rng),
+      cloud_pipe_(options.control_dt, Stamped{}) {}
+
+void HybridPilot::reset() {
+  edge_.reset();
+  cloud_.reset();
+  cloud_pipe_ = util::DelayLine<Stamped>(options_.control_dt, Stamped{});
+  now_ = 0.0;
+  steps_ = 0;
+  cloud_steps_ = 0;
+}
+
+double HybridPilot::cloud_usage() const {
+  return steps_ ? static_cast<double>(cloud_steps_) /
+                      static_cast<double>(steps_)
+                : 0.0;
+}
+
+vehicle::DriveCommand HybridPilot::act(const camera::Image& frame) {
+  now_ += options_.control_dt;
+  ++steps_;
+  // Edge model answers within the control period.
+  const vehicle::DriveCommand edge_cmd = edge_.act(frame);
+  // The same frame is also shipped to the cloud; its (better) command
+  // arrives RTT + GPU-inference later.
+  const vehicle::DriveCommand cloud_cmd = cloud_.act(frame);
+  const double cloud_infer = gpu::inference_latency_s(
+      gpu::device(options_.cloud_device),
+      static_cast<std::uint64_t>(
+          static_cast<double>(cloud_model_.flops_per_sample()) *
+          options_.flops_scale));
+  double delay = options_.network_rtt_s + cloud_infer;
+  if (options_.rtt_jitter_s > 0) {
+    delay = std::max(0.0, rng_.normal(delay, options_.rtt_jitter_s));
+  }
+  cloud_pipe_.push(Stamped{cloud_cmd, now_}, delay);
+  const Stamped& freshest = cloud_pipe_.step();
+  if (now_ - freshest.time <= options_.hybrid_staleness_s) {
+    ++cloud_steps_;
+    return freshest.cmd;
+  }
+  return edge_cmd;
+}
+
+eval::EvalResult evaluate_placement(const track::Track& track,
+                                    ml::DrivingModel& main_model,
+                                    ml::DrivingModel& edge_fallback,
+                                    Placement placement,
+                                    const ContinuumOptions& options,
+                                    const eval::EvalOptions& eval_options) {
+  eval::EvalOptions opts = eval_options;
+  opts.dt = options.control_dt;
+  const std::uint64_t main_flops = main_model.flops_per_sample();
+  const std::uint64_t edge_flops = edge_fallback.flops_per_sample();
+  switch (placement) {
+    case Placement::OnDevice: {
+      opts.command_latency_s = placement_latency_s(
+          Placement::OnDevice, options, edge_flops, main_flops);
+      eval::ModelPilot pilot(edge_fallback);
+      return eval::run_evaluation(track, pilot, opts);
+    }
+    case Placement::Cloud: {
+      opts.command_latency_s = placement_latency_s(Placement::Cloud, options,
+                                                   edge_flops, main_flops);
+      opts.latency_jitter_s = options.rtt_jitter_s;
+      eval::ModelPilot pilot(main_model);
+      return eval::run_evaluation(track, pilot, opts);
+    }
+    case Placement::Hybrid: {
+      opts.command_latency_s = placement_latency_s(Placement::Hybrid, options,
+                                                   edge_flops, main_flops);
+      HybridPilot pilot(edge_fallback, main_model, options,
+                        util::Rng(eval_options.seed + 17));
+      return eval::run_evaluation(track, pilot, opts);
+    }
+  }
+  throw std::invalid_argument("evaluate_placement: bad placement");
+}
+
+}  // namespace autolearn::core

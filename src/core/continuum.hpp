@@ -1,0 +1,93 @@
+// Edge-to-cloud inference placement (§3.3/§3.4 extensions: "exploring the
+// edge to cloud interaction by attempting to run inference models in the
+// cloud, constructing hybrid edge cloud inference models").
+//
+// Three placements for the closed control loop. The Pi can only sustain
+// the small edge model at the control rate; the big model needs the GPU:
+//   OnDevice  the small edge model runs on the car's Pi:
+//             latency = Pi inference time, quality = the small model's
+//   Cloud     frames go to a GPU node running the big model:
+//             latency = network RTT + GPU time, quality = the big model's
+//   Hybrid    the small model answers on the Pi every step while the big
+//             model's commands stream back from the cloud; the loop uses
+//             the cloud command when it is fresh and falls back to the
+//             edge model otherwise.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "eval/evaluator.hpp"
+#include "gpu/perf_model.hpp"
+#include "ml/driving_model.hpp"
+#include "util/delay_line.hpp"
+
+namespace autolearn::core {
+
+enum class Placement { OnDevice, Cloud, Hybrid };
+
+const char* to_string(Placement p);
+
+struct ContinuumOptions {
+  std::string edge_device = "RaspberryPi4";
+  std::string cloud_device = "V100";
+  double network_rtt_s = 0.04;   // car <-> cloud round trip
+  double rtt_jitter_s = 0.008;
+  /// Hybrid: a cloud command older than this is considered stale and the
+  /// edge model takes over.
+  double hybrid_staleness_s = 0.15;
+  double control_dt = 0.05;
+  /// Scales model FLOPs when computing inference latency. The library's
+  /// models run at reduced resolution (32x24); the paper's cars run the
+  /// full DonkeyCar stack at 160x120, roughly 1500x the arithmetic. Set
+  /// this to study the full-scale deployment without training it.
+  double flops_scale = 1.0;
+};
+
+/// End-to-end command latency for a placement (excluding jitter).
+double placement_latency_s(Placement placement, const ContinuumOptions& opt,
+                           std::uint64_t edge_model_flops,
+                           std::uint64_t cloud_model_flops);
+
+/// Hybrid pilot: edge model answers immediately; the cloud model's answers
+/// arrive RTT+GPU-time later through a delay line and override the edge
+/// command while fresh.
+class HybridPilot : public eval::Pilot {
+ public:
+  HybridPilot(ml::DrivingModel& edge_model, ml::DrivingModel& cloud_model,
+              const ContinuumOptions& options, util::Rng rng);
+
+  vehicle::DriveCommand act(const camera::Image& frame) override;
+  void reset() override;
+  std::string name() const override { return "hybrid"; }
+
+  /// Fraction of steps that used the (fresh) cloud command so far.
+  double cloud_usage() const;
+
+ private:
+  struct Stamped {
+    vehicle::DriveCommand cmd;
+    double time = -1e9;
+  };
+
+  eval::ModelPilot edge_;
+  eval::ModelPilot cloud_;
+  ml::DrivingModel& cloud_model_;
+  ContinuumOptions options_;
+  util::Rng rng_;
+  util::DelayLine<Stamped> cloud_pipe_;
+  double now_ = 0.0;
+  std::size_t steps_ = 0;
+  std::size_t cloud_steps_ = 0;
+};
+
+/// Evaluates a placement on a track: wires latency into the evaluator (or
+/// builds a HybridPilot) and returns the closed-loop result.
+eval::EvalResult evaluate_placement(const track::Track& track,
+                                    ml::DrivingModel& main_model,
+                                    ml::DrivingModel& edge_fallback,
+                                    Placement placement,
+                                    const ContinuumOptions& options,
+                                    const eval::EvalOptions& eval_options);
+
+}  // namespace autolearn::core

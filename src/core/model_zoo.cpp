@@ -1,0 +1,87 @@
+#include "core/model_zoo.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace autolearn::core {
+
+ModelZoo::ModelZoo(objectstore::ObjectStore& store, std::string container)
+    : store_(store), container_(std::move(container)) {
+  if (!store_.has_container(container_)) {
+    store_.create_container(container_);
+  }
+}
+
+std::uint64_t ModelZoo::publish(const std::string& name,
+                                ml::DrivingModel& model,
+                                const std::string& track_name,
+                                double val_loss, double steering_mae) {
+  if (name.empty()) throw std::invalid_argument("zoo: empty name");
+  std::ostringstream blob;
+  model.save(blob);
+  const std::string bytes = blob.str();
+  return store_.put(container_, name,
+                    std::vector<std::uint8_t>(bytes.begin(), bytes.end()),
+                    {{"model_type", model.type_name()},
+                     {"track", track_name},
+                     {"val_loss", std::to_string(val_loss)},
+                     {"steering_mae", std::to_string(steering_mae)}});
+}
+
+ZooEntry ModelZoo::entry_from_metadata(
+    const std::string& name, const std::map<std::string, std::string>& meta,
+    std::uint64_t version) const {
+  ZooEntry e;
+  e.name = name;
+  e.version = version;
+  e.type = ml::model_type_from_string(meta.at("model_type"));
+  e.track = meta.at("track");
+  e.val_loss = std::stod(meta.at("val_loss"));
+  e.steering_mae = std::stod(meta.at("steering_mae"));
+  return e;
+}
+
+std::vector<ZooEntry> ModelZoo::list() const {
+  std::vector<ZooEntry> out;
+  for (const objectstore::ObjectInfo& info : store_.list(container_)) {
+    const auto obj = store_.get(container_, info.name);
+    if (!obj) continue;
+    out.push_back(entry_from_metadata(info.name, obj->metadata, obj->version));
+  }
+  return out;
+}
+
+std::vector<ZooEntry> ModelZoo::list_by_type(ml::ModelType type) const {
+  std::vector<ZooEntry> out;
+  for (ZooEntry& e : list()) {
+    if (e.type == type) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::optional<ZooEntry> ModelZoo::best_for_track(
+    const std::string& track_name) const {
+  std::optional<ZooEntry> best;
+  for (ZooEntry& e : list()) {
+    if (e.track != track_name) continue;
+    if (!best || e.steering_mae < best->steering_mae) best = std::move(e);
+  }
+  return best;
+}
+
+bool ModelZoo::contains(const std::string& name) const {
+  return store_.get(container_, name).has_value();
+}
+
+std::unique_ptr<ml::DrivingModel> ModelZoo::load(
+    const std::string& name, const ml::ModelConfig& config) const {
+  const auto obj = store_.get(container_, name);
+  if (!obj) throw std::invalid_argument("zoo: unknown model " + name);
+  auto model = ml::make_model(
+      ml::model_type_from_string(obj->metadata.at("model_type")), config);
+  std::istringstream in(std::string(obj->bytes.begin(), obj->bytes.end()));
+  model->load(in);
+  return model;
+}
+
+}  // namespace autolearn::core

@@ -1,0 +1,68 @@
+// Pre-trained model zoo (§3.4: "students can use one of the packed
+// pre-trained models or explore new models"; §3.5: "The collected datasets
+// and the pre-trained models are stored in Chameleon's object store and
+// can be combined with other components of the system in a 'mix and match'
+// pathway").
+//
+// Checkpoints live in an object-store container with structured metadata
+// (model type, source track, training stats); students list, filter, and
+// instantiate them without training anything.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/driving_model.hpp"
+#include "objectstore/objectstore.hpp"
+
+namespace autolearn::core {
+
+struct ZooEntry {
+  std::string name;         // e.g. "inferred-oval-v2"
+  ml::ModelType type = ml::ModelType::Linear;
+  std::string track;        // source track name
+  double val_loss = 0.0;
+  double steering_mae = 0.0;
+  std::uint64_t version = 0;
+};
+
+class ModelZoo {
+ public:
+  /// Uses (and creates if needed) the "models" container of the store.
+  explicit ModelZoo(objectstore::ObjectStore& store,
+                    std::string container = "models");
+
+  /// Serializes the model and publishes it with metadata. Re-publishing
+  /// under the same name creates a new version. Returns the version.
+  std::uint64_t publish(const std::string& name, ml::DrivingModel& model,
+                        const std::string& track_name, double val_loss,
+                        double steering_mae);
+
+  /// All entries (latest versions).
+  std::vector<ZooEntry> list() const;
+  /// Entries of one model type.
+  std::vector<ZooEntry> list_by_type(ml::ModelType type) const;
+  /// Best entry (lowest steering MAE) for a track, if any.
+  std::optional<ZooEntry> best_for_track(const std::string& track_name) const;
+
+  /// Reconstructs a ready-to-drive model from a checkpoint. The model
+  /// config must match the one used at publish time (the zoo stores the
+  /// type; other config fields use defaults unless provided).
+  std::unique_ptr<ml::DrivingModel> load(
+      const std::string& name, const ml::ModelConfig& config = {}) const;
+
+  bool contains(const std::string& name) const;
+
+ private:
+  ZooEntry entry_from_metadata(
+      const std::string& name,
+      const std::map<std::string, std::string>& meta,
+      std::uint64_t version) const;
+
+  objectstore::ObjectStore& store_;
+  std::string container_;
+};
+
+}  // namespace autolearn::core

@@ -1,0 +1,120 @@
+#include "core/module_catalog.hpp"
+
+namespace autolearn::core {
+
+const char* to_string(ComponentGroup g) {
+  switch (g) {
+    case ComponentGroup::Artifacts: return "artifacts";
+    case ComponentGroup::Computation: return "computation";
+    case ComponentGroup::Extensions: return "extensions";
+  }
+  return "?";
+}
+
+const char* to_string(Difficulty d) {
+  switch (d) {
+    case Difficulty::Beginner: return "beginner";
+    case Difficulty::Intermediate: return "intermediate";
+    case Difficulty::Advanced: return "advanced";
+  }
+  return "?";
+}
+
+const std::vector<ModuleComponent>& module_catalog() {
+  static const std::vector<ModuleComponent> catalog = {
+      // --- artifacts (Fig. 1 left column) --------------------------------
+      {"sample datasets", ComponentGroup::Artifacts, Difficulty::Beginner,
+       "pre-collected oval/Waveshare sessions (10-50K records)",
+       "data::DataPath::Sample", false, false},
+      {"pre-trained models", ComponentGroup::Artifacts, Difficulty::Beginner,
+       "packed checkpoints for all six model types",
+       "core::ModelZoo", false, false},
+      {"instruction notebooks", ComponentGroup::Artifacts,
+       Difficulty::Beginner,
+       "one-click cells for every pipeline phase",
+       "workflow::Notebook + core::to_notebook", false, false},
+      // --- computation (Fig. 1 middle column) ----------------------------
+      {"data collection", ComponentGroup::Computation, Difficulty::Beginner,
+       "drive (expert stand-in) and record tubs over any of the three paths",
+       "data::collect_session", true, false},
+      {"data cleaning", ComponentGroup::Computation, Difficulty::Beginner,
+       "tubclean review pass marking crash segments deleted",
+       "data::review_clean", false, false},
+      {"model training", ComponentGroup::Computation,
+       Difficulty::Intermediate,
+       "fit any of the six model types; GPU time via the perf model",
+       "ml::fit + gpu::training_time_s", false, true},
+      {"model evaluation", ComponentGroup::Computation,
+       Difficulty::Intermediate,
+       "closed-loop driving with laps/errors/score",
+       "eval::run_evaluation", true, true},
+      // --- extensions/assignments (Fig. 1 right column) ------------------
+      {"track variations", ComponentGroup::Extensions, Difficulty::Beginner,
+       "modify the shape of the track, vary surface/conditions",
+       "track::PathBuilder", false, false},
+      {"model comparisons", ComponentGroup::Extensions,
+       Difficulty::Intermediate,
+       "compare the six model types on speed vs errors",
+       "bench_e2_autonomy", false, false},
+      {"path following", ComponentGroup::Extensions,
+       Difficulty::Intermediate,
+       "record a GPS path and have the car follow it",
+       "cv::WaypointPilot", false, false},
+      {"line following", ComponentGroup::Extensions,
+       Difficulty::Intermediate,
+       "edge detection / centre-line keeping without ML",
+       "cv::LineFollowPilot", false, false},
+      {"obstacle detection", ComponentGroup::Extensions,
+       Difficulty::Intermediate,
+       "colour-coded stop/go signals in front of the camera",
+       "cv::SignalAwarePilot", false, false},
+      {"edge-cloud inference", ComponentGroup::Extensions,
+       Difficulty::Advanced,
+       "in-situ vs cloud vs hybrid placement across network RTTs",
+       "core::evaluate_placement", false, true},
+      {"reinforcement learning", ComponentGroup::Extensions,
+       Difficulty::Advanced,
+       "tabular Q-learning in the simulator",
+       "rl::QLearningPilot", false, false},
+      {"digital twin", ComponentGroup::Extensions, Difficulty::Advanced,
+       "compare simulator output with real-life evaluation",
+       "core::compare_sim_to_real", true, false},
+      {"competitions", ComponentGroup::Extensions, Difficulty::Intermediate,
+       "fastest speed with fewest errors; accuracy across track shapes",
+       "core::Competition", false, false},
+      {"speed-data reliability", ComponentGroup::Extensions,
+       Difficulty::Advanced,
+       "lap consistency from real-time speed telemetry (Fowler poster)",
+       "core::SpeedGovernedPilot", true, false},
+      {"drone survey", ComponentGroup::Extensions, Difficulty::Advanced,
+       "UAV lawnmower coverage of a field (precision agriculture, §6)",
+       "drone::fly_survey", false, false},
+  };
+  return catalog;
+}
+
+std::vector<const ModuleComponent*> components_in_group(ComponentGroup g) {
+  std::vector<const ModuleComponent*> out;
+  for (const ModuleComponent& c : module_catalog()) {
+    if (c.group == g) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const ModuleComponent*> components_at(Difficulty d) {
+  std::vector<const ModuleComponent*> out;
+  for (const ModuleComponent& c : module_catalog()) {
+    if (c.difficulty == d) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const ModuleComponent*> hardware_free_components() {
+  std::vector<const ModuleComponent*> out;
+  for (const ModuleComponent& c : module_catalog()) {
+    if (!c.requires_car && !c.requires_testbed) out.push_back(&c);
+  }
+  return out;
+}
+
+}  // namespace autolearn::core

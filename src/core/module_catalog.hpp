@@ -1,0 +1,39 @@
+// The educational module's structure (Fig. 1): three component groups —
+// artifacts, computation, and extensions/assignments — "which can be used
+// to reinforce, apply, and assess the new learned skills". The catalog is
+// queryable so examples, docs, and the teaching guide stay consistent with
+// one source of truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace autolearn::core {
+
+enum class ComponentGroup { Artifacts, Computation, Extensions };
+enum class Difficulty { Beginner, Intermediate, Advanced };
+
+const char* to_string(ComponentGroup g);
+const char* to_string(Difficulty d);
+
+struct ModuleComponent {
+  std::string name;
+  ComponentGroup group = ComponentGroup::Artifacts;
+  Difficulty difficulty = Difficulty::Beginner;
+  std::string description;
+  /// Library/binary in this repository that implements it.
+  std::string implemented_by;
+  bool requires_car = false;
+  bool requires_testbed = false;
+};
+
+/// The full Fig. 1 catalog.
+const std::vector<ModuleComponent>& module_catalog();
+
+/// Filters.
+std::vector<const ModuleComponent*> components_in_group(ComponentGroup g);
+std::vector<const ModuleComponent*> components_at(Difficulty d);
+/// Everything a hardware-free (digital-pathway) learner can run.
+std::vector<const ModuleComponent*> hardware_free_components();
+
+}  // namespace autolearn::core

@@ -1,0 +1,96 @@
+#include "core/pathway.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::core {
+
+const char* to_string(PathwayKind k) {
+  switch (k) {
+    case PathwayKind::Regular: return "regular";
+    case PathwayKind::Classroom: return "classroom";
+    case PathwayKind::Digital: return "digital";
+  }
+  return "?";
+}
+
+bool PathwayPlan::needs_physical_car() const {
+  for (const PhasePlan& p : phases) {
+    if (p.requires_car) return true;
+  }
+  return false;
+}
+
+bool PathwayPlan::needs_testbed() const {
+  for (const PhasePlan& p : phases) {
+    if (p.requires_testbed) return true;
+  }
+  return false;
+}
+
+PathwayPlan make_pathway(PathwayKind kind) {
+  PathwayPlan plan;
+  plan.kind = kind;
+  switch (kind) {
+    case PathwayKind::Regular:
+      // Self-paced learner with a car kit and testbed access.
+      plan.audience = "self-paced learner with a ~$200 car kit";
+      plan.phases = {
+          {"data collection", "drive the physical car with the web controller",
+           "hands-on engineering is the point of the regular path", true,
+           false},
+          {"data cleaning", "tubclean review of the recorded video",
+           "learners always record some crashes", false, false},
+          {"model training", "Chameleon GPU lease + AutoLearn trainer image",
+           "training on a laptop is too slow; the notebook reserves a node",
+           false, true},
+          {"model evaluation", "deploy to the car via CHI@Edge BYOD container",
+           "closing the loop on real hardware", true, true},
+      };
+      break;
+    case PathwayKind::Classroom:
+      // Instructor-led cohort: advance reservations, shared cars.
+      plan.audience = "instructor-led class with shared cars and a TA";
+      plan.phases = {
+          {"data collection", "shared sample datasets + short car sessions",
+           "class time is limited; samples guarantee everyone has data",
+           true, false},
+          {"data cleaning", "tubclean as a graded warm-up exercise",
+           "a beginner-level assignment (§3.4)", false, false},
+          {"model training", "advance-reserved GPU nodes for the class slot",
+           "advance reservations guarantee availability at class time",
+           false, true},
+          {"model evaluation", "track day: cars via BYOD, scores compared",
+           "competition between student teams (§3.3)", true, true},
+      };
+      break;
+    case PathwayKind::Digital:
+      // No car at all: simulator end-to-end.
+      plan.audience = "remote self-learner without hardware";
+      plan.phases = {
+          {"data collection", "DonkeyCar simulator sessions",
+           "the simulator runs on any laptop (§3.3)", false, false},
+          {"data cleaning", "tubclean on simulator tubs",
+           "same workflow, no hardware", false, false},
+          {"model training", "Chameleon GPU lease (or local CPU for tiny runs)",
+           "the training notebook is identical for sim data", false, true},
+          {"model evaluation", "simulator evaluation + digital-twin compare",
+           "validating without a car (§3.4)", false, false},
+      };
+      break;
+  }
+  return plan;
+}
+
+workflow::Notebook to_notebook(
+    const PathwayPlan& plan,
+    const std::function<std::string(const PhasePlan&)>& phase_runner) {
+  if (!phase_runner) throw std::invalid_argument("pathway: null runner");
+  workflow::Notebook nb(std::string("autolearn-") + to_string(plan.kind));
+  for (const PhasePlan& phase : plan.phases) {
+    nb.add_cell(phase.phase + " — " + phase.alternative,
+                [phase, phase_runner] { return phase_runner(phase); });
+  }
+  return nb;
+}
+
+}  // namespace autolearn::core

@@ -1,0 +1,47 @@
+// Learning pathways (§3.4, §4): "three different pathways, i.e. regular,
+// classroom, and digital path, based on student's interests, background or
+// goals". A pathway plan enumerates the phases of Fig. 1 with the
+// alternative chosen for each and can be materialized as a runnable
+// notebook (the artifact form the module ships in).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workflow/notebook.hpp"
+
+namespace autolearn::core {
+
+enum class PathwayKind { Regular, Classroom, Digital };
+
+const char* to_string(PathwayKind k);
+
+struct PhasePlan {
+  std::string phase;        // "data collection", "model training", ...
+  std::string alternative;  // which option this pathway uses
+  std::string rationale;    // why this alternative fits the pathway
+  bool requires_car = false;
+  bool requires_testbed = false;
+};
+
+struct PathwayPlan {
+  PathwayKind kind = PathwayKind::Regular;
+  std::string audience;
+  std::vector<PhasePlan> phases;
+
+  bool needs_physical_car() const;
+  bool needs_testbed() const;
+};
+
+/// The three pathways of §4 with the alternatives §3.4 describes.
+PathwayPlan make_pathway(PathwayKind kind);
+
+/// Materializes the plan as a notebook whose cells describe (and check)
+/// each phase; bodies are supplied by the caller via a phase-runner so the
+/// same plan can drive a simulation or a dry run.
+workflow::Notebook to_notebook(
+    const PathwayPlan& plan,
+    const std::function<std::string(const PhasePlan&)>& phase_runner);
+
+}  // namespace autolearn::core

@@ -1,0 +1,81 @@
+#include "core/pipeline.hpp"
+
+#include <stdexcept>
+
+#include "data/dataset.hpp"
+#include "eval/pilot.hpp"
+#include "util/logging.hpp"
+
+namespace autolearn::core {
+
+Pipeline::Pipeline(const track::Track& track, PipelineOptions options,
+                   std::filesystem::path workdir)
+    : track_(track), options_(std::move(options)), workdir_(std::move(workdir)) {}
+
+ml::DrivingModel& Pipeline::model() {
+  if (!model_) throw std::logic_error("pipeline: run() first");
+  return *model_;
+}
+
+PipelineReport Pipeline::run() {
+  PipelineReport report;
+
+  // Phase 1: collect (Fig. 2 path).
+  data::CollectOptions copt;
+  copt.duration_s = options_.collect_duration_s;
+  copt.seed = options_.seed;
+  copt.expert = options_.driver;
+  copt.img_w = options_.model_config.img_w;
+  copt.img_h = options_.model_config.img_h;
+  const auto tub_dir = workdir_ / "tub";
+  std::filesystem::remove_all(tub_dir);
+  report.collect =
+      data::collect_session(track_, options_.data_path, copt, tub_dir);
+
+  // Phase 2: clean (tubclean review pass).
+  data::Tub tub(tub_dir);
+  if (options_.clean) {
+    report.clean = data::review_clean(tub);
+  }
+
+  // Phase 3: train.
+  data::DatasetOptions dopt;
+  dopt.seq_len = options_.model_config.seq_len;
+  dopt.history_len = options_.model_config.history_len;
+  auto samples = data::build_samples(tub.read_all(), dopt);
+  auto [train, val] = data::split_train_val(std::move(samples), 0.15,
+                                            options_.seed + 7);
+  report.train_samples = train.size();
+  report.val_samples = val.size();
+  if (train.empty()) throw std::runtime_error("pipeline: no training data");
+
+  model_ = ml::make_model(options_.model, options_.model_config);
+  report.train_result = ml::fit(*model_, train, val, options_.train);
+  report.steering_mae = ml::steering_mae(*model_, val);
+
+  gpu::TrainingWorkload load;
+  load.forward_flops = report.train_result.forward_flops;
+  load.samples = report.train_result.samples_seen;
+  load.batch_size = options_.train.batch_size;
+  const gpu::DeviceSpec& spec = gpu::device(options_.gpu_device);
+  const gpu::Interconnect link =
+      options_.gpu_count > 1 ? (options_.gpu_device == "v100NVLINK" ||
+                                        options_.gpu_device == "A100"
+                                    ? gpu::Interconnect::NVLink
+                                    : gpu::Interconnect::PCIe)
+                             : gpu::Interconnect::None;
+  report.simulated_gpu_seconds =
+      gpu::training_time_s(spec, load, options_.gpu_count, link);
+
+  // Phase 4: evaluate closed-loop.
+  eval::ModelPilot pilot(*model_);
+  report.eval_result = eval::run_evaluation(track_, pilot, options_.eval);
+
+  AUTOLEARN_LOG(Info, "pipeline")
+      << ml::to_string(options_.model) << " on " << track_.name() << ": mae "
+      << report.steering_mae << ", laps " << report.eval_result.laps
+      << ", errors " << report.eval_result.errors;
+  return report;
+}
+
+}  // namespace autolearn::core

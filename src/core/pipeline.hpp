@@ -1,0 +1,67 @@
+// The AutoLearn pipeline (Fig. 1): data collection -> cleaning -> model
+// training -> evaluation, as one orchestrated object. Each phase mirrors a
+// section of the educational module and can be swapped the way the paper's
+// pathways allow (sample dataset vs. fresh collection, any of the six
+// model types, sim vs. physical-car evaluation).
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "data/collector.hpp"
+#include "data/tubclean.hpp"
+#include "eval/evaluator.hpp"
+#include "gpu/perf_model.hpp"
+#include "ml/trainer.hpp"
+#include "track/track.hpp"
+
+namespace autolearn::core {
+
+struct PipelineOptions {
+  data::DataPath data_path = data::DataPath::Sample;
+  double collect_duration_s = 120.0;
+  vehicle::ExpertConfig driver;        // imperfection knobs
+  bool clean = true;                   // run tubclean before training
+  ml::ModelType model = ml::ModelType::Linear;
+  ml::ModelConfig model_config;
+  ml::TrainOptions train;
+  std::string gpu_device = "V100";     // simulated training node
+  int gpu_count = 1;
+  eval::EvalOptions eval;
+  std::uint64_t seed = 1;
+};
+
+struct PipelineReport {
+  data::CollectStats collect;
+  data::CleanStats clean;
+  std::size_t train_samples = 0;
+  std::size_t val_samples = 0;
+  ml::TrainResult train_result;
+  double steering_mae = 0.0;
+  double simulated_gpu_seconds = 0.0;  // on the configured node
+  eval::EvalResult eval_result;
+};
+
+/// Runs the full pipeline in a working directory (tub storage) and returns
+/// the trained model plus a report of every phase.
+class Pipeline {
+ public:
+  Pipeline(const track::Track& track, PipelineOptions options,
+           std::filesystem::path workdir);
+
+  /// Executes collect -> clean -> train -> evaluate.
+  PipelineReport run();
+
+  /// The trained model (valid after run()).
+  ml::DrivingModel& model();
+
+ private:
+  const track::Track& track_;
+  PipelineOptions options_;
+  std::filesystem::path workdir_;
+  std::unique_ptr<ml::DrivingModel> model_;
+};
+
+}  // namespace autolearn::core

@@ -1,0 +1,58 @@
+#include "core/speed_governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "eval/evaluator.hpp"
+
+namespace autolearn::core {
+
+SpeedGovernedPilot::SpeedGovernedPilot(eval::Pilot& inner,
+                                       GovernorConfig config)
+    : inner_(inner), config_(config) {
+  if (config.target_speed <= 0 || config.kp < 0 || config.ki < 0 ||
+      config.dt <= 0 || config.max_speed <= 0) {
+    throw std::invalid_argument("governor: bad config");
+  }
+}
+
+void SpeedGovernedPilot::reset() {
+  inner_.reset();
+  integral_ = 0.0;
+  measured_speed_ = 0.0;
+}
+
+vehicle::DriveCommand SpeedGovernedPilot::act(const camera::Image& frame) {
+  const vehicle::DriveCommand inner_cmd = inner_.act(frame);
+  const double error = config_.target_speed - measured_speed_;
+  integral_ = std::clamp(integral_ + error * config_.dt,
+                         -config_.integral_limit, config_.integral_limit);
+  const double throttle =
+      (config_.target_speed + config_.kp * error + config_.ki * integral_) /
+      config_.max_speed;
+  return vehicle::DriveCommand{inner_cmd.steering, throttle}.clamped();
+}
+
+eval::EvalResult run_governed_evaluation(const track::Track& track,
+                                         SpeedGovernedPilot& pilot,
+                                         const eval::EvalOptions& options) {
+  eval::EvalOptions opts = options;
+  opts.telemetry = [&pilot](const vehicle::CarState& state) {
+    pilot.set_measured_speed(state.speed);
+  };
+  return eval::run_evaluation(track, pilot, opts);
+}
+
+double lap_time_stddev(const eval::EvalResult& result) {
+  const auto& laps = result.lap_times;
+  if (laps.size() < 2) return 0.0;
+  double mean = 0;
+  for (double t : laps) mean += t;
+  mean /= static_cast<double>(laps.size());
+  double s2 = 0;
+  for (double t : laps) s2 += (t - mean) * (t - mean);
+  return std::sqrt(s2 / static_cast<double>(laps.size() - 1));
+}
+
+}  // namespace autolearn::core

@@ -1,0 +1,62 @@
+// Speed governor — the reliability study that grew out of the module
+// (Fowler et al., SC'23 poster: "Road To Reliability: Optimizing
+// Self-Driving Consistency With Real-Time Speed Data").
+//
+// Wraps any pilot and replaces its throttle with a PI controller that
+// tracks a target speed from real-time speed telemetry. The inner pilot
+// keeps steering. Consistency is measured as the standard deviation of
+// lap times — the governed car trades a little raw pace for repeatable
+// laps.
+#pragma once
+
+#include <string>
+
+#include "eval/evaluator.hpp"
+#include "eval/pilot.hpp"
+
+namespace autolearn::core {
+
+struct GovernorConfig {
+  double target_speed = 1.3;  // m/s
+  double kp = 0.8;            // proportional gain on speed error
+  double ki = 0.15;           // integral gain
+  double integral_limit = 0.5;
+  double dt = 0.05;
+  double max_speed = 2.8;     // chassis limit used for normalization
+};
+
+/// Speed telemetry source: the evaluator feeds the true speed; on a real
+/// car this is the hall-effect sensor the poster used.
+class SpeedGovernedPilot : public eval::Pilot {
+ public:
+  /// Does not own `inner`.
+  SpeedGovernedPilot(eval::Pilot& inner, GovernorConfig config = {});
+
+  /// The evaluator (or caller) must publish the measured speed before each
+  /// act() call; without telemetry the governor holds its last estimate.
+  void set_measured_speed(double speed) { measured_speed_ = speed; }
+
+  vehicle::DriveCommand act(const camera::Image& frame) override;
+  void reset() override;
+  std::string name() const override { return inner_.name() + "+governor"; }
+
+  const GovernorConfig& config() const { return config_; }
+
+ private:
+  eval::Pilot& inner_;
+  GovernorConfig config_;
+  double measured_speed_ = 0.0;
+  double integral_ = 0.0;
+};
+
+/// Closed-loop consistency evaluation: like eval::run_evaluation but feeds
+/// speed telemetry into a SpeedGovernedPilot each step. Returns the usual
+/// result; lap-time consistency is result.lap_times' spread.
+eval::EvalResult run_governed_evaluation(const track::Track& track,
+                                         SpeedGovernedPilot& pilot,
+                                         const eval::EvalOptions& options);
+
+/// Standard deviation of lap times (0 for fewer than 2 laps).
+double lap_time_stddev(const eval::EvalResult& result);
+
+}  // namespace autolearn::core

@@ -1,0 +1,48 @@
+// Digital-twin comparison (§3.3/§3.4: "combining the simulator and
+// real-life validation can lead to interesting exploration of digital twin
+// modeling").
+//
+// The same pilot drives the same track under the clean simulator profiles
+// and under the real-car profiles; the comparator time-aligns the two
+// trajectories and reports divergence statistics plus a fidelity score in
+// [0, 1].
+#pragma once
+
+#include <vector>
+
+#include "eval/pilot.hpp"
+#include "track/track.hpp"
+#include "util/stats.hpp"
+
+namespace autolearn::core {
+
+struct TwinOptions {
+  double duration_s = 60.0;
+  double dt = 0.05;
+  std::size_t img_w = 32;
+  std::size_t img_h = 24;
+  std::uint64_t seed = 9;
+  /// Scales the real-car noise: 0 = twin identical to sim, 1 = calibrated
+  /// real car, >1 = worse-than-real hardware.
+  double noise_scale = 1.0;
+};
+
+struct TwinReport {
+  double position_rmse_m = 0.0;     // time-aligned trajectory divergence
+  double final_divergence_m = 0.0;  // gap at the end of the run
+  double speed_rmse = 0.0;
+  double sim_distance_m = 0.0;
+  double real_distance_m = 0.0;
+  std::size_t sim_errors = 0;
+  std::size_t real_errors = 0;
+  /// exp(-rmse / track half-width): 1 when the twin tracks reality
+  /// perfectly, decaying as the trajectories drift apart.
+  double fidelity = 0.0;
+};
+
+/// Runs the pilot twice (sim profiles / scaled real profiles) and compares
+/// the trajectories sample-by-sample.
+TwinReport compare_sim_to_real(const track::Track& track, eval::Pilot& pilot,
+                               const TwinOptions& options);
+
+}  // namespace autolearn::core

@@ -1,0 +1,148 @@
+#include "cv/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace autolearn::cv {
+
+camera::Image sobel_magnitude(const camera::Image& img) {
+  const std::size_t w = img.width(), h = img.height();
+  camera::Image out(w, h, 0.0f);
+  if (w < 3 || h < 3) return out;
+  for (std::size_t y = 1; y + 1 < h; ++y) {
+    for (std::size_t x = 1; x + 1 < w; ++x) {
+      const float gx =
+          -img.at(x - 1, y - 1) + img.at(x + 1, y - 1) -
+          2 * img.at(x - 1, y) + 2 * img.at(x + 1, y) -
+          img.at(x - 1, y + 1) + img.at(x + 1, y + 1);
+      const float gy =
+          -img.at(x - 1, y - 1) - 2 * img.at(x, y - 1) - img.at(x + 1, y - 1) +
+          img.at(x - 1, y + 1) + 2 * img.at(x, y + 1) + img.at(x + 1, y + 1);
+      out.at(x, y) = std::sqrt(gx * gx + gy * gy);
+    }
+  }
+  return out;
+}
+
+camera::Image edge_map(const camera::Image& img, float threshold) {
+  camera::Image grad = sobel_magnitude(img);
+  for (float& p : grad.pixels()) p = p >= threshold ? 1.0f : 0.0f;
+  return grad;
+}
+
+std::optional<double> row_lane_center(const camera::Image& img,
+                                      std::size_t row, float tape_threshold,
+                                      double min_gap_frac) {
+  if (row >= img.height()) return std::nullopt;
+  std::ptrdiff_t left = -1, right = -1;
+  for (std::size_t x = 0; x < img.width(); ++x) {
+    if (img.at(x, row) >= tape_threshold) {
+      if (left < 0) left = static_cast<std::ptrdiff_t>(x);
+      right = static_cast<std::ptrdiff_t>(x);
+    }
+  }
+  const auto min_gap = static_cast<std::ptrdiff_t>(
+      min_gap_frac * static_cast<double>(img.width()));
+  if (left < 0 || right - left < min_gap) return std::nullopt;
+  return (static_cast<double>(left) + static_cast<double>(right)) / 2.0;
+}
+
+std::optional<double> lane_center_offset(const camera::Image& img,
+                                         std::size_t rows,
+                                         float tape_threshold) {
+  const std::size_t h = img.height();
+  const std::size_t first = h > rows ? h - rows : 0;
+  double sum = 0;
+  std::size_t count = 0;
+  for (std::size_t y = first; y < h; ++y) {
+    const auto center = row_lane_center(img, y, tape_threshold);
+    if (center) {
+      sum += *center;
+      ++count;
+    }
+  }
+  if (count == 0) return std::nullopt;
+  const double mid = (static_cast<double>(img.width()) - 1) / 2.0;
+  return ((sum / static_cast<double>(count)) - mid) / mid;
+}
+
+std::vector<Blob> find_blobs(const camera::Image& img, float threshold,
+                             std::size_t min_pixels) {
+  const std::size_t w = img.width(), h = img.height();
+  std::vector<char> visited(w * h, 0);
+  std::vector<Blob> blobs;
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const std::size_t idx = y * w + x;
+      if (visited[idx] || img.at(x, y) < threshold) continue;
+      // BFS flood fill.
+      Blob blob;
+      blob.min_x = blob.max_x = x;
+      blob.min_y = blob.max_y = y;
+      double intensity_sum = 0;
+      std::deque<std::pair<std::size_t, std::size_t>> frontier{{x, y}};
+      visited[idx] = 1;
+      while (!frontier.empty()) {
+        const auto [cx, cy] = frontier.front();
+        frontier.pop_front();
+        ++blob.pixels;
+        intensity_sum += img.at(cx, cy);
+        blob.min_x = std::min(blob.min_x, cx);
+        blob.max_x = std::max(blob.max_x, cx);
+        blob.min_y = std::min(blob.min_y, cy);
+        blob.max_y = std::max(blob.max_y, cy);
+        const std::ptrdiff_t moves[4][2] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+        for (const auto& m : moves) {
+          const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(cx) + m[0];
+          const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(cy) + m[1];
+          if (nx < 0 || ny < 0 || nx >= static_cast<std::ptrdiff_t>(w) ||
+              ny >= static_cast<std::ptrdiff_t>(h)) {
+            continue;
+          }
+          const std::size_t nidx =
+              static_cast<std::size_t>(ny) * w + static_cast<std::size_t>(nx);
+          if (visited[nidx] ||
+              img.at(static_cast<std::size_t>(nx),
+                     static_cast<std::size_t>(ny)) < threshold) {
+            continue;
+          }
+          visited[nidx] = 1;
+          frontier.emplace_back(static_cast<std::size_t>(nx),
+                                static_cast<std::size_t>(ny));
+        }
+      }
+      if (blob.pixels >= min_pixels) {
+        blob.mean_intensity = intensity_sum / static_cast<double>(blob.pixels);
+        blobs.push_back(blob);
+      }
+    }
+  }
+  return blobs;
+}
+
+std::optional<Signal> classify_signal(const camera::Image& img,
+                                      float stop_intensity,
+                                      float go_intensity, float tolerance) {
+  // Look for a compact blob whose mean intensity matches one of the signal
+  // codes. Tape lines also exceed the go threshold but span most of the
+  // frame; a ground patch seen at a grazing angle is perspective-compressed
+  // into a short wide bar, so discriminate on extent relative to the image
+  // rather than on aspect ratio.
+  const float search_threshold = go_intensity - tolerance;
+  for (const Blob& blob : find_blobs(img, search_threshold, 5)) {
+    const double bw = static_cast<double>(blob.max_x - blob.min_x) + 1;
+    const double bh = static_cast<double>(blob.max_y - blob.min_y) + 1;
+    if (bw > 0.45 * static_cast<double>(img.width())) continue;   // tape
+    if (bh > 0.45 * static_cast<double>(img.height())) continue;  // tape
+    if (std::abs(blob.mean_intensity - stop_intensity) <= tolerance) {
+      return Signal::Stop;
+    }
+    if (std::abs(blob.mean_intensity - go_intensity) <= tolerance) {
+      return Signal::Go;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace autolearn::cv

@@ -1,0 +1,67 @@
+// Classical computer-vision primitives for the paper's extension
+// exercises (§3.3 "Training Additional Models"): "various computer vision
+// classification algorithms (example: camera identifies color of object
+// placed in front of it; red means stop, green means go); and edge
+// detection/line following (camera used to identify the edge of the track
+// or a center line and keep the car following that)".
+//
+// Operates on the camera module's grayscale frames: Sobel gradients, edge
+// maps, per-row lane-centre estimation, and bright-blob detection.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "camera/image.hpp"
+
+namespace autolearn::cv {
+
+/// Sobel gradient magnitude (same size as input; border pixels are 0).
+camera::Image sobel_magnitude(const camera::Image& img);
+
+/// Binary edge map: gradient magnitude thresholded at `threshold`.
+camera::Image edge_map(const camera::Image& img, float threshold = 0.5f);
+
+/// Estimated lane centre for one image row: the midpoint between the
+/// leftmost and rightmost bright (tape) pixels, as a column index.
+/// Requires the two extremes to be at least `min_gap_frac` of the image
+/// width apart — a single visible line (the other out of frame) does not
+/// define a centre. nullopt when the row has no such pair.
+std::optional<double> row_lane_center(const camera::Image& img,
+                                      std::size_t row,
+                                      float tape_threshold = 0.55f,
+                                      double min_gap_frac = 0.22);
+
+/// Lane-centre offset for steering: averages row_lane_center over the
+/// lower `rows` rows and returns the offset from the image centre in
+/// [-1, 1] (negative = lane centre left of image centre). nullopt when no
+/// row yields an estimate (e.g. off track).
+std::optional<double> lane_center_offset(const camera::Image& img,
+                                         std::size_t rows = 12,
+                                         float tape_threshold = 0.55f);
+
+/// A connected bright region (4-connectivity) above a threshold.
+struct Blob {
+  std::size_t min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+  std::size_t pixels = 0;
+  double mean_intensity = 0.0;
+  double center_x() const { return (min_x + max_x) / 2.0; }
+  double center_y() const { return (min_y + max_y) / 2.0; }
+};
+
+/// Finds blobs of at least min_pixels whose intensity exceeds threshold.
+std::vector<Blob> find_blobs(const camera::Image& img, float threshold,
+                             std::size_t min_pixels = 4);
+
+/// Stop/go signal classification for the obstacle exercise: the simulated
+/// signal is rendered as a solid patch whose intensity encodes its colour
+/// (stop patches are brighter than the tape, go patches sit between the
+/// track surface and the tape). Returns nullopt when no signal-sized blob
+/// is present.
+enum class Signal { Stop, Go };
+std::optional<Signal> classify_signal(const camera::Image& img,
+                                      float stop_intensity = 0.98f,
+                                      float go_intensity = 0.75f,
+                                      float tolerance = 0.08f);
+
+}  // namespace autolearn::cv

@@ -1,0 +1,105 @@
+#include "cv/pilots.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace autolearn::cv {
+
+LineFollowPilot::LineFollowPilot(LineFollowConfig config) : config_(config) {}
+
+void LineFollowPilot::reset() {
+  last_steer_ = 0.0;
+  last_offset_ = 0.0;
+  have_last_offset_ = false;
+}
+
+vehicle::DriveCommand LineFollowPilot::act(const camera::Image& frame) {
+  const auto offset = lane_center_offset(frame, config_.rows);
+  double steer;
+  if (offset) {
+    // Lane centre right of image centre (positive offset) -> the car sits
+    // left of the lane -> steer right (negative command). The derivative
+    // term damps the weave a pure P controller develops at speed.
+    const double d = have_last_offset_ ? *offset - last_offset_ : 0.0;
+    steer = -config_.steering_gain * *offset - config_.damping_gain * d;
+    last_offset_ = *offset;
+    have_last_offset_ = true;
+    last_steer_ = steer;
+  } else {
+    // Line lost: keep searching in the direction we last steered.
+    steer = last_steer_ >= 0 ? config_.lost_line_steer
+                             : -config_.lost_line_steer;
+    have_last_offset_ = false;
+  }
+  return vehicle::DriveCommand{steer, config_.throttle}.clamped();
+}
+
+std::size_t GpsTrace::nearest(const track::Vec2& p) const {
+  if (points.empty()) throw std::logic_error("gps trace: empty");
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double d2 = (points[i] - p).norm2();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = i;
+    }
+  }
+  return best;
+}
+
+WaypointPilot::WaypointPilot(GpsTrace trace, WaypointConfig config)
+    : trace_(std::move(trace)), config_(config) {
+  if (trace_.points.size() < 3) {
+    throw std::invalid_argument("waypoint pilot: trace too short");
+  }
+}
+
+vehicle::DriveCommand WaypointPilot::decide(const track::Vec2& position,
+                                            double heading) const {
+  const std::size_t idx = trace_.nearest(position);
+  const std::size_t target_idx =
+      (idx + static_cast<std::size_t>(config_.lookahead_points)) %
+      trace_.points.size();
+  const track::Vec2 to_target = trace_.points[target_idx] - position;
+  const double bearing = std::atan2(to_target.y, to_target.x);
+  const double alpha = track::angle_diff(bearing, heading);
+  const double ld = std::max(0.15, to_target.norm());
+  const double delta =
+      std::atan2(2.0 * config_.wheelbase * std::sin(alpha), ld);
+  const double steer =
+      config_.steering_gain * delta / config_.max_wheel_angle;
+  return vehicle::DriveCommand{steer, config_.throttle}.clamped();
+}
+
+SignalAwarePilot::SignalAwarePilot(eval::Pilot& inner,
+                                   SignalAwareConfig config)
+    : inner_(inner), config_(config) {}
+
+void SignalAwarePilot::reset() {
+  inner_.reset();
+  hold_ = 0;
+  stopped_last_step_ = false;
+}
+
+vehicle::DriveCommand SignalAwarePilot::act(const camera::Image& frame) {
+  const vehicle::DriveCommand inner_cmd = inner_.act(frame);
+  const auto signal =
+      classify_signal(frame, config_.stop_intensity, config_.go_intensity);
+  if (signal == Signal::Stop) {
+    hold_ = config_.hold_steps;
+  } else if (hold_ > 0) {
+    --hold_;
+  }
+  const bool stopping = hold_ > 0;
+  if (stopping && !stopped_last_step_) ++stops_;
+  stopped_last_step_ = stopping;
+  if (stopping) {
+    return vehicle::DriveCommand{inner_cmd.steering, -1.0};  // brake
+  }
+  return inner_cmd;
+}
+
+}  // namespace autolearn::cv

@@ -1,0 +1,107 @@
+// Extension-exercise pilots (§3.3 "Training Additional Models"):
+//
+//   LineFollowPilot   "edge detection/line following (camera used to
+//                      identify the edge of the track or a center line
+//                      and keep the car following that)" — a classical
+//                      P-controller on the lane-centre offset, no ML.
+//   WaypointPilot     "path following (record a path with GPS and have
+//                      the car follow that path)" — pure pursuit on a
+//                      recorded waypoint list (the GPS trace), using the
+//                      car's position fix instead of the camera.
+//   SignalAwarePilot  the stop/go exercise: wraps another pilot and
+//                      brakes while a Stop signal is visible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cv/features.hpp"
+#include "eval/pilot.hpp"
+#include "track/geometry.hpp"
+
+namespace autolearn::cv {
+
+struct LineFollowConfig {
+  double steering_gain = 1.4;    // P gain on the normalized lane offset
+  double damping_gain = 0.35;    // D gain on the offset change per step
+  double throttle = 0.38;        // constant cruise throttle
+  double lost_line_steer = 0.45; // search steer when no line is visible
+  std::size_t rows = 14;         // image rows used for the estimate
+};
+
+class LineFollowPilot : public eval::Pilot {
+ public:
+  explicit LineFollowPilot(LineFollowConfig config = {});
+
+  vehicle::DriveCommand act(const camera::Image& frame) override;
+  void reset() override;
+  std::string name() const override { return "line-follow"; }
+
+ private:
+  LineFollowConfig config_;
+  double last_steer_ = 0.0;
+  double last_offset_ = 0.0;
+  bool have_last_offset_ = false;
+};
+
+/// A recorded GPS trace: positions sampled while driving (e.g. by the
+/// expert), later followed by the WaypointPilot.
+struct GpsTrace {
+  std::vector<track::Vec2> points;
+
+  /// Index of the trace point nearest to p.
+  std::size_t nearest(const track::Vec2& p) const;
+};
+
+struct WaypointConfig {
+  double lookahead_points = 10;  // how far ahead along the trace to aim
+  double steering_gain = 1.2;
+  double throttle = 0.45;
+  double wheelbase = 0.17;
+  double max_wheel_angle = 0.45;
+};
+
+/// Follows a GPS trace from position fixes. Unlike the camera pilots it
+/// needs the car's position each step; feed it through set_position_fix
+/// before act() (the evaluator-independent usage is direct: decide(pos,
+/// heading)).
+class WaypointPilot {
+ public:
+  WaypointPilot(GpsTrace trace, WaypointConfig config = {});
+
+  vehicle::DriveCommand decide(const track::Vec2& position,
+                               double heading) const;
+  const GpsTrace& trace() const { return trace_; }
+
+ private:
+  GpsTrace trace_;
+  WaypointConfig config_;
+};
+
+struct SignalAwareConfig {
+  float stop_intensity = 0.98f;
+  float go_intensity = 0.75f;
+  /// Steps to keep braking after the stop signal disappears (hysteresis).
+  std::size_t hold_steps = 4;
+};
+
+class SignalAwarePilot : public eval::Pilot {
+ public:
+  /// Does not own `inner`.
+  SignalAwarePilot(eval::Pilot& inner, SignalAwareConfig config = {});
+
+  vehicle::DriveCommand act(const camera::Image& frame) override;
+  void reset() override;
+  std::string name() const override { return inner_.name() + "+signals"; }
+
+  std::size_t stops_observed() const { return stops_; }
+
+ private:
+  eval::Pilot& inner_;
+  SignalAwareConfig config_;
+  std::size_t hold_ = 0;
+  std::size_t stops_ = 0;
+  bool stopped_last_step_ = false;
+};
+
+}  // namespace autolearn::cv

@@ -1,0 +1,48 @@
+// Driving-session data collection — the first phase of the AutoLearn
+// pipeline, with the paper's three collection paths (Fig. 2):
+//
+//   DataPath::Simulator   clean vehicle/camera profiles (the DonkeyCar
+//                         Unity simulator analogue)
+//   DataPath::PhysicalCar real-car noise profiles (driving the actual car
+//                         around the tape track)
+//   DataPath::Sample      a pre-packaged deterministic session (the sample
+//                         datasets shipped with the module)
+//
+// The expert pilot stands in for the human driver; its mistake knobs
+// generate the crashes/off-side frames that tubclean later removes.
+#pragma once
+
+#include <filesystem>
+
+#include "data/tub.hpp"
+#include "track/track.hpp"
+#include "vehicle/expert.hpp"
+
+namespace autolearn::data {
+
+enum class DataPath { Simulator, PhysicalCar, Sample };
+
+const char* to_string(DataPath path);
+
+struct CollectOptions {
+  double duration_s = 60.0;   // session length
+  double dt = 0.05;           // control/record period (20 Hz)
+  std::size_t img_w = 32;
+  std::size_t img_h = 24;
+  std::uint64_t seed = 1;     // ignored for DataPath::Sample (fixed seed)
+  vehicle::ExpertConfig expert;  // steering noise / mistakes of the driver
+};
+
+struct CollectStats {
+  std::size_t records = 0;
+  std::size_t mistake_records = 0;
+  double distance_m = 0.0;
+  double mean_speed = 0.0;
+};
+
+/// Drives `track` for the configured duration and writes a tub at `dir`.
+CollectStats collect_session(const track::Track& track, DataPath path,
+                             const CollectOptions& options,
+                             const std::filesystem::path& dir);
+
+}  // namespace autolearn::data

@@ -1,0 +1,85 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace autolearn::data {
+
+camera::Image flip_horizontal(const camera::Image& img) {
+  camera::Image out(img.width(), img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      out.at(x, y) = img.at(img.width() - 1 - x, y);
+    }
+  }
+  return out;
+}
+
+std::vector<ml::Sample> build_samples(const std::vector<TubRecord>& records,
+                                      const DatasetOptions& options) {
+  if (options.seq_len == 0) {
+    throw std::invalid_argument("dataset: seq_len must be >= 1");
+  }
+  const std::size_t context = std::max(options.seq_len - 1, options.history_len);
+  std::vector<ml::Sample> out;
+  if (records.size() <= context) return out;
+  out.reserve(records.size() - context);
+  for (std::size_t i = context; i < records.size(); ++i) {
+    ml::Sample s;
+    for (std::size_t f = options.seq_len; f-- > 0;) {
+      s.frames.push_back(records[i - f].image);
+    }
+    for (std::size_t h = options.history_len; h-- > 0;) {
+      const TubRecord& past = records[i - 1 - h];
+      s.history.push_back(past.steering);
+      s.history.push_back(past.throttle);
+    }
+    s.steering = std::clamp(records[i].steering, -1.0f, 1.0f);
+    s.throttle = std::clamp(records[i].throttle, 0.0f, 1.0f);
+    out.push_back(std::move(s));
+  }
+  if (options.augment_flip) {
+    const std::size_t n = out.size();
+    out.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ml::Sample flipped;
+      for (const camera::Image& f : out[i].frames) {
+        flipped.frames.push_back(flip_horizontal(f));
+      }
+      flipped.history = out[i].history;
+      for (std::size_t h = 0; h < flipped.history.size(); h += 2) {
+        flipped.history[h] = -flipped.history[h];  // mirrored steering
+      }
+      flipped.steering = -out[i].steering;
+      flipped.throttle = out[i].throttle;
+      out.push_back(std::move(flipped));
+    }
+  }
+  return out;
+}
+
+std::pair<std::vector<ml::Sample>, std::vector<ml::Sample>> split_train_val(
+    std::vector<ml::Sample> samples, double val_fraction, std::uint64_t seed) {
+  if (val_fraction < 0 || val_fraction >= 1) {
+    throw std::invalid_argument("dataset: val_fraction in [0,1)");
+  }
+  util::Rng rng(seed);
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  const std::size_t n_val =
+      static_cast<std::size_t>(val_fraction * static_cast<double>(samples.size()));
+  std::vector<ml::Sample> train, val;
+  train.reserve(samples.size() - n_val);
+  val.reserve(n_val);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    auto& dst = i < n_val ? val : train;
+    dst.push_back(std::move(samples[order[i]]));
+  }
+  return {std::move(train), std::move(val)};
+}
+
+}  // namespace autolearn::data

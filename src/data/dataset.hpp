@@ -1,0 +1,35 @@
+// Converts tub records into training samples for the six model types:
+// frame sequences for the RNN/3D models, command history for the memory
+// model, train/validation splitting, and horizontal-flip augmentation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/tub.hpp"
+#include "ml/driving_model.hpp"
+
+namespace autolearn::data {
+
+struct DatasetOptions {
+  std::size_t seq_len = 3;      // frames packed per sample (max model need)
+  std::size_t history_len = 3;  // command pairs packed per sample
+  bool augment_flip = false;    // add mirrored copies (negated steering)
+};
+
+/// Builds samples from consecutive records. Records must be in capture
+/// order; the first max(seq_len, history_len) records only seed context.
+/// Throttle labels are clamped into [0, 1].
+std::vector<ml::Sample> build_samples(const std::vector<TubRecord>& records,
+                                      const DatasetOptions& options = {});
+
+/// Deterministic shuffled split; fraction is the validation share (0..1).
+std::pair<std::vector<ml::Sample>, std::vector<ml::Sample>> split_train_val(
+    std::vector<ml::Sample> samples, double val_fraction,
+    std::uint64_t seed = 99);
+
+/// Mirrors an image horizontally (augmentation helper, exposed for tests).
+camera::Image flip_horizontal(const camera::Image& img);
+
+}  // namespace autolearn::data

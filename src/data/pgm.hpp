@@ -1,0 +1,20 @@
+// PGM (P5) image IO.
+//
+// DonkeyCar stores JPEG frames inside each tub; AutoLearn stores binary
+// 8-bit PGM, which keeps the on-disk layout (one image file per record,
+// referenced from the catalog) without an image-codec dependency.
+#pragma once
+
+#include <filesystem>
+
+#include "camera/image.hpp"
+
+namespace autolearn::data {
+
+/// Writes the image as binary PGM, quantizing [0,1] floats to 8 bits.
+void write_pgm(const std::filesystem::path& path, const camera::Image& img);
+
+/// Reads a binary PGM written by write_pgm (max value must be 255).
+camera::Image read_pgm(const std::filesystem::path& path);
+
+}  // namespace autolearn::data

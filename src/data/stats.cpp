@@ -1,0 +1,67 @@
+#include "data/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autolearn::data {
+
+SessionStats session_stats(const std::vector<TubRecord>& records,
+                           std::size_t histogram_bins) {
+  if (histogram_bins < 1) {
+    throw std::invalid_argument("session_stats: need >= 1 bin");
+  }
+  SessionStats s;
+  s.records = records.size();
+  s.steering_histogram.assign(histogram_bins, 0);
+  if (records.empty()) return s;
+
+  double steer_sum = 0, steer_sq = 0, throttle_sum = 0, speed_sum = 0;
+  for (const TubRecord& r : records) {
+    s.flagged += r.mistake;
+    steer_sum += r.steering;
+    steer_sq += static_cast<double>(r.steering) * r.steering;
+    throttle_sum += r.throttle;
+    speed_sum += r.speed;
+    s.speed_max = std::max(s.speed_max, static_cast<double>(r.speed));
+    s.steering_saturation += std::abs(r.steering) > 0.95f;
+    const double t = std::clamp((r.steering + 1.0f) / 2.0f, 0.0f, 1.0f);
+    const std::size_t bin = std::min(
+        histogram_bins - 1,
+        static_cast<std::size_t>(t * static_cast<double>(histogram_bins)));
+    ++s.steering_histogram[bin];
+  }
+  const double n = static_cast<double>(records.size());
+  s.steering_mean = steer_sum / n;
+  s.steering_stddev =
+      std::sqrt(std::max(0.0, steer_sq / n - s.steering_mean * s.steering_mean));
+  s.steering_saturation /= n;
+  s.throttle_mean = throttle_sum / n;
+  s.speed_mean = speed_sum / n;
+  return s;
+}
+
+SessionVerdict judge_session(const SessionStats& stats,
+                             std::size_t min_records,
+                             double max_flagged_ratio, double max_saturation,
+                             double min_mean_speed) {
+  SessionVerdict v;
+  if (stats.records < min_records) {
+    v.reasons.push_back("session too short: " + std::to_string(stats.records) +
+                        " records < " + std::to_string(min_records));
+  }
+  if (stats.flagged_ratio() > max_flagged_ratio) {
+    v.reasons.push_back("too many flagged records: run tubclean first");
+  }
+  if (stats.steering_saturation > max_saturation) {
+    v.reasons.push_back(
+        "steering saturated too often: check calibration or driving");
+  }
+  if (stats.speed_mean < min_mean_speed) {
+    v.reasons.push_back("car barely moved: check throttle setup");
+  }
+  v.usable = v.reasons.empty();
+  return v;
+}
+
+}  // namespace autolearn::data

@@ -1,0 +1,52 @@
+// Session quality statistics — the numbers an instructor checks before
+// letting a team train ("does the data represent a valid scenario?"):
+// steering/throttle/speed distributions, a steering histogram, the
+// flagged-record ratio, and a verdict heuristic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/tub.hpp"
+
+namespace autolearn::data {
+
+struct SessionStats {
+  std::size_t records = 0;
+  std::size_t flagged = 0;          // ground-truth mistake tags
+  double steering_mean = 0.0;
+  double steering_stddev = 0.0;
+  double steering_saturation = 0.0;  // fraction of |steering| > 0.95
+  double throttle_mean = 0.0;
+  double speed_mean = 0.0;
+  double speed_max = 0.0;
+  /// Steering histogram over [-1, 1] with `bins` equal buckets.
+  std::vector<std::size_t> steering_histogram;
+
+  double flagged_ratio() const {
+    return records ? static_cast<double>(flagged) /
+                         static_cast<double>(records)
+                   : 0.0;
+  }
+};
+
+/// Computes stats over tub metadata (no image loading).
+SessionStats session_stats(const std::vector<TubRecord>& records,
+                           std::size_t histogram_bins = 11);
+
+/// Instructor heuristic: is this session usable for training as-is?
+/// Reasons (if any) explain what to fix — too short, too many mistakes,
+/// saturated steering, or the car barely moved.
+struct SessionVerdict {
+  bool usable = true;
+  std::vector<std::string> reasons;
+};
+
+SessionVerdict judge_session(const SessionStats& stats,
+                             std::size_t min_records = 500,
+                             double max_flagged_ratio = 0.10,
+                             double max_saturation = 0.15,
+                             double min_mean_speed = 0.3);
+
+}  // namespace autolearn::data

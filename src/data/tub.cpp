@@ -1,0 +1,212 @@
+#include "data/tub.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "data/pgm.hpp"
+#include "util/json.hpp"
+
+namespace autolearn::data {
+
+namespace fs = std::filesystem;
+using util::Json;
+
+namespace {
+
+std::string image_name(std::size_t index) {
+  return std::to_string(index) + "_cam.pgm";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream is(p);
+  if (!is) throw std::runtime_error("tub: cannot read " + p.string());
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void write_file(const fs::path& p, const std::string& content) {
+  std::ofstream os(p);
+  if (!os) throw std::runtime_error("tub: cannot write " + p.string());
+  os << content;
+}
+
+}  // namespace
+
+// --- TubWriter --------------------------------------------------------------
+
+TubWriter::TubWriter(fs::path dir, std::size_t records_per_catalog)
+    : dir_(std::move(dir)), records_per_catalog_(records_per_catalog) {
+  if (records_per_catalog_ == 0) {
+    throw std::invalid_argument("tub: records_per_catalog must be > 0");
+  }
+  fs::create_directories(dir_ / "images");
+  catalog_names_.push_back("catalog_0.catalog");
+  catalog_counts_.push_back(0);
+}
+
+TubWriter::~TubWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an explicit close() surfaces errors.
+  }
+}
+
+void TubWriter::rotate_catalog() {
+  write_file(dir_ / catalog_names_.back(), current_catalog_);
+  current_catalog_.clear();
+  catalog_names_.push_back("catalog_" + std::to_string(catalog_names_.size()) +
+                           ".catalog");
+  catalog_counts_.push_back(0);
+}
+
+std::size_t TubWriter::append(const camera::Image& image, float steering,
+                              float throttle, float speed, bool mistake) {
+  if (closed_) throw std::logic_error("tub: append after close");
+  const std::size_t index = next_index_++;
+  write_pgm(dir_ / "images" / image_name(index), image);
+
+  Json rec = Json::object();
+  rec.set("_index", Json(index));
+  rec.set("cam/image_array", Json(image_name(index)));
+  rec.set("user/angle", Json(static_cast<double>(steering)));
+  rec.set("user/throttle", Json(static_cast<double>(throttle)));
+  rec.set("user/mode", Json("user"));
+  rec.set("car/speed", Json(static_cast<double>(speed)));
+  rec.set("session/mistake", Json(mistake));
+  current_catalog_ += rec.dump();
+  current_catalog_ += "\n";
+  ++catalog_counts_.back();
+  if (catalog_counts_.back() >= records_per_catalog_) rotate_catalog();
+  return index;
+}
+
+void TubWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  write_file(dir_ / catalog_names_.back(), current_catalog_);
+
+  Json catalogs = Json::array();
+  Json counts = Json::array();
+  for (std::size_t i = 0; i < catalog_names_.size(); ++i) {
+    catalogs.push_back(Json(catalog_names_[i]));
+    counts.push_back(Json(catalog_counts_[i]));
+  }
+  Json cat_manifest = Json::object();
+  cat_manifest.set("catalogs", catalogs);
+  cat_manifest.set("line_counts", std::move(counts));
+  write_file(dir_ / "catalog_manifest.json", cat_manifest.dump(2));
+
+  Json manifest = Json::object();
+  manifest.set("format", Json("autolearn-tub-v1"));
+  manifest.set("total_records", Json(next_index_));
+  manifest.set("records_per_catalog", Json(records_per_catalog_));
+  manifest.set("deleted_indexes", Json::array());
+  write_file(dir_ / "manifest.json", manifest.dump(2));
+}
+
+// --- Tub ---------------------------------------------------------------------
+
+Tub::Tub(fs::path dir) : dir_(std::move(dir)) { load_manifest(); }
+
+void Tub::load_manifest() {
+  const Json manifest = Json::parse(read_file(dir_ / "manifest.json"));
+  if (manifest.at("format").as_string() != "autolearn-tub-v1") {
+    throw std::runtime_error("tub: unknown format");
+  }
+  total_ = static_cast<std::size_t>(manifest.at("total_records").as_int());
+  deleted_.clear();
+  for (const Json& d : manifest.at("deleted_indexes").as_array()) {
+    deleted_.insert(static_cast<std::size_t>(d.as_int()));
+  }
+  const Json cat = Json::parse(read_file(dir_ / "catalog_manifest.json"));
+  catalog_names_.clear();
+  for (const Json& name : cat.at("catalogs").as_array()) {
+    catalog_names_.push_back(name.as_string());
+  }
+}
+
+void Tub::save_manifest() const {
+  const Json old = Json::parse(read_file(dir_ / "manifest.json"));
+  Json manifest = Json::object();
+  manifest.set("format", old.at("format"));
+  manifest.set("total_records", old.at("total_records"));
+  manifest.set("records_per_catalog", old.at("records_per_catalog"));
+  Json deleted = Json::array();
+  for (std::size_t i : deleted_) deleted.push_back(Json(i));
+  manifest.set("deleted_indexes", std::move(deleted));
+  write_file(dir_ / "manifest.json", manifest.dump(2));
+}
+
+std::vector<TubRecord> Tub::read_metadata() const {
+  std::vector<TubRecord> out;
+  out.reserve(total_);
+  for (const std::string& name : catalog_names_) {
+    std::ifstream is(dir_ / name);
+    if (!is) throw std::runtime_error("tub: missing catalog " + name);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty()) continue;
+      const Json rec = Json::parse(line);
+      TubRecord r;
+      r.index = static_cast<std::size_t>(rec.at("_index").as_int());
+      r.steering = static_cast<float>(rec.at("user/angle").as_number());
+      r.throttle = static_cast<float>(rec.at("user/throttle").as_number());
+      r.speed = static_cast<float>(rec.at("car/speed").as_number());
+      r.mistake = rec.at("session/mistake").as_bool();
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+std::vector<TubRecord> Tub::read_all() const {
+  std::vector<TubRecord> metas = read_metadata();
+  std::vector<TubRecord> out;
+  out.reserve(metas.size());
+  for (TubRecord& r : metas) {
+    if (deleted_.count(r.index)) continue;
+    r.image = read_pgm(dir_ / "images" / image_name(r.index));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::optional<TubRecord> Tub::read(std::size_t index) const {
+  if (index >= total_ || deleted_.count(index)) return std::nullopt;
+  for (const TubRecord& meta : read_metadata()) {
+    if (meta.index == index) {
+      TubRecord r = meta;
+      r.image = read_pgm(dir_ / "images" / image_name(index));
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+void Tub::mark_deleted(const std::vector<std::size_t>& indexes) {
+  for (std::size_t i : indexes) {
+    if (i >= total_) throw std::invalid_argument("tub: bad delete index");
+    deleted_.insert(i);
+  }
+  save_manifest();
+}
+
+void Tub::restore_all() {
+  deleted_.clear();
+  save_manifest();
+}
+
+std::uint64_t Tub::size_bytes() const {
+  std::uint64_t bytes = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir_)) {
+    if (entry.is_regular_file()) {
+      bytes += static_cast<std::uint64_t>(entry.file_size());
+    }
+  }
+  return bytes;
+}
+
+}  // namespace autolearn::data

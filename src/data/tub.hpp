@@ -1,0 +1,116 @@
+// The tub on-disk format (SC-W'23 §3.3 "Sample datasets"):
+//
+//   <tub>/
+//     manifest.json            catalog list + deleted record indexes
+//     catalog_0.catalog        JSON-lines records (rotated every 1000)
+//     catalog_1.catalog ...
+//     catalog_manifest.json    per-catalog bookkeeping (line counts)
+//     images/
+//       <index>_cam.pgm        one frame per record
+//
+// Each catalog line stores the steering and throttle recorded while
+// driving plus the image reference, exactly mirroring DonkeyCar's
+// .catalog records ("Catalog files consist of steering and throttle
+// values ... Each of these corresponds to an image in the images
+// directory based on their id number"). Records marked for deletion are
+// listed in manifest.json and skipped by readers — that is what the
+// tubclean step edits.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "camera/image.hpp"
+
+namespace autolearn::data {
+
+struct TubRecord {
+  std::size_t index = 0;
+  camera::Image image;
+  float steering = 0.0f;   // [-1, 1]
+  float throttle = 0.0f;   // [0, 1]
+  float speed = 0.0f;      // m/s telemetry at capture time
+  bool mistake = false;    // ground-truth tag: expert was in a mistake
+                           // episode when this frame was captured
+};
+
+/// Append-only tub writer. Creates the directory structure on
+/// construction; close() finalizes the manifests (also run by the
+/// destructor).
+class TubWriter {
+ public:
+  /// records_per_catalog mirrors DonkeyCar's catalog rotation.
+  explicit TubWriter(std::filesystem::path dir,
+                     std::size_t records_per_catalog = 1000);
+  ~TubWriter();
+
+  TubWriter(const TubWriter&) = delete;
+  TubWriter& operator=(const TubWriter&) = delete;
+
+  /// Appends one record; returns its index.
+  std::size_t append(const camera::Image& image, float steering,
+                     float throttle, float speed = 0.0f,
+                     bool mistake = false);
+
+  std::size_t count() const { return next_index_; }
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Flushes catalog data and writes manifest.json / catalog_manifest.json.
+  void close();
+
+ private:
+  void rotate_catalog();
+
+  std::filesystem::path dir_;
+  std::size_t records_per_catalog_;
+  std::size_t next_index_ = 0;
+  std::vector<std::string> catalog_names_;
+  std::vector<std::size_t> catalog_counts_;
+  std::string current_catalog_;  // buffered JSON lines
+  bool closed_ = false;
+};
+
+/// Read access to a finalized tub.
+class Tub {
+ public:
+  explicit Tub(std::filesystem::path dir);
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Total records written (including deleted).
+  std::size_t total_records() const { return total_; }
+  /// Records not marked deleted.
+  std::size_t active_records() const { return total_ - deleted_.size(); }
+  const std::set<std::size_t>& deleted_indexes() const { return deleted_; }
+
+  /// Loads every active record (with images).
+  std::vector<TubRecord> read_all() const;
+  /// Loads one record by index; nullopt if deleted or out of range.
+  std::optional<TubRecord> read(std::size_t index) const;
+  /// Metadata only (no image loading) for all records including deleted —
+  /// what the tubclean review pass iterates over.
+  std::vector<TubRecord> read_metadata() const;
+
+  /// Marks records deleted (persisted to manifest.json immediately).
+  void mark_deleted(const std::vector<std::size_t>& indexes);
+  /// Clears deletion marks.
+  void restore_all();
+
+  /// Approximate on-disk bytes (images dominate) — used to size simulated
+  /// rsync transfers to the cloud.
+  std::uint64_t size_bytes() const;
+
+ private:
+  void load_manifest();
+  void save_manifest() const;
+
+  std::filesystem::path dir_;
+  std::size_t total_ = 0;
+  std::vector<std::string> catalog_names_;
+  std::set<std::size_t> deleted_;
+};
+
+}  // namespace autolearn::data

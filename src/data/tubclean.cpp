@@ -1,0 +1,67 @@
+#include "data/tubclean.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace autolearn::data {
+
+std::vector<std::size_t> expand_segments(
+    const std::vector<std::size_t>& flagged, std::size_t margin,
+    std::size_t total, std::size_t* segment_count) {
+  std::set<std::size_t> out;
+  for (std::size_t idx : flagged) {
+    const std::size_t lo = idx >= margin ? idx - margin : 0;
+    const std::size_t hi = std::min(total, idx + margin + 1);
+    for (std::size_t i = lo; i < hi; ++i) out.insert(i);
+  }
+  if (segment_count) {
+    std::size_t segments = 0;
+    std::size_t prev = SIZE_MAX;
+    for (std::size_t i : out) {
+      if (prev == SIZE_MAX || i != prev + 1) ++segments;
+      prev = i;
+    }
+    *segment_count = segments;
+  }
+  return {out.begin(), out.end()};
+}
+
+CleanStats review_clean(Tub& tub, std::size_t margin) {
+  const auto records = tub.read_metadata();
+  std::vector<std::size_t> flagged;
+  for (const TubRecord& r : records) {
+    if (r.mistake) flagged.push_back(r.index);
+  }
+  CleanStats stats;
+  stats.reviewed = records.size();
+  const auto to_delete =
+      expand_segments(flagged, margin, tub.total_records(), &stats.segments);
+  tub.mark_deleted(to_delete);
+  stats.deleted = to_delete.size();
+  return stats;
+}
+
+CleanStats heuristic_clean(Tub& tub, const HeuristicOptions& options) {
+  const auto records = tub.read_metadata();
+  std::vector<std::size_t> flagged;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const TubRecord& r = records[i];
+    bool bad = std::abs(r.steering) >= options.steering_saturation;
+    if (i > 0) {
+      const double jerk = std::abs(static_cast<double>(r.steering) -
+                                   records[i - 1].steering);
+      bad = bad || jerk >= options.jerk_threshold;
+    }
+    if (bad) flagged.push_back(r.index);
+  }
+  CleanStats stats;
+  stats.reviewed = records.size();
+  const auto to_delete = expand_segments(flagged, options.margin,
+                                         tub.total_records(), &stats.segments);
+  tub.mark_deleted(to_delete);
+  stats.deleted = to_delete.size();
+  return stats;
+}
+
+}  // namespace autolearn::data

@@ -1,0 +1,47 @@
+// tubclean — the data-cleaning step of §3.3 ("Learners will likely
+// generate some bad data consisting of mistakes (i.e., crashes or images
+// that are off-side) while driving; this data need to be deleted ...
+// users watch the video, select the parts that need to be deleted").
+//
+// Two modes mirror the human workflow:
+//   * review_clean: the "student watching the video" — uses the session's
+//     ground-truth mistake tags, expanded by a margin on both sides the
+//     way a human selects a whole bad segment.
+//   * heuristic_clean: an assisted pass that flags suspicious records from
+//     the recorded signals alone (steering saturation and jerk), for tubs
+//     without tags.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/tub.hpp"
+
+namespace autolearn::data {
+
+struct CleanStats {
+  std::size_t reviewed = 0;
+  std::size_t deleted = 0;
+  std::size_t segments = 0;
+};
+
+struct HeuristicOptions {
+  double steering_saturation = 0.95;  // |steering| above this is suspicious
+  double jerk_threshold = 0.8;        // |d steering| between records
+  std::size_t margin = 3;             // records expanded around each hit
+};
+
+/// Marks all tagged mistake records (plus `margin` records on each side)
+/// deleted. Returns what was removed.
+CleanStats review_clean(Tub& tub, std::size_t margin = 3);
+
+/// Flags records by signal heuristics and marks them deleted.
+CleanStats heuristic_clean(Tub& tub, const HeuristicOptions& options = {});
+
+/// Shared helper: expands a set of flagged indexes into contiguous
+/// segments with margin, clipped to [0, total).
+std::vector<std::size_t> expand_segments(
+    const std::vector<std::size_t>& flagged, std::size_t margin,
+    std::size_t total, std::size_t* segment_count = nullptr);
+
+}  // namespace autolearn::data

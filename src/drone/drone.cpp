@@ -1,0 +1,45 @@
+#include "drone/drone.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autolearn::drone {
+
+Drone::Drone(DroneConfig config, util::Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.max_speed <= 0 || config_.max_accel <= 0 ||
+      config_.velocity_tau <= 0 || config_.altitude <= 0) {
+    throw std::invalid_argument("drone: non-positive parameter");
+  }
+  state_.altitude = config_.altitude;
+}
+
+void Drone::reset(const track::Vec2& pos) {
+  state_.pos = pos;
+  state_.vel = {0, 0};
+  state_.altitude = config_.altitude;
+}
+
+void Drone::step(const track::Vec2& commanded_velocity, double dt) {
+  if (dt <= 0) throw std::invalid_argument("drone: dt must be > 0");
+  // Clamp the command to the speed envelope.
+  track::Vec2 cmd = commanded_velocity;
+  const double cmd_speed = cmd.norm();
+  if (cmd_speed > config_.max_speed) {
+    cmd = cmd * (config_.max_speed / cmd_speed);
+  }
+  // First-order response with an acceleration limit.
+  track::Vec2 dv = (cmd - state_.vel) * (dt / config_.velocity_tau);
+  const double dv_max = config_.max_accel * dt;
+  const double dv_norm = dv.norm();
+  if (dv_norm > dv_max) dv = dv * (dv_max / dv_norm);
+  state_.vel += dv;
+  if (config_.wind_noise > 0) {
+    state_.vel += track::Vec2{rng_.normal(0, config_.wind_noise),
+                              rng_.normal(0, config_.wind_noise)};
+  }
+  state_.pos += state_.vel * dt;
+}
+
+}  // namespace autolearn::drone

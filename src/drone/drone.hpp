@@ -1,0 +1,51 @@
+// Future-work extension (§6): "AutoLearn can be extended in other
+// technologies within these areas including the integration of other
+// intelligent autonomous vehicles in general such as unmanned aerial
+// vehicles or drones, in addition to other applications such as precision
+// agriculture".
+//
+// A planar kinematic quadcopter at fixed survey altitude: velocity
+// commands with a first-order response and an acceleration limit — the
+// same modeling style as the car, so the existing evaluation ideas carry
+// over.
+#pragma once
+
+#include "track/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::drone {
+
+struct DroneConfig {
+  double max_speed = 6.0;       // m/s horizontal
+  double max_accel = 3.0;       // m/s^2
+  double velocity_tau = 0.6;    // response time constant, s
+  double altitude = 20.0;       // survey altitude, m (fixed)
+  double wind_noise = 0.0;      // per-step gaussian velocity disturbance
+};
+
+struct DroneState {
+  track::Vec2 pos;
+  track::Vec2 vel;
+  double altitude = 0.0;
+};
+
+class Drone {
+ public:
+  Drone(DroneConfig config, util::Rng rng);
+
+  const DroneConfig& config() const { return config_; }
+  const DroneState& state() const { return state_; }
+
+  void reset(const track::Vec2& pos);
+
+  /// Advances dt seconds toward the commanded ground velocity (clamped to
+  /// max_speed; acceleration limited).
+  void step(const track::Vec2& commanded_velocity, double dt);
+
+ private:
+  DroneConfig config_;
+  DroneState state_;
+  util::Rng rng_;
+};
+
+}  // namespace autolearn::drone

@@ -1,0 +1,92 @@
+#include "drone/survey.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autolearn::drone {
+
+std::vector<track::Vec2> lawnmower_waypoints(const Field& field,
+                                             double swath) {
+  if (swath <= 0 || field.width <= 0 || field.height <= 0) {
+    throw std::invalid_argument("survey: bad field/swath");
+  }
+  std::vector<track::Vec2> out;
+  // Rows centred swath/2 from the edges, swath apart, covering the height.
+  const auto rows = static_cast<std::size_t>(
+      std::ceil(field.height / swath));
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double y =
+        field.origin.y +
+        std::min(field.height - swath / 2, swath / 2 + static_cast<double>(r) * swath);
+    const double x0 = field.origin.x;
+    const double x1 = field.origin.x + field.width;
+    if (r % 2 == 0) {
+      out.push_back({x0, y});
+      out.push_back({x1, y});
+    } else {
+      out.push_back({x1, y});
+      out.push_back({x0, y});
+    }
+  }
+  return out;
+}
+
+MissionResult fly_survey(Drone& drone, const Field& field,
+                         const MissionConfig& config) {
+  if (config.cruise_speed <= 0 || config.dt <= 0 || config.cell_size <= 0 ||
+      config.waypoint_radius <= 0) {
+    throw std::invalid_argument("survey: bad mission config");
+  }
+  const std::vector<track::Vec2> waypoints =
+      lawnmower_waypoints(field, config.swath);
+
+  const auto nx = static_cast<std::size_t>(
+      std::ceil(field.width / config.cell_size));
+  const auto ny = static_cast<std::size_t>(
+      std::ceil(field.height / config.cell_size));
+  std::vector<char> covered(nx * ny, 0);
+
+  MissionResult result;
+  result.waypoints_total = waypoints.size();
+  drone.reset(waypoints.front());
+
+  std::size_t target = 0;
+  const auto max_steps =
+      static_cast<std::size_t>(config.timeout_s / config.dt);
+  track::Vec2 prev_pos = drone.state().pos;
+  for (std::size_t i = 0; i < max_steps && target < waypoints.size(); ++i) {
+    const track::Vec2 to_target = waypoints[target] - drone.state().pos;
+    if (to_target.norm() <= config.waypoint_radius) {
+      ++target;
+      ++result.waypoints_hit;
+      continue;
+    }
+    drone.step(to_target.normalized() * config.cruise_speed, config.dt);
+    result.duration_s += config.dt;
+    result.distance_m += (drone.state().pos - prev_pos).norm();
+    prev_pos = drone.state().pos;
+
+    // Mark the swath under the drone as imaged.
+    const track::Vec2 rel = drone.state().pos - field.origin;
+    const double half = config.swath / 2;
+    for (double dx = -half; dx <= half; dx += config.cell_size / 2) {
+      for (double dy = -half; dy <= half; dy += config.cell_size / 2) {
+        if (dx * dx + dy * dy > half * half) continue;  // circular footprint
+        const double cx = rel.x + dx, cy = rel.y + dy;
+        if (cx < 0 || cy < 0 || cx >= field.width || cy >= field.height) {
+          continue;
+        }
+        const auto ix = static_cast<std::size_t>(cx / config.cell_size);
+        const auto iy = static_cast<std::size_t>(cy / config.cell_size);
+        covered[iy * nx + ix] = 1;
+      }
+    }
+  }
+  result.completed = target >= waypoints.size();
+  std::size_t hit = 0;
+  for (char c : covered) hit += c;
+  result.coverage = static_cast<double>(hit) / static_cast<double>(nx * ny);
+  return result;
+}
+
+}  // namespace autolearn::drone

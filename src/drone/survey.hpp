@@ -1,0 +1,50 @@
+// Precision-agriculture survey missions (§6 future work).
+//
+// A rectangular field is covered with a boustrophedon ("lawnmower")
+// waypoint pattern sized by the camera swath; the executor flies the
+// drone through the waypoints and a coverage grid records which field
+// cells were imaged. The result mirrors the car pipeline's evaluation:
+// coverage fraction, mission time, distance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "drone/drone.hpp"
+
+namespace autolearn::drone {
+
+struct Field {
+  track::Vec2 origin;  // south-west corner
+  double width = 100.0;   // east-west extent, m
+  double height = 60.0;   // north-south extent, m
+};
+
+/// Boustrophedon waypoints covering the field with the given swath width.
+/// Rows run east-west, `swath` apart, alternating direction.
+std::vector<track::Vec2> lawnmower_waypoints(const Field& field,
+                                             double swath);
+
+struct MissionConfig {
+  double swath = 8.0;          // imaged width under the drone, m
+  double cruise_speed = 5.0;   // m/s
+  double waypoint_radius = 2.0;  // arrival threshold, m
+  double dt = 0.1;
+  double timeout_s = 600.0;
+  double cell_size = 2.0;      // coverage-grid resolution, m
+};
+
+struct MissionResult {
+  double coverage = 0.0;       // fraction of field cells imaged
+  double duration_s = 0.0;
+  double distance_m = 0.0;
+  std::size_t waypoints_hit = 0;
+  std::size_t waypoints_total = 0;
+  bool completed = false;      // all waypoints reached before timeout
+};
+
+/// Flies the mission and scores coverage.
+MissionResult fly_survey(Drone& drone, const Field& field,
+                         const MissionConfig& config);
+
+}  // namespace autolearn::drone

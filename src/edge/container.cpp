@@ -1,0 +1,143 @@
+#include "edge/container.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace autolearn::edge {
+
+const char* to_string(ContainerState s) {
+  switch (s) {
+    case ContainerState::Pending: return "pending";
+    case ContainerState::Pulling: return "pulling";
+    case ContainerState::Starting: return "starting";
+    case ContainerState::Running: return "running";
+    case ContainerState::Exited: return "exited";
+    case ContainerState::Failed: return "failed";
+  }
+  return "?";
+}
+
+ContainerSpec ContainerSpec::autolearn_car() {
+  ContainerSpec spec;
+  spec.image = "autolearn/donkeycar-jupyter:latest";
+  spec.image_bytes = 800ull << 20;
+  spec.env = {{"DONKEY_CAR_DIR", "/car"}, {"JUPYTER_PORT", "8888"}};
+  return spec;
+}
+
+ContainerService::ContainerService(EdgeRegistry& registry,
+                                   util::EventQueue& queue, Config config)
+    : registry_(registry), queue_(queue), config_(config) {
+  if (config_.downlink_bps <= 0 || config_.start_delay_s < 0) {
+    throw std::invalid_argument("container: bad config");
+  }
+}
+
+std::uint64_t ContainerService::launch(
+    const std::string& device, const std::string& project, ContainerSpec spec,
+    std::function<void(const Container&)> on_running) {
+  const Device& dev = registry_.device(device);
+  if (dev.state != DeviceState::Ready) {
+    throw std::logic_error("container: device " + device + " is " +
+                           to_string(dev.state) + ", not ready");
+  }
+  if (!registry_.is_allowed(device, project)) {
+    throw std::logic_error("container: project " + project +
+                           " is not whitelisted on " + device);
+  }
+  const std::uint64_t id = next_id_++;
+  Container c;
+  c.id = id;
+  c.device = device;
+  c.project = project;
+  c.spec = spec;
+  c.launched_at = queue_.now();
+  c.state = ContainerState::Pulling;
+  containers_[id] = std::move(c);
+
+  const bool cached = config_.reuse_image_cache &&
+                      image_cache_[device].count(spec.image) > 0;
+  const double pull_s =
+      cached ? 0.5
+             : static_cast<double>(spec.image_bytes) / config_.downlink_bps;
+  queue_.schedule_in(pull_s, [this, id, device, image = spec.image] {
+    containers_.at(id).state = ContainerState::Starting;
+    image_cache_[device].insert(image);
+  });
+  queue_.schedule_in(
+      pull_s + config_.start_delay_s,
+      [this, id, on_running = std::move(on_running)] {
+        Container& cc = containers_.at(id);
+        // The device may have dropped while pulling.
+        if (registry_.device(cc.device).state != DeviceState::Ready) {
+          cc.state = ContainerState::Failed;
+          AUTOLEARN_LOG(Warn, "container")
+              << "launch failed: " << cc.device << " went away";
+          return;
+        }
+        cc.state = ContainerState::Running;
+        cc.running_at = queue_.now();
+        AUTOLEARN_LOG(Info, "container")
+            << cc.spec.image << " running on " << cc.device;
+        if (on_running) on_running(cc);
+      });
+  return id;
+}
+
+void ContainerService::stop(std::uint64_t id) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    throw std::invalid_argument("container: unknown id");
+  }
+  if (it->second.state == ContainerState::Exited) return;
+  it->second.state = ContainerState::Exited;
+}
+
+const Container& ContainerService::container(std::uint64_t id) const {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    throw std::invalid_argument("container: unknown id");
+  }
+  return it->second;
+}
+
+std::vector<std::uint64_t> ContainerService::running_on(
+    const std::string& device) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, c] : containers_) {
+    if (c.device == device && c.state == ContainerState::Running) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void ContainerService::register_command(
+    const std::string& name,
+    std::function<std::string(const std::string&)> handler) {
+  if (!handler) throw std::invalid_argument("container: empty handler");
+  commands_[name] = std::move(handler);
+}
+
+std::string ContainerService::run_command(std::uint64_t id,
+                                          const std::string& command) {
+  const Container& c = container(id);
+  if (c.state != ContainerState::Running) {
+    throw std::logic_error(std::string("container: not running (") +
+                           to_string(c.state) + ")");
+  }
+  std::istringstream is(command);
+  std::string head;
+  is >> head;
+  std::string args;
+  std::getline(is, args);
+  if (!args.empty() && args.front() == ' ') args.erase(0, 1);
+  const auto it = commands_.find(head);
+  if (it != commands_.end()) return it->second(args);
+  if (head == "echo") return args;
+  return head + ": command simulated (no handler registered)";
+}
+
+}  // namespace autolearn::edge

@@ -1,0 +1,95 @@
+// Container lifecycle on edge devices (§3.2: the added device "is
+// reconfigured by deploying a Docker container rather than bare-metal
+// reconfiguration"; §3.5: "launch a container on the car's Raspberry Pi
+// using a Docker image which pre-installs all DonkeyCar dependencies
+// simply by executing one cell ... a 'zero to ready' configuration
+// pathway").
+//
+// Launching checks the device is Ready and the requesting project is
+// whitelisted, pulls the image (time sized by image bytes over the edge
+// downlink), then starts it. A built-in console runs commands inside a
+// Running container (§3.5 "after launching a container, there is a
+// built-in console in Jupyter for running commands on the Raspberry Pi").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "edge/registry.hpp"
+#include "util/event_queue.hpp"
+
+namespace autolearn::edge {
+
+enum class ContainerState { Pending, Pulling, Starting, Running, Exited,
+                            Failed };
+
+const char* to_string(ContainerState s);
+
+struct ContainerSpec {
+  std::string image;              // e.g. "autolearn/donkey:latest"
+  std::uint64_t image_bytes = 800ull << 20;  // ~800 MiB DonkeyCar stack
+  std::map<std::string, std::string> env;
+
+  /// The AutoLearn car image with the Jupyter server baked in (§3.5).
+  static ContainerSpec autolearn_car();
+};
+
+struct Container {
+  std::uint64_t id = 0;
+  std::string device;
+  std::string project;
+  ContainerSpec spec;
+  ContainerState state = ContainerState::Pending;
+  double launched_at = 0.0;
+  double running_at = -1.0;
+};
+
+struct ContainerConfig {
+  double downlink_bps = 4e6;      // edge Wi-Fi image pull bandwidth
+  double start_delay_s = 6.0;     // docker create+start on a Pi
+  bool reuse_image_cache = true;  // second pull of the same image is free
+};
+
+class ContainerService {
+ public:
+  using Config = ContainerConfig;
+
+  ContainerService(EdgeRegistry& registry, util::EventQueue& queue,
+                   Config config = {});
+
+  /// Launches a container for `project` on `device`. Throws if the device
+  /// is not Ready or the project is not whitelisted. on_running fires when
+  /// the container reaches Running.
+  std::uint64_t launch(const std::string& device, const std::string& project,
+                       ContainerSpec spec,
+                       std::function<void(const Container&)> on_running = {});
+
+  void stop(std::uint64_t id);
+  const Container& container(std::uint64_t id) const;
+  std::vector<std::uint64_t> running_on(const std::string& device) const;
+
+  /// Built-in console: executes a command inside a Running container and
+  /// returns its output. A handler table provides domain commands (drive,
+  /// ls, calibrate); unknown commands echo like a shell would.
+  std::string run_command(std::uint64_t id, const std::string& command);
+
+  /// Installs a console command handler (exact-match on the first word).
+  void register_command(
+      const std::string& name,
+      std::function<std::string(const std::string& args)> handler);
+
+ private:
+  EdgeRegistry& registry_;
+  util::EventQueue& queue_;
+  Config config_;
+  std::map<std::uint64_t, Container> containers_;
+  std::map<std::string, std::function<std::string(const std::string&)>>
+      commands_;
+  std::map<std::string, std::set<std::string>> image_cache_;  // device->images
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace autolearn::edge

@@ -1,0 +1,159 @@
+#include "edge/registry.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace autolearn::edge {
+
+const char* to_string(DeviceState s) {
+  switch (s) {
+    case DeviceState::Registered: return "registered";
+    case DeviceState::Flashed: return "flashed";
+    case DeviceState::Connected: return "connected";
+    case DeviceState::Ready: return "ready";
+    case DeviceState::Disconnected: return "disconnected";
+  }
+  return "?";
+}
+
+EdgeRegistry::EdgeRegistry(util::EventQueue& queue, Config config)
+    : queue_(queue), config_(config) {
+  if (config_.heartbeat_period_s <= 0 || config_.missed_heartbeats_limit < 1) {
+    throw std::invalid_argument("edge: bad registry config");
+  }
+}
+
+Device& EdgeRegistry::device_mut(const std::string& name) {
+  const auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    throw std::invalid_argument("edge: unknown device " + name);
+  }
+  return it->second;
+}
+
+const Device& EdgeRegistry::device(const std::string& name) const {
+  const auto it = devices_.find(name);
+  if (it == devices_.end()) {
+    throw std::invalid_argument("edge: unknown device " + name);
+  }
+  return it->second;
+}
+
+std::string EdgeRegistry::register_device(const std::string& name,
+                                          const std::string& owner_project) {
+  if (name.empty() || owner_project.empty()) {
+    throw std::invalid_argument("edge: empty device/project name");
+  }
+  if (devices_.count(name)) {
+    throw std::invalid_argument("edge: duplicate device " + name);
+  }
+  Device d;
+  d.name = name;
+  d.owner_project = owner_project;
+  d.sd_image_token = "sdcfg-" + std::to_string(next_token_++) + "-" + name;
+  d.whitelist.insert(owner_project);
+  d.registered_at = queue_.now();
+  devices_.emplace(name, std::move(d));
+  return devices_.at(name).sd_image_token;
+}
+
+void EdgeRegistry::flash_device(const std::string& name) {
+  Device& d = device_mut(name);
+  if (d.state != DeviceState::Registered) {
+    throw std::logic_error("edge: flash requires a registered device");
+  }
+  d.state = DeviceState::Flashed;
+}
+
+void EdgeRegistry::boot_device(const std::string& name,
+                               std::function<void(const Device&)> on_ready) {
+  Device& d = device_mut(name);
+  if (d.state != DeviceState::Flashed) {
+    throw std::logic_error("edge: boot requires a flashed device");
+  }
+  failed_.erase(name);
+  queue_.schedule_in(config_.boot_delay_s, [this, name] {
+    Device& dev = device_mut(name);
+    dev.state = DeviceState::Connected;
+    dev.last_heartbeat = queue_.now();
+  });
+  queue_.schedule_in(
+      config_.boot_delay_s + config_.enroll_delay_s,
+      [this, name, on_ready = std::move(on_ready)] {
+        Device& dev = device_mut(name);
+        dev.state = DeviceState::Ready;
+        dev.ready_at = queue_.now();
+        dev.last_heartbeat = queue_.now();
+        AUTOLEARN_LOG(Info, "edge") << name << " ready";
+        if (on_ready) on_ready(dev);
+      });
+}
+
+void EdgeRegistry::allow_project(const std::string& device,
+                                 const std::string& project) {
+  device_mut(device).whitelist.insert(project);
+}
+
+void EdgeRegistry::revoke_project(const std::string& device,
+                                  const std::string& project) {
+  Device& d = device_mut(device);
+  if (project == d.owner_project) {
+    throw std::logic_error("edge: cannot revoke the owner project");
+  }
+  d.whitelist.erase(project);
+}
+
+bool EdgeRegistry::is_allowed(const std::string& device,
+                              const std::string& project) const {
+  return this->device(device).whitelist.count(project) > 0;
+}
+
+std::vector<std::string> EdgeRegistry::devices() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : devices_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> EdgeRegistry::ready_devices() const {
+  std::vector<std::string> out;
+  for (const auto& [name, d] : devices_) {
+    if (d.state == DeviceState::Ready) out.push_back(name);
+  }
+  return out;
+}
+
+void EdgeRegistry::fail_device(const std::string& name) {
+  Device& dev = device_mut(name);
+  if (failed_.count(name)) return;
+  failed_.insert(name);
+  // The daemon has stopped heartbeating; the liveness monitor notices
+  // after missed_heartbeats_limit silent periods and marks the device
+  // Disconnected. A healthy daemon needs no standing events — the device's
+  // last_heartbeat is implicitly "now" while it is not failed — so the
+  // event queue drains once real work is done (no self-rescheduling
+  // heartbeat events keeping run() alive).
+  dev.last_heartbeat = queue_.now();
+  const double detect_after =
+      config_.heartbeat_period_s * config_.missed_heartbeats_limit;
+  queue_.schedule_in(detect_after, [this, name] {
+    Device& d = device_mut(name);
+    if (!failed_.count(name)) return;  // recovered in the meantime
+    if (d.state == DeviceState::Disconnected) return;
+    d.state = DeviceState::Disconnected;
+    AUTOLEARN_LOG(Warn, "edge") << name << " disconnected (heartbeats lost)";
+  });
+}
+
+void EdgeRegistry::recover_device(const std::string& name,
+                                  std::function<void(const Device&)> on_ready) {
+  Device& d = device_mut(name);
+  if (d.state != DeviceState::Disconnected) {
+    throw std::logic_error("edge: recover requires a disconnected device");
+  }
+  failed_.erase(name);
+  d.state = DeviceState::Flashed;  // power-cycle with the same card
+  boot_device(name, std::move(on_ready));
+}
+
+}  // namespace autolearn::edge

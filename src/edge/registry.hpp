@@ -1,0 +1,106 @@
+// CHI@Edge device registry with BYOD enrolment (§3.2):
+//
+//   "users can add devices to the testbed by downloading a CHI@Edge
+//    command line utility and SD card image; the utility registers the
+//    device with the testbed, and configures the SD card image to be
+//    flashed onto the device. Once booted up, the image contains a daemon
+//    that connects the device to the testbed and configures whitelist-
+//    based access policies for the added device."
+//
+// Enrolment walks Registered -> Flashed -> Connected -> Ready; the daemon
+// then heartbeats on the shared event queue, and missed heartbeats mark
+// the device Disconnected (failure injection for tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/event_queue.hpp"
+
+namespace autolearn::edge {
+
+enum class DeviceState {
+  Registered,   // known to the testbed, SD image issued
+  Flashed,      // image written to the card
+  Connected,    // daemon reached the testbed
+  Ready,        // allocatable like any other Chameleon resource
+  Disconnected  // heartbeats stopped
+};
+
+const char* to_string(DeviceState s);
+
+struct Device {
+  std::string name;              // e.g. "donkeycar-pi-03"
+  std::string owner_project;
+  DeviceState state = DeviceState::Registered;
+  std::string sd_image_token;    // config baked into the SD image
+  std::set<std::string> whitelist;  // projects allowed to allocate
+  /// Last daemon heartbeat time; while the daemon is healthy this tracks
+  /// the ready time (a healthy daemon needs no standing simulator events).
+  double last_heartbeat = -1.0;
+  double registered_at = 0.0;
+  double ready_at = -1.0;
+};
+
+struct RegistryConfig {
+  double boot_delay_s = 25.0;       // power-on to daemon connect
+  double enroll_delay_s = 4.0;      // daemon registration handshake
+  double heartbeat_period_s = 10.0;
+  int missed_heartbeats_limit = 3;
+};
+
+class EdgeRegistry {
+ public:
+  using Config = RegistryConfig;
+
+  EdgeRegistry(util::EventQueue& queue, Config config = {});
+
+  /// BYOD step 1: the CLI utility registers the device and returns the SD
+  /// image token. The owning project is whitelisted automatically.
+  std::string register_device(const std::string& name,
+                              const std::string& owner_project);
+
+  /// BYOD step 2: flash the configured image onto the card.
+  void flash_device(const std::string& name);
+
+  /// BYOD step 3: power on. The daemon connects after boot_delay_s and the
+  /// device becomes Ready (events on the shared queue). on_ready fires at
+  /// that point.
+  void boot_device(const std::string& name,
+                   std::function<void(const Device&)> on_ready = {});
+
+  /// Whitelist management ("configures whitelist-based access policies").
+  void allow_project(const std::string& device, const std::string& project);
+  void revoke_project(const std::string& device, const std::string& project);
+  bool is_allowed(const std::string& device, const std::string& project) const;
+
+  const Device& device(const std::string& name) const;
+  std::vector<std::string> devices() const;
+  std::vector<std::string> ready_devices() const;
+
+  /// Failure injection: the device stops heartbeating; after
+  /// missed_heartbeats_limit periods the liveness monitor marks it
+  /// Disconnected.
+  void fail_device(const std::string& name);
+
+  /// Re-boot a disconnected device (it keeps its registration).
+  void recover_device(const std::string& name,
+                      std::function<void(const Device&)> on_ready = {});
+
+  const Config& config() const { return config_; }
+
+ private:
+  Device& device_mut(const std::string& name);
+
+  util::EventQueue& queue_;
+  Config config_;
+  std::map<std::string, Device> devices_;
+  std::set<std::string> failed_;  // devices whose daemon stopped
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace autolearn::edge

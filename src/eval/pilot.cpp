@@ -1,0 +1,39 @@
+#include "eval/pilot.hpp"
+
+namespace autolearn::eval {
+
+ModelPilot::ModelPilot(ml::DrivingModel& model) : model_(model) {}
+
+void ModelPilot::reset() {
+  frames_.clear();
+  history_.clear();
+}
+
+vehicle::DriveCommand ModelPilot::act(const camera::Image& frame) {
+  const std::size_t need_frames = model_.seq_len();
+  const std::size_t need_hist = 2 * model_.history_len();
+
+  frames_.push_back(frame);
+  // Until the buffer fills, repeat the newest frame (cold-start behavior of
+  // the real car, which pads with the first camera image).
+  while (frames_.size() < need_frames) frames_.push_front(frame);
+  while (frames_.size() > need_frames) frames_.pop_front();
+
+  while (history_.size() < need_hist) history_.push_back(0.0f);
+  while (history_.size() > need_hist) history_.pop_front();
+
+  ml::Sample obs;
+  obs.frames.assign(frames_.begin(), frames_.end());
+  obs.history.assign(history_.begin(), history_.end());
+  const ml::Prediction p = model_.predict(obs);
+
+  if (need_hist > 0) {
+    history_.pop_front();
+    history_.pop_front();
+    history_.push_back(static_cast<float>(p.steering));
+    history_.push_back(static_cast<float>(p.throttle));
+  }
+  return vehicle::DriveCommand{p.steering, p.throttle}.clamped();
+}
+
+}  // namespace autolearn::eval

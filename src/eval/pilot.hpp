@@ -1,0 +1,39 @@
+// Closed-loop pilots: anything that can turn camera frames into drive
+// commands. ModelPilot adapts a trained DrivingModel by maintaining the
+// frame buffer and command history its model type needs.
+#pragma once
+
+#include <deque>
+
+#include "camera/image.hpp"
+#include "ml/driving_model.hpp"
+#include "vehicle/car.hpp"
+
+namespace autolearn::eval {
+
+class Pilot {
+ public:
+  virtual ~Pilot() = default;
+  /// One control step: newest camera frame in, command out.
+  virtual vehicle::DriveCommand act(const camera::Image& frame) = 0;
+  /// Clears internal buffers between runs.
+  virtual void reset() = 0;
+  virtual std::string name() const = 0;
+};
+
+class ModelPilot : public Pilot {
+ public:
+  /// Does not own the model; the caller keeps it alive.
+  explicit ModelPilot(ml::DrivingModel& model);
+
+  vehicle::DriveCommand act(const camera::Image& frame) override;
+  void reset() override;
+  std::string name() const override { return model_.type_name(); }
+
+ private:
+  ml::DrivingModel& model_;
+  std::deque<camera::Image> frames_;
+  std::deque<float> history_;  // steering, throttle pairs
+};
+
+}  // namespace autolearn::eval

@@ -1,0 +1,19 @@
+#include "eval/wrappers.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::eval {
+
+FixedThrottlePilot::FixedThrottlePilot(Pilot& inner, double throttle)
+    : inner_(inner), throttle_(throttle) {
+  if (throttle < 0 || throttle > 1) {
+    throw std::invalid_argument("fixed-throttle: throttle in [0,1]");
+  }
+}
+
+vehicle::DriveCommand FixedThrottlePilot::act(const camera::Image& frame) {
+  const vehicle::DriveCommand inner_cmd = inner_.act(frame);
+  return vehicle::DriveCommand{inner_cmd.steering, throttle_}.clamped();
+}
+
+}  // namespace autolearn::eval

@@ -1,0 +1,32 @@
+// Pilot wrappers for the driving modes the DonkeyCar web controller offers
+// (§3.3: "Both modes provide a variety of options such as setting the
+// throttle as constant (useful if the car is used in races with a pilot
+// that will steer but does not control throttle)").
+#pragma once
+
+#include <string>
+
+#include "eval/pilot.hpp"
+
+namespace autolearn::eval {
+
+/// Race mode: the wrapped pilot steers; the throttle is pinned.
+class FixedThrottlePilot : public Pilot {
+ public:
+  /// Does not own `inner`. throttle in [0, 1].
+  FixedThrottlePilot(Pilot& inner, double throttle);
+
+  vehicle::DriveCommand act(const camera::Image& frame) override;
+  void reset() override { inner_.reset(); }
+  std::string name() const override {
+    return inner_.name() + "+fixed-throttle";
+  }
+
+  double throttle() const { return throttle_; }
+
+ private:
+  Pilot& inner_;
+  double throttle_;
+};
+
+}  // namespace autolearn::eval

@@ -1,0 +1,68 @@
+// Accelerator performance model.
+//
+// The paper trains on Chameleon GPU nodes ("We tested this process on a
+// range of GPU nodes available via Chameleon including A100, V100,
+// v100NVLINK, RTX6000, and P100"). Without CUDA hardware we train on CPU
+// and *separately* convert the counted workload (forward FLOPs x samples,
+// batches) into simulated wall-clock per device type. The model is
+// deliberately simple and calibrated from public spec sheets:
+//
+//   time = batches x launch_overhead
+//        + total_flops / (peak_fp32 x utilization x multi_gpu_scaling)
+//
+// Small DonkeyCar-class models are launch-bound on datacenter GPUs, which
+// the per-batch overhead term captures; utilization reflects achievable
+// throughput on small tensors rather than peak TFLOPS marketing numbers.
+// The Raspberry Pi 4 entry models on-device (edge) inference for the
+// continuum experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autolearn::gpu {
+
+struct DeviceSpec {
+  std::string name;
+  double peak_fp32_tflops = 0.0;   // per device
+  double utilization = 0.35;       // achievable fraction on small models
+  double batch_overhead_us = 0.0;  // per-batch launch/sync cost
+  double infer_overhead_us = 0.0;  // per-inference-call cost
+  int year = 0;                    // release year (for documentation)
+
+  /// Effective training throughput of one device, FLOP/s.
+  double effective_flops() const {
+    return peak_fp32_tflops * 1e12 * utilization;
+  }
+};
+
+/// Interconnect for multi-GPU nodes.
+enum class Interconnect { None, PCIe, NVLink };
+
+/// The device catalogue of §3.2: Chameleon accelerators plus the edge
+/// device. Names match the paper's spelling.
+const DeviceSpec& device(const std::string& name);
+std::vector<std::string> datacenter_devices();  // the five the paper lists
+std::vector<std::string> all_devices();
+
+struct TrainingWorkload {
+  std::uint64_t forward_flops = 0;  // sum over all trained samples
+  std::uint64_t samples = 0;
+  std::size_t batch_size = 32;
+  /// backward+update costs ~2x forward; total = fwd * 3.
+  double backward_multiplier = 3.0;
+};
+
+/// Simulated seconds to run the workload on `count` devices of this type.
+double training_time_s(const DeviceSpec& spec, const TrainingWorkload& load,
+                       int count = 1, Interconnect link = Interconnect::None);
+
+/// Multi-GPU scaling efficiency per added device.
+double scaling_efficiency(Interconnect link);
+
+/// Simulated single-sample inference latency (seconds) for a model with
+/// the given forward FLOPs on this device.
+double inference_latency_s(const DeviceSpec& spec, std::uint64_t model_flops);
+
+}  // namespace autolearn::gpu

@@ -1,0 +1,132 @@
+#include "hub/collaboration.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::hub {
+
+const char* to_string(MergeStatus s) {
+  switch (s) {
+    case MergeStatus::Open: return "open";
+    case MergeStatus::Accepted: return "accepted";
+    case MergeStatus::Rejected: return "rejected";
+  }
+  return "?";
+}
+
+ModuleRepo::ModuleRepo(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw std::invalid_argument("repo: empty name");
+}
+
+void ModuleRepo::put_doc(const std::string& path, const std::string& content) {
+  if (path.empty()) throw std::invalid_argument("repo: empty path");
+  docs_[path] = content;
+  ++revision_;
+}
+
+std::optional<std::string> ModuleRepo::doc(const std::string& path) const {
+  const auto it = docs_.find(path);
+  if (it == docs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> ModuleRepo::docs() const {
+  std::vector<std::string> out;
+  for (const auto& [path, _] : docs_) out.push_back(path);
+  return out;
+}
+
+ModuleRepo ModuleRepo::fork(const std::string& fork_name) const {
+  ModuleRepo copy(fork_name);
+  copy.docs_ = docs_;
+  copy.revision_ = revision_;
+  return copy;
+}
+
+std::vector<std::string> ModuleRepo::diff_against(
+    const ModuleRepo& other) const {
+  std::vector<std::string> out;
+  for (const auto& [path, content] : docs_) {
+    const auto theirs = other.doc(path);
+    if (!theirs || *theirs != content) out.push_back(path);
+  }
+  return out;
+}
+
+Collaboration::Collaboration(ModuleRepo& upstream, Artifact* artifact)
+    : upstream_(upstream), artifact_(artifact) {}
+
+std::uint64_t Collaboration::open_merge_request(const ModuleRepo& fork,
+                                                const std::string& author,
+                                                const std::string& summary) {
+  if (author.empty()) throw std::invalid_argument("mr: empty author");
+  const auto changed = fork.diff_against(upstream_);
+  if (changed.empty()) {
+    throw std::invalid_argument("mr: fork has no changes against upstream");
+  }
+  MergeRequest mr;
+  mr.id = next_id_++;
+  mr.author = author;
+  mr.summary = summary;
+  for (const std::string& path : changed) {
+    mr.changes.emplace_back(path, *fork.doc(path));
+  }
+  requests_[mr.id] = std::move(mr);
+  return next_id_ - 1;
+}
+
+MergeRequest& Collaboration::request_mut(std::uint64_t id) {
+  const auto it = requests_.find(id);
+  if (it == requests_.end()) throw std::invalid_argument("mr: unknown id");
+  return it->second;
+}
+
+const MergeRequest& Collaboration::request(std::uint64_t id) const {
+  const auto it = requests_.find(id);
+  if (it == requests_.end()) throw std::invalid_argument("mr: unknown id");
+  return it->second;
+}
+
+void Collaboration::accept(std::uint64_t id, const std::string& review_note) {
+  MergeRequest& mr = request_mut(id);
+  if (mr.status != MergeStatus::Open) {
+    throw std::logic_error("mr: not open");
+  }
+  for (const auto& [path, content] : mr.changes) {
+    upstream_.put_doc(path, content);
+  }
+  mr.status = MergeStatus::Accepted;
+  mr.review_note = review_note;
+  if (artifact_) {
+    artifact_->publish_version("merge: " + mr.summary + " (by " + mr.author +
+                                   ")",
+                               upstream_.name() + "@r" +
+                                   std::to_string(upstream_.revision()));
+  }
+}
+
+void Collaboration::reject(std::uint64_t id, const std::string& review_note) {
+  MergeRequest& mr = request_mut(id);
+  if (mr.status != MergeStatus::Open) {
+    throw std::logic_error("mr: not open");
+  }
+  mr.status = MergeStatus::Rejected;
+  mr.review_note = review_note;
+}
+
+std::vector<std::uint64_t> Collaboration::open_requests() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, mr] : requests_) {
+    if (mr.status == MergeStatus::Open) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t Collaboration::accepted_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, mr] : requests_) {
+    n += mr.status == MergeStatus::Accepted;
+  }
+  return n;
+}
+
+}  // namespace autolearn::hub

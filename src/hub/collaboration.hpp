@@ -1,0 +1,96 @@
+// Community contribution flow (§4 "Contributions and Feedback"):
+//
+//   "learners can start their own educational module. This can be synced
+//    and learners can make additional changes to the module, make
+//    extensions or improvements. Through collaborative support and
+//    learning, students can make a merge request to the original
+//    repository so then the learning community can have access to
+//    different versions and updates of the project."
+//
+// A ModuleRepo is the GitBook/GitHub-style content store: named documents
+// with a linear history. Contributors fork it, edit their fork, and open
+// merge requests; accepted requests land upstream and publish a new hub
+// artifact version, closing the loop the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hub/hub.hpp"
+
+namespace autolearn::hub {
+
+/// A versioned content repository (the GitBook analogue).
+class ModuleRepo {
+ public:
+  explicit ModuleRepo(std::string name);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t revision() const { return revision_; }
+
+  /// Writes/overwrites a document, advancing the revision.
+  void put_doc(const std::string& path, const std::string& content);
+  std::optional<std::string> doc(const std::string& path) const;
+  std::vector<std::string> docs() const;
+
+  /// Deep copy with a new name (the learner "starting their own module").
+  ModuleRepo fork(const std::string& fork_name) const;
+
+  /// Documents whose content differs from (or is absent in) `other`.
+  std::vector<std::string> diff_against(const ModuleRepo& other) const;
+
+ private:
+  std::string name_;
+  std::uint64_t revision_ = 0;
+  std::map<std::string, std::string> docs_;
+};
+
+enum class MergeStatus { Open, Accepted, Rejected };
+
+const char* to_string(MergeStatus s);
+
+struct MergeRequest {
+  std::uint64_t id = 0;
+  std::string author;
+  std::string summary;
+  std::vector<std::pair<std::string, std::string>> changes;  // path, content
+  MergeStatus status = MergeStatus::Open;
+  std::string review_note;
+};
+
+/// Maintainer-side queue of merge requests against an upstream repo,
+/// wired to a hub artifact so accepted contributions publish versions.
+class Collaboration {
+ public:
+  /// artifact may be null (no hub accounting).
+  Collaboration(ModuleRepo& upstream, Artifact* artifact = nullptr);
+
+  /// Opens a merge request carrying the fork's differences from upstream.
+  /// Throws if the fork has no changes.
+  std::uint64_t open_merge_request(const ModuleRepo& fork,
+                                   const std::string& author,
+                                   const std::string& summary);
+
+  /// Applies the changes upstream, marks Accepted, publishes an artifact
+  /// version (when wired).
+  void accept(std::uint64_t id, const std::string& review_note = "");
+  /// Marks Rejected with a note; upstream is untouched.
+  void reject(std::uint64_t id, const std::string& review_note);
+
+  const MergeRequest& request(std::uint64_t id) const;
+  std::vector<std::uint64_t> open_requests() const;
+  std::size_t accepted_count() const;
+
+ private:
+  MergeRequest& request_mut(std::uint64_t id);
+
+  ModuleRepo& upstream_;
+  Artifact* artifact_;
+  std::map<std::uint64_t, MergeRequest> requests_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace autolearn::hub

@@ -1,0 +1,88 @@
+#include "hub/hub.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::hub {
+
+Artifact::Artifact(std::string id, std::string title,
+                   std::vector<std::string> authors)
+    : id_(std::move(id)),
+      title_(std::move(title)),
+      authors_(std::move(authors)) {
+  if (id_.empty()) throw std::invalid_argument("artifact: empty id");
+}
+
+const ArtifactVersion& Artifact::publish_version(std::string notes,
+                                                 std::string package_ref) {
+  ArtifactVersion v;
+  v.number = versions_.empty() ? 1 : versions_.back().number + 1;
+  v.notes = std::move(notes);
+  v.package_ref = std::move(package_ref);
+  versions_.push_back(std::move(v));
+  return versions_.back();
+}
+
+void Artifact::record_view(const std::string& user) {
+  (void)user;  // views are counted anonymously, like Trovi's counter
+  ++views_;
+}
+
+void Artifact::record_launch(const std::string& user) {
+  if (user.empty()) throw std::invalid_argument("artifact: anonymous launch");
+  ++launch_clicks_;
+  launch_users_.insert(user);
+}
+
+void Artifact::record_cell_execution(const std::string& user) {
+  if (user.empty()) throw std::invalid_argument("artifact: anonymous exec");
+  executing_users_.insert(user);
+}
+
+ArtifactMetrics Artifact::metrics() const {
+  ArtifactMetrics m;
+  m.views = views_;
+  m.launch_clicks = launch_clicks_;
+  m.unique_launch_users = launch_users_.size();
+  m.users_executed_cell = executing_users_.size();
+  m.versions = versions_.size();
+  return m;
+}
+
+Artifact& Hub::create_artifact(const std::string& id, const std::string& title,
+                               std::vector<std::string> authors) {
+  if (artifacts_.count(id)) {
+    throw std::invalid_argument("hub: duplicate artifact " + id);
+  }
+  return artifacts_.emplace(id, Artifact(id, title, std::move(authors)))
+      .first->second;
+}
+
+Artifact& Hub::artifact(const std::string& id) {
+  const auto it = artifacts_.find(id);
+  if (it == artifacts_.end()) {
+    throw std::invalid_argument("hub: unknown artifact " + id);
+  }
+  return it->second;
+}
+
+const Artifact& Hub::artifact(const std::string& id) const {
+  const auto it = artifacts_.find(id);
+  if (it == artifacts_.end()) {
+    throw std::invalid_argument("hub: unknown artifact " + id);
+  }
+  return it->second;
+}
+
+bool Hub::has_artifact(const std::string& id) const {
+  return artifacts_.count(id) > 0;
+}
+
+std::vector<const Artifact*> Hub::find_by_tag(const std::string& tag) const {
+  std::vector<const Artifact*> out;
+  for (const auto& [id, artifact] : artifacts_) {
+    if (artifact.tags().count(tag)) out.push_back(&artifact);
+  }
+  return out;
+}
+
+}  // namespace autolearn::hub

@@ -1,0 +1,88 @@
+// Trovi artifact hub analogue (§2, §5).
+//
+// Artifacts are versioned experiment packages with metadata (tags,
+// description, author list). The hub keeps the §5 distribution metrics:
+// views, launch-button clicks, unique launching users, users who executed
+// at least one cell, and the published version count — "the information
+// they provide can be collected in an automated fashion without placing a
+// reporting burden on the users".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace autolearn::hub {
+
+struct ArtifactVersion {
+  std::uint64_t number = 0;
+  std::string notes;
+  /// Object-store reference ("container/object") of the packaged notebooks.
+  std::string package_ref;
+};
+
+struct ArtifactMetrics {
+  std::size_t views = 0;
+  std::size_t launch_clicks = 0;
+  std::size_t unique_launch_users = 0;
+  std::size_t users_executed_cell = 0;
+  std::size_t versions = 0;
+};
+
+class Artifact {
+ public:
+  Artifact(std::string id, std::string title, std::vector<std::string> authors);
+
+  const std::string& id() const { return id_; }
+  const std::string& title() const { return title_; }
+  const std::vector<std::string>& authors() const { return authors_; }
+
+  void set_description(std::string text) { description_ = std::move(text); }
+  const std::string& description() const { return description_; }
+  void add_tag(const std::string& tag) { tags_.insert(tag); }
+  const std::set<std::string>& tags() const { return tags_; }
+
+  /// Publishes a new version (monotonically numbered).
+  const ArtifactVersion& publish_version(std::string notes,
+                                         std::string package_ref);
+  const std::vector<ArtifactVersion>& versions() const { return versions_; }
+
+  // --- §5 life-cycle events ------------------------------------------------
+  void record_view(const std::string& user);
+  void record_launch(const std::string& user);
+  void record_cell_execution(const std::string& user);
+
+  ArtifactMetrics metrics() const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::vector<std::string> authors_;
+  std::string description_;
+  std::set<std::string> tags_;
+  std::vector<ArtifactVersion> versions_;
+  std::size_t views_ = 0;
+  std::size_t launch_clicks_ = 0;
+  std::set<std::string> launch_users_;
+  std::set<std::string> executing_users_;
+};
+
+class Hub {
+ public:
+  Artifact& create_artifact(const std::string& id, const std::string& title,
+                            std::vector<std::string> authors);
+  Artifact& artifact(const std::string& id);
+  const Artifact& artifact(const std::string& id) const;
+  bool has_artifact(const std::string& id) const;
+
+  /// Artifacts carrying the tag (Trovi's discovery path).
+  std::vector<const Artifact*> find_by_tag(const std::string& tag) const;
+  std::size_t artifact_count() const { return artifacts_.size(); }
+
+ private:
+  std::map<std::string, Artifact> artifacts_;
+};
+
+}  // namespace autolearn::hub

@@ -1,0 +1,261 @@
+#include "ml/conv.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/thread_pool.hpp"
+
+namespace autolearn::ml {
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, util::Rng& rng)
+    : ic_(in_channels),
+      oc_(out_channels),
+      k_(kernel),
+      stride_(stride),
+      w_(Tensor::randn({out_channels, in_channels, kernel, kernel}, rng,
+                       std::sqrt(2.0 / static_cast<double>(
+                                           in_channels * kernel * kernel)))),
+      b_(Tensor({out_channels}, 0.0f)) {
+  if (kernel == 0 || stride == 0 || in_channels == 0 || out_channels == 0) {
+    throw std::invalid_argument("Conv2D: zero parameter");
+  }
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 4 || x.dim(1) != ic_) {
+    throw std::invalid_argument("Conv2D: bad input shape " + x.shape_str());
+  }
+  last_input_ = x;
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_dim(h, k_, stride_), ow = out_dim(w, k_, stride_);
+  flops_ = 2ull * oc_ * oh * ow * ic_ * k_ * k_;
+  Tensor y({n, oc_, oh, ow});
+  const Tensor& wt = w_.value;
+  const Tensor& bt = b_.value;
+  util::ThreadPool::shared().parallel_for_chunks(
+      0, n, [&](std::size_t n0, std::size_t n1) {
+        for (std::size_t i = n0; i < n1; ++i) {
+          for (std::size_t oc = 0; oc < oc_; ++oc) {
+            for (std::size_t oy = 0; oy < oh; ++oy) {
+              for (std::size_t ox = 0; ox < ow; ++ox) {
+                float acc = bt[oc];
+                const std::size_t iy0 = oy * stride_, ix0 = ox * stride_;
+                for (std::size_t ic = 0; ic < ic_; ++ic) {
+                  for (std::size_t ky = 0; ky < k_; ++ky) {
+                    const float* xrow = &x.at(i, ic, iy0 + ky, ix0);
+                    const float* wrow = &wt.at(oc, ic, ky, 0);
+                    for (std::size_t kx = 0; kx < k_; ++kx) {
+                      acc += xrow[kx] * wrow[kx];
+                    }
+                  }
+                }
+                y.at(i, oc, oy, ox) = acc;
+              }
+            }
+          }
+        }
+      });
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = last_input_;
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = out_dim(h, k_, stride_), ow = out_dim(w, k_, stride_);
+  if (grad_out.rank() != 4 || grad_out.dim(0) != n || grad_out.dim(1) != oc_ ||
+      grad_out.dim(2) != oh || grad_out.dim(3) != ow) {
+    throw std::invalid_argument("Conv2D: bad grad shape");
+  }
+  Tensor grad_in(x.shape());
+  const Tensor& wt = w_.value;
+  Tensor& dw = w_.grad;
+  Tensor& db = b_.grad;
+  // Serial over batch: parameter gradient accumulation is shared state.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t oc = 0; oc < oc_; ++oc) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = grad_out.at(i, oc, oy, ox);
+          if (g == 0.0f) continue;
+          db[oc] += g;
+          const std::size_t iy0 = oy * stride_, ix0 = ox * stride_;
+          for (std::size_t ic = 0; ic < ic_; ++ic) {
+            for (std::size_t ky = 0; ky < k_; ++ky) {
+              const float* xrow = &x.at(i, ic, iy0 + ky, ix0);
+              float* dxrow = &grad_in.at(i, ic, iy0 + ky, ix0);
+              float* dwrow = &dw.at(oc, ic, ky, 0);
+              const float* wrow = &wt.at(oc, ic, ky, 0);
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                dwrow[kx] += g * xrow[kx];
+                dxrow[kx] += g * wrow[kx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor MaxPool2D::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 4) throw std::invalid_argument("MaxPool2D: rank != 4");
+  last_input_ = x;
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = h / 2, ow = w / 2;
+  if (oh == 0 || ow == 0) {
+    throw std::invalid_argument("MaxPool2D: input too small");
+  }
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(y.size(), 0);
+  std::size_t out_idx = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy) {
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t iy = oy * 2 + dy, ix = ox * 2 + dx;
+              const float v = x.at(i, ch, iy, ix);
+              if (v > best) {
+                best = v;
+                best_idx = ((i * c + ch) * h + iy) * w + ix;
+              }
+            }
+          }
+          y[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+          ++out_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  if (grad_out.size() != argmax_.size()) {
+    throw std::invalid_argument("MaxPool2D: bad grad size");
+  }
+  Tensor grad_in(last_input_.shape());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in[argmax_[i]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+Conv3D::Conv3D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel_d, std::size_t kernel, std::size_t stride_d,
+               std::size_t stride, util::Rng& rng)
+    : ic_(in_channels),
+      oc_(out_channels),
+      kd_(kernel_d),
+      k_(kernel),
+      stride_d_(stride_d),
+      stride_(stride),
+      w_(Tensor::randn(
+          {out_channels, in_channels, kernel_d, kernel, kernel}, rng,
+          std::sqrt(2.0 / static_cast<double>(in_channels * kernel_d *
+                                              kernel * kernel)))),
+      b_(Tensor({out_channels}, 0.0f)) {
+  if (kernel == 0 || kernel_d == 0 || stride == 0 || stride_d == 0) {
+    throw std::invalid_argument("Conv3D: zero parameter");
+  }
+}
+
+Tensor Conv3D::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 5 || x.dim(1) != ic_) {
+    throw std::invalid_argument("Conv3D: bad input shape " + x.shape_str());
+  }
+  last_input_ = x;
+  const std::size_t n = x.dim(0), d = x.dim(2), h = x.dim(3), w = x.dim(4);
+  const std::size_t od = Conv2D::out_dim(d, kd_, stride_d_);
+  const std::size_t oh = Conv2D::out_dim(h, k_, stride_);
+  const std::size_t ow = Conv2D::out_dim(w, k_, stride_);
+  flops_ = 2ull * oc_ * od * oh * ow * ic_ * kd_ * k_ * k_;
+  Tensor y({n, oc_, od, oh, ow});
+  const Tensor& wt = w_.value;
+  const Tensor& bt = b_.value;
+  util::ThreadPool::shared().parallel_for_chunks(
+      0, n, [&](std::size_t n0, std::size_t n1) {
+        for (std::size_t i = n0; i < n1; ++i) {
+          for (std::size_t oc = 0; oc < oc_; ++oc) {
+            for (std::size_t oz = 0; oz < od; ++oz) {
+              for (std::size_t oy = 0; oy < oh; ++oy) {
+                for (std::size_t ox = 0; ox < ow; ++ox) {
+                  float acc = bt[oc];
+                  const std::size_t iz0 = oz * stride_d_;
+                  const std::size_t iy0 = oy * stride_, ix0 = ox * stride_;
+                  for (std::size_t ic = 0; ic < ic_; ++ic) {
+                    for (std::size_t kz = 0; kz < kd_; ++kz) {
+                      for (std::size_t ky = 0; ky < k_; ++ky) {
+                        const float* xrow =
+                            &x.at(i, ic, iz0 + kz, iy0 + ky, ix0);
+                        const float* wrow = &wt.at(oc, ic, kz, ky, 0);
+                        for (std::size_t kx = 0; kx < k_; ++kx) {
+                          acc += xrow[kx] * wrow[kx];
+                        }
+                      }
+                    }
+                  }
+                  y.at(i, oc, oz, oy, ox) = acc;
+                }
+              }
+            }
+          }
+        }
+      });
+  return y;
+}
+
+Tensor Conv3D::backward(const Tensor& grad_out) {
+  const Tensor& x = last_input_;
+  const std::size_t n = x.dim(0), d = x.dim(2), h = x.dim(3), w = x.dim(4);
+  const std::size_t od = Conv2D::out_dim(d, kd_, stride_d_);
+  const std::size_t oh = Conv2D::out_dim(h, k_, stride_);
+  const std::size_t ow = Conv2D::out_dim(w, k_, stride_);
+  if (grad_out.rank() != 5 || grad_out.dim(0) != n ||
+      grad_out.dim(1) != oc_ || grad_out.dim(2) != od ||
+      grad_out.dim(3) != oh || grad_out.dim(4) != ow) {
+    throw std::invalid_argument("Conv3D: bad grad shape");
+  }
+  Tensor grad_in(x.shape());
+  const Tensor& wt = w_.value;
+  Tensor& dw = w_.grad;
+  Tensor& db = b_.grad;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t oc = 0; oc < oc_; ++oc) {
+      for (std::size_t oz = 0; oz < od; ++oz) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const float g = grad_out.at(i, oc, oz, oy, ox);
+            if (g == 0.0f) continue;
+            db[oc] += g;
+            const std::size_t iz0 = oz * stride_d_;
+            const std::size_t iy0 = oy * stride_, ix0 = ox * stride_;
+            for (std::size_t ic = 0; ic < ic_; ++ic) {
+              for (std::size_t kz = 0; kz < kd_; ++kz) {
+                for (std::size_t ky = 0; ky < k_; ++ky) {
+                  const float* xrow = &x.at(i, ic, iz0 + kz, iy0 + ky, ix0);
+                  float* dxrow = &grad_in.at(i, ic, iz0 + kz, iy0 + ky, ix0);
+                  float* dwrow = &dw.at(oc, ic, kz, ky, 0);
+                  const float* wrow = &wt.at(oc, ic, kz, ky, 0);
+                  for (std::size_t kx = 0; kx < k_; ++kx) {
+                    dwrow[kx] += g * xrow[kx];
+                    dxrow[kx] += g * wrow[kx];
+                  }
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace autolearn::ml

@@ -1,0 +1,71 @@
+// Convolution and pooling layers (valid padding, square kernels).
+//
+// These mirror the DonkeyCar Keras models' conv stacks at reduced
+// resolution. Layout is channels-first: Conv2D takes [N, C, H, W]; Conv3D
+// takes [N, C, D, H, W] where D is the frame (time) axis of the "3D" model.
+#pragma once
+
+#include "ml/layer.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::ml {
+
+class Conv2D : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+  std::string name() const override { return "conv2d"; }
+  std::uint64_t flops_per_sample() const override { return flops_; }
+
+  static std::size_t out_dim(std::size_t in, std::size_t kernel,
+                             std::size_t stride) {
+    if (in < kernel) {
+      throw std::invalid_argument("conv: input smaller than kernel");
+    }
+    return (in - kernel) / stride + 1;
+  }
+
+ private:
+  std::size_t ic_, oc_, k_, stride_;
+  Param w_, b_;
+  Tensor last_input_;
+  mutable std::uint64_t flops_ = 0;  // set on first forward (needs H, W)
+};
+
+/// 2x2 max pooling with stride 2.
+class MaxPool2D : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "maxpool2d"; }
+
+ private:
+  Tensor last_input_;
+  std::vector<std::size_t> argmax_;
+};
+
+class Conv3D : public Layer {
+ public:
+  /// kernel_d along the frame axis; spatial kernel is square.
+  Conv3D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel_d, std::size_t kernel, std::size_t stride_d,
+         std::size_t stride, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+  std::string name() const override { return "conv3d"; }
+  std::uint64_t flops_per_sample() const override { return flops_; }
+
+ private:
+  std::size_t ic_, oc_, kd_, k_, stride_d_, stride_;
+  Param w_, b_;
+  Tensor last_input_;
+  mutable std::uint64_t flops_ = 0;
+};
+
+}  // namespace autolearn::ml

@@ -1,0 +1,542 @@
+#include "ml/driving_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/conv.hpp"
+#include "ml/layers.hpp"
+#include "ml/loss.hpp"
+#include "ml/lstm.hpp"
+
+namespace autolearn::ml {
+
+const char* to_string(ModelType type) {
+  switch (type) {
+    case ModelType::Linear: return "linear";
+    case ModelType::Categorical: return "categorical";
+    case ModelType::Inferred: return "inferred";
+    case ModelType::Memory: return "memory";
+    case ModelType::Rnn: return "rnn";
+    case ModelType::Conv3d: return "3d";
+  }
+  return "?";
+}
+
+ModelType model_type_from_string(const std::string& name) {
+  for (ModelType t : all_model_types()) {
+    if (name == to_string(t)) return t;
+  }
+  throw std::invalid_argument("unknown model type: " + name);
+}
+
+std::vector<ModelType> all_model_types() {
+  return {ModelType::Linear, ModelType::Memory, ModelType::Conv3d,
+          ModelType::Categorical, ModelType::Inferred, ModelType::Rnn};
+}
+
+namespace {
+
+/// Copies the last frame of each sample into an [N, 1, H, W] tensor.
+Tensor frames_tensor(const std::vector<const Sample*>& batch,
+                     std::size_t img_h, std::size_t img_w) {
+  Tensor x({batch.size(), 1, img_h, img_w});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Sample& s = *batch[i];
+    if (s.frames.empty()) throw std::invalid_argument("sample: no frames");
+    const camera::Image& img = s.frames.back();
+    if (img.height() != img_h || img.width() != img_w) {
+      throw std::invalid_argument("sample: frame size mismatch");
+    }
+    std::copy(img.pixels().begin(), img.pixels().end(),
+              x.data() + i * img_h * img_w);
+  }
+  return x;
+}
+
+/// Copies the last `t` frames of each sample into [N*T, 1, H, W]
+/// (time folded into the batch for a shared encoder) keeping order
+/// oldest..newest per sample.
+Tensor frames_tensor_seq(const std::vector<const Sample*>& batch,
+                         std::size_t t, std::size_t img_h, std::size_t img_w) {
+  Tensor x({batch.size() * t, 1, img_h, img_w});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Sample& s = *batch[i];
+    if (s.frames.size() < t) {
+      throw std::invalid_argument("sample: too few frames for sequence");
+    }
+    for (std::size_t j = 0; j < t; ++j) {
+      const camera::Image& img = s.frames[s.frames.size() - t + j];
+      if (img.height() != img_h || img.width() != img_w) {
+        throw std::invalid_argument("sample: frame size mismatch");
+      }
+      std::copy(img.pixels().begin(), img.pixels().end(),
+                x.data() + (i * t + j) * img_h * img_w);
+    }
+  }
+  return x;
+}
+
+/// Stacks the last `t` frames as the depth axis: [N, 1, T, H, W].
+Tensor frames_tensor_3d(const std::vector<const Sample*>& batch,
+                        std::size_t t, std::size_t img_h, std::size_t img_w) {
+  Tensor x({batch.size(), 1, t, img_h, img_w});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Sample& s = *batch[i];
+    if (s.frames.size() < t) {
+      throw std::invalid_argument("sample: too few frames for 3d stack");
+    }
+    for (std::size_t j = 0; j < t; ++j) {
+      const camera::Image& img = s.frames[s.frames.size() - t + j];
+      std::copy(img.pixels().begin(), img.pixels().end(),
+                x.data() + (i * t + j) * img_h * img_w);
+    }
+  }
+  return x;
+}
+
+Tensor targets_tensor(const std::vector<const Sample*>& batch) {
+  Tensor y({batch.size(), 2});
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    y.at(i, 0) = batch[i]->steering;
+    y.at(i, 1) = batch[i]->throttle;
+  }
+  return y;
+}
+
+/// Standard conv encoder for 24x32-class frames: three strided 3x3 convs.
+void add_encoder(Sequential& net, util::Rng& rng) {
+  net.add<Conv2D>(1, 8, 3, 2, rng);
+  net.add<ReLU>();
+  net.add<Conv2D>(8, 16, 3, 2, rng);
+  net.add<ReLU>();
+  net.add<Conv2D>(16, 32, 3, 2, rng);
+  net.add<ReLU>();
+  net.add<Flatten>();
+}
+
+std::size_t encoder_features(std::size_t img_h, std::size_t img_w) {
+  auto conv = [](std::size_t d) { return Conv2D::out_dim(d, 3, 2); };
+  const std::size_t h = conv(conv(conv(img_h)));
+  const std::size_t w = conv(conv(conv(img_w)));
+  return 32 * h * w;
+}
+
+/// Bin/unbin helpers for the categorical model (linear bins as in
+/// donkeycar's linear_bin / linear_unbin utilities).
+std::size_t to_bin(double v, double lo, double hi, std::size_t bins) {
+  const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  return std::min(bins - 1,
+                  static_cast<std::size_t>(std::lround(t * (bins - 1))));
+}
+
+double from_bin(std::size_t bin, double lo, double hi, std::size_t bins) {
+  return lo + (hi - lo) * static_cast<double>(bin) /
+                  static_cast<double>(bins - 1);
+}
+
+// ---------------------------------------------------------------------------
+
+/// Shared plumbing: a Sequential net + Adam and (de)serialization.
+class NetModel : public DrivingModel {
+ public:
+  explicit NetModel(const ModelConfig& cfg)
+      : cfg_(cfg), rng_(cfg.seed), opt_(cfg.lr) {}
+
+  std::size_t num_parameters() override { return net_.num_parameters(); }
+  std::uint64_t flops_per_sample() const override {
+    return net_.flops_per_sample();
+  }
+  void save(std::ostream& os) override { net_.save_params(os); }
+  void load(std::istream& is) override { net_.load_params(is); }
+
+ protected:
+  ModelConfig cfg_;
+  util::Rng rng_;
+  Sequential net_;
+  Adam opt_;
+};
+
+// --- linear ----------------------------------------------------------------
+
+class LinearModel : public NetModel {
+ public:
+  explicit LinearModel(const ModelConfig& cfg) : NetModel(cfg) {
+    add_encoder(net_, rng_);
+    const std::size_t f = encoder_features(cfg.img_h, cfg.img_w);
+    net_.add<Dense>(f, 64, rng_);
+    net_.add<ReLU>();
+    net_.add<Dropout>(cfg.dropout, rng_.split());
+    net_.add<Dense>(64, 2, rng_);
+  }
+
+  ModelType type() const override { return ModelType::Linear; }
+
+  Prediction predict(const Sample& obs) override {
+    const Tensor y = net_.forward(frames_tensor({&obs}, cfg_.img_h, cfg_.img_w),
+                                  /*train=*/false);
+    return Prediction{std::clamp<double>(y.at(0, 0), -1, 1),
+                      std::clamp<double>(y.at(0, 1), 0, 1)};
+  }
+
+  double train_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor x = frames_tensor(batch, cfg_.img_h, cfg_.img_w);
+    const Tensor pred = net_.forward(x, /*train=*/true);
+    auto [loss, grad] = mse_loss(pred, targets_tensor(batch));
+    net_.backward(grad);
+    opt_.step(net_.params());
+    return loss;
+  }
+
+  double eval_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor x = frames_tensor(batch, cfg_.img_h, cfg_.img_w);
+    const Tensor pred = net_.forward(x, /*train=*/false);
+    return mse_loss(pred, targets_tensor(batch)).first;
+  }
+};
+
+// --- categorical -------------------------------------------------------------
+
+class CategoricalModel : public NetModel {
+ public:
+  explicit CategoricalModel(const ModelConfig& cfg) : NetModel(cfg) {
+    add_encoder(net_, rng_);
+    const std::size_t f = encoder_features(cfg.img_h, cfg.img_w);
+    net_.add<Dense>(f, 64, rng_);
+    net_.add<ReLU>();
+    net_.add<Dropout>(cfg.dropout, rng_.split());
+    net_.add<Dense>(64, cfg.steering_bins + cfg.throttle_bins, rng_);
+  }
+
+  ModelType type() const override { return ModelType::Categorical; }
+
+  Prediction predict(const Sample& obs) override {
+    const Tensor logits = net_.forward(
+        frames_tensor({&obs}, cfg_.img_h, cfg_.img_w), /*train=*/false);
+    const auto ps = softmax_row(logits, 0, 0, cfg_.steering_bins);
+    const auto pt = softmax_row(logits, 0, cfg_.steering_bins,
+                                cfg_.steering_bins + cfg_.throttle_bins);
+    const std::size_t sb = static_cast<std::size_t>(
+        std::max_element(ps.begin(), ps.end()) - ps.begin());
+    const std::size_t tb = static_cast<std::size_t>(
+        std::max_element(pt.begin(), pt.end()) - pt.begin());
+    return Prediction{from_bin(sb, -1, 1, cfg_.steering_bins),
+                      from_bin(tb, 0, 1, cfg_.throttle_bins)};
+  }
+
+  double train_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor x = frames_tensor(batch, cfg_.img_h, cfg_.img_w);
+    const Tensor logits = net_.forward(x, /*train=*/true);
+    Tensor grad(logits.shape());
+    const double loss = heads_loss(logits, batch, grad);
+    net_.backward(grad);
+    opt_.step(net_.params());
+    return loss;
+  }
+
+  double eval_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor x = frames_tensor(batch, cfg_.img_h, cfg_.img_w);
+    const Tensor logits = net_.forward(x, /*train=*/false);
+    Tensor grad(logits.shape());
+    return heads_loss(logits, batch, grad);
+  }
+
+ private:
+  double heads_loss(const Tensor& logits,
+                    const std::vector<const Sample*>& batch, Tensor& grad) {
+    std::vector<std::size_t> steer_targets, throttle_targets;
+    steer_targets.reserve(batch.size());
+    throttle_targets.reserve(batch.size());
+    for (const Sample* s : batch) {
+      steer_targets.push_back(to_bin(s->steering, -1, 1, cfg_.steering_bins));
+      throttle_targets.push_back(to_bin(s->throttle, 0, 1, cfg_.throttle_bins));
+    }
+    double loss = softmax_xent_slice(logits, 0, cfg_.steering_bins,
+                                     steer_targets, grad);
+    loss += softmax_xent_slice(logits, cfg_.steering_bins,
+                               cfg_.steering_bins + cfg_.throttle_bins,
+                               throttle_targets, grad);
+    return loss;
+  }
+};
+
+// --- inferred ----------------------------------------------------------------
+
+class InferredModel : public NetModel {
+ public:
+  explicit InferredModel(const ModelConfig& cfg) : NetModel(cfg) {
+    // Deliberately small: two convs, narrow head. Fast inference is the
+    // point — it frees throttle budget in the control loop.
+    net_.add<Conv2D>(1, 4, 3, 2, rng_);
+    net_.add<ReLU>();
+    net_.add<Conv2D>(4, 8, 3, 2, rng_);
+    net_.add<ReLU>();
+    net_.add<Flatten>();
+    auto conv = [](std::size_t d) { return Conv2D::out_dim(d, 3, 2); };
+    const std::size_t f = 8 * conv(conv(cfg.img_h)) * conv(conv(cfg.img_w));
+    net_.add<Dense>(f, 16, rng_);
+    net_.add<ReLU>();
+    net_.add<Dense>(16, 1, rng_);
+  }
+
+  ModelType type() const override { return ModelType::Inferred; }
+
+  Prediction predict(const Sample& obs) override {
+    const Tensor y = net_.forward(frames_tensor({&obs}, cfg_.img_h, cfg_.img_w),
+                                  /*train=*/false);
+    const double steer = std::clamp<double>(y.at(0, 0), -1, 1);
+    // Throttle policy: full speed with the wheel straight, easing off as
+    // the commanded steering grows.
+    const double throttle = std::clamp(
+        cfg_.inferred_throttle_base +
+            cfg_.inferred_throttle_gain * (1.0 - std::abs(steer)),
+        0.0, 1.0);
+    return Prediction{steer, throttle};
+  }
+
+  double train_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor x = frames_tensor(batch, cfg_.img_h, cfg_.img_w);
+    const Tensor pred = net_.forward(x, /*train=*/true);
+    auto [loss, grad] = mse_loss(pred, steer_targets(batch));
+    net_.backward(grad);
+    opt_.step(net_.params());
+    return loss;
+  }
+
+  double eval_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor x = frames_tensor(batch, cfg_.img_h, cfg_.img_w);
+    const Tensor pred = net_.forward(x, /*train=*/false);
+    return mse_loss(pred, steer_targets(batch)).first;
+  }
+
+ private:
+  static Tensor steer_targets(const std::vector<const Sample*>& batch) {
+    Tensor y({batch.size(), 1});
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      y.at(i, 0) = batch[i]->steering;
+    }
+    return y;
+  }
+};
+
+// --- memory -----------------------------------------------------------------
+
+class MemoryModel : public NetModel {
+ public:
+  explicit MemoryModel(const ModelConfig& cfg) : NetModel(cfg) {
+    add_encoder(net_, rng_);  // net_ is the encoder only
+    features_ = encoder_features(cfg.img_h, cfg.img_w);
+    hist_ = 2 * cfg.history_len;
+    head_.add<Dense>(features_ + hist_, 64, rng_);
+    head_.add<ReLU>();
+    head_.add<Dense>(64, 2, rng_);
+  }
+
+  ModelType type() const override { return ModelType::Memory; }
+  std::size_t history_len() const override { return cfg_.history_len; }
+
+  Prediction predict(const Sample& obs) override {
+    const Tensor y = forward({&obs}, /*train=*/false);
+    return Prediction{std::clamp<double>(y.at(0, 0), -1, 1),
+                      std::clamp<double>(y.at(0, 1), 0, 1)};
+  }
+
+  double train_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor pred = forward(batch, /*train=*/true);
+    auto [loss, grad] = mse_loss(pred, targets_tensor(batch));
+    const Tensor grad_concat = head_.backward(grad);
+    // Split: the first `features_` columns flow back into the encoder; the
+    // history columns have no upstream parameters.
+    const std::size_t n = batch.size();
+    Tensor grad_feat({n, features_});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < features_; ++k) {
+        grad_feat.at(i, k) = grad_concat.at(i, k);
+      }
+    }
+    net_.backward(grad_feat);
+    auto params = net_.params();
+    for (Param* p : head_.params()) params.push_back(p);
+    opt_.step(params);
+    return loss;
+  }
+
+  double eval_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor pred = forward(batch, /*train=*/false);
+    return mse_loss(pred, targets_tensor(batch)).first;
+  }
+
+  std::size_t num_parameters() override {
+    return net_.num_parameters() + head_.num_parameters();
+  }
+  std::uint64_t flops_per_sample() const override {
+    return net_.flops_per_sample() + head_.flops_per_sample();
+  }
+  void save(std::ostream& os) override {
+    net_.save_params(os);
+    head_.save_params(os);
+  }
+  void load(std::istream& is) override {
+    net_.load_params(is);
+    head_.load_params(is);
+  }
+
+ private:
+  Tensor forward(const std::vector<const Sample*>& batch, bool train) {
+    const Tensor feats =
+        net_.forward(frames_tensor(batch, cfg_.img_h, cfg_.img_w), train);
+    const std::size_t n = batch.size();
+    Tensor concat({n, features_ + hist_});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < features_; ++k) {
+        concat.at(i, k) = feats.at(i, k);
+      }
+      const Sample& s = *batch[i];
+      if (s.history.size() < hist_) {
+        throw std::invalid_argument("memory model: history too short");
+      }
+      for (std::size_t k = 0; k < hist_; ++k) {
+        concat.at(i, features_ + k) = s.history[s.history.size() - hist_ + k];
+      }
+    }
+    return head_.forward(concat, train);
+  }
+
+  Sequential head_;
+  std::size_t features_ = 0;
+  std::size_t hist_ = 0;
+};
+
+// --- rnn ---------------------------------------------------------------------
+
+class RnnModel : public NetModel {
+ public:
+  explicit RnnModel(const ModelConfig& cfg) : NetModel(cfg) {
+    add_encoder(net_, rng_);  // shared per-frame encoder (time folded in N)
+    features_ = encoder_features(cfg.img_h, cfg.img_w);
+    lstm_ = &head_.add<LSTM>(features_, 32, rng_);
+    head_.add<Dense>(32, 2, rng_);
+  }
+
+  ModelType type() const override { return ModelType::Rnn; }
+  std::size_t seq_len() const override { return cfg_.seq_len; }
+
+  Prediction predict(const Sample& obs) override {
+    const Tensor y = forward({&obs}, /*train=*/false);
+    return Prediction{std::clamp<double>(y.at(0, 0), -1, 1),
+                      std::clamp<double>(y.at(0, 1), 0, 1)};
+  }
+
+  double train_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor pred = forward(batch, /*train=*/true);
+    auto [loss, grad] = mse_loss(pred, targets_tensor(batch));
+    const Tensor grad_seq = head_.backward(grad);  // [N, T, F]
+    net_.backward(grad_seq.reshaped(
+        {batch.size() * cfg_.seq_len, features_}));
+    auto params = net_.params();
+    for (Param* p : head_.params()) params.push_back(p);
+    opt_.step(params);
+    return loss;
+  }
+
+  double eval_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor pred = forward(batch, /*train=*/false);
+    return mse_loss(pred, targets_tensor(batch)).first;
+  }
+
+  std::size_t num_parameters() override {
+    return net_.num_parameters() + head_.num_parameters();
+  }
+  std::uint64_t flops_per_sample() const override {
+    return cfg_.seq_len * net_.flops_per_sample() + head_.flops_per_sample();
+  }
+  void save(std::ostream& os) override {
+    net_.save_params(os);
+    head_.save_params(os);
+  }
+  void load(std::istream& is) override {
+    net_.load_params(is);
+    head_.load_params(is);
+  }
+
+ private:
+  Tensor forward(const std::vector<const Sample*>& batch, bool train) {
+    const Tensor x =
+        frames_tensor_seq(batch, cfg_.seq_len, cfg_.img_h, cfg_.img_w);
+    const Tensor feats = net_.forward(x, train);  // [N*T, F]
+    return head_.forward(
+        feats.reshaped({batch.size(), cfg_.seq_len, features_}), train);
+  }
+
+  Sequential head_;
+  LSTM* lstm_ = nullptr;
+  std::size_t features_ = 0;
+};
+
+// --- 3d ----------------------------------------------------------------------
+
+class Conv3dModel : public NetModel {
+ public:
+  explicit Conv3dModel(const ModelConfig& cfg) : NetModel(cfg) {
+    if (cfg.seq_len < 3) {
+      throw std::invalid_argument("3d model: seq_len must be >= 3");
+    }
+    net_.add<Conv3D>(1, 8, 2, 3, 1, 2, rng_);
+    net_.add<ReLU>();
+    net_.add<Conv3D>(8, 16, 2, 3, 1, 2, rng_);
+    net_.add<ReLU>();
+    net_.add<Flatten>();
+    auto conv = [](std::size_t d) { return Conv2D::out_dim(d, 3, 2); };
+    const std::size_t od = cfg.seq_len - 2;  // two kd=2, sd=1 convs
+    const std::size_t f = 16 * od * conv(conv(cfg.img_h)) * conv(conv(cfg.img_w));
+    net_.add<Dense>(f, 32, rng_);
+    net_.add<ReLU>();
+    net_.add<Dense>(32, 2, rng_);
+  }
+
+  ModelType type() const override { return ModelType::Conv3d; }
+  std::size_t seq_len() const override { return cfg_.seq_len; }
+
+  Prediction predict(const Sample& obs) override {
+    const Tensor y = net_.forward(
+        frames_tensor_3d({&obs}, cfg_.seq_len, cfg_.img_h, cfg_.img_w),
+        /*train=*/false);
+    return Prediction{std::clamp<double>(y.at(0, 0), -1, 1),
+                      std::clamp<double>(y.at(0, 1), 0, 1)};
+  }
+
+  double train_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor x =
+        frames_tensor_3d(batch, cfg_.seq_len, cfg_.img_h, cfg_.img_w);
+    const Tensor pred = net_.forward(x, /*train=*/true);
+    auto [loss, grad] = mse_loss(pred, targets_tensor(batch));
+    net_.backward(grad);
+    opt_.step(net_.params());
+    return loss;
+  }
+
+  double eval_batch(const std::vector<const Sample*>& batch) override {
+    const Tensor x =
+        frames_tensor_3d(batch, cfg_.seq_len, cfg_.img_h, cfg_.img_w);
+    const Tensor pred = net_.forward(x, /*train=*/false);
+    return mse_loss(pred, targets_tensor(batch)).first;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<DrivingModel> make_model(ModelType type,
+                                         const ModelConfig& config) {
+  switch (type) {
+    case ModelType::Linear: return std::make_unique<LinearModel>(config);
+    case ModelType::Categorical:
+      return std::make_unique<CategoricalModel>(config);
+    case ModelType::Inferred: return std::make_unique<InferredModel>(config);
+    case ModelType::Memory: return std::make_unique<MemoryModel>(config);
+    case ModelType::Rnn: return std::make_unique<RnnModel>(config);
+    case ModelType::Conv3d: return std::make_unique<Conv3dModel>(config);
+  }
+  throw std::invalid_argument("make_model: bad type");
+}
+
+}  // namespace autolearn::ml

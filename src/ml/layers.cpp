@@ -1,0 +1,152 @@
+#include "ml/layers.hpp"
+
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+namespace autolearn::ml {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features,
+             util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      // He initialization: good default for the ReLU stacks used here.
+      w_(Tensor::randn({out_features, in_features}, rng,
+                       std::sqrt(2.0 / static_cast<double>(in_features)))),
+      b_(Tensor({out_features}, 0.0f)) {
+  if (in_features == 0 || out_features == 0) {
+    throw std::invalid_argument("Dense: zero features");
+  }
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 2 || x.dim(1) != in_features_) {
+    throw std::invalid_argument("Dense: bad input shape " + x.shape_str());
+  }
+  last_input_ = x;
+  const std::size_t n = x.dim(0);
+  Tensor y({n, out_features_});
+  auto& pool = util::ThreadPool::shared();
+  const Tensor& w = w_.value;
+  const Tensor& b = b_.value;
+  pool.parallel_for_chunks(0, n, [&](std::size_t b0, std::size_t b1) {
+    for (std::size_t i = b0; i < b1; ++i) {
+      const float* xi = x.data() + i * in_features_;
+      float* yi = y.data() + i * out_features_;
+      for (std::size_t o = 0; o < out_features_; ++o) {
+        const float* wo = w.data() + o * in_features_;
+        float acc = b[o];
+        for (std::size_t k = 0; k < in_features_; ++k) acc += wo[k] * xi[k];
+        yi[o] = acc;
+      }
+    }
+  });
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const std::size_t n = last_input_.dim(0);
+  if (grad_out.rank() != 2 || grad_out.dim(0) != n ||
+      grad_out.dim(1) != out_features_) {
+    throw std::invalid_argument("Dense: bad grad shape");
+  }
+  // dW[o,k] = sum_i g[i,o] * x[i,k]; db[o] = sum_i g[i,o];
+  // dx[i,k] = sum_o g[i,o] * W[o,k].
+  Tensor grad_in({n, in_features_});
+  const Tensor& w = w_.value;
+  Tensor& dw = w_.grad;
+  Tensor& db = b_.grad;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* gi = grad_out.data() + i * out_features_;
+    const float* xi = last_input_.data() + i * in_features_;
+    float* dxi = grad_in.data() + i * in_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) {
+      const float g = gi[o];
+      if (g == 0.0f) continue;
+      db[o] += g;
+      float* dwo = dw.data() + o * in_features_;
+      const float* wo = w.data() + o * in_features_;
+      for (std::size_t k = 0; k < in_features_; ++k) {
+        dwo[k] += g * xi[k];
+        dxi[k] += g * wo[k];
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
+  last_input_ = x;
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] < 0) y[i] = 0;
+  }
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  grad_out.check_same_shape(last_input_, "relu backward");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (last_input_[i] <= 0) g[i] = 0;
+  }
+  return g;
+}
+
+Tensor Tanh::forward(const Tensor& x, bool /*train*/) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = std::tanh(y[i]);
+  last_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& grad_out) {
+  grad_out.check_same_shape(last_output_, "tanh backward");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] *= 1.0f - last_output_[i] * last_output_[i];
+  }
+  return g;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  last_shape_ = x.shape();
+  std::size_t rest = 1;
+  for (std::size_t i = 1; i < x.rank(); ++i) rest *= x.dim(i);
+  return x.reshaped({x.dim(0), rest});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(last_shape_);
+}
+
+Dropout::Dropout(double p, util::Rng rng) : p_(p), rng_(rng) {
+  if (p < 0 || p >= 1) throw std::invalid_argument("Dropout: p in [0,1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0) {
+    mask_valid_ = false;
+    return x;
+  }
+  mask_ = Tensor(x.shape());
+  const float keep = static_cast<float>(1.0 - p_);
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const bool on = !rng_.chance(p_);
+    mask_[i] = on ? 1.0f / keep : 0.0f;
+    y[i] *= mask_[i];
+  }
+  mask_valid_ = true;
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!mask_valid_) return grad_out;
+  grad_out.check_same_shape(mask_, "dropout backward");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= mask_[i];
+  return g;
+}
+
+}  // namespace autolearn::ml

@@ -1,0 +1,146 @@
+#include "ml/lstm.hpp"
+
+#include <cmath>
+
+namespace autolearn::ml {
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+LSTM::LSTM(std::size_t input_size, std::size_t hidden_size, util::Rng& rng)
+    : d_(input_size),
+      h_(hidden_size),
+      wx_(Tensor::randn({4 * hidden_size, input_size}, rng,
+                        std::sqrt(1.0 / static_cast<double>(input_size)))),
+      wh_(Tensor::randn({4 * hidden_size, hidden_size}, rng,
+                        std::sqrt(1.0 / static_cast<double>(hidden_size)))),
+      b_(Tensor({4 * hidden_size}, 0.0f)) {
+  if (input_size == 0 || hidden_size == 0) {
+    throw std::invalid_argument("LSTM: zero size");
+  }
+  // Forget-gate bias starts at 1 so early training does not erase memory.
+  for (std::size_t j = 0; j < h_; ++j) b_.value[h_ + j] = 1.0f;
+}
+
+Tensor LSTM::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 3 || x.dim(2) != d_) {
+    throw std::invalid_argument("LSTM: bad input shape " + x.shape_str());
+  }
+  const std::size_t n = x.dim(0), t_len = x.dim(1);
+  last_n_ = n;
+  last_t_ = t_len;
+  flops_ = 2ull * t_len * 4 * h_ * (d_ + h_);
+  cache_.assign(t_len, StepCache{});
+
+  Tensor h({n, h_});
+  Tensor c({n, h_});
+  for (std::size_t t = 0; t < t_len; ++t) {
+    StepCache& sc = cache_[t];
+    sc.h_prev = h;
+    sc.c_prev = c;
+    sc.x = Tensor({n, d_});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < d_; ++k) {
+        sc.x.at(i, k) = x.at(i, t, k);
+      }
+    }
+    sc.gates = Tensor({n, 4 * h_});
+    sc.c = Tensor({n, h_});
+    sc.tanh_c = Tensor({n, h_});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t r = 0; r < 4 * h_; ++r) {
+        float acc = b_.value[r];
+        const float* wxr = wx_.value.data() + r * d_;
+        const float* xr = sc.x.data() + i * d_;
+        for (std::size_t k = 0; k < d_; ++k) acc += wxr[k] * xr[k];
+        const float* whr = wh_.value.data() + r * h_;
+        const float* hr = sc.h_prev.data() + i * h_;
+        for (std::size_t k = 0; k < h_; ++k) acc += whr[k] * hr[k];
+        sc.gates.at(i, r) = acc;
+      }
+      for (std::size_t j = 0; j < h_; ++j) {
+        const float gi = sigmoid(sc.gates.at(i, j));
+        const float gf = sigmoid(sc.gates.at(i, h_ + j));
+        const float gg = std::tanh(sc.gates.at(i, 2 * h_ + j));
+        const float go = sigmoid(sc.gates.at(i, 3 * h_ + j));
+        sc.gates.at(i, j) = gi;
+        sc.gates.at(i, h_ + j) = gf;
+        sc.gates.at(i, 2 * h_ + j) = gg;
+        sc.gates.at(i, 3 * h_ + j) = go;
+        const float cv = gf * sc.c_prev.at(i, j) + gi * gg;
+        sc.c.at(i, j) = cv;
+        sc.tanh_c.at(i, j) = std::tanh(cv);
+        h.at(i, j) = go * sc.tanh_c.at(i, j);
+        c.at(i, j) = cv;
+      }
+    }
+  }
+  return h;
+}
+
+Tensor LSTM::backward(const Tensor& grad_out) {
+  const std::size_t n = last_n_, t_len = last_t_;
+  if (grad_out.rank() != 2 || grad_out.dim(0) != n || grad_out.dim(1) != h_) {
+    throw std::invalid_argument("LSTM: bad grad shape");
+  }
+  Tensor grad_x({n, t_len, d_});
+  Tensor dh = grad_out;   // dLoss/dh_t
+  Tensor dc({n, h_});     // dLoss/dc_t (from future steps)
+
+  for (std::size_t t = t_len; t-- > 0;) {
+    const StepCache& sc = cache_[t];
+    Tensor dgates({n, 4 * h_});  // pre-activation gradients
+    Tensor dh_prev({n, h_});
+    Tensor dc_prev({n, h_});
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < h_; ++j) {
+        const float gi = sc.gates.at(i, j);
+        const float gf = sc.gates.at(i, h_ + j);
+        const float gg = sc.gates.at(i, 2 * h_ + j);
+        const float go = sc.gates.at(i, 3 * h_ + j);
+        const float tc = sc.tanh_c.at(i, j);
+        const float dht = dh.at(i, j);
+        float dct = dc.at(i, j) + dht * go * (1 - tc * tc);
+        const float dgo = dht * tc;
+        const float dgi = dct * gg;
+        const float dgg = dct * gi;
+        const float dgf = dct * sc.c_prev.at(i, j);
+        dc_prev.at(i, j) = dct * gf;
+        // Back through the activations (sigmoid / tanh).
+        dgates.at(i, j) = dgi * gi * (1 - gi);
+        dgates.at(i, h_ + j) = dgf * gf * (1 - gf);
+        dgates.at(i, 2 * h_ + j) = dgg * (1 - gg * gg);
+        dgates.at(i, 3 * h_ + j) = dgo * go * (1 - go);
+      }
+      // Accumulate parameter grads and input/hidden grads.
+      for (std::size_t r = 0; r < 4 * h_; ++r) {
+        const float g = dgates.at(i, r);
+        if (g == 0.0f) continue;
+        b_.grad[r] += g;
+        float* dwxr = wx_.grad.data() + r * d_;
+        const float* xr = sc.x.data() + i * d_;
+        const float* wxr = wx_.value.data() + r * d_;
+        float* gxr = grad_x.data() + (i * t_len + t) * d_;
+        for (std::size_t k = 0; k < d_; ++k) {
+          dwxr[k] += g * xr[k];
+          gxr[k] += g * wxr[k];
+        }
+        float* dwhr = wh_.grad.data() + r * h_;
+        const float* hr = sc.h_prev.data() + i * h_;
+        const float* whr = wh_.value.data() + r * h_;
+        float* dhp = dh_prev.data() + i * h_;
+        for (std::size_t k = 0; k < h_; ++k) {
+          dwhr[k] += g * hr[k];
+          dhp[k] += g * whr[k];
+        }
+      }
+    }
+    dh = dh_prev;
+    dc = dc_prev;
+  }
+  return grad_x;
+}
+
+}  // namespace autolearn::ml

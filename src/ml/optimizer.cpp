@@ -1,0 +1,70 @@
+#include "ml/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autolearn::ml {
+
+SGD::SGD(double lr, double momentum) : lr_(lr), momentum_(momentum) {
+  if (lr <= 0) throw std::invalid_argument("SGD: lr must be > 0");
+  if (momentum < 0 || momentum >= 1) {
+    throw std::invalid_argument("SGD: momentum in [0,1)");
+  }
+}
+
+void SGD::step(const std::vector<Param*>& params) {
+  if (velocity_.empty()) {
+    for (const Param* p : params) {
+      velocity_.push_back(Tensor::zeros_like(p->value));
+    }
+  }
+  if (velocity_.size() != params.size()) {
+    throw std::logic_error("SGD: parameter set changed");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    Tensor& vel = velocity_[i];
+    for (std::size_t k = 0; k < vel.size(); ++k) {
+      vel[k] = static_cast<float>(momentum_ * vel[k] - lr_ * p.grad[k]);
+      p.value[k] += vel[k];
+    }
+    p.zero_grad();
+  }
+}
+
+Adam::Adam(double lr, double beta1, double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  if (lr <= 0) throw std::invalid_argument("Adam: lr must be > 0");
+}
+
+void Adam::step(const std::vector<Param*>& params) {
+  if (m_.empty()) {
+    for (const Param* p : params) {
+      m_.push_back(Tensor::zeros_like(p->value));
+      v_.push_back(Tensor::zeros_like(p->value));
+    }
+  }
+  if (m_.size() != params.size()) {
+    throw std::logic_error("Adam: parameter set changed");
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::size_t k = 0; k < m.size(); ++k) {
+      const double g = p.grad[k];
+      m[k] = static_cast<float>(beta1_ * m[k] + (1 - beta1_) * g);
+      v[k] = static_cast<float>(beta2_ * v[k] + (1 - beta2_) * g * g);
+      const double mhat = m[k] / bc1;
+      const double vhat = v[k] / bc2;
+      p.value[k] -=
+          static_cast<float>(lr_ * mhat / (std::sqrt(vhat) + eps_));
+    }
+    p.zero_grad();
+  }
+}
+
+}  // namespace autolearn::ml

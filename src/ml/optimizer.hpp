@@ -1,0 +1,45 @@
+// Optimizers over a flat parameter list.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/layer.hpp"
+
+namespace autolearn::ml {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update using the accumulated gradients, then zeroes them.
+  virtual void step(const std::vector<Param*>& params) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// SGD with classical momentum.
+class SGD : public Optimizer {
+ public:
+  explicit SGD(double lr, double momentum = 0.9);
+  void step(const std::vector<Param*>& params) override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  double lr_, momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction — the DonkeyCar default.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(double lr = 1e-3, double beta1 = 0.9, double beta2 = 0.999,
+                double eps = 1e-8);
+  void step(const std::vector<Param*>& params) override;
+  std::string name() const override { return "adam"; }
+
+ private:
+  double lr_, beta1_, beta2_, eps_;
+  std::size_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace autolearn::ml

@@ -1,0 +1,75 @@
+#include "ml/sequential.hpp"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace autolearn::ml {
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor cur = x;
+  for (auto& l : layers_) cur = l->forward(cur, train);
+  return cur;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    g = layers_[i]->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_) {
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::size_t Sequential::num_parameters() {
+  std::size_t n = 0;
+  for (Param* p : params()) n += p->value.size();
+  return n;
+}
+
+std::uint64_t Sequential::flops_per_sample() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers_) total += l->flops_per_sample();
+  return total;
+}
+
+void Sequential::save_params(std::ostream& os) {
+  const auto ps = params();
+  const std::uint64_t count = ps.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  for (Param* p : ps) {
+    const std::uint64_t n = p->value.size();
+    os.write(reinterpret_cast<const char*>(&n), sizeof n);
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(n * sizeof(float)));
+  }
+}
+
+void Sequential::load_params(std::istream& is) {
+  const auto ps = params();
+  std::uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!is || count != ps.size()) {
+    throw std::runtime_error("Sequential: checkpoint layer-count mismatch");
+  }
+  for (Param* p : ps) {
+    std::uint64_t n = 0;
+    is.read(reinterpret_cast<char*>(&n), sizeof n);
+    if (!is || n != p->value.size()) {
+      throw std::runtime_error("Sequential: checkpoint size mismatch");
+    }
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!is) throw std::runtime_error("Sequential: truncated checkpoint");
+  }
+}
+
+}  // namespace autolearn::ml

@@ -1,0 +1,49 @@
+// Ordered layer container with serialization.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "ml/layer.hpp"
+
+namespace autolearn::ml {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& x, bool train);
+  /// Full backward chain; returns grad w.r.t. the network input.
+  Tensor backward(const Tensor& grad_out);
+
+  std::vector<Param*> params();
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Total trainable scalar count.
+  std::size_t num_parameters();
+
+  /// Forward FLOPs per sample (valid after at least one forward pass for
+  /// conv layers, which size themselves from their input).
+  std::uint64_t flops_per_sample() const;
+
+  /// Writes / reads all parameter tensors in order (binary).
+  void save_params(std::ostream& os);
+  void load_params(std::istream& is);
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace autolearn::ml

@@ -1,0 +1,78 @@
+#include "ml/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+
+namespace autolearn::ml {
+
+Tensor::Tensor(std::vector<std::size_t> shape, float fill)
+    : shape_(std::move(shape)) {
+  if (shape_.empty()) throw std::invalid_argument("Tensor: empty shape");
+  std::size_t n = 1;
+  for (std::size_t d : shape_) {
+    if (d == 0) throw std::invalid_argument("Tensor: zero dimension");
+    n *= d;
+  }
+  data_.assign(n, fill);
+  compute_strides();
+}
+
+void Tensor::compute_strides() {
+  strides_.assign(shape_.size(), 1);
+  for (std::size_t i = shape_.size(); i-- > 1;) {
+    strides_[i - 1] = strides_[i] * shape_[i];
+  }
+  // strides_[i] for i in [0, rank-2]; last stride is 1 (implicit in
+  // accessors: they only use strides_[0..rank-2]).
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, util::Rng& rng,
+                     double stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  Tensor out(std::move(new_shape));
+  if (out.size() != size()) {
+    throw std::invalid_argument("Tensor: reshape size mismatch " +
+                                shape_str() + " -> " + out.shape_str());
+  }
+  out.data_ = data_;
+  return out;
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_scaled(const Tensor& other, float scale) {
+  check_same_shape(other, "add_scaled");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += other.data_[i] * scale;
+  }
+}
+
+void Tensor::scale(float k) {
+  for (auto& v : data_) v *= k;
+}
+
+void Tensor::check_same_shape(const Tensor& other, const char* what) const {
+  if (shape_ != other.shape_) {
+    throw std::invalid_argument(std::string("Tensor: shape mismatch in ") +
+                                what + ": " + shape_str() + " vs " +
+                                other.shape_str());
+  }
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace autolearn::ml

@@ -1,0 +1,94 @@
+// Dense row-major float tensor.
+//
+// The ml module is a small from-scratch neural network library (the
+// substitute for Keras/TensorFlow in the paper's training step). Tensors
+// are contiguous float32 buffers with an explicit shape; all layout is
+// row-major with the batch dimension first.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autolearn::ml {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape, float fill = 0.0f);
+
+  static Tensor zeros_like(const Tensor& other) {
+    return Tensor(other.shape());
+  }
+
+  /// He/Glorot-style initialization used by the layers.
+  static Tensor randn(std::vector<std::size_t> shape, util::Rng& rng,
+                      double stddev);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Multi-dimensional accessors for ranks 2-5 (unchecked hot paths).
+  float& at(std::size_t i, std::size_t j) {
+    return data_[i * strides_[0] + j];
+  }
+  const float& at(std::size_t i, std::size_t j) const {
+    return data_[i * strides_[0] + j];
+  }
+  float& at(std::size_t i, std::size_t j, std::size_t k) {
+    return data_[i * strides_[0] + j * strides_[1] + k];
+  }
+  const float& at(std::size_t i, std::size_t j, std::size_t k) const {
+    return data_[i * strides_[0] + j * strides_[1] + k];
+  }
+  float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) {
+    return data_[i * strides_[0] + j * strides_[1] + k * strides_[2] + l];
+  }
+  const float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l) const {
+    return data_[i * strides_[0] + j * strides_[1] + k * strides_[2] + l];
+  }
+  float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l,
+            std::size_t m) {
+    return data_[i * strides_[0] + j * strides_[1] + k * strides_[2] +
+                 l * strides_[3] + m];
+  }
+  const float& at(std::size_t i, std::size_t j, std::size_t k, std::size_t l,
+                  std::size_t m) const {
+    return data_[i * strides_[0] + j * strides_[1] + k * strides_[2] +
+                 l * strides_[3] + m];
+  }
+
+  /// Returns a copy with a new shape of equal element count.
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  void fill(float v);
+  /// Element-wise in-place operations used by the optimizer.
+  void add_scaled(const Tensor& other, float scale);
+  void scale(float k);
+
+  /// Throws unless shapes match exactly.
+  void check_same_shape(const Tensor& other, const char* what) const;
+
+  std::string shape_str() const;
+
+ private:
+  void compute_strides();
+
+  std::vector<std::size_t> shape_;
+  std::vector<std::size_t> strides_;  // strides_[i] = product of dims after i
+  std::vector<float> data_;
+};
+
+}  // namespace autolearn::ml

@@ -1,0 +1,113 @@
+#include "ml/trainer.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace autolearn::ml {
+namespace {
+
+std::vector<const Sample*> batch_view(const std::vector<Sample>& data,
+                                      const std::vector<std::size_t>& order,
+                                      std::size_t begin, std::size_t end) {
+  std::vector<const Sample*> out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) out.push_back(&data[order[i]]);
+  return out;
+}
+
+}  // namespace
+
+double evaluate_loss(DrivingModel& model, const std::vector<Sample>& data,
+                     std::size_t batch_size) {
+  if (data.empty()) return 0.0;
+  double total = 0;
+  std::size_t count = 0;
+  for (std::size_t b = 0; b < data.size(); b += batch_size) {
+    const std::size_t e = std::min(data.size(), b + batch_size);
+    std::vector<const Sample*> batch;
+    batch.reserve(e - b);
+    for (std::size_t i = b; i < e; ++i) batch.push_back(&data[i]);
+    total += model.eval_batch(batch) * static_cast<double>(e - b);
+    count += e - b;
+  }
+  return total / static_cast<double>(count);
+}
+
+double steering_mae(DrivingModel& model, const std::vector<Sample>& data) {
+  if (data.empty()) return 0.0;
+  double total = 0;
+  for (const Sample& s : data) {
+    total += std::abs(model.predict(s).steering - s.steering);
+  }
+  return total / static_cast<double>(data.size());
+}
+
+TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
+                const std::vector<Sample>& val, const TrainOptions& options) {
+  if (train.empty()) throw std::invalid_argument("fit: empty training set");
+  if (options.batch_size == 0) throw std::invalid_argument("fit: batch 0");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  util::Rng rng(options.shuffle_seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  result.best_val_loss = std::numeric_limits<double>::max();
+  std::size_t since_best = 0;
+  std::string best_weights;  // serialized snapshot of the best epoch
+
+  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0;
+    std::size_t seen = 0;
+    for (std::size_t b = 0; b < train.size(); b += options.batch_size) {
+      const std::size_t e = std::min(train.size(), b + options.batch_size);
+      const auto batch = batch_view(train, order, b, e);
+      epoch_loss += model.train_batch(batch) * static_cast<double>(e - b);
+      seen += e - b;
+    }
+    EpochStats stats;
+    stats.train_loss = epoch_loss / static_cast<double>(seen);
+    stats.val_loss = val.empty() ? stats.train_loss : evaluate_loss(model, val);
+    result.history.push_back(stats);
+    result.samples_seen += seen;
+    ++result.epochs_run;
+    if (options.verbose) {
+      AUTOLEARN_LOG(Info, "trainer")
+          << model.type_name() << " epoch " << epoch << " train "
+          << stats.train_loss << " val " << stats.val_loss;
+    }
+    if (stats.val_loss < result.best_val_loss - 1e-9) {
+      result.best_val_loss = stats.val_loss;
+      since_best = 0;
+      if (options.restore_best) {
+        std::ostringstream snapshot;
+        model.save(snapshot);
+        best_weights = snapshot.str();
+      }
+    } else if (options.early_stop_patience > 0 &&
+               ++since_best >= options.early_stop_patience) {
+      break;
+    }
+  }
+  if (options.restore_best && !best_weights.empty()) {
+    std::istringstream snapshot(best_weights);
+    model.load(snapshot);
+  }
+  result.final_train_loss = result.history.back().train_loss;
+  result.forward_flops =
+      model.flops_per_sample() * static_cast<std::uint64_t>(result.samples_seen);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace autolearn::ml

@@ -1,0 +1,55 @@
+// Mini-batch training loop (the "model training" phase of the AutoLearn
+// pipeline): shuffled epochs, validation tracking, optional early
+// stopping, and workload accounting (samples and FLOPs) that the GPU
+// performance model converts into simulated node-hours.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/driving_model.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::ml {
+
+struct TrainOptions {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  std::uint64_t shuffle_seed = 7;
+  /// Stop when val loss has not improved for this many epochs (0 = off).
+  std::size_t early_stop_patience = 0;
+  /// After training, restore the weights of the best-val-loss epoch
+  /// (Keras's ModelCheckpoint(save_best_only) behaviour, which the
+  /// DonkeyCar training script uses). Requires a non-empty val set.
+  bool restore_best = false;
+  bool verbose = false;
+};
+
+struct EpochStats {
+  double train_loss = 0.0;
+  double val_loss = 0.0;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> history;
+  double final_train_loss = 0.0;
+  double best_val_loss = 0.0;
+  std::size_t epochs_run = 0;
+  std::size_t samples_seen = 0;       // train samples x epochs actually run
+  std::uint64_t forward_flops = 0;    // per-sample forward MACs x samples
+  double wall_seconds = 0.0;          // real CPU wall time of this fit
+};
+
+/// Trains `model` on `train`, tracking loss on `val` after each epoch.
+TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
+                const std::vector<Sample>& val, const TrainOptions& options);
+
+/// Mean loss over a dataset (no updates).
+double evaluate_loss(DrivingModel& model, const std::vector<Sample>& data,
+                     std::size_t batch_size = 64);
+
+/// Mean absolute steering error of per-sample predictions — the accuracy
+/// number reported in the E1 model-comparison table.
+double steering_mae(DrivingModel& model, const std::vector<Sample>& data);
+
+}  // namespace autolearn::ml

@@ -1,0 +1,48 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace autolearn::net {
+
+void LinkSpec::validate() const {
+  if (latency_s < 0) throw std::invalid_argument("link: negative latency");
+  if (jitter_s < 0) throw std::invalid_argument("link: negative jitter");
+  if (bandwidth_bps <= 0) throw std::invalid_argument("link: bad bandwidth");
+  if (loss_prob < 0 || loss_prob > 1) {
+    throw std::invalid_argument("link: loss_prob outside [0,1]");
+  }
+}
+
+Link::Link(LinkSpec spec) : spec_(spec) { spec_.validate(); }
+
+double Link::sample_latency(util::Rng& rng) const {
+  if (spec_.jitter_s == 0) return spec_.latency_s;
+  return std::max(0.0, rng.normal(spec_.latency_s, spec_.jitter_s));
+}
+
+double Link::transfer_time(std::uint64_t bytes, util::Rng& rng) const {
+  return sample_latency(rng) +
+         static_cast<double>(bytes) / spec_.bandwidth_bps;
+}
+
+bool Link::drops(util::Rng& rng) const {
+  return spec_.loss_prob > 0 && rng.chance(spec_.loss_prob);
+}
+
+LinkSpec Link::edge_wifi() {
+  return LinkSpec{0.005, 0.002, 3e6, 0.0};
+}
+
+LinkSpec Link::campus_to_cloud() {
+  return LinkSpec{0.020, 0.004, 60e6, 0.0};
+}
+
+LinkSpec Link::datacenter() {
+  return LinkSpec{0.0002, 0.00005, 1.2e9, 0.0};
+}
+
+LinkSpec Link::fabric_managed(double latency_s) {
+  return LinkSpec{latency_s, 0.0005, 100e6, 0.0};
+}
+
+}  // namespace autolearn::net

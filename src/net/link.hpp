@@ -1,0 +1,60 @@
+// Point-to-point network link model.
+//
+// Links carry the edge-to-cloud traffic of the continuum: camera frames and
+// inference commands between the car's Raspberry Pi and a datacenter node,
+// and bulk tub/model transfers (the paper's ssh/rsync steps). A link has a
+// base one-way latency, optional jitter, a bandwidth, and an optional loss
+// probability used for failure injection.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace autolearn::net {
+
+struct LinkSpec {
+  double latency_s = 0.0;      // one-way propagation latency, seconds
+  double jitter_s = 0.0;       // stddev of gaussian jitter (truncated >= 0)
+  double bandwidth_bps = 1e9;  // bytes per second
+  double loss_prob = 0.0;      // probability a message/transfer fails
+
+  /// Validates ranges; throws std::invalid_argument.
+  void validate() const;
+};
+
+/// A unidirectional link; the Network installs one per direction.
+class Link {
+ public:
+  explicit Link(LinkSpec spec);
+
+  const LinkSpec& spec() const { return spec_; }
+
+  /// One-way latency sample (base + truncated gaussian jitter).
+  double sample_latency(util::Rng& rng) const;
+
+  /// Time to push `bytes` through the link including one latency sample
+  /// (a single-stream transfer approximation).
+  double transfer_time(std::uint64_t bytes, util::Rng& rng) const;
+
+  /// Failure-injection draw.
+  bool drops(util::Rng& rng) const;
+
+  // --- Profiles matching the paper's deployment points -------------------
+
+  /// Wi-Fi between the car and a campus gateway: ~5 ms, jittery, ~3 MB/s.
+  static LinkSpec edge_wifi();
+  /// Campus to Chameleon site over Internet2: ~20 ms, ~60 MB/s.
+  static LinkSpec campus_to_cloud();
+  /// Intra-datacenter: ~0.2 ms, ~1.2 GB/s.
+  static LinkSpec datacenter();
+  /// FABRIC managed-latency link: configurable fixed latency, low jitter.
+  static LinkSpec fabric_managed(double latency_s);
+
+ private:
+  LinkSpec spec_;
+};
+
+}  // namespace autolearn::net

@@ -1,0 +1,143 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace autolearn::net {
+
+void Network::add_host(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("network: empty host name");
+  adj_.try_emplace(name);
+}
+
+bool Network::has_host(const std::string& name) const {
+  return adj_.count(name) > 0;
+}
+
+std::vector<std::string> Network::hosts() const {
+  std::vector<std::string> out;
+  out.reserve(adj_.size());
+  for (const auto& [name, _] : adj_) out.push_back(name);
+  return out;
+}
+
+void Network::add_link(const std::string& from, const std::string& to,
+                       LinkSpec spec) {
+  if (!has_host(from) || !has_host(to)) {
+    throw std::invalid_argument("network: unknown endpoint " + from + "->" +
+                                to);
+  }
+  if (from == to) throw std::invalid_argument("network: self-link");
+  adj_.at(from).insert_or_assign(to, Link(spec));
+}
+
+void Network::add_duplex(const std::string& a, const std::string& b,
+                         LinkSpec spec) {
+  add_link(a, b, spec);
+  add_link(b, a, spec);
+}
+
+std::optional<std::vector<std::string>> Network::route(
+    const std::string& from, const std::string& to) const {
+  if (!has_host(from) || !has_host(to)) return std::nullopt;
+  if (from == to) return std::vector<std::string>{from};
+  // Dijkstra on (hops, base latency) lexicographic cost.
+  struct Cost {
+    std::size_t hops = std::numeric_limits<std::size_t>::max();
+    double latency = std::numeric_limits<double>::max();
+    bool operator<(const Cost& o) const {
+      if (hops != o.hops) return hops < o.hops;
+      return latency < o.latency;
+    }
+  };
+  std::map<std::string, Cost> best;
+  std::map<std::string, std::string> prev;
+  best[from] = {0, 0.0};
+  // Small graphs: simple label-correcting loop is plenty.
+  std::deque<std::string> frontier{from};
+  while (!frontier.empty()) {
+    const std::string u = frontier.front();
+    frontier.pop_front();
+    const Cost cu = best[u];
+    for (const auto& [v, link] : adj_.at(u)) {
+      const Cost cv{cu.hops + 1, cu.latency + link.spec().latency_s};
+      auto it = best.find(v);
+      if (it == best.end() || cv < it->second) {
+        best[v] = cv;
+        prev[v] = u;
+        frontier.push_back(v);
+      }
+    }
+  }
+  if (!best.count(to)) return std::nullopt;
+  std::vector<std::string> path{to};
+  for (std::string cur = to; cur != from; cur = prev.at(cur)) {
+    path.push_back(prev.at(cur));
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+const Link& Network::link_between(const std::string& from,
+                                  const std::string& to) const {
+  return adj_.at(from).at(to);
+}
+
+std::vector<const Link*> Network::links_on_route(const std::string& from,
+                                                 const std::string& to) const {
+  const auto r = route(from, to);
+  if (!r) {
+    throw std::runtime_error("network: no route " + from + " -> " + to);
+  }
+  std::vector<const Link*> links;
+  for (std::size_t i = 0; i + 1 < r->size(); ++i) {
+    links.push_back(&link_between((*r)[i], (*r)[i + 1]));
+  }
+  return links;
+}
+
+double Network::sample_latency(const std::string& from, const std::string& to,
+                               util::Rng& rng) const {
+  double total = 0;
+  for (const Link* l : links_on_route(from, to)) {
+    total += l->sample_latency(rng);
+  }
+  return total;
+}
+
+double Network::sample_rtt(const std::string& from, const std::string& to,
+                           util::Rng& rng) const {
+  return sample_latency(from, to, rng) + sample_latency(to, from, rng);
+}
+
+double Network::transfer_time(const std::string& from, const std::string& to,
+                              std::uint64_t bytes, util::Rng& rng) const {
+  double latency = 0;
+  double min_bw = std::numeric_limits<double>::max();
+  for (const Link* l : links_on_route(from, to)) {
+    latency += l->sample_latency(rng);
+    min_bw = std::min(min_bw, l->spec().bandwidth_bps);
+  }
+  return latency + static_cast<double>(bytes) / min_bw;
+}
+
+bool Network::drops(const std::string& from, const std::string& to,
+                    util::Rng& rng) const {
+  for (const Link* l : links_on_route(from, to)) {
+    if (l->drops(rng)) return true;
+  }
+  return false;
+}
+
+double Network::base_latency(const std::string& from,
+                             const std::string& to) const {
+  double total = 0;
+  for (const Link* l : links_on_route(from, to)) {
+    total += l->spec().latency_s;
+  }
+  return total;
+}
+
+}  // namespace autolearn::net

@@ -1,0 +1,68 @@
+// Host graph with multi-hop routing.
+//
+// The continuum topology is small and named: a car ("car-01"), a campus
+// gateway, Chameleon sites ("chi-uc", "chi-tacc"), GPU nodes. The Network
+// registers hosts and directed links, routes by fewest hops (then lowest
+// base latency), and answers end-to-end latency/transfer-time queries by
+// summing per-hop costs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::net {
+
+class Network {
+ public:
+  /// Registers a host; idempotent.
+  void add_host(const std::string& name);
+  bool has_host(const std::string& name) const;
+  std::vector<std::string> hosts() const;
+
+  /// Installs a directed link. Both endpoints must exist.
+  void add_link(const std::string& from, const std::string& to, LinkSpec spec);
+  /// Installs the same spec in both directions.
+  void add_duplex(const std::string& a, const std::string& b, LinkSpec spec);
+
+  /// Fewest-hop route (ties broken by total base latency); empty optional
+  /// when unreachable. The route includes both endpoints.
+  std::optional<std::vector<std::string>> route(const std::string& from,
+                                                const std::string& to) const;
+
+  /// One-way latency sample along the route; throws if unreachable.
+  double sample_latency(const std::string& from, const std::string& to,
+                        util::Rng& rng) const;
+
+  /// Round-trip latency sample (forward + reverse routes).
+  double sample_rtt(const std::string& from, const std::string& to,
+                    util::Rng& rng) const;
+
+  /// Store-and-forward transfer time for `bytes` along the route: per-hop
+  /// latency plus serialization at the bottleneck bandwidth.
+  double transfer_time(const std::string& from, const std::string& to,
+                       std::uint64_t bytes, util::Rng& rng) const;
+
+  /// Failure injection: true if any hop drops.
+  bool drops(const std::string& from, const std::string& to,
+             util::Rng& rng) const;
+
+  /// Base (jitter-free) one-way latency along the route; throws if
+  /// unreachable. Useful for deterministic analysis.
+  double base_latency(const std::string& from, const std::string& to) const;
+
+ private:
+  const Link& link_between(const std::string& from,
+                           const std::string& to) const;
+  std::vector<const Link*> links_on_route(const std::string& from,
+                                          const std::string& to) const;
+
+  std::map<std::string, std::map<std::string, Link>> adj_;
+};
+
+}  // namespace autolearn::net

@@ -1,0 +1,87 @@
+#include "net/transfer.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace autolearn::net {
+
+TransferManager::TransferManager(Network& network, util::EventQueue& queue,
+                                 util::Rng rng, int max_retries)
+    : network_(network),
+      queue_(queue),
+      rng_(rng),
+      max_retries_(max_retries) {
+  if (max_retries < 0) {
+    throw std::invalid_argument("transfer: negative retries");
+  }
+}
+
+std::uint64_t TransferManager::start(
+    const std::string& from, const std::string& to, std::uint64_t bytes,
+    std::function<void(const TransferResult&)> on_done) {
+  if (!network_.route(from, to)) {
+    throw std::runtime_error("transfer: no route " + from + " -> " + to);
+  }
+  const std::uint64_t id = next_id_++;
+  TransferResult r;
+  r.id = id;
+  r.started_at = queue_.now();
+  r.bytes = bytes;
+  results_[id] = r;
+  ++in_flight_;
+  attempt(id, from, to, std::move(on_done));
+  return id;
+}
+
+void TransferManager::attempt(
+    std::uint64_t id, const std::string& from, const std::string& to,
+    std::function<void(const TransferResult&)> on_done) {
+  TransferResult& r = results_.at(id);
+  ++r.attempts;
+  const bool dropped = network_.drops(from, to, rng_);
+  const double duration =
+      network_.transfer_time(from, to, r.bytes, rng_);
+  if (!dropped) {
+    queue_.schedule_in(duration, [this, id, on_done = std::move(on_done)] {
+      TransferResult& res = results_.at(id);
+      res.status = TransferStatus::Done;
+      res.finished_at = queue_.now();
+      --in_flight_;
+      ++completed_;
+      if (on_done) on_done(res);
+    });
+    return;
+  }
+  // Drop detected mid-transfer: waste half the transfer time, then retry or
+  // give up.
+  const double wasted = duration / 2;
+  if (r.attempts > max_retries_) {
+    queue_.schedule_in(wasted, [this, id, on_done = std::move(on_done)] {
+      TransferResult& res = results_.at(id);
+      res.status = TransferStatus::Failed;
+      res.finished_at = queue_.now();
+      --in_flight_;
+      ++failed_;
+      AUTOLEARN_LOG(Warn, "net")
+          << "transfer " << id << " failed after " << res.attempts
+          << " attempts";
+      if (on_done) on_done(res);
+    });
+    return;
+  }
+  queue_.schedule_in(wasted,
+                     [this, id, from, to, on_done = std::move(on_done)] {
+                       attempt(id, from, to, std::move(on_done));
+                     });
+}
+
+const TransferResult& TransferManager::result(std::uint64_t id) const {
+  const auto it = results_.find(id);
+  if (it == results_.end()) {
+    throw std::invalid_argument("transfer: unknown id");
+  }
+  return it->second;
+}
+
+}  // namespace autolearn::net

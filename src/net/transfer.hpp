@@ -1,0 +1,69 @@
+// Asynchronous bulk transfers over the simulated network.
+//
+// Models the paper's data-movement steps — "data ... can be manually
+// transferred to the cloud using SSH", "the student copies the training
+// data using rsync" — as events on the shared discrete-event clock. A
+// transfer has a source/destination host, a byte count, retries on
+// injected drops, and a completion callback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/network.hpp"
+#include "util/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::net {
+
+enum class TransferStatus { InFlight, Done, Failed };
+
+struct TransferResult {
+  std::uint64_t id = 0;
+  TransferStatus status = TransferStatus::InFlight;
+  double started_at = 0.0;
+  double finished_at = 0.0;
+  std::uint64_t bytes = 0;
+  int attempts = 0;
+  double duration() const { return finished_at - started_at; }
+};
+
+class TransferManager {
+ public:
+  /// max_retries: additional attempts after a dropped transfer before the
+  /// transfer is reported Failed.
+  TransferManager(Network& network, util::EventQueue& queue, util::Rng rng,
+                  int max_retries = 2);
+
+  /// Schedules a transfer starting now; on_done fires from the event queue
+  /// when it completes or exhausts retries. Returns the transfer id.
+  std::uint64_t start(const std::string& from, const std::string& to,
+                      std::uint64_t bytes,
+                      std::function<void(const TransferResult&)> on_done = {});
+
+  /// Status lookup for a known id; throws for unknown ids.
+  const TransferResult& result(std::uint64_t id) const;
+
+  std::size_t in_flight() const { return in_flight_; }
+  std::size_t completed() const { return completed_; }
+  std::size_t failed() const { return failed_; }
+
+ private:
+  void attempt(std::uint64_t id, const std::string& from,
+               const std::string& to,
+               std::function<void(const TransferResult&)> on_done);
+
+  Network& network_;
+  util::EventQueue& queue_;
+  util::Rng rng_;
+  int max_retries_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, TransferResult> results_;
+  std::size_t in_flight_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t failed_ = 0;
+};
+
+}  // namespace autolearn::net

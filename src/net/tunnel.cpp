@@ -1,0 +1,79 @@
+#include "net/tunnel.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::net {
+
+const char* to_string(TunnelState s) {
+  switch (s) {
+    case TunnelState::Closed: return "closed";
+    case TunnelState::Opening: return "opening";
+    case TunnelState::Open: return "open";
+    case TunnelState::Broken: return "broken";
+  }
+  return "?";
+}
+
+SshTunnel::SshTunnel(Network& network, util::EventQueue& queue, util::Rng rng,
+                     std::string local_host, std::string remote_host,
+                     int remote_port)
+    : network_(network),
+      queue_(queue),
+      rng_(rng),
+      local_(std::move(local_host)),
+      remote_(std::move(remote_host)),
+      remote_port_(remote_port) {
+  if (remote_port <= 0 || remote_port > 65535) {
+    throw std::invalid_argument("tunnel: bad port");
+  }
+}
+
+void SshTunnel::open(std::function<void()> on_open) {
+  if (state_ != TunnelState::Closed) {
+    throw std::logic_error(std::string("tunnel: open from state ") +
+                           to_string(state_));
+  }
+  if (!network_.route(local_, remote_)) {
+    throw std::runtime_error("tunnel: no route " + local_ + " -> " + remote_);
+  }
+  state_ = TunnelState::Opening;
+  // TCP + SSH key exchange: three round trips.
+  const double handshake = 3 * network_.sample_rtt(local_, remote_, rng_);
+  queue_.schedule_in(handshake, [this, on_open = std::move(on_open)] {
+    if (state_ != TunnelState::Opening) return;  // broken mid-handshake
+    state_ = TunnelState::Open;
+    opened_at_ = queue_.now();
+    if (on_open) on_open();
+  });
+}
+
+double SshTunnel::request(std::uint64_t bytes_up, std::uint64_t bytes_down,
+                          std::function<void()> on_done) {
+  if (state_ != TunnelState::Open) {
+    throw std::logic_error(std::string("tunnel: request on ") +
+                           to_string(state_) + " tunnel");
+  }
+  if (network_.drops(local_, remote_, rng_) ||
+      network_.drops(remote_, local_, rng_)) {
+    state_ = TunnelState::Broken;
+    throw std::runtime_error("tunnel: connection reset");
+  }
+  const double up = network_.transfer_time(local_, remote_, bytes_up, rng_);
+  const double down =
+      network_.transfer_time(remote_, local_, bytes_down, rng_);
+  const double duration = up + down;
+  ++requests_;
+  queue_.schedule_in(duration, [on_done = std::move(on_done)] {
+    if (on_done) on_done();
+  });
+  return duration;
+}
+
+void SshTunnel::close() { state_ = TunnelState::Closed; }
+
+void SshTunnel::break_tunnel() {
+  if (state_ == TunnelState::Closed) return;
+  state_ = TunnelState::Broken;
+}
+
+}  // namespace autolearn::net

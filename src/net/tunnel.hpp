@@ -1,0 +1,66 @@
+// SSH tunnel (§3.5: "this allows students to access the Jupyter Notebook
+// executing on the Raspberry Pi (and containing all the data collection
+// functionality) from their own laptops using an SSH tunnel").
+//
+// A tunnel binds a local port on the student's laptop to a port on the
+// remote device across the simulated network: opening costs a TCP+SSH
+// handshake (three round trips), after which request() models one
+// HTTP-over-tunnel exchange (request bytes up, response bytes down) and
+// returns its simulated duration. Failure injection follows the
+// underlying links.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/network.hpp"
+#include "util/event_queue.hpp"
+
+namespace autolearn::net {
+
+enum class TunnelState { Closed, Opening, Open, Broken };
+
+const char* to_string(TunnelState s);
+
+class SshTunnel {
+ public:
+  /// local/remote must be hosts of `network`; remote_port is bookkeeping
+  /// (the Jupyter port, 8888 in the AutoLearn image).
+  SshTunnel(Network& network, util::EventQueue& queue, util::Rng rng,
+            std::string local_host, std::string remote_host,
+            int remote_port = 8888);
+
+  /// Starts the handshake; on_open fires when the tunnel reaches Open.
+  /// Throws if no route exists or the tunnel is not Closed.
+  void open(std::function<void()> on_open = {});
+
+  /// One request/response over the open tunnel. Returns the simulated
+  /// duration and schedules on_done at completion. Throws unless Open.
+  double request(std::uint64_t bytes_up, std::uint64_t bytes_down,
+                 std::function<void()> on_done = {});
+
+  void close();
+
+  /// Simulates a network break: the tunnel goes Broken; open() may be
+  /// called again after close().
+  void break_tunnel();
+
+  TunnelState state() const { return state_; }
+  int remote_port() const { return remote_port_; }
+  std::size_t requests_served() const { return requests_; }
+  double opened_at() const { return opened_at_; }
+
+ private:
+  Network& network_;
+  util::EventQueue& queue_;
+  util::Rng rng_;
+  std::string local_;
+  std::string remote_;
+  int remote_port_;
+  TunnelState state_ = TunnelState::Closed;
+  std::size_t requests_ = 0;
+  double opened_at_ = -1.0;
+};
+
+}  // namespace autolearn::net

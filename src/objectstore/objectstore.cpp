@@ -1,0 +1,114 @@
+#include "objectstore/objectstore.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::objectstore {
+
+void ObjectStore::create_container(const std::string& name) {
+  if (name.empty()) throw std::invalid_argument("store: empty container");
+  if (!containers_.try_emplace(name).second) {
+    throw std::invalid_argument("store: duplicate container " + name);
+  }
+}
+
+bool ObjectStore::has_container(const std::string& name) const {
+  return containers_.count(name) > 0;
+}
+
+std::vector<std::string> ObjectStore::containers() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : containers_) out.push_back(name);
+  return out;
+}
+
+const std::map<std::string, ObjectStore::History>& ObjectStore::container_ref(
+    const std::string& name) const {
+  const auto it = containers_.find(name);
+  if (it == containers_.end()) {
+    throw std::invalid_argument("store: unknown container " + name);
+  }
+  return it->second;
+}
+
+std::uint64_t ObjectStore::put(const std::string& container,
+                               const std::string& name,
+                               std::vector<std::uint8_t> bytes,
+                               std::map<std::string, std::string> metadata) {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    throw std::invalid_argument("store: unknown container " + container);
+  }
+  if (name.empty()) throw std::invalid_argument("store: empty object name");
+  History& history = it->second[name];
+  ObjectVersion v;
+  v.version = history.empty() ? 1 : history.back().version + 1;
+  v.bytes = std::move(bytes);
+  v.metadata = std::move(metadata);
+  history.push_back(std::move(v));
+  return history.back().version;
+}
+
+std::uint64_t ObjectStore::put_text(
+    const std::string& container, const std::string& name,
+    const std::string& text, std::map<std::string, std::string> metadata) {
+  return put(container, name,
+             std::vector<std::uint8_t>(text.begin(), text.end()),
+             std::move(metadata));
+}
+
+std::optional<ObjectVersion> ObjectStore::get(const std::string& container,
+                                              const std::string& name) const {
+  const auto& objs = container_ref(container);
+  const auto it = objs.find(name);
+  if (it == objs.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::optional<ObjectVersion> ObjectStore::get_version(
+    const std::string& container, const std::string& name,
+    std::uint64_t version) const {
+  const auto& objs = container_ref(container);
+  const auto it = objs.find(name);
+  if (it == objs.end()) return std::nullopt;
+  for (const ObjectVersion& v : it->second) {
+    if (v.version == version) return v;
+  }
+  return std::nullopt;
+}
+
+std::string ObjectStore::get_text(const std::string& container,
+                                  const std::string& name) const {
+  const auto v = get(container, name);
+  if (!v) throw std::invalid_argument("store: missing object " + name);
+  return std::string(v->bytes.begin(), v->bytes.end());
+}
+
+std::vector<ObjectInfo> ObjectStore::list(const std::string& container) const {
+  std::vector<ObjectInfo> out;
+  for (const auto& [name, history] : container_ref(container)) {
+    if (history.empty()) continue;
+    ObjectInfo info;
+    info.name = name;
+    info.latest_version = history.back().version;
+    info.size_bytes = history.back().bytes.size();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+bool ObjectStore::remove(const std::string& container,
+                         const std::string& name) {
+  auto it = containers_.find(container);
+  if (it == containers_.end()) {
+    throw std::invalid_argument("store: unknown container " + container);
+  }
+  return it->second.erase(name) > 0;
+}
+
+std::uint64_t ObjectStore::container_bytes(const std::string& container) const {
+  std::uint64_t total = 0;
+  for (const ObjectInfo& info : list(container)) total += info.size_bytes;
+  return total;
+}
+
+}  // namespace autolearn::objectstore

@@ -1,0 +1,76 @@
+// Chameleon object store analogue (§3.5: "The collected datasets and the
+// pre-trained models are stored in Chameleon's object store and can be
+// combined with other components of the system in a 'mix and match'
+// pathway").
+//
+// Swift-style containers hold named objects; objects are versioned byte
+// blobs with free-form metadata. Storage is in-memory — the store models
+// the service's semantics (naming, versioning, listing), while transfer
+// costs live in the net module.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace autolearn::objectstore {
+
+struct ObjectVersion {
+  std::uint64_t version = 0;
+  std::vector<std::uint8_t> bytes;
+  std::map<std::string, std::string> metadata;
+};
+
+struct ObjectInfo {
+  std::string name;
+  std::uint64_t latest_version = 0;
+  std::size_t size_bytes = 0;
+};
+
+class ObjectStore {
+ public:
+  /// Creates a container; throws on duplicates.
+  void create_container(const std::string& name);
+  bool has_container(const std::string& name) const;
+  std::vector<std::string> containers() const;
+
+  /// Puts an object (new version if it exists). Returns the version.
+  std::uint64_t put(const std::string& container, const std::string& name,
+                    std::vector<std::uint8_t> bytes,
+                    std::map<std::string, std::string> metadata = {});
+
+  /// Convenience for text payloads.
+  std::uint64_t put_text(const std::string& container, const std::string& name,
+                         const std::string& text,
+                         std::map<std::string, std::string> metadata = {});
+
+  /// Latest version; nullopt when absent.
+  std::optional<ObjectVersion> get(const std::string& container,
+                                   const std::string& name) const;
+  /// Specific version.
+  std::optional<ObjectVersion> get_version(const std::string& container,
+                                           const std::string& name,
+                                           std::uint64_t version) const;
+  std::string get_text(const std::string& container,
+                       const std::string& name) const;
+
+  std::vector<ObjectInfo> list(const std::string& container) const;
+
+  /// Deletes all versions. Returns false when the object was absent.
+  bool remove(const std::string& container, const std::string& name);
+
+  /// Total bytes across all latest versions in a container (for sizing
+  /// simulated transfers).
+  std::uint64_t container_bytes(const std::string& container) const;
+
+ private:
+  using History = std::vector<ObjectVersion>;
+  const std::map<std::string, History>& container_ref(
+      const std::string& name) const;
+
+  std::map<std::string, std::map<std::string, History>> containers_;
+};
+
+}  // namespace autolearn::objectstore

@@ -1,0 +1,91 @@
+// Reinforcement-learning extension (§3.3/§3.4: evaluation-phase
+// assignments include "experiment with reinforcement learning providing
+// the opportunity for more advanced assignments").
+//
+// Tabular Q-learning in the driving simulator: the state is the
+// discretized (lateral offset, heading error, upcoming curvature) triple
+// from the track's ground truth — what the simulator exposes to advanced
+// students — and actions are discrete steering commands at a fixed cruise
+// throttle. Training runs episodes with epsilon-greedy exploration; the
+// greedy policy then drives the track. This is deliberately the classic
+// classroom formulation, not deep RL.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "track/track.hpp"
+#include "util/rng.hpp"
+#include "vehicle/car.hpp"
+
+namespace autolearn::rl {
+
+struct QConfig {
+  std::size_t lateral_bins = 9;
+  std::size_t heading_bins = 9;
+  std::size_t curvature_bins = 3;  // turning left / straight / right
+  std::size_t actions = 7;         // steering commands spread over [-1, 1]
+  double lateral_range = 0.55;     // meters covered by the lateral bins
+  double heading_range = 0.8;      // radians covered by the heading bins
+  double alpha = 0.25;             // learning rate
+  double gamma = 0.95;             // discount
+  double epsilon_start = 0.5;      // exploration schedule (linear decay)
+  double epsilon_end = 0.02;
+  double throttle = 0.40;          // cruise throttle during RL
+  double dt = 0.05;
+  std::size_t episodes = 80;
+  double episode_s = 20.0;         // seconds per episode
+  double offtrack_penalty = -5.0;
+  double lateral_cost = 0.3;       // shaping: penalize riding the edge
+};
+
+struct EpisodeStats {
+  double total_reward = 0.0;
+  double distance_m = 0.0;
+  bool crashed = false;
+};
+
+class QLearningPilot {
+ public:
+  QLearningPilot(const track::Track& track, QConfig config, util::Rng rng);
+
+  /// Runs the configured number of training episodes; returns per-episode
+  /// stats (reward should trend upward).
+  std::vector<EpisodeStats> train();
+
+  /// Greedy action for a car state (valid after train(), but callable on
+  /// the zero-initialized table too).
+  vehicle::DriveCommand decide(const vehicle::CarState& state) const;
+
+  /// Evaluates the greedy policy for `duration_s`; returns the episode
+  /// stats of the run (no learning, no exploration).
+  EpisodeStats evaluate(double duration_s, std::uint64_t seed = 123) const;
+
+  std::size_t state_count() const { return q_.size() / config_.actions; }
+  std::size_t state_index(const vehicle::CarState& state) const;
+
+  /// Q-table persistence (binary).
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
+
+ private:
+  double action_steering(std::size_t a) const;
+  double& q(std::size_t state, std::size_t action) {
+    return q_[state * config_.actions + action];
+  }
+  double q(std::size_t state, std::size_t action) const {
+    return q_[state * config_.actions + action];
+  }
+  std::size_t best_action(std::size_t state) const;
+  /// One simulated step; returns (reward, done).
+  std::pair<double, bool> step_env(vehicle::Car& car, std::size_t action,
+                                   double& s_prev) const;
+
+  const track::Track& track_;
+  QConfig config_;
+  mutable util::Rng rng_;
+  std::vector<double> q_;
+};
+
+}  // namespace autolearn::rl

@@ -1,0 +1,97 @@
+#include "testbed/deployment.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace autolearn::testbed {
+
+const char* to_string(DeployState s) {
+  switch (s) {
+    case DeployState::Queued: return "queued";
+    case DeployState::Provisioning: return "provisioning";
+    case DeployState::Configuring: return "configuring";
+    case DeployState::Active: return "active";
+    case DeployState::Failed: return "failed";
+  }
+  return "?";
+}
+
+ImageSpec ImageSpec::autolearn_trainer() {
+  ImageSpec img;
+  img.name = "ubuntu20.04-cuda";
+  img.provision_s = 540.0;
+  img.packages = {{"cudnn", 120.0},
+                  {"tensorflow", 180.0},
+                  {"donkeycar", 90.0}};
+  return img;
+}
+
+ImageSpec ImageSpec::jupyter_server() {
+  ImageSpec img;
+  img.name = "basic-jupyter-server";
+  img.provision_s = 420.0;
+  img.packages = {{"jupyter", 60.0}};
+  return img;
+}
+
+DeploymentService::DeploymentService(LeaseManager& leases,
+                                     util::EventQueue& queue)
+    : leases_(leases), queue_(queue) {}
+
+std::uint64_t DeploymentService::deploy(
+    std::uint64_t lease_id, ImageSpec image,
+    std::function<void(const Deployment&)> on_ready) {
+  const Lease& lease = leases_.lease(lease_id);
+  if (lease.status == LeaseStatus::Cancelled ||
+      lease.status == LeaseStatus::Ended) {
+    throw std::logic_error("deploy: lease is not usable");
+  }
+  if (lease.node_ids.empty()) throw std::logic_error("deploy: empty lease");
+
+  const std::uint64_t id = next_id_++;
+  Deployment d;
+  d.id = id;
+  d.lease_id = lease_id;
+  d.node_id = lease.node_ids.front();
+  d.image = image;
+  d.started_at = queue_.now();
+  deployments_[id] = d;
+
+  double config_time = 0;
+  for (const auto& [pkg, secs] : image.packages) config_time += secs;
+
+  deployments_[id].state = DeployState::Provisioning;
+  queue_.schedule_in(image.provision_s, [this, id] {
+    deployments_.at(id).state = DeployState::Configuring;
+  });
+  queue_.schedule_in(
+      image.provision_s + config_time,
+      [this, id, on_ready = std::move(on_ready)] {
+        Deployment& dep = deployments_.at(id);
+        dep.state = DeployState::Active;
+        dep.ready_at = queue_.now();
+        AUTOLEARN_LOG(Info, "deploy")
+            << dep.image.name << " active on " << dep.node_id;
+        if (on_ready) on_ready(dep);
+      });
+  return id;
+}
+
+const Deployment& DeploymentService::deployment(std::uint64_t id) const {
+  const auto it = deployments_.find(id);
+  if (it == deployments_.end()) {
+    throw std::invalid_argument("deploy: unknown id");
+  }
+  return it->second;
+}
+
+std::size_t DeploymentService::active_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, d] : deployments_) {
+    n += d.state == DeployState::Active;
+  }
+  return n;
+}
+
+}  // namespace autolearn::testbed

@@ -1,0 +1,67 @@
+// Bare-metal image deployment (§3.3: a notebook "reserves Chameleon
+// hardware, deploys Ubuntu 20.04 CUDA image with accelerator support, and
+// then installs and configures all the required dependencies").
+//
+// Deployments run against an active lease: provisioning (flash + boot)
+// takes simulated minutes on bare metal, then dependency installation
+// takes additional time per configured package group. State transitions
+// ride the shared event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "testbed/lease.hpp"
+#include "util/event_queue.hpp"
+
+namespace autolearn::testbed {
+
+enum class DeployState { Queued, Provisioning, Configuring, Active, Failed };
+
+const char* to_string(DeployState s);
+
+struct ImageSpec {
+  std::string name;           // e.g. "ubuntu20.04-cuda"
+  double provision_s = 540.0; // bare-metal flash+boot (~9 simulated min)
+  /// Dependency groups installed after boot (donkey, tensorflow, cudnn...)
+  std::vector<std::pair<std::string, double>> packages;
+
+  /// The AutoLearn training appliance of §3.3.
+  static ImageSpec autolearn_trainer();
+  /// Chameleon's Basic Jupyter Server Appliance (§3.5).
+  static ImageSpec jupyter_server();
+};
+
+struct Deployment {
+  std::uint64_t id = 0;
+  std::uint64_t lease_id = 0;
+  std::string node_id;
+  ImageSpec image;
+  DeployState state = DeployState::Queued;
+  double started_at = 0.0;
+  double ready_at = 0.0;
+};
+
+class DeploymentService {
+ public:
+  DeploymentService(LeaseManager& leases, util::EventQueue& queue);
+
+  /// Deploys the image on the first node of the lease. The lease must not
+  /// be cancelled/ended. on_ready fires when the node reaches Active.
+  std::uint64_t deploy(std::uint64_t lease_id, ImageSpec image,
+                       std::function<void(const Deployment&)> on_ready = {});
+
+  const Deployment& deployment(std::uint64_t id) const;
+  std::size_t active_count() const;
+
+ private:
+  LeaseManager& leases_;
+  util::EventQueue& queue_;
+  std::map<std::uint64_t, Deployment> deployments_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace autolearn::testbed

@@ -1,0 +1,87 @@
+#include "testbed/identity.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::testbed {
+
+void IdentityService::add_user(const std::string& username,
+                               const std::string& institution) {
+  if (username.empty()) throw std::invalid_argument("identity: empty user");
+  users_.insert_or_assign(username, User{username, institution});
+}
+
+bool IdentityService::has_user(const std::string& username) const {
+  return users_.count(username) > 0;
+}
+
+Project& IdentityService::create_project(const std::string& id,
+                                         const std::string& title,
+                                         ProjectDomain domain,
+                                         const std::string& pi) {
+  if (!has_user(pi)) throw std::invalid_argument("identity: unknown PI " + pi);
+  if (projects_.count(id)) {
+    throw std::invalid_argument("identity: duplicate project " + id);
+  }
+  Project p;
+  p.id = id;
+  p.title = title;
+  p.domain = domain;
+  p.pi = pi;
+  p.members.insert(pi);
+  return projects_.emplace(id, std::move(p)).first->second;
+}
+
+void IdentityService::add_member(const std::string& project_id,
+                                 const std::string& username) {
+  if (!has_user(username)) {
+    throw std::invalid_argument("identity: unknown user " + username);
+  }
+  auto it = projects_.find(project_id);
+  if (it == projects_.end()) {
+    throw std::invalid_argument("identity: unknown project " + project_id);
+  }
+  it->second.members.insert(username);
+}
+
+const Project& IdentityService::project(const std::string& project_id) const {
+  const auto it = projects_.find(project_id);
+  if (it == projects_.end()) {
+    throw std::invalid_argument("identity: unknown project " + project_id);
+  }
+  return it->second;
+}
+
+bool IdentityService::is_member(const std::string& project_id,
+                                const std::string& username) const {
+  const auto it = projects_.find(project_id);
+  return it != projects_.end() && it->second.active &&
+         it->second.members.count(username) > 0;
+}
+
+void IdentityService::deactivate_project(const std::string& project_id) {
+  auto it = projects_.find(project_id);
+  if (it == projects_.end()) {
+    throw std::invalid_argument("identity: unknown project " + project_id);
+  }
+  it->second.active = false;
+}
+
+Session IdentityService::login(const std::string& username) {
+  if (!has_user(username)) {
+    throw std::invalid_argument("identity: unknown user " + username);
+  }
+  Session s;
+  s.username = username;
+  s.token = "tok-" + std::to_string(next_token_++) + "-" + username;
+  tokens_[s.token] = username;
+  return s;
+}
+
+std::optional<std::string> IdentityService::user_for_token(
+    const std::string& token) const {
+  const auto it = tokens_.find(token);
+  if (it == tokens_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace autolearn::testbed

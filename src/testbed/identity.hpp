@@ -1,0 +1,68 @@
+// Federated identity and projects (§3.2: "users can log into the testbed
+// with their institutional credentials via federated identity login";
+// "to gain access all educational users need to do is request a project in
+// computer science education").
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace autolearn::testbed {
+
+enum class ProjectDomain { Education, Research };
+
+struct User {
+  std::string username;
+  std::string institution;
+};
+
+struct Project {
+  std::string id;           // e.g. "CHI-edu-231042"
+  std::string title;
+  ProjectDomain domain = ProjectDomain::Education;
+  std::string pi;           // username of the PI
+  std::set<std::string> members;
+  bool active = true;
+};
+
+/// A logged-in session token binding a user to the testbed.
+struct Session {
+  std::string token;
+  std::string username;
+};
+
+class IdentityService {
+ public:
+  /// Registers a user (idempotent on username).
+  void add_user(const std::string& username, const std::string& institution);
+  bool has_user(const std::string& username) const;
+
+  /// Creates a project; the PI becomes a member. Throws on duplicate id.
+  Project& create_project(const std::string& id, const std::string& title,
+                          ProjectDomain domain, const std::string& pi);
+  /// Adds a member; both must exist.
+  void add_member(const std::string& project_id, const std::string& username);
+  const Project& project(const std::string& project_id) const;
+  bool is_member(const std::string& project_id,
+                 const std::string& username) const;
+  void deactivate_project(const std::string& project_id);
+
+  /// Federated login: the user must exist; returns a session token.
+  Session login(const std::string& username) ;
+  /// Validates a token.
+  std::optional<std::string> user_for_token(const std::string& token) const;
+
+  std::size_t user_count() const { return users_.size(); }
+  std::size_t project_count() const { return projects_.size(); }
+
+ private:
+  std::map<std::string, User> users_;
+  std::map<std::string, Project> projects_;
+  std::map<std::string, std::string> tokens_;  // token -> username
+  std::size_t next_token_ = 1;
+};
+
+}  // namespace autolearn::testbed

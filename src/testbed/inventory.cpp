@@ -1,0 +1,78 @@
+#include "testbed/inventory.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace autolearn::testbed {
+
+void Inventory::add_nodes(const std::string& site, const NodeType& type,
+                          std::size_t count) {
+  // Validates the GPU name against the performance-model catalogue.
+  gpu::device(type.gpu);
+  const std::size_t existing = count_of_type(type.name);
+  for (std::size_t i = 0; i < count; ++i) {
+    Node n;
+    n.site = site;
+    n.type = type;
+    n.id = site + "/" + type.name + "-" + std::to_string(existing + i);
+    nodes_.push_back(std::move(n));
+  }
+}
+
+Inventory Inventory::chameleon() {
+  Inventory inv;
+  const NodeType rtx{"gpu_rtx6000", "RTX6000", 1, gpu::Interconnect::None};
+  const NodeType v100{"gpu_v100", "V100", 4, gpu::Interconnect::PCIe};
+  const NodeType v100nv{"gpu_v100_nvlink", "v100NVLINK", 4,
+                        gpu::Interconnect::NVLink};
+  const NodeType p100{"gpu_p100", "P100", 4, gpu::Interconnect::PCIe};
+  const NodeType a100{"gpu_a100", "A100", 4, gpu::Interconnect::NVLink};
+  const NodeType m40{"gpu_m40", "M40", 1, gpu::Interconnect::None};
+  const NodeType k80{"gpu_k80", "K80", 1, gpu::Interconnect::None};
+  const NodeType mi100{"gpu_mi100", "MI100", 1, gpu::Interconnect::None};
+  // 40 single-RTX6000 nodes split across the two principal sites.
+  inv.add_nodes("CHI@UC", rtx, 20);
+  inv.add_nodes("CHI@TACC", rtx, 20);
+  // Sets of 4 nodes each with 4x V100 / P100 / A100.
+  inv.add_nodes("CHI@UC", v100, 4);
+  inv.add_nodes("CHI@UC", v100nv, 4);
+  inv.add_nodes("CHI@TACC", p100, 4);
+  inv.add_nodes("CHI@TACC", a100, 4);
+  // Smaller numbers of other architectures.
+  inv.add_nodes("CHI@UC", m40, 2);
+  inv.add_nodes("CHI@TACC", k80, 2);
+  inv.add_nodes("CHI@TACC", mi100, 2);
+  return inv;
+}
+
+std::vector<const Node*> Inventory::nodes_of_type(
+    const std::string& type_name) const {
+  std::vector<const Node*> out;
+  for (const Node& n : nodes_) {
+    if (n.type.name == type_name) out.push_back(&n);
+  }
+  return out;
+}
+
+std::vector<std::string> Inventory::sites() const {
+  std::set<std::string> s;
+  for (const Node& n : nodes_) s.insert(n.site);
+  return {s.begin(), s.end()};
+}
+
+std::size_t Inventory::count_of_type(const std::string& type_name) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(), [&](const Node& n) {
+        return n.type.name == type_name;
+      }));
+}
+
+const Node& Inventory::node(const std::string& id) const {
+  for (const Node& n : nodes_) {
+    if (n.id == id) return n;
+  }
+  throw std::invalid_argument("inventory: unknown node " + id);
+}
+
+}  // namespace autolearn::testbed

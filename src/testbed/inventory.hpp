@@ -1,0 +1,50 @@
+// Hardware inventory (§3.2): "a large investment in accelerators ranging
+// from 40 nodes with a single Nvidia RTX6000 GPU for general use, to sets
+// of 4 nodes each with 4x Nvidia V100, P100, or A100 Datacenter GPUs and
+// InfiniBand interconnects ... Smaller numbers of nodes with other
+// architectures (Nvidia M40, K80, AMD MI100)".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "gpu/perf_model.hpp"
+
+namespace autolearn::testbed {
+
+struct NodeType {
+  std::string name;        // e.g. "gpu_rtx6000"
+  std::string gpu;         // device name in gpu::device()
+  int gpu_count = 1;
+  gpu::Interconnect interconnect = gpu::Interconnect::None;
+};
+
+struct Node {
+  std::string id;          // e.g. "chi-uc-rtx6000-07"
+  std::string site;        // "CHI@UC" or "CHI@TACC"
+  NodeType type;
+};
+
+class Inventory {
+ public:
+  /// Builds the paper's accelerator fleet across the two principal sites.
+  static Inventory chameleon();
+
+  /// Empty inventory for custom setups.
+  Inventory() = default;
+
+  void add_nodes(const std::string& site, const NodeType& type,
+                 std::size_t count);
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  std::vector<const Node*> nodes_of_type(const std::string& type_name) const;
+  std::vector<std::string> sites() const;
+  std::size_t count_of_type(const std::string& type_name) const;
+  const Node& node(const std::string& id) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace autolearn::testbed

@@ -1,0 +1,123 @@
+#include "testbed/lease.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace autolearn::testbed {
+
+LeaseManager::LeaseManager(const Inventory& inventory)
+    : inventory_(inventory) {}
+
+bool LeaseManager::node_free(const std::string& node_id, double start,
+                             double end) const {
+  for (const auto& [id, lease] : leases_) {
+    if (lease.status == LeaseStatus::Cancelled ||
+        lease.status == LeaseStatus::Ended) {
+      continue;
+    }
+    if (lease.end <= start || lease.start >= end) continue;  // no overlap
+    if (std::find(lease.node_ids.begin(), lease.node_ids.end(), node_id) !=
+        lease.node_ids.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t LeaseManager::available(const std::string& node_type, double start,
+                                    double end) const {
+  std::size_t free = 0;
+  for (const Node* n : inventory_.nodes_of_type(node_type)) {
+    free += node_free(n->id, start, end);
+  }
+  return free;
+}
+
+std::optional<std::uint64_t> LeaseManager::request(const LeaseRequest& req) {
+  if (req.count == 0 || req.duration <= 0) {
+    throw std::invalid_argument("lease: bad request");
+  }
+  const double end = req.start + req.duration;
+  std::vector<std::string> chosen;
+  for (const Node* n : inventory_.nodes_of_type(req.node_type)) {
+    if (chosen.size() == req.count) break;
+    if (node_free(n->id, req.start, end)) chosen.push_back(n->id);
+  }
+  if (chosen.size() < req.count) {
+    ++rejected_;
+    AUTOLEARN_LOG(Info, "lease")
+        << "conflict: " << req.count << "x " << req.node_type << " at "
+        << req.start << " unavailable for " << req.project_id;
+    return std::nullopt;
+  }
+  Lease lease;
+  lease.id = next_id_++;
+  lease.project_id = req.project_id;
+  lease.node_type = req.node_type;
+  lease.node_ids = std::move(chosen);
+  lease.start = req.start;
+  lease.end = end;
+  leases_[lease.id] = lease;
+  return lease.id;
+}
+
+std::optional<std::uint64_t> LeaseManager::request_on_demand(
+    const std::string& project_id, const std::string& node_type,
+    std::size_t count, double now, double duration) {
+  LeaseRequest req;
+  req.project_id = project_id;
+  req.node_type = node_type;
+  req.count = count;
+  req.start = now;
+  req.duration = duration;
+  return request(req);
+}
+
+const Lease& LeaseManager::lease(std::uint64_t id) const {
+  const auto it = leases_.find(id);
+  if (it == leases_.end()) throw std::invalid_argument("lease: unknown id");
+  return it->second;
+}
+
+void LeaseManager::cancel(std::uint64_t id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) throw std::invalid_argument("lease: unknown id");
+  if (it->second.status == LeaseStatus::Ended) {
+    throw std::logic_error("lease: cannot cancel an ended lease");
+  }
+  it->second.status = LeaseStatus::Cancelled;
+}
+
+void LeaseManager::tick(double now) {
+  for (auto& [id, lease] : leases_) {
+    if (lease.status == LeaseStatus::Cancelled) continue;
+    if (now >= lease.end) {
+      lease.status = LeaseStatus::Ended;
+    } else if (now >= lease.start) {
+      lease.status = LeaseStatus::Active;
+    }
+  }
+}
+
+double LeaseManager::utilization(const std::string& node_type, double t0,
+                                 double t1) const {
+  if (t1 <= t0) throw std::invalid_argument("lease: bad window");
+  const auto nodes = inventory_.nodes_of_type(node_type);
+  if (nodes.empty()) return 0.0;
+  double reserved = 0;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.status == LeaseStatus::Cancelled) continue;
+    if (lease.node_type != node_type) continue;
+    const double lo = std::max(t0, lease.start);
+    const double hi = std::min(t1, lease.end);
+    if (hi > lo) {
+      reserved += (hi - lo) * static_cast<double>(lease.node_ids.size());
+    }
+  }
+  return reserved /
+         ((t1 - t0) * static_cast<double>(nodes.size()));
+}
+
+}  // namespace autolearn::testbed

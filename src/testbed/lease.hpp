@@ -1,0 +1,82 @@
+// Resource leasing (§3.2: "All hardware is available either on-demand or
+// via advance reservations so that users can reserve required resources
+// ahead of time, for example, to manage resource scarcity or to guarantee
+// resource availability at a specific time slot for a class or a
+// demonstration").
+//
+// A lease binds concrete nodes to a project over a [start, end) interval.
+// The manager keeps a per-node calendar and refuses overlapping
+// assignments; advance reservations therefore guarantee the nodes are
+// there when the class starts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testbed/inventory.hpp"
+
+namespace autolearn::testbed {
+
+enum class LeaseStatus { Pending, Active, Ended, Cancelled };
+
+struct Lease {
+  std::uint64_t id = 0;
+  std::string project_id;
+  std::string node_type;
+  std::vector<std::string> node_ids;
+  double start = 0.0;  // virtual time, seconds
+  double end = 0.0;
+  LeaseStatus status = LeaseStatus::Pending;
+};
+
+struct LeaseRequest {
+  std::string project_id;
+  std::string node_type;
+  std::size_t count = 1;
+  double start = 0.0;   // request start (>= now for advance reservations)
+  double duration = 3600.0;
+};
+
+class LeaseManager {
+ public:
+  explicit LeaseManager(const Inventory& inventory);
+
+  /// Tries to reserve `count` nodes of the type over the interval. Returns
+  /// nullopt when not enough capacity is free (the conflict case).
+  std::optional<std::uint64_t> request(const LeaseRequest& req);
+
+  /// On-demand convenience: starts at `now`.
+  std::optional<std::uint64_t> request_on_demand(const std::string& project_id,
+                                                 const std::string& node_type,
+                                                 std::size_t count, double now,
+                                                 double duration);
+
+  const Lease& lease(std::uint64_t id) const;
+  void cancel(std::uint64_t id);
+
+  /// Advances lease states for virtual time t (Pending->Active->Ended).
+  void tick(double now);
+
+  /// Nodes of the type free over the whole interval.
+  std::size_t available(const std::string& node_type, double start,
+                        double end) const;
+
+  /// Fraction of node-seconds of this type reserved within [t0, t1).
+  double utilization(const std::string& node_type, double t0, double t1) const;
+
+  std::size_t total_leases() const { return leases_.size(); }
+  std::size_t rejected_requests() const { return rejected_; }
+
+ private:
+  bool node_free(const std::string& node_id, double start, double end) const;
+
+  const Inventory& inventory_;
+  std::map<std::uint64_t, Lease> leases_;
+  std::uint64_t next_id_ = 1;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace autolearn::testbed

@@ -1,0 +1,27 @@
+#include "testbed/topology.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::testbed {
+
+net::Network chameleon_network(const TopologyOptions& options) {
+  if (options.cars.empty()) {
+    throw std::invalid_argument("topology: need at least one car");
+  }
+  net::Network n;
+  n.add_host(kCampusGateway);
+  n.add_host(kSiteUC);
+  n.add_host(kSiteTACC);
+  // Campus reaches the nearest site over Internet2; the sites talk to each
+  // other over the FABRIC managed-latency connection.
+  n.add_duplex(kCampusGateway, kSiteUC, net::Link::campus_to_cloud());
+  n.add_duplex(kSiteUC, kSiteTACC,
+               net::Link::fabric_managed(options.fabric_latency_s));
+  for (const std::string& car : options.cars) {
+    n.add_host(car);
+    n.add_duplex(car, kCampusGateway, net::Link::edge_wifi());
+  }
+  return n;
+}
+
+}  // namespace autolearn::testbed

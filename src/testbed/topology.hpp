@@ -1,0 +1,30 @@
+// Canonical continuum network topology (§3.2): a car's Raspberry Pi on
+// campus Wi-Fi, a campus gateway, the two principal Chameleon sites, and
+// the FABRIC connection between them ("the two principal Chameleon sites
+// are connected to the FABRIC networking testbed creating potential to
+// support cloud experiments with managed latency").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace autolearn::testbed {
+
+struct TopologyOptions {
+  std::vector<std::string> cars = {"car-01"};
+  /// One-way managed latency of the FABRIC link between CHI@UC and
+  /// CHI@TACC (the knob managed-latency experiments turn).
+  double fabric_latency_s = 0.012;
+};
+
+/// Host names used by the canonical topology.
+inline const char* kCampusGateway = "campus-gw";
+inline const char* kSiteUC = "chi-uc";
+inline const char* kSiteTACC = "chi-tacc";
+
+/// Builds the car <-> campus <-> CHI@UC <-> (FABRIC) <-> CHI@TACC graph.
+net::Network chameleon_network(const TopologyOptions& options = {});
+
+}  // namespace autolearn::testbed

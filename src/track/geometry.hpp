@@ -1,0 +1,60 @@
+// 2D vector and angle helpers shared by the track, vehicle, and camera
+// modules. The world frame is meters, x east, y north, headings in radians
+// counter-clockwise from +x.
+#pragma once
+
+#include <cmath>
+
+namespace autolearn::track {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double k) const { return {x * k, y * k}; }
+  Vec2 operator/(double k) const { return {x / k, y / k}; }
+  Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+
+  double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+  /// z-component of the 3D cross product; >0 means o is to the left.
+  double cross(const Vec2& o) const { return x * o.y - y * o.x; }
+  double norm() const { return std::sqrt(x * x + y * y); }
+  double norm2() const { return x * x + y * y; }
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0 ? Vec2{x / n, y / n} : Vec2{0, 0};
+  }
+  /// Perpendicular (rotated +90 degrees).
+  Vec2 perp() const { return {-y, x}; }
+  Vec2 rotated(double angle) const {
+    const double c = std::cos(angle), s = std::sin(angle);
+    return {x * c - y * s, x * s + y * c};
+  }
+};
+
+inline Vec2 operator*(double k, const Vec2& v) { return v * k; }
+
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+/// Unit heading vector for an angle.
+inline Vec2 heading_vec(double heading) {
+  return {std::cos(heading), std::sin(heading)};
+}
+
+/// Wraps an angle to (-pi, pi].
+inline double wrap_angle(double a) {
+  while (a > M_PI) a -= 2 * M_PI;
+  while (a <= -M_PI) a += 2 * M_PI;
+  return a;
+}
+
+/// Smallest signed difference a - b wrapped to (-pi, pi].
+inline double angle_diff(double a, double b) { return wrap_angle(a - b); }
+
+}  // namespace autolearn::track

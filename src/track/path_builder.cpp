@@ -1,0 +1,76 @@
+#include "track/path_builder.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace autolearn::track {
+
+PathBuilder::PathBuilder(Vec2 start, double start_heading, double step)
+    : start_pos_(start),
+      start_heading_(start_heading),
+      pos_(start),
+      heading_(start_heading),
+      step_(step) {
+  if (step <= 0) throw std::invalid_argument("PathBuilder: step must be > 0");
+  emit(pos_, heading_, 0.0);
+}
+
+void PathBuilder::emit(Vec2 pos, double heading, double curvature) {
+  samples_.push_back(PathSample{pos, wrap_angle(heading), curvature, length_});
+}
+
+PathBuilder& PathBuilder::straight(double length) {
+  if (length <= 0) throw std::invalid_argument("straight: length must be > 0");
+  const Vec2 dir = heading_vec(heading_);
+  const int n = std::max(1, static_cast<int>(std::ceil(length / step_)));
+  const double s0 = length_;
+  for (int i = 1; i <= n; ++i) {
+    const double d = length * i / n;
+    length_ = s0 + d;  // from segment start, avoiding accumulation drift
+    emit(pos_ + dir * d, heading_, 0.0);
+  }
+  pos_ += dir * length;
+  return *this;
+}
+
+PathBuilder& PathBuilder::arc(double radius, double angle) {
+  if (radius <= 0) throw std::invalid_argument("arc: radius must be > 0");
+  if (angle == 0) throw std::invalid_argument("arc: angle must be nonzero");
+  const double sign = angle > 0 ? 1.0 : -1.0;
+  // Center of the turning circle is perpendicular to the heading.
+  const Vec2 center = pos_ + heading_vec(heading_).perp() * (sign * radius);
+  const double arc_len = std::abs(angle) * radius;
+  const int n = std::max(1, static_cast<int>(std::ceil(arc_len / step_)));
+  const double start_heading = heading_;
+  const double s0 = length_;
+  for (int i = 1; i <= n; ++i) {
+    const double a = angle * i / n;
+    // Position on the circle: rotate the start point around the center.
+    const Vec2 p = center + (pos_ - center).rotated(a);
+    length_ = s0 + arc_len * i / n;
+    emit(p, start_heading + a, sign / radius);
+  }
+  pos_ = center + (pos_ - center).rotated(angle);
+  heading_ = wrap_angle(start_heading + angle);
+  return *this;
+}
+
+std::vector<PathSample> PathBuilder::build(bool close_loop,
+                                           double tolerance) const {
+  if (samples_.size() < 2) {
+    throw std::logic_error("PathBuilder: path has no segments");
+  }
+  if (close_loop) {
+    const double gap = distance(pos_, start_pos_);
+    if (gap > tolerance) {
+      throw std::logic_error("PathBuilder: loop does not close (gap " +
+                             std::to_string(gap) + " m)");
+    }
+    if (std::abs(angle_diff(heading_, start_heading_)) > 0.05) {
+      throw std::logic_error("PathBuilder: loop heading does not close");
+    }
+  }
+  return samples_;
+}
+
+}  // namespace autolearn::track

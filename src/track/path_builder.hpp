@@ -1,0 +1,61 @@
+// Composes a closed centerline from straight and arc segments.
+//
+// Tracks in AutoLearn (the paper's tape oval, the Waveshare commercial
+// track, custom classroom layouts) are sequences of straights and constant-
+// radius arcs. The builder walks segments from a start pose and emits a
+// densely sampled polyline with exact headings and curvatures, which Track
+// then indexes by arc length.
+#pragma once
+
+#include <vector>
+
+#include "track/geometry.hpp"
+
+namespace autolearn::track {
+
+/// One densely-sampled point of a centerline.
+struct PathSample {
+  Vec2 pos;
+  double heading = 0.0;    // radians, CCW from +x
+  double curvature = 0.0;  // 1/m, >0 turning left
+  double s = 0.0;          // cumulative arc length from path start
+};
+
+class PathBuilder {
+ public:
+  /// step: sampling interval along the path in meters.
+  explicit PathBuilder(Vec2 start = {0, 0}, double start_heading = 0.0,
+                       double step = 0.02);
+
+  /// Appends a straight segment of the given length (> 0).
+  PathBuilder& straight(double length);
+
+  /// Appends a constant-radius arc. radius > 0; angle in radians, positive
+  /// turns left (CCW), negative turns right. |angle| may exceed 2*pi.
+  PathBuilder& arc(double radius, double angle);
+
+  /// Total length laid down so far.
+  double length() const { return length_; }
+
+  /// Current pen pose (useful for asserting a layout closes).
+  Vec2 position() const { return pos_; }
+  double heading() const { return heading_; }
+
+  /// Finishes the path. If close_loop, verifies the pen returned to the
+  /// start (within tolerance) and marks the path closed; throws otherwise.
+  std::vector<PathSample> build(bool close_loop = true,
+                                double tolerance = 0.05) const;
+
+ private:
+  void emit(Vec2 pos, double heading, double curvature);
+
+  std::vector<PathSample> samples_;
+  Vec2 start_pos_;
+  double start_heading_;
+  Vec2 pos_;
+  double heading_;
+  double step_;
+  double length_ = 0.0;
+};
+
+}  // namespace autolearn::track

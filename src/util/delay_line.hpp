@@ -1,0 +1,75 @@
+// Fixed-timestep latency pipeline.
+//
+// The closed-loop driving simulation advances with a fixed control period.
+// Latency anywhere in the loop (camera capture, network RTT to the cloud,
+// inference time, actuation lag) is modeled by pushing values into a
+// DelayLine and reading them back `delay` seconds later. A value pushed at
+// step k with delay d becomes visible at the first step whose time is
+// >= t(k) + d; until the first value matures, a caller-provided default is
+// returned.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <stdexcept>
+
+namespace autolearn::util {
+
+template <typename T>
+class DelayLine {
+ public:
+  /// dt: control period in seconds. initial: value reported before the
+  /// first pushed value matures.
+  DelayLine(double dt, T initial) : dt_(dt), current_(std::move(initial)) {
+    if (dt <= 0) throw std::invalid_argument("DelayLine: dt must be > 0");
+  }
+
+  /// Pushes a value produced now that becomes visible after `delay` secs.
+  /// Values must be pushed in time order; delays may vary per push
+  /// (e.g. jittered network latency). If a later push matures before an
+  /// earlier one (out-of-order delivery), the stale value is dropped when
+  /// the fresher one matures — matching a control loop that always uses
+  /// the newest command available.
+  void push(T value, double delay) {
+    if (delay < 0) throw std::invalid_argument("DelayLine: negative delay");
+    pending_.push_back(Entry{now_ + delay, std::move(value)});
+  }
+
+  /// Advances one control period and returns the freshest matured value
+  /// (or the previous/initial value if nothing matured yet).
+  const T& step() {
+    now_ += dt_;
+    // Take the latest entry with ready_time <= now, dropping everything
+    // older than it.
+    std::size_t last_ready = pending_.size();
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      // Epsilon absorbs accumulated floating error from repeated += dt so a
+      // delay that is an exact multiple of dt matures on the expected step.
+      if (pending_[i].ready_time <= now_ + 1e-9) last_ready = i;
+    }
+    if (last_ready != pending_.size()) {
+      current_ = std::move(pending_[last_ready].value);
+      pending_.erase(pending_.begin(),
+                     pending_.begin() + static_cast<std::ptrdiff_t>(last_ready) + 1);
+    }
+    return current_;
+  }
+
+  /// Freshest matured value without advancing time.
+  const T& value() const { return current_; }
+
+  double now() const { return now_; }
+  std::size_t in_flight() const { return pending_.size(); }
+
+ private:
+  struct Entry {
+    double ready_time;
+    T value;
+  };
+  double dt_;
+  double now_ = 0.0;
+  T current_;
+  std::deque<Entry> pending_;
+};
+
+}  // namespace autolearn::util

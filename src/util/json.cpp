@@ -1,0 +1,386 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <cmath>
+#include <cstdio>
+
+namespace autolearn::util {
+
+bool Json::as_bool() const {
+  if (type_ != Type::Bool) throw JsonError("json: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::Number) throw JsonError("json: not a number");
+  return num_;
+}
+
+long long Json::as_int() const {
+  return static_cast<long long>(std::llround(as_number()));
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::String) throw JsonError("json: not a string");
+  return str_;
+}
+
+const JsonArray& Json::as_array() const {
+  if (type_ != Type::Array) throw JsonError("json: not an array");
+  return arr_;
+}
+
+JsonArray& Json::as_array() {
+  if (type_ != Type::Array) throw JsonError("json: not an array");
+  return arr_;
+}
+
+const JsonObject& Json::as_object() const {
+  if (type_ != Type::Object) throw JsonError("json: not an object");
+  return obj_;
+}
+
+JsonObject& Json::as_object() {
+  if (type_ != Type::Object) throw JsonError("json: not an object");
+  return obj_;
+}
+
+const Json* Json::get(const std::string& key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = get(key);
+  if (!v) throw JsonError("json: missing key '" + key + "'");
+  return *v;
+}
+
+void Json::set(const std::string& key, Json value) {
+  if (type_ != Type::Object) throw JsonError("json: not an object");
+  for (auto& [k, v] : obj_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(value));
+}
+
+void Json::push_back(Json value) {
+  if (type_ != Type::Array) throw JsonError("json: not an array");
+  arr_.push_back(std::move(value));
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::Array) return arr_.size();
+  if (type_ == Type::Object) return obj_.size();
+  throw JsonError("json: size() on scalar");
+}
+
+const Json& Json::operator[](std::size_t i) const {
+  const auto& a = as_array();
+  if (i >= a.size()) throw JsonError("json: index out of range");
+  return a[i];
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::Null: return true;
+    case Type::Bool: return bool_ == other.bool_;
+    case Type::Number: return num_ == other.num_;
+    case Type::String: return str_ == other.str_;
+    case Type::Array: return arr_ == other.arr_;
+    case Type::Object: return obj_ == other.obj_;
+  }
+  return false;
+}
+
+namespace {
+
+void escape_to(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_to(std::string& out, double v) {
+  if (v == std::llround(v) && std::abs(v) < 1e15) {
+    out += std::to_string(std::llround(v));
+    return;
+  }
+  // Shortest decimal representation that round-trips, so serialized files
+  // are stable across parse/dump cycles.
+  char buf[40];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  out += buf;
+}
+
+}  // namespace
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent * (depth + 1)), ' ')
+                 : "";
+  const std::string pad_close =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent * depth), ' ') : "";
+  switch (type_) {
+    case Type::Null: out += "null"; break;
+    case Type::Bool: out += bool_ ? "true" : "false"; break;
+    case Type::Number: number_to(out, num_); break;
+    case Type::String: escape_to(out, str_); break;
+    case Type::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        out += pad;
+        arr_[i].dump_impl(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) out += pad_close;
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        out += pad;
+        escape_to(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_impl(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) out += pad_close;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw JsonError("json parse error at offset " + std::to_string(pos_) +
+                    ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (s_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return Json(string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("bad literal");
+      default: return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    JsonObject obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Json(std::move(obj));
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+  Json array() {
+    expect('[');
+    JsonArray arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      arr.push_back(value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Json(std::move(arr));
+      }
+      fail("expected ',' or ']'");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit");
+            }
+            // Encode BMP code point as UTF-8 (surrogate pairs unsupported —
+            // metadata in this codebase is ASCII).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    double out = 0;
+    const auto res = std::from_chars(s_.data() + start, s_.data() + pos_, out);
+    if (res.ec != std::errc() || res.ptr != s_.data() + pos_ || pos_ == start) {
+      fail("bad number");
+    }
+    return Json(out);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace autolearn::util

@@ -1,0 +1,99 @@
+// Minimal JSON value, parser, and serializer.
+//
+// The tub data format (catalog / catalog_manifest / manifest.json files),
+// hub artifact metadata, and model checkpoints store structured metadata as
+// JSON. This is a small, strict implementation: UTF-8 pass-through strings,
+// doubles for all numbers, ordered object keys (insertion order preserved
+// so files round-trip stably).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace autolearn::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// Object preserving insertion order (vector of pairs, linear lookup —
+/// objects in this codebase are small).
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  Json(double d) : type_(Type::Number), num_(d) {}
+  Json(int i) : type_(Type::Number), num_(i) {}
+  Json(long long i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(std::size_t i) : type_(Type::Number), num_(static_cast<double>(i)) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_bool() const { return type_ == Type::Bool; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const;
+  double as_number() const;
+  long long as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object access. get() returns nullptr when the key is absent.
+  const Json* get(const std::string& key) const;
+  /// Throws JsonError when absent.
+  const Json& at(const std::string& key) const;
+  /// Inserts or replaces.
+  void set(const std::string& key, Json value);
+  bool contains(const std::string& key) const { return get(key) != nullptr; }
+
+  /// Array append.
+  void push_back(Json value);
+  std::size_t size() const;
+  const Json& operator[](std::size_t i) const;
+
+  /// Serializes compactly; indent > 0 pretty-prints.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parser; throws JsonError with an offset on malformed input.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+}  // namespace autolearn::util

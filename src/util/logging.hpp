@@ -1,0 +1,45 @@
+// Leveled logging with a process-global threshold.
+//
+// Simulation components log orchestration events (lease granted, container
+// started, transfer finished) at Info; benches usually raise the threshold
+// to Warn so tables stay clean. Logging is synchronized so interleaved
+// worker threads produce whole lines.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace autolearn::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Sets/gets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line "[LEVEL] component: message" to stderr.
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style helper: LOG(Info, "edge") << "device " << id << " ready";
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, os_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace autolearn::util
+
+#define AUTOLEARN_LOG(level, component) \
+  ::autolearn::util::LogStream(::autolearn::util::LogLevel::level, component)

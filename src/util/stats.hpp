@@ -1,0 +1,53 @@
+// Streaming and batch statistics used by the evaluation harness and the
+// benchmark tables: online mean/variance (Welford), min/max, and
+// percentiles over collected samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace autolearn::util {
+
+/// Welford online accumulator: O(1) memory mean/variance/min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merges another accumulator (parallel reduction).
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with percentile queries (keeps all values).
+class Samples {
+ public:
+  void add(double x) { values_.push_back(x); }
+  std::size_t count() const { return values_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolation percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace autolearn::util

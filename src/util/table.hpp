@@ -1,0 +1,37 @@
+// Monospace table rendering for benchmark output.
+//
+// Every experiment bench prints its paper-style result table through this
+// one printer so EXPERIMENTS.md rows can be copied verbatim from bench
+// output. Columns auto-size; numeric cells are right-aligned.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace autolearn::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+  /// Integer cell.
+  static std::string num(long long v);
+
+  /// Renders with a header rule and column separators.
+  void print(std::ostream& os, const std::string& title = "") const;
+  std::string to_string(const std::string& title = "") const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace autolearn::util

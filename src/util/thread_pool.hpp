@@ -1,0 +1,67 @@
+// RAII worker-thread pool with a blocking parallel_for.
+//
+// Follows the Core Guidelines concurrency rules: threads are joined in the
+// destructor (never detached), all shared state is guarded by scoped locks,
+// and user tasks never run while pool-internal locks are held.
+//
+// AutoLearn uses the pool for data-parallel inner loops (GEMM and
+// convolution in ml/, dataset generation in data/), so the primary
+// primitive is parallel_for over an index range with static chunking.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace autolearn::util {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers. Pending tasks are drained before shutdown.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future observes completion/exceptions.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for every i in [begin, end), partitioned into contiguous
+  /// chunks across the workers plus the calling thread. Blocks until all
+  /// iterations finish. Exceptions from fn propagate to the caller
+  /// (the first one observed).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Chunked variant: fn(chunk_begin, chunk_end) — lower overhead when the
+  /// body is a tight loop.
+  void parallel_for_chunks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide shared pool, created on first use with default size.
+  /// Use for library internals so each training run does not spawn its
+  /// own set of workers.
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace autolearn::util

@@ -1,0 +1,22 @@
+// Unit helpers. The paper specifies the default track in inches (inner line
+// 330 in, outer 509 in, average width 27.59 in); the simulation works in
+// meters and seconds throughout.
+#pragma once
+
+namespace autolearn::util {
+
+inline constexpr double kMetersPerInch = 0.0254;
+
+constexpr double inches_to_meters(double in) { return in * kMetersPerInch; }
+constexpr double meters_to_inches(double m) { return m / kMetersPerInch; }
+
+constexpr double ms_to_s(double ms) { return ms / 1000.0; }
+constexpr double s_to_ms(double s) { return s * 1000.0; }
+
+constexpr double mph_to_mps(double mph) { return mph * 0.44704; }
+
+constexpr double kib(double n) { return n * 1024.0; }
+constexpr double mib(double n) { return n * 1024.0 * 1024.0; }
+constexpr double gib(double n) { return n * 1024.0 * 1024.0 * 1024.0; }
+
+}  // namespace autolearn::util

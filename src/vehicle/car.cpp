@@ -1,0 +1,96 @@
+#include "vehicle/car.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autolearn::vehicle {
+
+DriveCommand DriveCommand::clamped() const {
+  return DriveCommand{std::clamp(steering, -1.0, 1.0),
+                      std::clamp(throttle, -1.0, 1.0)};
+}
+
+NoiseProfile NoiseProfile::sim() { return NoiseProfile{}; }
+
+NoiseProfile NoiseProfile::real_car() {
+  NoiseProfile p;
+  p.steering_noise = 0.015;  // servo chatter + surface irregularity
+  p.steering_bias = 0.02;    // slightly off-center trim
+  p.throttle_noise = 0.04;   // battery sag / ESC granularity
+  p.position_noise = 0.002;  // wheel slip, carpet fibers
+  p.grip_limit = 4.0;        // m/s^2 before the tires wash out
+  return p;
+}
+
+Car::Car(CarConfig config, util::Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.wheelbase <= 0 || config_.max_wheel_angle <= 0 ||
+      config_.max_speed <= 0 || config_.steer_tau <= 0 ||
+      config_.speed_tau <= 0 || config_.brake_tau <= 0) {
+    throw std::invalid_argument("CarConfig: non-positive parameter");
+  }
+}
+
+void Car::reset(const track::Vec2& pos, double heading, double speed) {
+  state_ = CarState{};
+  state_.pos = pos;
+  state_.heading = track::wrap_angle(heading);
+  state_.speed = std::max(0.0, speed);
+}
+
+double Car::lateral_accel() const {
+  const double kappa = std::tan(state_.wheel_angle) / config_.wheelbase;
+  return state_.speed * state_.speed * std::abs(kappa);
+}
+
+void Car::step(const DriveCommand& raw, double dt) {
+  if (dt <= 0) throw std::invalid_argument("Car::step: dt must be > 0");
+  const DriveCommand cmd = raw.clamped();
+  const NoiseProfile& nz = config_.noise;
+
+  // Servo: first-order lag toward the commanded wheel angle, plus the real
+  // car's bias and chatter.
+  double target_angle = cmd.steering * config_.max_wheel_angle;
+  target_angle += nz.steering_bias;
+  if (nz.steering_noise > 0) target_angle += rng_.normal(0, nz.steering_noise);
+  const double ka = std::min(1.0, dt / config_.steer_tau);
+  state_.wheel_angle += (target_angle - state_.wheel_angle) * ka;
+  state_.wheel_angle = std::clamp(state_.wheel_angle,
+                                  -config_.max_wheel_angle * 1.2,
+                                  config_.max_wheel_angle * 1.2);
+
+  // Drivetrain: throttle >= 0 sets a speed target; negative throttle brakes
+  // toward zero (no reverse in closed-loop driving).
+  double target_speed =
+      cmd.throttle >= 0 ? cmd.throttle * config_.max_speed : 0.0;
+  if (nz.throttle_noise > 0) {
+    target_speed *= std::max(0.0, 1.0 + rng_.normal(0, nz.throttle_noise));
+  }
+  const double tau =
+      target_speed < state_.speed ? config_.brake_tau : config_.speed_tau;
+  const double kv = std::min(1.0, dt / tau);
+  state_.speed += (target_speed - state_.speed) * kv;
+  state_.speed = std::max(0.0, state_.speed);
+
+  // Tire slip: beyond the grip limit the front washes out and the
+  // effective steering angle shrinks (understeer).
+  double effective_angle = state_.wheel_angle;
+  const double a_lat = lateral_accel();
+  if (a_lat > nz.grip_limit) {
+    effective_angle *= nz.grip_limit / a_lat;
+  }
+
+  // Kinematic bicycle pose integration.
+  const double yaw_rate =
+      state_.speed * std::tan(effective_angle) / config_.wheelbase;
+  state_.heading = track::wrap_angle(state_.heading + yaw_rate * dt);
+  state_.pos += track::heading_vec(state_.heading) * (state_.speed * dt);
+
+  if (nz.position_noise > 0) {
+    state_.pos += track::Vec2{rng_.normal(0, nz.position_noise),
+                              rng_.normal(0, nz.position_noise)};
+  }
+}
+
+}  // namespace autolearn::vehicle

@@ -1,0 +1,81 @@
+// Small-scale self-driving car dynamics (DonkeyCar analogue).
+//
+// The car is a kinematic bicycle: steering and throttle commands in
+// [-1, 1] drive a servo-lagged wheel angle and a first-order speed
+// response; the pose integrates tan(delta)/wheelbase yaw rate. A
+// NoiseProfile distinguishes the clean Unity-style simulator ("sim") from
+// the physical car ("real"): the real profile adds steering bias and
+// noise, throttle noise, tire slip (understeer beyond the grip limit) and
+// process noise — the imperfections that make the paper's digital-twin
+// exercises interesting.
+#pragma once
+
+#include "track/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::vehicle {
+
+/// Normalized pilot output: what the joystick / web controller / model
+/// produces each control period.
+struct DriveCommand {
+  double steering = 0.0;  // [-1, 1], >0 steers left
+  double throttle = 0.0;  // [-1, 1], <0 brakes
+
+  DriveCommand clamped() const;
+};
+
+/// Full kinematic state of the car in the world frame.
+struct CarState {
+  track::Vec2 pos;            // meters
+  double heading = 0.0;       // radians CCW from +x
+  double speed = 0.0;         // m/s, >= 0
+  double wheel_angle = 0.0;   // actual (lagged) front wheel angle, radians
+};
+
+/// Actuation imperfections. All noise is per-control-step gaussian unless
+/// noted; zeros give the ideal simulator.
+struct NoiseProfile {
+  double steering_noise = 0.0;   // stddev added to the wheel angle (rad)
+  double steering_bias = 0.0;    // constant wheel-angle offset (rad)
+  double throttle_noise = 0.0;   // stddev on the speed target (fraction)
+  double position_noise = 0.0;   // stddev of per-step position jitter (m)
+  double grip_limit = 1e9;       // max lateral accel before understeer m/s^2
+
+  static NoiseProfile sim();       // ideal: all zeros, infinite grip
+  static NoiseProfile real_car();  // calibrated to a 1/16-scale RC car
+};
+
+struct CarConfig {
+  double wheelbase = 0.17;        // m (1/16-scale chassis)
+  double max_wheel_angle = 0.45;  // rad (~26 degrees)
+  double max_speed = 2.8;         // m/s at full throttle
+  double steer_tau = 0.08;        // servo first-order time constant, s
+  double speed_tau = 0.45;        // drivetrain time constant, s
+  double brake_tau = 0.25;        // faster response when slowing down
+  NoiseProfile noise = NoiseProfile::sim();
+};
+
+class Car {
+ public:
+  Car(CarConfig config, util::Rng rng);
+
+  const CarConfig& config() const { return config_; }
+  const CarState& state() const { return state_; }
+
+  /// Places the car (used to start a session at the track start line).
+  void reset(const track::Vec2& pos, double heading, double speed = 0.0);
+
+  /// Advances dt seconds under the given command. dt must be positive and
+  /// small relative to the time constants (the control loop uses 50 ms).
+  void step(const DriveCommand& cmd, double dt);
+
+  /// Lateral acceleration at the current state (v^2 * kappa).
+  double lateral_accel() const;
+
+ private:
+  CarConfig config_;
+  CarState state_;
+  util::Rng rng_;
+};
+
+}  // namespace autolearn::vehicle

@@ -1,0 +1,61 @@
+#include "vehicle/expert.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autolearn::vehicle {
+
+ExpertPilot::ExpertPilot(const track::Track& track, ExpertConfig config,
+                         util::Rng rng, CarConfig car)
+    : track_(track), config_(config), car_(car), rng_(rng) {}
+
+DriveCommand ExpertPilot::decide(const CarState& state, double dt) {
+  const track::Projection proj = track_.project(state.pos);
+
+  // --- Steering: pure pursuit toward a lookahead point ---------------
+  const double s_ahead = proj.s + config_.lookahead;
+  const track::Vec2 target = track_.position_at(s_ahead);
+  const track::Vec2 to_target = target - state.pos;
+  const double target_bearing = std::atan2(to_target.y, to_target.x);
+  const double alpha = track::angle_diff(target_bearing, state.heading);
+  const double ld = std::max(0.2, to_target.norm());
+  // Pure pursuit: wheel angle delta = atan(2 L sin(alpha) / ld).
+  const double delta =
+      std::atan2(2.0 * car_.wheelbase * std::sin(alpha), ld);
+  double steering = delta / car_.max_wheel_angle;
+
+  // --- Throttle: slow down for the sharpest curvature ahead -----------
+  double max_kappa = 0.0;
+  for (double ds = 0; ds <= config_.curvature_horizon; ds += 0.1) {
+    max_kappa = std::max(max_kappa, std::abs(track_.curvature_at(proj.s + ds)));
+  }
+  double v_target = config_.target_speed;
+  if (max_kappa > 1e-6) {
+    v_target = std::min(v_target,
+                        std::sqrt(config_.lat_accel_limit / max_kappa));
+  }
+  // Extra caution when far off line (recovering).
+  if (std::abs(proj.lateral) > 0.15) v_target *= 0.7;
+  double throttle =
+      v_target / car_.max_speed +
+      config_.speed_kp * (v_target - state.speed) / car_.max_speed;
+
+  // --- Human imperfections --------------------------------------------
+  if (config_.steering_noise > 0) {
+    steering += rng_.normal(0, config_.steering_noise);
+  }
+  if (mistake_left_ > 0) {
+    steering += mistake_sign_ * config_.mistake_magnitude;
+    mistake_left_ -= dt;
+  } else if (config_.mistake_rate > 0) {
+    const double p = config_.mistake_rate * dt / 60.0;
+    if (rng_.chance(p)) {
+      mistake_left_ = config_.mistake_duration;
+      mistake_sign_ = rng_.chance(0.5) ? 1.0 : -1.0;
+    }
+  }
+
+  return DriveCommand{steering, throttle}.clamped();
+}
+
+}  // namespace autolearn::vehicle

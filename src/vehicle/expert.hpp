@@ -1,0 +1,56 @@
+// Pure-pursuit expert pilot.
+//
+// Stands in for the human driving the car with a joystick or the DonkeyCar
+// web controller during data collection: it sees ground-truth track
+// geometry (the human sees the tape) and produces steering/throttle
+// commands. Imperfection knobs model a student driver — steering noise and
+// occasional "mistake" episodes that swerve off-line, which produce exactly
+// the bad records the paper's tubclean step must remove (E6).
+#pragma once
+
+#include "track/track.hpp"
+#include "vehicle/car.hpp"
+
+namespace autolearn::vehicle {
+
+struct ExpertConfig {
+  double lookahead = 0.55;       // pure-pursuit lookahead distance, m
+  double target_speed = 1.6;     // cruise speed on straights, m/s
+  double lat_accel_limit = 1.5;  // corner speed limit: v = sqrt(a*R), m/s^2
+  double speed_kp = 1.2;         // throttle P gain on speed error
+  double curvature_horizon = 1.0;  // how far ahead to scan for corners, m
+
+  // Human-imperfection knobs (zero for a perfect demonstration).
+  double steering_noise = 0.0;   // stddev added to the steering command
+  double mistake_rate = 0.0;     // mistakes per simulated minute
+  double mistake_duration = 0.8; // seconds a mistake episode lasts
+  double mistake_magnitude = 0.7;  // steering offset during the episode
+};
+
+class ExpertPilot {
+ public:
+  /// car describes the chassis being driven (wheelbase and limits are used
+  /// to convert geometry into normalized commands).
+  ExpertPilot(const track::Track& track, ExpertConfig config, util::Rng rng,
+              CarConfig car = CarConfig{});
+
+  /// Computes the next command for the car's true state. dt is the control
+  /// period (used to advance the mistake process).
+  DriveCommand decide(const CarState& state, double dt);
+
+  /// True while a mistake episode is active — the data generator tags these
+  /// records so tests can verify tubclean finds them.
+  bool in_mistake() const { return mistake_left_ > 0; }
+
+  const ExpertConfig& config() const { return config_; }
+
+ private:
+  const track::Track& track_;
+  ExpertConfig config_;
+  CarConfig car_;
+  util::Rng rng_;
+  double mistake_left_ = 0.0;
+  double mistake_sign_ = 1.0;
+};
+
+}  // namespace autolearn::vehicle

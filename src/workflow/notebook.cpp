@@ -1,0 +1,74 @@
+#include "workflow/notebook.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::workflow {
+
+const char* to_string(CellStatus s) {
+  switch (s) {
+    case CellStatus::NotRun: return "not-run";
+    case CellStatus::Ok: return "ok";
+    case CellStatus::Error: return "error";
+  }
+  return "?";
+}
+
+Notebook::Notebook(std::string title) : title_(std::move(title)) {}
+
+std::size_t Notebook::add_cell(std::string label,
+                               std::function<std::string()> body) {
+  if (!body) throw std::invalid_argument("notebook: empty cell body");
+  Cell cell;
+  cell.label = std::move(label);
+  cell.body = std::move(body);
+  cells_.push_back(std::move(cell));
+  return cells_.size() - 1;
+}
+
+const Cell& Notebook::cell(std::size_t index) const {
+  if (index >= cells_.size()) {
+    throw std::out_of_range("notebook: bad cell index");
+  }
+  return cells_[index];
+}
+
+bool Notebook::run_cell(std::size_t index) {
+  if (index >= cells_.size()) {
+    throw std::out_of_range("notebook: bad cell index");
+  }
+  Cell& c = cells_[index];
+  try {
+    c.output = c.body();
+    c.status = CellStatus::Ok;
+    if (on_success_) on_success_(c);
+    return true;
+  } catch (const std::exception& e) {
+    c.output = std::string("error: ") + e.what();
+    c.status = CellStatus::Error;
+    return false;
+  }
+}
+
+std::size_t Notebook::run_all() {
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!run_cell(i)) break;
+    ++ok;
+  }
+  return ok;
+}
+
+void Notebook::clear_state() {
+  for (Cell& c : cells_) {
+    c.status = CellStatus::NotRun;
+    c.output.clear();
+  }
+}
+
+std::size_t Notebook::cells_ok() const {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) n += c.status == CellStatus::Ok;
+  return n;
+}
+
+}  // namespace autolearn::workflow

@@ -1,0 +1,68 @@
+// Jupyter-notebook workflow engine (§3.5: "combining [configuration] in
+// Jupyter cells that can be executed with one click" gives the "zero to
+// ready" pathway).
+//
+// A Notebook is an ordered list of cells; each cell wraps a callable that
+// returns its text output. run_all executes cells in order and stops at
+// the first failure, mirroring notebook semantics. Cell status and output
+// are retained for inspection, and executions can be reported to a hub
+// artifact for the §5 metrics.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace autolearn::workflow {
+
+enum class CellStatus { NotRun, Ok, Error };
+
+const char* to_string(CellStatus s);
+
+struct Cell {
+  std::string label;
+  std::function<std::string()> body;
+  CellStatus status = CellStatus::NotRun;
+  std::string output;
+};
+
+class Notebook {
+ public:
+  explicit Notebook(std::string title);
+
+  const std::string& title() const { return title_; }
+
+  /// Appends a cell; returns its index.
+  std::size_t add_cell(std::string label, std::function<std::string()> body);
+
+  std::size_t cell_count() const { return cells_.size(); }
+  const Cell& cell(std::size_t index) const;
+
+  /// Runs one cell ("executing one cell in the corresponding Jupyter
+  /// notebook"); captures output or the exception message. Returns success.
+  bool run_cell(std::size_t index);
+
+  /// Runs all cells in order, stopping at the first error. Returns the
+  /// number of cells that ran successfully.
+  std::size_t run_all();
+
+  /// Resets all cells to NotRun.
+  void clear_state();
+
+  std::size_t cells_ok() const;
+  bool all_ok() const { return cells_ok() == cells_.size(); }
+
+  /// Callback invoked after every successful cell run (e.g. to record a
+  /// hub cell-execution event).
+  void set_on_cell_success(std::function<void(const Cell&)> cb) {
+    on_success_ = std::move(cb);
+  }
+
+ private:
+  std::string title_;
+  std::vector<Cell> cells_;
+  std::function<void(const Cell&)> on_success_;
+};
+
+}  // namespace autolearn::workflow

@@ -1,0 +1,212 @@
+// Tests for the competition engine, the speed governor (the Fowler SC'23
+// poster's reliability idea), and the pre-trained model zoo.
+#include <gtest/gtest.h>
+
+#include "core/competition.hpp"
+#include "core/model_zoo.hpp"
+#include "core/speed_governor.hpp"
+#include "cv/pilots.hpp"
+#include "ml/trainer.hpp"
+#include "track/track.hpp"
+
+namespace autolearn::core {
+namespace {
+
+/// Deterministic dummy pilot with a fixed command.
+class FixedPilot : public eval::Pilot {
+ public:
+  FixedPilot(double steering, double throttle, std::string name)
+      : cmd_{steering, throttle}, name_(std::move(name)) {}
+  vehicle::DriveCommand act(const camera::Image&) override { return cmd_; }
+  void reset() override {}
+  std::string name() const override { return name_; }
+
+ private:
+  vehicle::DriveCommand cmd_;
+  std::string name_;
+};
+
+// --- competition -------------------------------------------------------------
+
+TEST(Competition, Validation) {
+  Competition comp;
+  EXPECT_THROW(comp.add_entrant({"", nullptr}), std::invalid_argument);
+  EXPECT_THROW(comp.run(), std::logic_error);  // nothing registered
+  cv::LineFollowPilot pilot;
+  comp.add_entrant({"team-a", [&]() -> eval::Pilot& { return pilot; }});
+  EXPECT_THROW(
+      comp.add_entrant({"team-a", [&]() -> eval::Pilot& { return pilot; }}),
+      std::invalid_argument);  // duplicate
+  EXPECT_THROW(comp.add_round(nullptr, {}), std::invalid_argument);
+  EXPECT_THROW(comp.run(), std::logic_error);  // no rounds
+}
+
+TEST(Competition, BetterPilotWinsSpeedAccuracy) {
+  const track::Track oval = track::Track::paper_oval();
+  Competition comp(ScoringRule::SpeedAccuracy);
+  cv::LineFollowPilot good;
+  FixedPilot bad(0.0, 0.8, "straight");
+  comp.add_entrant({"line-followers", [&]() -> eval::Pilot& { return good; }});
+  comp.add_entrant({"full-send", [&]() -> eval::Pilot& { return bad; }});
+  eval::EvalOptions opt;
+  opt.duration_s = 30.0;
+  comp.add_round(&oval, opt);
+  const auto standings = comp.run();
+  ASSERT_EQ(standings.size(), 2u);
+  EXPECT_EQ(standings[0].team, "line-followers");
+  EXPECT_GT(standings[0].total_score, standings[1].total_score);
+  EXPECT_LT(standings[0].total_errors, standings[1].total_errors);
+  EXPECT_EQ(comp.round_results().size(), 2u);
+}
+
+TEST(Competition, GeneralistUsesRankSum) {
+  const track::Track oval = track::Track::paper_oval();
+  const track::Track square = track::Track::square_loop();
+  Competition comp(ScoringRule::Generalist);
+  cv::LineFollowPilot a, b;
+  cv::LineFollowConfig slow_cfg;
+  slow_cfg.throttle = 0.25;
+  cv::LineFollowPilot slow(slow_cfg);
+  comp.add_entrant({"fast", [&]() -> eval::Pilot& { return a; }});
+  comp.add_entrant({"slow", [&]() -> eval::Pilot& { return slow; }});
+  eval::EvalOptions opt;
+  opt.duration_s = 20.0;
+  comp.add_round(&oval, opt);
+  comp.add_round(&square, opt);
+  const auto standings = comp.run();
+  ASSERT_EQ(standings.size(), 2u);
+  // The consistently faster pilot has the lower rank sum.
+  EXPECT_EQ(standings[0].team, "fast");
+  EXPECT_LT(standings[0].rank_sum, standings[1].rank_sum);
+  EXPECT_EQ(standings[0].rounds, 2u);
+}
+
+// --- speed governor -------------------------------------------------------------
+
+TEST(SpeedGovernor, Validation) {
+  cv::LineFollowPilot inner;
+  GovernorConfig bad;
+  bad.target_speed = 0;
+  EXPECT_THROW(SpeedGovernedPilot(inner, bad), std::invalid_argument);
+}
+
+TEST(SpeedGovernor, TracksTargetSpeed) {
+  const track::Track t = track::Track::paper_oval();
+  cv::LineFollowPilot inner;
+  GovernorConfig cfg;
+  cfg.target_speed = 1.1;
+  SpeedGovernedPilot pilot(inner, cfg);
+  eval::EvalOptions opt;
+  opt.duration_s = 45.0;
+  const eval::EvalResult r = run_governed_evaluation(t, pilot, opt);
+  EXPECT_GT(r.laps, 1.0);
+  // Mean speed lands near the target (start-up transient drags it down a
+  // little).
+  EXPECT_NEAR(r.mean_speed, cfg.target_speed, 0.15);
+}
+
+TEST(SpeedGovernor, ImprovesLapConsistency) {
+  const track::Track t = track::Track::paper_oval();
+  eval::EvalOptions opt;
+  opt.duration_s = 120.0;
+  opt.real_profiles = true;  // noise is what makes laps inconsistent
+
+  cv::LineFollowPilot raw;
+  const eval::EvalResult ungoverned = eval::run_evaluation(t, raw, opt);
+
+  cv::LineFollowPilot inner;
+  GovernorConfig cfg;
+  cfg.target_speed = 1.05;
+  SpeedGovernedPilot governed(inner, cfg);
+  const eval::EvalResult governed_r = run_governed_evaluation(t, governed, opt);
+
+  ASSERT_GE(ungoverned.lap_times.size(), 2u);
+  ASSERT_GE(governed_r.lap_times.size(), 2u);
+  // The governed car's lap times are at least as consistent.
+  EXPECT_LE(lap_time_stddev(governed_r), lap_time_stddev(ungoverned) + 0.05);
+}
+
+TEST(SpeedGovernor, LapTimeStddev) {
+  eval::EvalResult r;
+  EXPECT_EQ(lap_time_stddev(r), 0.0);
+  r.lap_times = {10.0};
+  EXPECT_EQ(lap_time_stddev(r), 0.0);
+  r.lap_times = {10.0, 12.0};
+  EXPECT_NEAR(lap_time_stddev(r), std::sqrt(2.0), 1e-9);
+}
+
+TEST(SpeedGovernor, NameAndReset) {
+  cv::LineFollowPilot inner;
+  SpeedGovernedPilot pilot(inner);
+  EXPECT_EQ(pilot.name(), "line-follow+governor");
+  pilot.set_measured_speed(2.0);
+  pilot.reset();
+  // After reset the governor assumes a standing start again.
+  camera::Image frame(32, 24, 0.4f);
+  const vehicle::DriveCommand cmd = pilot.act(frame);
+  EXPECT_GT(cmd.throttle, 0.0);  // accelerating from rest toward the target
+}
+
+// --- model zoo -----------------------------------------------------------------
+
+TEST(ModelZoo, PublishListLoadRoundTrip) {
+  objectstore::ObjectStore store;
+  ModelZoo zoo(store);
+  auto model = ml::make_model(ml::ModelType::Inferred);
+  const auto v = zoo.publish("inferred-oval", *model, "paper-oval", 0.004,
+                             0.065);
+  EXPECT_EQ(v, 1u);
+  EXPECT_TRUE(zoo.contains("inferred-oval"));
+  EXPECT_FALSE(zoo.contains("ghost"));
+
+  const auto entries = zoo.list();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].type, ml::ModelType::Inferred);
+  EXPECT_EQ(entries[0].track, "paper-oval");
+  EXPECT_NEAR(entries[0].steering_mae, 0.065, 1e-9);
+
+  auto restored = zoo.load("inferred-oval");
+  EXPECT_EQ(restored->type(), ml::ModelType::Inferred);
+  // Same weights -> same predictions.
+  camera::Image frame(32, 24, 0.5f);
+  ml::Sample s;
+  s.frames = {frame};
+  EXPECT_NEAR(restored->predict(s).steering, model->predict(s).steering,
+              1e-6);
+}
+
+TEST(ModelZoo, RepublishBumpsVersion) {
+  objectstore::ObjectStore store;
+  ModelZoo zoo(store);
+  auto model = ml::make_model(ml::ModelType::Linear);
+  EXPECT_EQ(zoo.publish("m", *model, "oval", 0.1, 0.1), 1u);
+  EXPECT_EQ(zoo.publish("m", *model, "oval", 0.05, 0.08), 2u);
+  EXPECT_EQ(zoo.list().size(), 1u);
+  EXPECT_EQ(zoo.list()[0].version, 2u);
+}
+
+TEST(ModelZoo, FiltersAndBestForTrack) {
+  objectstore::ObjectStore store;
+  ModelZoo zoo(store);
+  auto linear = ml::make_model(ml::ModelType::Linear);
+  auto inferred = ml::make_model(ml::ModelType::Inferred);
+  zoo.publish("lin-oval", *linear, "paper-oval", 0.01, 0.08);
+  zoo.publish("inf-oval", *inferred, "paper-oval", 0.02, 0.06);
+  zoo.publish("lin-wave", *linear, "waveshare", 0.03, 0.09);
+
+  EXPECT_EQ(zoo.list_by_type(ml::ModelType::Linear).size(), 2u);
+  const auto best = zoo.best_for_track("paper-oval");
+  ASSERT_TRUE(best);
+  EXPECT_EQ(best->name, "inf-oval");  // lower MAE wins
+  EXPECT_FALSE(zoo.best_for_track("mars").has_value());
+  EXPECT_THROW(zoo.load("nope"), std::invalid_argument);
+}
+
+TEST(ModelZoo, ReusesExistingContainer) {
+  objectstore::ObjectStore store;
+  store.create_container("models");
+  EXPECT_NO_THROW(ModelZoo zoo(store));  // no duplicate-container throw
+}
+
+}  // namespace
+}  // namespace autolearn::core

@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "camera/camera.hpp"
+#include "cv/features.hpp"
+#include "cv/pilots.hpp"
+#include "eval/evaluator.hpp"
+#include "track/track.hpp"
+#include "vehicle/car.hpp"
+
+namespace autolearn::cv {
+namespace {
+
+camera::Image uniform(std::size_t w, std::size_t h, float v) {
+  return camera::Image(w, h, v);
+}
+
+TEST(Sobel, FlatImageHasZeroGradient) {
+  const camera::Image grad = sobel_magnitude(uniform(8, 8, 0.5f));
+  for (float p : grad.pixels()) EXPECT_FLOAT_EQ(p, 0.0f);
+}
+
+TEST(Sobel, VerticalEdgeDetected) {
+  camera::Image img(8, 8, 0.0f);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 4; x < 8; ++x) img.at(x, y) = 1.0f;
+  }
+  const camera::Image grad = sobel_magnitude(img);
+  // Gradient peaks along the boundary columns.
+  EXPECT_GT(grad.at(3, 4), 1.0f);
+  EXPECT_GT(grad.at(4, 4), 1.0f);
+  EXPECT_FLOAT_EQ(grad.at(1, 4), 0.0f);
+  EXPECT_FLOAT_EQ(grad.at(6, 4), 0.0f);
+}
+
+TEST(Sobel, TinyImagesSafe) {
+  EXPECT_NO_THROW(sobel_magnitude(uniform(2, 2, 0.3f)));
+  EXPECT_NO_THROW(sobel_magnitude(uniform(1, 5, 0.3f)));
+}
+
+TEST(EdgeMap, Binarizes) {
+  camera::Image img(8, 8, 0.0f);
+  for (std::size_t y = 0; y < 8; ++y) img.at(4, y) = 1.0f;
+  const camera::Image edges = edge_map(img, 0.5f);
+  for (float p : edges.pixels()) {
+    EXPECT_TRUE(p == 0.0f || p == 1.0f);
+  }
+  EXPECT_GT(edges.at(3, 4) + edges.at(4, 4) + edges.at(5, 4), 0.0f);
+}
+
+TEST(LaneCenter, MidpointOfTapePixels) {
+  camera::Image img(16, 4, 0.2f);
+  img.at(2, 2) = 0.9f;   // left tape
+  img.at(12, 2) = 0.9f;  // right tape
+  const auto center = row_lane_center(img, 2);
+  ASSERT_TRUE(center);
+  EXPECT_DOUBLE_EQ(*center, 7.0);
+}
+
+TEST(LaneCenter, MissingTapeGivesNullopt) {
+  const camera::Image img = uniform(16, 4, 0.2f);
+  EXPECT_FALSE(row_lane_center(img, 1).has_value());
+  EXPECT_FALSE(row_lane_center(img, 99).has_value());
+  // A single tape pixel is not enough to define a centre.
+  camera::Image one(16, 4, 0.2f);
+  one.at(5, 1) = 0.9f;
+  EXPECT_FALSE(row_lane_center(one, 1).has_value());
+}
+
+TEST(LaneCenter, OffsetSignMatchesGeometry) {
+  const track::Track t = track::Track::paper_oval();
+  camera::Camera cam(camera::CameraConfig{}, util::Rng(1));
+  // Car displaced left of the centerline: the lane centre appears right of
+  // the image centre -> positive offset.
+  vehicle::CarState st;
+  const double s = 0.8;
+  st.pos = t.position_at(s) +
+           track::heading_vec(t.heading_at(s)).perp() * 0.15;
+  st.heading = t.heading_at(s);
+  const auto offset = lane_center_offset(cam.render(t, st));
+  ASSERT_TRUE(offset);
+  EXPECT_GT(*offset, 0.02);
+
+  st.pos = t.position_at(s) -
+           track::heading_vec(t.heading_at(s)).perp() * 0.15;
+  const auto offset_right = lane_center_offset(cam.render(t, st));
+  ASSERT_TRUE(offset_right);
+  EXPECT_LT(*offset_right, -0.02);
+}
+
+TEST(Blobs, FindsIsolatedRegions) {
+  camera::Image img(16, 16, 0.0f);
+  for (std::size_t y = 2; y < 5; ++y) {
+    for (std::size_t x = 2; x < 5; ++x) img.at(x, y) = 0.9f;
+  }
+  for (std::size_t y = 10; y < 14; ++y) {
+    for (std::size_t x = 10, xe = 14; x < xe; ++x) img.at(x, y) = 0.8f;
+  }
+  const auto blobs = find_blobs(img, 0.5f, 4);
+  ASSERT_EQ(blobs.size(), 2u);
+  EXPECT_EQ(blobs[0].pixels, 9u);
+  EXPECT_EQ(blobs[1].pixels, 16u);
+  EXPECT_NEAR(blobs[0].center_x(), 3.0, 1e-9);
+  EXPECT_NEAR(blobs[1].mean_intensity, 0.8, 1e-5);
+}
+
+TEST(Blobs, MinPixelsFilters) {
+  camera::Image img(8, 8, 0.0f);
+  img.at(1, 1) = 0.9f;  // single pixel
+  EXPECT_TRUE(find_blobs(img, 0.5f, 4).empty());
+  EXPECT_EQ(find_blobs(img, 0.5f, 1).size(), 1u);
+}
+
+TEST(Signal, ClassifiesStopAndGo) {
+  camera::Image img(24, 18, 0.3f);
+  // A compact 4x4 "stop" patch at intensity 0.98.
+  for (std::size_t y = 6; y < 10; ++y) {
+    for (std::size_t x = 8; x < 12; ++x) img.at(x, y) = 0.98f;
+  }
+  EXPECT_EQ(classify_signal(img), Signal::Stop);
+
+  camera::Image go(24, 18, 0.3f);
+  for (std::size_t y = 6; y < 10; ++y) {
+    for (std::size_t x = 8; x < 12; ++x) go.at(x, y) = 0.75f;
+  }
+  EXPECT_EQ(classify_signal(go), Signal::Go);
+}
+
+TEST(Signal, NoSignalGivesNullopt) {
+  EXPECT_FALSE(classify_signal(uniform(24, 18, 0.3f)).has_value());
+}
+
+TEST(Signal, ElongatedTapeRejected) {
+  camera::Image img(24, 18, 0.3f);
+  // A long thin bright line like a lane marking.
+  for (std::size_t x = 0; x < 24; ++x) img.at(x, 9) = 0.95f;
+  EXPECT_FALSE(classify_signal(img).has_value());
+}
+
+TEST(Signal, RenderedPatchDetectedThroughCamera) {
+  const track::Track t = track::Track::paper_oval();
+  camera::Camera cam(camera::CameraConfig{}, util::Rng(2));
+  vehicle::CarState st;
+  st.pos = t.position_at(0.3);
+  st.heading = t.heading_at(0.3);
+  // Place a stop patch half a meter ahead on the centerline.
+  camera::GroundPatch patch;
+  patch.center = t.position_at(0.78);
+  patch.radius = 0.16;
+  patch.intensity = 0.98f;
+  const camera::Image img = cam.render(t, st, {patch});
+  EXPECT_EQ(classify_signal(img), Signal::Stop);
+  // Without the patch there is no signal.
+  EXPECT_FALSE(classify_signal(cam.render(t, st)).has_value());
+}
+
+// --- pilots -------------------------------------------------------------------
+
+TEST(LineFollowPilot, StaysOnOval) {
+  const track::Track t = track::Track::paper_oval();
+  LineFollowPilot pilot;
+  eval::EvalOptions opt;
+  opt.duration_s = 60.0;
+  const eval::EvalResult r = eval::run_evaluation(t, pilot, opt);
+  EXPECT_GT(r.laps, 1.0);
+  EXPECT_LT(r.errors, 4u);
+}
+
+TEST(LineFollowPilot, SearchesWhenLineLost) {
+  LineFollowPilot pilot;
+  // All-dark frame: no line visible.
+  const vehicle::DriveCommand cmd = pilot.act(uniform(32, 24, 0.1f));
+  EXPECT_NE(cmd.steering, 0.0);
+  EXPECT_GT(cmd.throttle, 0.0);
+}
+
+TEST(WaypointPilot, FollowsRecordedTrace) {
+  const track::Track t = track::Track::paper_oval();
+  // Record the "GPS" trace along the centerline.
+  GpsTrace trace;
+  for (double s = 0; s < t.length(); s += 0.1) {
+    trace.points.push_back(t.position_at(s));
+  }
+  WaypointPilot pilot(trace);
+  vehicle::Car car(vehicle::CarConfig{}, util::Rng(4));
+  car.reset(t.position_at(0), t.heading_at(0));
+  double progress = 0, s_prev = 0;
+  for (int i = 0; i < 1200; ++i) {
+    car.step(pilot.decide(car.state().pos, car.state().heading), 0.05);
+    const auto proj = t.project(car.state().pos);
+    progress += t.progress_delta(s_prev, proj.s);
+    s_prev = proj.s;
+    ASSERT_TRUE(proj.on_track) << "left track at step " << i;
+  }
+  EXPECT_GT(progress, t.length());  // completed at least one lap
+}
+
+TEST(WaypointPilot, RejectsShortTrace) {
+  GpsTrace trace;
+  trace.points = {{0, 0}, {1, 0}};
+  EXPECT_THROW(WaypointPilot{trace}, std::invalid_argument);
+  GpsTrace empty;
+  EXPECT_THROW(empty.nearest({0, 0}), std::logic_error);
+}
+
+TEST(GpsTrace, NearestPoint) {
+  GpsTrace trace;
+  trace.points = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
+  EXPECT_EQ(trace.nearest({1.1, 0.2}), 1u);
+  EXPECT_EQ(trace.nearest({2.9, -0.1}), 3u);
+}
+
+TEST(SignalAwarePilot, BrakesOnStopSignal) {
+  LineFollowPilot inner;
+  SignalAwarePilot pilot(inner);
+  camera::Image stop_frame(32, 24, 0.3f);
+  for (std::size_t y = 10; y < 14; ++y) {
+    for (std::size_t x = 14; x < 18; ++x) stop_frame.at(x, y) = 0.98f;
+  }
+  const vehicle::DriveCommand cmd = pilot.act(stop_frame);
+  EXPECT_LT(cmd.throttle, 0.0);  // braking
+  EXPECT_EQ(pilot.stops_observed(), 1u);
+  // Hysteresis: still braking just after the signal disappears.
+  const vehicle::DriveCommand after = pilot.act(uniform(32, 24, 0.3f));
+  EXPECT_LT(after.throttle, 0.0);
+  EXPECT_EQ(pilot.stops_observed(), 1u);  // same stop event
+}
+
+TEST(SignalAwarePilot, GoSignalDoesNotBrake) {
+  LineFollowPilot inner;
+  SignalAwarePilot pilot(inner);
+  camera::Image go_frame(32, 24, 0.3f);
+  for (std::size_t y = 10; y < 14; ++y) {
+    for (std::size_t x = 14; x < 18; ++x) go_frame.at(x, y) = 0.75f;
+  }
+  const vehicle::DriveCommand cmd = pilot.act(go_frame);
+  EXPECT_GT(cmd.throttle, 0.0);
+  EXPECT_EQ(pilot.stops_observed(), 0u);
+}
+
+TEST(SignalAwarePilot, ResetClearsState) {
+  LineFollowPilot inner;
+  SignalAwarePilot pilot(inner);
+  camera::Image stop_frame(32, 24, 0.3f);
+  for (std::size_t y = 10; y < 14; ++y) {
+    for (std::size_t x = 14; x < 18; ++x) stop_frame.at(x, y) = 0.98f;
+  }
+  pilot.act(stop_frame);
+  pilot.reset();
+  const vehicle::DriveCommand cmd = pilot.act(uniform(32, 24, 0.3f));
+  EXPECT_GT(cmd.throttle, 0.0);  // hold cleared
+  EXPECT_EQ(pilot.name(), "line-follow+signals");
+}
+
+}  // namespace
+}  // namespace autolearn::cv

@@ -1,0 +1,149 @@
+#include "data/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed/topology.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::data {
+namespace {
+
+std::vector<TubRecord> make_records(std::size_t n,
+                                    float steering = 0.2f,
+                                    float throttle = 0.5f,
+                                    float speed = 1.2f) {
+  std::vector<TubRecord> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].index = i;
+    out[i].steering = steering;
+    out[i].throttle = throttle;
+    out[i].speed = speed;
+  }
+  return out;
+}
+
+TEST(SessionStats, EmptyIsZero) {
+  const SessionStats s = session_stats({});
+  EXPECT_EQ(s.records, 0u);
+  EXPECT_EQ(s.flagged_ratio(), 0.0);
+  EXPECT_EQ(s.steering_histogram.size(), 11u);
+}
+
+TEST(SessionStats, MomentsAndExtremes) {
+  auto records = make_records(10, 0.0f, 0.6f, 1.0f);
+  records[3].steering = 1.0f;
+  records[7].steering = -1.0f;
+  records[5].speed = 2.5f;
+  records[2].mistake = true;
+  const SessionStats s = session_stats(records);
+  EXPECT_EQ(s.records, 10u);
+  EXPECT_EQ(s.flagged, 1u);
+  EXPECT_NEAR(s.steering_mean, 0.0, 1e-6);
+  EXPECT_GT(s.steering_stddev, 0.3);
+  EXPECT_NEAR(s.steering_saturation, 0.2, 1e-9);
+  EXPECT_NEAR(s.throttle_mean, 0.6, 1e-6);
+  EXPECT_NEAR(s.speed_max, 2.5, 1e-6);
+}
+
+TEST(SessionStats, HistogramBucketsSteering) {
+  std::vector<TubRecord> records;
+  for (float v : {-0.99f, -0.5f, 0.0f, 0.5f, 0.99f}) {
+    TubRecord r;
+    r.steering = v;
+    records.push_back(r);
+  }
+  const SessionStats s = session_stats(records, 5);
+  ASSERT_EQ(s.steering_histogram.size(), 5u);
+  for (std::size_t count : s.steering_histogram) EXPECT_EQ(count, 1u);
+  EXPECT_THROW(session_stats(records, 0), std::invalid_argument);
+}
+
+TEST(JudgeSession, CleanLongSessionUsable) {
+  const SessionStats s = session_stats(make_records(1000));
+  const SessionVerdict v = judge_session(s);
+  EXPECT_TRUE(v.usable);
+  EXPECT_TRUE(v.reasons.empty());
+}
+
+TEST(JudgeSession, ShortSessionRejected) {
+  const SessionStats s = session_stats(make_records(100));
+  const SessionVerdict v = judge_session(s);
+  EXPECT_FALSE(v.usable);
+  ASSERT_FALSE(v.reasons.empty());
+  EXPECT_NE(v.reasons[0].find("too short"), std::string::npos);
+}
+
+TEST(JudgeSession, TooManyMistakesRejected) {
+  auto records = make_records(1000);
+  for (std::size_t i = 0; i < 200; ++i) records[i].mistake = true;
+  const SessionVerdict v = judge_session(session_stats(records));
+  EXPECT_FALSE(v.usable);
+}
+
+TEST(JudgeSession, SaturatedSteeringRejected) {
+  auto records = make_records(1000);
+  for (std::size_t i = 0; i < 300; ++i) records[i].steering = 1.0f;
+  const SessionVerdict v = judge_session(session_stats(records));
+  EXPECT_FALSE(v.usable);
+}
+
+TEST(JudgeSession, StationaryCarRejected) {
+  const SessionStats s = session_stats(make_records(1000, 0.1f, 0.5f, 0.0f));
+  const SessionVerdict v = judge_session(s);
+  EXPECT_FALSE(v.usable);
+}
+
+TEST(JudgeSession, MultipleReasonsAccumulate) {
+  auto records = make_records(100, 1.0f, 0.5f, 0.0f);
+  for (auto& r : records) r.mistake = true;
+  const SessionVerdict v = judge_session(session_stats(records));
+  EXPECT_FALSE(v.usable);
+  EXPECT_GE(v.reasons.size(), 3u);
+}
+
+}  // namespace
+}  // namespace autolearn::data
+
+namespace autolearn::testbed {
+namespace {
+
+TEST(Topology, ChameleonNetworkConnectsEverything) {
+  TopologyOptions opt;
+  opt.cars = {"car-01", "car-02"};
+  const net::Network n = chameleon_network(opt);
+  EXPECT_TRUE(n.has_host(kCampusGateway));
+  EXPECT_TRUE(n.has_host(kSiteUC));
+  EXPECT_TRUE(n.has_host(kSiteTACC));
+  // Every car reaches both sites.
+  for (const char* car : {"car-01", "car-02"}) {
+    ASSERT_TRUE(n.route(car, kSiteUC));
+    ASSERT_TRUE(n.route(car, kSiteTACC));
+  }
+  // The cross-site path goes over the FABRIC link.
+  const auto cross = n.route(kSiteUC, kSiteTACC);
+  ASSERT_TRUE(cross);
+  EXPECT_EQ(cross->size(), 2u);
+}
+
+TEST(Topology, FabricLatencyIsManaged) {
+  TopologyOptions near_opt, far_opt;
+  near_opt.fabric_latency_s = 0.005;
+  far_opt.fabric_latency_s = 0.080;
+  const net::Network near_net = chameleon_network(near_opt);
+  const net::Network far_net = chameleon_network(far_opt);
+  EXPECT_NEAR(near_net.base_latency(kSiteUC, kSiteTACC), 0.005, 1e-9);
+  EXPECT_NEAR(far_net.base_latency(kSiteUC, kSiteTACC), 0.080, 1e-9);
+  // The far site costs the car exactly the extra FABRIC latency.
+  EXPECT_NEAR(far_net.base_latency("car-01", kSiteTACC) -
+                  far_net.base_latency("car-01", kSiteUC),
+              0.080, 1e-9);
+}
+
+TEST(Topology, RequiresACar) {
+  TopologyOptions opt;
+  opt.cars = {};
+  EXPECT_THROW(chameleon_network(opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autolearn::testbed

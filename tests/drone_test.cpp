@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "drone/drone.hpp"
+#include "drone/survey.hpp"
+
+namespace autolearn::drone {
+namespace {
+
+TEST(Drone, ConfigValidation) {
+  DroneConfig bad;
+  bad.max_speed = 0;
+  EXPECT_THROW(Drone(bad, util::Rng(1)), std::invalid_argument);
+  bad = DroneConfig{};
+  bad.altitude = -1;
+  EXPECT_THROW(Drone(bad, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(Drone, ResetPlacesAtAltitude) {
+  Drone d(DroneConfig{}, util::Rng(1));
+  d.reset({5, 7});
+  EXPECT_DOUBLE_EQ(d.state().pos.x, 5);
+  EXPECT_DOUBLE_EQ(d.state().pos.y, 7);
+  EXPECT_DOUBLE_EQ(d.state().altitude, DroneConfig{}.altitude);
+  EXPECT_DOUBLE_EQ(d.state().vel.norm(), 0);
+}
+
+TEST(Drone, ConvergesToCommandedVelocity) {
+  Drone d(DroneConfig{}, util::Rng(2));
+  d.reset({0, 0});
+  for (int i = 0; i < 200; ++i) d.step({3.0, 0.0}, 0.05);
+  EXPECT_NEAR(d.state().vel.x, 3.0, 0.05);
+  EXPECT_NEAR(d.state().vel.y, 0.0, 1e-9);
+  EXPECT_GT(d.state().pos.x, 10.0);
+}
+
+TEST(Drone, SpeedClampedToEnvelope) {
+  DroneConfig cfg;
+  cfg.max_speed = 4.0;
+  Drone d(cfg, util::Rng(3));
+  d.reset({0, 0});
+  for (int i = 0; i < 400; ++i) d.step({100.0, 0.0}, 0.05);
+  EXPECT_LE(d.state().vel.norm(), cfg.max_speed + 1e-6);
+}
+
+TEST(Drone, AccelerationLimited) {
+  DroneConfig cfg;
+  cfg.max_accel = 2.0;
+  cfg.velocity_tau = 1e-3;  // would jump instantly without the accel limit
+  Drone d(cfg, util::Rng(4));
+  d.reset({0, 0});
+  d.step({6.0, 0.0}, 0.1);
+  EXPECT_LE(d.state().vel.norm(), cfg.max_accel * 0.1 + 1e-9);
+}
+
+TEST(Drone, StepValidation) {
+  Drone d(DroneConfig{}, util::Rng(5));
+  EXPECT_THROW(d.step({1, 0}, 0.0), std::invalid_argument);
+}
+
+TEST(Survey, LawnmowerCoversField) {
+  Field field;
+  field.width = 40;
+  field.height = 24;
+  const auto wps = lawnmower_waypoints(field, 8.0);
+  // 24 m / 8 m swath = 3 rows, two waypoints each.
+  ASSERT_EQ(wps.size(), 6u);
+  // Alternating direction: row 0 ends east, row 1 starts east.
+  EXPECT_DOUBLE_EQ(wps[1].x, field.origin.x + field.width);
+  EXPECT_DOUBLE_EQ(wps[2].x, field.origin.x + field.width);
+  // All rows inside the field.
+  for (const auto& p : wps) {
+    EXPECT_GE(p.y, field.origin.y);
+    EXPECT_LE(p.y, field.origin.y + field.height);
+  }
+  EXPECT_THROW(lawnmower_waypoints(field, 0), std::invalid_argument);
+}
+
+TEST(Survey, MissionCoversMostOfTheField) {
+  Drone d(DroneConfig{}, util::Rng(6));
+  Field field;
+  field.width = 60;
+  field.height = 40;
+  MissionConfig cfg;
+  const MissionResult r = fly_survey(d, field, cfg);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.waypoints_hit, r.waypoints_total);
+  EXPECT_GT(r.coverage, 0.9);
+  EXPECT_GT(r.distance_m, field.width * 3);  // several passes
+  EXPECT_LT(r.duration_s, cfg.timeout_s);
+}
+
+TEST(Survey, NarrowSwathNeedsMorePassesAndTime) {
+  Field field;
+  field.width = 60;
+  field.height = 40;
+  MissionConfig wide, narrow;
+  wide.swath = 10.0;
+  narrow.swath = 5.0;
+  Drone d1(DroneConfig{}, util::Rng(7));
+  Drone d2(DroneConfig{}, util::Rng(7));
+  const MissionResult r_wide = fly_survey(d1, field, wide);
+  const MissionResult r_narrow = fly_survey(d2, field, narrow);
+  EXPECT_GT(r_narrow.waypoints_total, r_wide.waypoints_total);
+  EXPECT_GT(r_narrow.duration_s, r_wide.duration_s);
+}
+
+TEST(Survey, TimeoutLeavesMissionIncomplete) {
+  Drone d(DroneConfig{}, util::Rng(8));
+  Field field;
+  field.width = 500;
+  field.height = 500;
+  MissionConfig cfg;
+  cfg.timeout_s = 10.0;  // nowhere near enough
+  const MissionResult r = fly_survey(d, field, cfg);
+  EXPECT_FALSE(r.completed);
+  EXPECT_LT(r.coverage, 0.5);
+}
+
+TEST(Survey, WindyMissionStillCompletes) {
+  DroneConfig cfg;
+  cfg.wind_noise = 0.05;
+  Drone d(cfg, util::Rng(9));
+  Field field;
+  field.width = 50;
+  field.height = 30;
+  const MissionResult r = fly_survey(d, field, MissionConfig{});
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.coverage, 0.85);
+}
+
+TEST(Survey, ConfigValidation) {
+  Drone d(DroneConfig{}, util::Rng(10));
+  Field field;
+  MissionConfig bad;
+  bad.cruise_speed = 0;
+  EXPECT_THROW(fly_survey(d, field, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autolearn::drone

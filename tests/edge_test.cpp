@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "edge/container.hpp"
+#include "edge/registry.hpp"
+
+namespace autolearn::edge {
+namespace {
+
+struct EdgeFixture : public ::testing::Test {
+  util::EventQueue queue;
+  EdgeRegistry registry{queue};
+
+  /// Runs the full BYOD path and returns when the device is Ready.
+  void enroll(const std::string& name, const std::string& project) {
+    registry.register_device(name, project);
+    registry.flash_device(name);
+    registry.boot_device(name);
+    queue.run_until(queue.now() + registry.config().boot_delay_s +
+                    registry.config().enroll_delay_s + 1);
+  }
+};
+
+TEST_F(EdgeFixture, ByodEnrollmentPath) {
+  const std::string token = registry.register_device("pi-01", "CHI-edu-1");
+  EXPECT_FALSE(token.empty());
+  EXPECT_EQ(registry.device("pi-01").state, DeviceState::Registered);
+  EXPECT_TRUE(registry.is_allowed("pi-01", "CHI-edu-1"));  // owner auto
+
+  registry.flash_device("pi-01");
+  EXPECT_EQ(registry.device("pi-01").state, DeviceState::Flashed);
+
+  bool ready = false;
+  registry.boot_device("pi-01", [&](const Device& d) {
+    ready = true;
+    EXPECT_EQ(d.state, DeviceState::Ready);
+  });
+  queue.run_until(20);
+  EXPECT_EQ(registry.device("pi-01").state, DeviceState::Flashed);
+  queue.run_until(26);
+  EXPECT_EQ(registry.device("pi-01").state, DeviceState::Connected);
+  queue.run_until(30);
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(registry.ready_devices().size(), 1u);
+}
+
+TEST_F(EdgeFixture, EnrollmentOrderEnforced) {
+  registry.register_device("pi-01", "p");
+  EXPECT_THROW(registry.boot_device("pi-01"), std::logic_error);
+  registry.flash_device("pi-01");
+  EXPECT_THROW(registry.flash_device("pi-01"), std::logic_error);
+  EXPECT_THROW(registry.register_device("pi-01", "p"), std::invalid_argument);
+  EXPECT_THROW(registry.device("ghost"), std::invalid_argument);
+}
+
+TEST_F(EdgeFixture, HeartbeatsKeepDeviceAlive) {
+  enroll("pi-01", "p");
+  // Run for many heartbeat periods: still Ready.
+  queue.run_until(queue.now() + 300);
+  EXPECT_EQ(registry.device("pi-01").state, DeviceState::Ready);
+}
+
+TEST_F(EdgeFixture, MissedHeartbeatsDisconnect) {
+  enroll("pi-01", "p");
+  registry.fail_device("pi-01");
+  queue.run_until(queue.now() + 100);
+  EXPECT_EQ(registry.device("pi-01").state, DeviceState::Disconnected);
+}
+
+TEST_F(EdgeFixture, RecoveryRestoresReady) {
+  enroll("pi-01", "p");
+  registry.fail_device("pi-01");
+  queue.run_until(queue.now() + 100);
+  ASSERT_EQ(registry.device("pi-01").state, DeviceState::Disconnected);
+  registry.recover_device("pi-01");
+  queue.run_until(queue.now() + 40);
+  EXPECT_EQ(registry.device("pi-01").state, DeviceState::Ready);
+  EXPECT_THROW(registry.recover_device("pi-01"), std::logic_error);
+}
+
+TEST_F(EdgeFixture, WhitelistPolicy) {
+  enroll("pi-01", "owner-project");
+  EXPECT_FALSE(registry.is_allowed("pi-01", "other-project"));
+  registry.allow_project("pi-01", "other-project");
+  EXPECT_TRUE(registry.is_allowed("pi-01", "other-project"));
+  registry.revoke_project("pi-01", "other-project");
+  EXPECT_FALSE(registry.is_allowed("pi-01", "other-project"));
+  EXPECT_THROW(registry.revoke_project("pi-01", "owner-project"),
+               std::logic_error);
+}
+
+TEST_F(EdgeFixture, ContainerZeroToReady) {
+  enroll("pi-01", "p");
+  ContainerService svc(registry, queue);
+  bool running = false;
+  const double t0 = queue.now();
+  const auto id = svc.launch("pi-01", "p", ContainerSpec::autolearn_car(),
+                             [&](const Container& c) {
+                               running = true;
+                               EXPECT_EQ(c.state, ContainerState::Running);
+                             });
+  EXPECT_EQ(svc.container(id).state, ContainerState::Pulling);
+  queue.run();
+  EXPECT_TRUE(running);
+  // 800 MiB over 4 MB/s plus the 6 s start delay.
+  const double expected =
+      static_cast<double>(800ull << 20) / 4e6 + 6.0;
+  EXPECT_NEAR(svc.container(id).running_at - t0, expected, 1.0);
+  EXPECT_EQ(svc.running_on("pi-01").size(), 1u);
+}
+
+TEST_F(EdgeFixture, ImageCacheMakesSecondLaunchFast) {
+  enroll("pi-01", "p");
+  ContainerService svc(registry, queue);
+  const auto first = svc.launch("pi-01", "p", ContainerSpec::autolearn_car());
+  queue.run();
+  svc.stop(first);
+  const double t0 = queue.now();
+  const auto second = svc.launch("pi-01", "p", ContainerSpec::autolearn_car());
+  queue.run();
+  EXPECT_LT(svc.container(second).running_at - t0, 10.0);
+}
+
+TEST_F(EdgeFixture, LaunchRequiresReadyAndWhitelist) {
+  registry.register_device("pi-01", "p");
+  ContainerService svc(registry, queue);
+  EXPECT_THROW(svc.launch("pi-01", "p", ContainerSpec::autolearn_car()),
+               std::logic_error);  // not ready yet
+  registry.flash_device("pi-01");
+  registry.boot_device("pi-01");
+  queue.run_until(40);
+  EXPECT_THROW(svc.launch("pi-01", "intruder", ContainerSpec::autolearn_car()),
+               std::logic_error);  // not whitelisted
+  EXPECT_NO_THROW(svc.launch("pi-01", "p", ContainerSpec::autolearn_car()));
+}
+
+TEST_F(EdgeFixture, LaunchFailsIfDeviceDropsMidPull) {
+  enroll("pi-01", "p");
+  ContainerService svc(registry, queue);
+  const auto id = svc.launch("pi-01", "p", ContainerSpec::autolearn_car());
+  registry.fail_device("pi-01");
+  queue.run();
+  EXPECT_EQ(svc.container(id).state, ContainerState::Failed);
+}
+
+TEST_F(EdgeFixture, ConsoleRunsCommands) {
+  enroll("pi-01", "p");
+  ContainerService svc(registry, queue);
+  const auto id = svc.launch("pi-01", "p", ContainerSpec::autolearn_car());
+  queue.run();
+  EXPECT_EQ(svc.run_command(id, "echo hello car"), "hello car");
+  svc.register_command("ls", [](const std::string& args) {
+    return args == "/car/data" ? "tub_1 tub_2" : "";
+  });
+  EXPECT_EQ(svc.run_command(id, "ls /car/data"), "tub_1 tub_2");
+  const std::string out = svc.run_command(id, "vim notes.txt");
+  EXPECT_NE(out.find("simulated"), std::string::npos);
+}
+
+TEST_F(EdgeFixture, ConsoleRequiresRunningContainer) {
+  enroll("pi-01", "p");
+  ContainerService svc(registry, queue);
+  const auto id = svc.launch("pi-01", "p", ContainerSpec::autolearn_car());
+  EXPECT_THROW(svc.run_command(id, "echo x"), std::logic_error);  // pulling
+  queue.run();
+  svc.stop(id);
+  EXPECT_THROW(svc.run_command(id, "echo x"), std::logic_error);  // exited
+  EXPECT_THROW(svc.run_command(999, "echo"), std::invalid_argument);
+}
+
+TEST_F(EdgeFixture, StopIsIdempotent) {
+  enroll("pi-01", "p");
+  ContainerService svc(registry, queue);
+  const auto id = svc.launch("pi-01", "p", ContainerSpec::autolearn_car());
+  queue.run();
+  svc.stop(id);
+  EXPECT_NO_THROW(svc.stop(id));
+  EXPECT_EQ(svc.container(id).state, ContainerState::Exited);
+  EXPECT_TRUE(svc.running_on("pi-01").empty());
+}
+
+}  // namespace
+}  // namespace autolearn::edge

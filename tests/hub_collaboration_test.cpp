@@ -1,0 +1,151 @@
+#include "hub/collaboration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/module_catalog.hpp"
+
+namespace autolearn::hub {
+namespace {
+
+ModuleRepo seeded_upstream() {
+  ModuleRepo repo("autolearn-gitbook");
+  repo.put_doc("setup.md", "assemble the car");
+  repo.put_doc("collect.md", "drive around the track");
+  repo.put_doc("train.md", "reserve a GPU node");
+  return repo;
+}
+
+TEST(ModuleRepo, DocLifecycle) {
+  ModuleRepo repo = seeded_upstream();
+  EXPECT_EQ(repo.revision(), 3u);
+  EXPECT_EQ(repo.docs().size(), 3u);
+  EXPECT_EQ(repo.doc("setup.md"), "assemble the car");
+  EXPECT_FALSE(repo.doc("missing.md").has_value());
+  repo.put_doc("setup.md", "v2");
+  EXPECT_EQ(repo.revision(), 4u);
+  EXPECT_EQ(repo.doc("setup.md"), "v2");
+  EXPECT_THROW(repo.put_doc("", "x"), std::invalid_argument);
+  EXPECT_THROW(ModuleRepo(""), std::invalid_argument);
+}
+
+TEST(ModuleRepo, ForkIsIndependentCopy) {
+  ModuleRepo upstream = seeded_upstream();
+  ModuleRepo fork = upstream.fork("student-fork");
+  EXPECT_EQ(fork.name(), "student-fork");
+  EXPECT_TRUE(fork.diff_against(upstream).empty());
+  fork.put_doc("collect.md", "drive CAREFULLY around the track");
+  EXPECT_EQ(upstream.doc("collect.md"), "drive around the track");
+  const auto diff = fork.diff_against(upstream);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], "collect.md");
+}
+
+TEST(ModuleRepo, DiffSeesNewDocs) {
+  ModuleRepo upstream = seeded_upstream();
+  ModuleRepo fork = upstream.fork("f");
+  fork.put_doc("rl-extension.md", "try q-learning");
+  const auto diff = fork.diff_against(upstream);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0], "rl-extension.md");
+}
+
+TEST(Collaboration, MergeRequestFlowPublishesVersions) {
+  ModuleRepo upstream = seeded_upstream();
+  Hub hub;
+  Artifact& artifact = hub.create_artifact("autolearn", "AutoLearn", {});
+  artifact.publish_version("initial", "gitbook@r3");
+  Collaboration collab(upstream, &artifact);
+
+  ModuleRepo fork = upstream.fork("kyle-fork");
+  fork.put_doc("continuum.md", "edge vs cloud inference exercise");
+  const auto id =
+      collab.open_merge_request(fork, "kyle", "add continuum exercise");
+  EXPECT_EQ(collab.open_requests().size(), 1u);
+  EXPECT_EQ(collab.request(id).status, MergeStatus::Open);
+
+  collab.accept(id, "great addition");
+  EXPECT_EQ(upstream.doc("continuum.md"),
+            "edge vs cloud inference exercise");
+  EXPECT_EQ(collab.request(id).status, MergeStatus::Accepted);
+  EXPECT_EQ(collab.accepted_count(), 1u);
+  EXPECT_TRUE(collab.open_requests().empty());
+  // The accepted merge published artifact version 2.
+  EXPECT_EQ(artifact.metrics().versions, 2u);
+  EXPECT_NE(artifact.versions().back().notes.find("kyle"),
+            std::string::npos);
+}
+
+TEST(Collaboration, RejectLeavesUpstreamUntouched) {
+  ModuleRepo upstream = seeded_upstream();
+  Collaboration collab(upstream);
+  ModuleRepo fork = upstream.fork("f");
+  fork.put_doc("setup.md", "skip all safety checks");
+  const auto id = collab.open_merge_request(fork, "rushed", "faster setup");
+  collab.reject(id, "safety checks stay");
+  EXPECT_EQ(upstream.doc("setup.md"), "assemble the car");
+  EXPECT_EQ(collab.request(id).status, MergeStatus::Rejected);
+  EXPECT_EQ(collab.request(id).review_note, "safety checks stay");
+  // A settled request cannot be re-reviewed.
+  EXPECT_THROW(collab.accept(id), std::logic_error);
+  EXPECT_THROW(collab.reject(id, "again"), std::logic_error);
+}
+
+TEST(Collaboration, Validation) {
+  ModuleRepo upstream = seeded_upstream();
+  Collaboration collab(upstream);
+  ModuleRepo clean_fork = upstream.fork("clean");
+  EXPECT_THROW(collab.open_merge_request(clean_fork, "a", "no-op"),
+               std::invalid_argument);  // no changes
+  ModuleRepo fork = upstream.fork("f");
+  fork.put_doc("x.md", "y");
+  EXPECT_THROW(collab.open_merge_request(fork, "", "s"),
+               std::invalid_argument);  // anonymous
+  EXPECT_THROW(collab.request(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autolearn::hub
+
+namespace autolearn::core {
+namespace {
+
+TEST(ModuleCatalog, HasAllThreeGroups) {
+  EXPECT_FALSE(components_in_group(ComponentGroup::Artifacts).empty());
+  EXPECT_FALSE(components_in_group(ComponentGroup::Computation).empty());
+  EXPECT_FALSE(components_in_group(ComponentGroup::Extensions).empty());
+  // Fig. 1's computation column holds the four pipeline phases.
+  EXPECT_EQ(components_in_group(ComponentGroup::Computation).size(), 4u);
+}
+
+TEST(ModuleCatalog, DifficultyLadderExists) {
+  EXPECT_FALSE(components_at(Difficulty::Beginner).empty());
+  EXPECT_FALSE(components_at(Difficulty::Intermediate).empty());
+  EXPECT_FALSE(components_at(Difficulty::Advanced).empty());
+}
+
+TEST(ModuleCatalog, DigitalPathwayHasPlentyToDo) {
+  // The digital pathway's promise (§3.4): meaningful work without any
+  // hardware. At least half the catalog must be hardware-free.
+  const auto free_components = hardware_free_components();
+  EXPECT_GE(free_components.size(), module_catalog().size() / 2);
+  for (const ModuleComponent* c : free_components) {
+    EXPECT_FALSE(c->requires_car);
+    EXPECT_FALSE(c->requires_testbed);
+  }
+}
+
+TEST(ModuleCatalog, EveryComponentNamesItsImplementation) {
+  for (const ModuleComponent& c : module_catalog()) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_FALSE(c.description.empty());
+    EXPECT_FALSE(c.implemented_by.empty()) << c.name;
+  }
+}
+
+TEST(ModuleCatalog, EnumNames) {
+  EXPECT_STREQ(to_string(ComponentGroup::Artifacts), "artifacts");
+  EXPECT_STREQ(to_string(Difficulty::Advanced), "advanced");
+}
+
+}  // namespace
+}  // namespace autolearn::core

@@ -1,0 +1,109 @@
+#include "hub/hub.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autolearn::hub {
+namespace {
+
+TEST(Hub, ArtifactCreationAndLookup) {
+  Hub hub;
+  Artifact& a = hub.create_artifact("autolearn", "AutoLearn",
+                                    {"Esquivel Morel", "Fowler", "Keahey"});
+  EXPECT_EQ(a.id(), "autolearn");
+  EXPECT_EQ(a.authors().size(), 3u);
+  EXPECT_TRUE(hub.has_artifact("autolearn"));
+  EXPECT_FALSE(hub.has_artifact("other"));
+  EXPECT_THROW(hub.create_artifact("autolearn", "dup", {}),
+               std::invalid_argument);
+  EXPECT_THROW(hub.artifact("ghost"), std::invalid_argument);
+}
+
+TEST(Hub, TagsAndDiscovery) {
+  Hub hub;
+  Artifact& a = hub.create_artifact("autolearn", "AutoLearn", {});
+  a.add_tag("education");
+  a.add_tag("edge-computing");
+  Artifact& b = hub.create_artifact("fish-surveys", "Fish Surveys", {});
+  b.add_tag("edge-computing");
+  EXPECT_EQ(hub.find_by_tag("edge-computing").size(), 2u);
+  EXPECT_EQ(hub.find_by_tag("education").size(), 1u);
+  EXPECT_TRUE(hub.find_by_tag("quantum").empty());
+}
+
+TEST(Hub, VersionsAreMonotonic) {
+  Hub hub;
+  Artifact& a = hub.create_artifact("x", "X", {});
+  const auto& v1 = a.publish_version("initial", "trovi/x-v1");
+  EXPECT_EQ(v1.number, 1u);
+  const auto& v2 = a.publish_version("fix track dims", "trovi/x-v2");
+  EXPECT_EQ(v2.number, 2u);
+  EXPECT_EQ(a.versions().size(), 2u);
+}
+
+TEST(Hub, MetricsDistinguishClicksFromUsers) {
+  Hub hub;
+  Artifact& a = hub.create_artifact("x", "X", {});
+  a.record_launch("u1");
+  a.record_launch("u1");
+  a.record_launch("u2");
+  const ArtifactMetrics m = a.metrics();
+  EXPECT_EQ(m.launch_clicks, 3u);
+  EXPECT_EQ(m.unique_launch_users, 2u);
+}
+
+TEST(Hub, CellExecutionUsersAreUnique) {
+  Hub hub;
+  Artifact& a = hub.create_artifact("x", "X", {});
+  a.record_cell_execution("u1");
+  a.record_cell_execution("u1");
+  a.record_cell_execution("u2");
+  EXPECT_EQ(a.metrics().users_executed_cell, 2u);
+}
+
+TEST(Hub, AnonymousEventsRejectedExceptViews) {
+  Hub hub;
+  Artifact& a = hub.create_artifact("x", "X", {});
+  EXPECT_NO_THROW(a.record_view(""));
+  EXPECT_THROW(a.record_launch(""), std::invalid_argument);
+  EXPECT_THROW(a.record_cell_execution(""), std::invalid_argument);
+}
+
+// The exact §5 numbers: "35 total number of launch button clicks, 9 users
+// who clicked the launch button, 2 users who executed at least one cell,
+// and it has been published 8 versions of the artifact."
+TEST(Hub, ReproducesPaperSection5Metrics) {
+  Hub hub;
+  Artifact& a = hub.create_artifact(
+      "autolearn", "AutoLearn: Learning in the Edge to Cloud Continuum",
+      {"Esquivel Morel", "Fowler", "Keahey", "Zheng", "Sherman", "Anderson"});
+  for (int v = 1; v <= 8; ++v) {
+    a.publish_version("version " + std::to_string(v),
+                      "trovi/autolearn-v" + std::to_string(v));
+  }
+  // 9 distinct users produce 35 launch clicks total.
+  const int clicks_per_user[9] = {8, 6, 5, 4, 4, 3, 2, 2, 1};
+  for (int u = 0; u < 9; ++u) {
+    for (int c = 0; c < clicks_per_user[u]; ++c) {
+      a.record_launch("user-" + std::to_string(u));
+    }
+  }
+  // 2 of them went on to execute at least one cell.
+  a.record_cell_execution("user-0");
+  a.record_cell_execution("user-3");
+
+  const ArtifactMetrics m = a.metrics();
+  EXPECT_EQ(m.launch_clicks, 35u);
+  EXPECT_EQ(m.unique_launch_users, 9u);
+  EXPECT_EQ(m.users_executed_cell, 2u);
+  EXPECT_EQ(m.versions, 8u);
+}
+
+TEST(Hub, DescriptionAndMetadata) {
+  Hub hub;
+  Artifact& a = hub.create_artifact("x", "X", {});
+  a.set_description("Educational module for edge-to-cloud ML");
+  EXPECT_EQ(a.description(), "Educational module for edge-to-cloud ML");
+}
+
+}  // namespace
+}  // namespace autolearn::hub

@@ -1,0 +1,91 @@
+#include "ml/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autolearn::ml {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(2), 4u);
+  EXPECT_EQ(t.shape_str(), "[2,3,4]");
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({3}, 1.5f);
+  EXPECT_EQ(t[0], 1.5f);
+  EXPECT_EQ(t[2], 1.5f);
+}
+
+TEST(Tensor, InvalidShapes) {
+  EXPECT_THROW(Tensor(std::vector<std::size_t>{}), std::invalid_argument);
+  EXPECT_THROW(Tensor({2, 0, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 7.0f;
+  EXPECT_EQ(t[1 * 3 + 2], 7.0f);
+  Tensor u({2, 3, 4});
+  u.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(u[1 * 12 + 2 * 4 + 3], 9.0f);
+  Tensor v({2, 3, 4, 5});
+  v.at(1, 2, 3, 4) = 3.0f;
+  EXPECT_EQ(v[1 * 60 + 2 * 20 + 3 * 5 + 4], 3.0f);
+  Tensor w5({2, 2, 2, 2, 2});
+  w5.at(1, 1, 1, 1, 1) = 5.0f;
+  EXPECT_EQ(w5[31], 5.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  for (std::size_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped({3, 4});
+  EXPECT_EQ(r.rank(), 2u);
+  EXPECT_EQ(r.at(2, 3), 11.0f);
+  EXPECT_THROW(t.reshaped({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ZerosLike) {
+  Tensor t({2, 2}, 3.0f);
+  const Tensor z = Tensor::zeros_like(t);
+  EXPECT_EQ(z.shape(), t.shape());
+  EXPECT_EQ(z[0], 0.0f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  util::Rng rng(5);
+  const Tensor t = Tensor::randn({100, 100}, rng, 0.5);
+  double sum = 0, sum2 = 0;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    sum += t[i];
+    sum2 += static_cast<double>(t[i]) * t[i];
+  }
+  const double n = static_cast<double>(t.size());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 0.25, 0.02);
+}
+
+TEST(Tensor, AddScaledAndScale) {
+  Tensor a({3}, 1.0f);
+  Tensor b({3}, 2.0f);
+  a.add_scaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 2.0f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a[1], 4.0f);
+  Tensor c({4});
+  EXPECT_THROW(a.add_scaled(c, 1.0f), std::invalid_argument);
+}
+
+TEST(Tensor, CheckSameShape) {
+  Tensor a({2, 3}), b({2, 3}), c({3, 2});
+  EXPECT_NO_THROW(a.check_same_shape(b, "test"));
+  EXPECT_THROW(a.check_same_shape(c, "test"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace autolearn::ml

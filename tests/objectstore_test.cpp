@@ -1,0 +1,89 @@
+#include "objectstore/objectstore.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autolearn::objectstore {
+namespace {
+
+TEST(ObjectStore, ContainerLifecycle) {
+  ObjectStore store;
+  store.create_container("datasets");
+  EXPECT_TRUE(store.has_container("datasets"));
+  EXPECT_FALSE(store.has_container("models"));
+  EXPECT_EQ(store.containers().size(), 1u);
+  EXPECT_THROW(store.create_container("datasets"), std::invalid_argument);
+  EXPECT_THROW(store.create_container(""), std::invalid_argument);
+}
+
+TEST(ObjectStore, PutGetRoundTrip) {
+  ObjectStore store;
+  store.create_container("models");
+  const auto v = store.put_text("models", "linear.bin", "weights",
+                                {{"model", "linear"}});
+  EXPECT_EQ(v, 1u);
+  const auto obj = store.get("models", "linear.bin");
+  ASSERT_TRUE(obj);
+  EXPECT_EQ(std::string(obj->bytes.begin(), obj->bytes.end()), "weights");
+  EXPECT_EQ(obj->metadata.at("model"), "linear");
+  EXPECT_EQ(store.get_text("models", "linear.bin"), "weights");
+}
+
+TEST(ObjectStore, VersioningKeepsHistory) {
+  ObjectStore store;
+  store.create_container("c");
+  EXPECT_EQ(store.put_text("c", "o", "v1"), 1u);
+  EXPECT_EQ(store.put_text("c", "o", "v2"), 2u);
+  EXPECT_EQ(store.put_text("c", "o", "v3"), 3u);
+  EXPECT_EQ(store.get_text("c", "o"), "v3");
+  const auto old = store.get_version("c", "o", 1);
+  ASSERT_TRUE(old);
+  EXPECT_EQ(std::string(old->bytes.begin(), old->bytes.end()), "v1");
+  EXPECT_FALSE(store.get_version("c", "o", 9).has_value());
+}
+
+TEST(ObjectStore, MissingObjects) {
+  ObjectStore store;
+  store.create_container("c");
+  EXPECT_FALSE(store.get("c", "nope").has_value());
+  EXPECT_THROW(store.get_text("c", "nope"), std::invalid_argument);
+  EXPECT_THROW(store.get("ghost", "o"), std::invalid_argument);
+  EXPECT_THROW(store.put_text("ghost", "o", "x"), std::invalid_argument);
+  EXPECT_THROW(store.put_text("c", "", "x"), std::invalid_argument);
+}
+
+TEST(ObjectStore, ListReportsLatest) {
+  ObjectStore store;
+  store.create_container("c");
+  store.put_text("c", "a", "1");
+  store.put_text("c", "a", "22");
+  store.put_text("c", "b", "333");
+  const auto listing = store.list("c");
+  ASSERT_EQ(listing.size(), 2u);
+  EXPECT_EQ(listing[0].name, "a");
+  EXPECT_EQ(listing[0].latest_version, 2u);
+  EXPECT_EQ(listing[0].size_bytes, 2u);
+  EXPECT_EQ(listing[1].size_bytes, 3u);
+  EXPECT_EQ(store.container_bytes("c"), 5u);
+}
+
+TEST(ObjectStore, Remove) {
+  ObjectStore store;
+  store.create_container("c");
+  store.put_text("c", "o", "x");
+  EXPECT_TRUE(store.remove("c", "o"));
+  EXPECT_FALSE(store.remove("c", "o"));
+  EXPECT_FALSE(store.get("c", "o").has_value());
+}
+
+TEST(ObjectStore, BinaryPayloadPreserved) {
+  ObjectStore store;
+  store.create_container("c");
+  std::vector<std::uint8_t> payload{0, 255, 128, 7, 0, 3};
+  store.put("c", "bin", payload);
+  const auto obj = store.get("c", "bin");
+  ASSERT_TRUE(obj);
+  EXPECT_EQ(obj->bytes, payload);
+}
+
+}  // namespace
+}  // namespace autolearn::objectstore

@@ -1,0 +1,256 @@
+// Randomized property tests over module invariants. Each property runs
+// across a seed sweep via TEST_P; failures print the seed for replay.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+
+#include "data/dataset.hpp"
+#include "data/tub.hpp"
+#include "data/tubclean.hpp"
+#include "net/network.hpp"
+#include "testbed/inventory.hpp"
+#include "testbed/lease.hpp"
+#include "track/track.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SeededTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- Lease calendar: no node is ever double-booked -------------------------
+
+using LeaseProperty = SeededTest;
+
+TEST_P(LeaseProperty, NoDoubleBookingUnderRandomLoad) {
+  const testbed::Inventory inv = testbed::Inventory::chameleon();
+  testbed::LeaseManager lm(inv);
+  util::Rng rng(GetParam());
+  std::vector<std::uint64_t> granted;
+  for (int i = 0; i < 200; ++i) {
+    testbed::LeaseRequest req;
+    req.project_id = "p" + std::to_string(i % 7);
+    req.node_type = rng.chance(0.5) ? "gpu_v100" : "gpu_rtx6000";
+    req.count = static_cast<std::size_t>(rng.uniform_int(1, 3));
+    req.start = rng.uniform(0, 10000);
+    req.duration = rng.uniform(100, 4000);
+    const auto id = lm.request(req);
+    if (id) granted.push_back(*id);
+    // Randomly cancel an existing lease now and then.
+    if (!granted.empty() && rng.chance(0.15)) {
+      const std::size_t k = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(granted.size()) - 1));
+      const auto& lease = lm.lease(granted[k]);
+      if (lease.status != testbed::LeaseStatus::Cancelled) {
+        lm.cancel(granted[k]);
+      }
+    }
+  }
+  // Invariant: active (non-cancelled) leases never overlap on a node.
+  std::map<std::string, std::vector<std::pair<double, double>>> calendar;
+  for (std::uint64_t id : granted) {
+    const testbed::Lease& lease = lm.lease(id);
+    if (lease.status == testbed::LeaseStatus::Cancelled) continue;
+    for (const std::string& node : lease.node_ids) {
+      for (const auto& [s, e] : calendar[node]) {
+        EXPECT_FALSE(lease.start < e && s < lease.end)
+            << "node " << node << " double-booked (seed " << GetParam()
+            << ")";
+      }
+      calendar[node].emplace_back(lease.start, lease.end);
+    }
+  }
+}
+
+TEST_P(LeaseProperty, AvailabilityNeverExceedsInventory) {
+  const testbed::Inventory inv = testbed::Inventory::chameleon();
+  testbed::LeaseManager lm(inv);
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    testbed::LeaseRequest req;
+    req.project_id = "p";
+    req.node_type = "gpu_a100";
+    req.count = 1;
+    req.start = rng.uniform(0, 5000);
+    req.duration = rng.uniform(100, 2000);
+    lm.request(req);
+    const double t0 = rng.uniform(0, 6000);
+    const std::size_t avail = lm.available("gpu_a100", t0, t0 + 500);
+    EXPECT_LE(avail, inv.count_of_type("gpu_a100"));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeaseProperty,
+                         ::testing::Values(1u, 22u, 333u, 4444u));
+
+// --- Tub: random write/delete round trips -----------------------------------
+
+using TubProperty = SeededTest;
+
+TEST_P(TubProperty, RandomRoundTripPreservesActiveRecords) {
+  util::Rng rng(GetParam());
+  const fs::path dir = fs::temp_directory_path() /
+                       ("autolearn_prop_" + std::to_string(getpid()) + "_" +
+                        std::to_string(GetParam()));
+  fs::remove_all(dir);
+  const auto n =
+      static_cast<std::size_t>(rng.uniform_int(5, 60));
+  std::vector<float> steering(n);
+  {
+    data::TubWriter writer(dir, /*records_per_catalog=*/7);
+    for (std::size_t i = 0; i < n; ++i) {
+      camera::Image img(6, 4, static_cast<float>(rng.uniform(0, 1)));
+      steering[i] = static_cast<float>(rng.uniform(-1, 1));
+      writer.append(img, steering[i], 0.5f, 1.0f, rng.chance(0.2));
+    }
+    writer.close();
+  }
+  data::Tub tub(dir);
+  // Randomly delete a subset.
+  std::set<std::size_t> deleted;
+  std::vector<std::size_t> to_delete;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) {
+      to_delete.push_back(i);
+      deleted.insert(i);
+    }
+  }
+  tub.mark_deleted(to_delete);
+
+  // Reopen: deleted stay deleted, survivors keep their payload, order is
+  // preserved.
+  data::Tub reopened(dir);
+  const auto records = reopened.read_all();
+  EXPECT_EQ(records.size(), n - deleted.size());
+  std::size_t prev = 0;
+  bool first = true;
+  for (const data::TubRecord& r : records) {
+    EXPECT_FALSE(deleted.count(r.index));
+    EXPECT_FLOAT_EQ(r.steering, steering[r.index]);
+    if (!first) {
+      EXPECT_GT(r.index, prev);
+    }
+    prev = r.index;
+    first = false;
+  }
+  fs::remove_all(dir);
+}
+
+TEST_P(TubProperty, ExpandSegmentsCoversAllFlagged) {
+  util::Rng rng(GetParam());
+  const std::size_t total = 200;
+  std::vector<std::size_t> flagged;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (rng.chance(0.1)) flagged.push_back(i);
+  }
+  const auto margin = static_cast<std::size_t>(rng.uniform_int(0, 5));
+  const auto expanded = data::expand_segments(flagged, margin, total);
+  std::set<std::size_t> expanded_set(expanded.begin(), expanded.end());
+  for (std::size_t f : flagged) {
+    EXPECT_TRUE(expanded_set.count(f));
+    // The margin around each flag is covered too.
+    for (std::size_t d = 1; d <= margin; ++d) {
+      if (f >= d) {
+        EXPECT_TRUE(expanded_set.count(f - d));
+      }
+      if (f + d < total) {
+        EXPECT_TRUE(expanded_set.count(f + d));
+      }
+    }
+  }
+  for (std::size_t i : expanded) EXPECT_LT(i, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TubProperty,
+                         ::testing::Values(7u, 77u, 777u, 7777u));
+
+// --- Network: route properties ------------------------------------------------
+
+using NetworkProperty = SeededTest;
+
+TEST_P(NetworkProperty, RoutesAreConnectedAndAcyclic) {
+  util::Rng rng(GetParam());
+  net::Network n;
+  const int hosts = 12;
+  for (int i = 0; i < hosts; ++i) n.add_host("h" + std::to_string(i));
+  // A random connected-ish topology: chain + random chords.
+  for (int i = 0; i + 1 < hosts; ++i) {
+    n.add_duplex("h" + std::to_string(i), "h" + std::to_string(i + 1),
+                 net::LinkSpec{rng.uniform(0.001, 0.05), 0, 1e6, 0});
+  }
+  for (int i = 0; i < 8; ++i) {
+    const auto a = rng.uniform_int(0, hosts - 1);
+    const auto b = rng.uniform_int(0, hosts - 1);
+    if (a == b) continue;
+    n.add_duplex("h" + std::to_string(a), "h" + std::to_string(b),
+                 net::LinkSpec{rng.uniform(0.001, 0.05), 0, 1e6, 0});
+  }
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto a = rng.uniform_int(0, hosts - 1);
+    const auto b = rng.uniform_int(0, hosts - 1);
+    const auto route =
+        n.route("h" + std::to_string(a), "h" + std::to_string(b));
+    ASSERT_TRUE(route);
+    // Endpoints correct, no repeated hosts, consecutive hops linked.
+    EXPECT_EQ(route->front(), "h" + std::to_string(a));
+    EXPECT_EQ(route->back(), "h" + std::to_string(b));
+    std::set<std::string> seen(route->begin(), route->end());
+    EXPECT_EQ(seen.size(), route->size());
+    // Latency along the route is the sum of positive hop latencies.
+    if (a != b) {
+      EXPECT_GT(n.base_latency("h" + std::to_string(a),
+                               "h" + std::to_string(b)),
+                0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkProperty,
+                         ::testing::Values(3u, 33u, 3333u));
+
+// --- Track: projection/boundary invariants under random queries ---------------
+
+using TrackProperty = SeededTest;
+
+TEST_P(TrackProperty, ProjectionIdempotent) {
+  const track::Track t = track::Track::waveshare();
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const track::Vec2 p{rng.uniform(-3, 6), rng.uniform(-3, 6)};
+    const track::Projection proj = t.project(p);
+    // Projecting the projected point stays put.
+    const track::Projection again = t.project(proj.center_point);
+    EXPECT_NEAR(std::abs(t.progress_delta(proj.s, again.s)), 0.0, 0.05);
+    EXPECT_NEAR(again.lateral, 0.0, 0.03);
+    // Lateral distance equals the point-to-centerline distance.
+    EXPECT_NEAR(std::abs(proj.lateral),
+                track::distance(p, proj.center_point), 0.03);
+  }
+}
+
+TEST_P(TrackProperty, BoundariesStayOnTrackEdge) {
+  const track::Track t = track::Track::paper_oval();
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const double s = rng.uniform(0, t.length());
+    // Points just inside the boundary are on-track; just outside are not.
+    const track::Vec2 inside =
+        t.position_at(s) +
+        track::heading_vec(t.heading_at(s)).perp() * (t.half_width() - 0.03);
+    const track::Vec2 outside =
+        t.position_at(s) +
+        track::heading_vec(t.heading_at(s)).perp() * (t.half_width() + 0.06);
+    EXPECT_TRUE(t.project(inside).on_track) << "s=" << s;
+    EXPECT_FALSE(t.project(outside).on_track) << "s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrackProperty,
+                         ::testing::Values(5u, 55u, 5555u));
+
+}  // namespace
+}  // namespace autolearn

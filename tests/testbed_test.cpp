@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "testbed/deployment.hpp"
+#include "testbed/identity.hpp"
+#include "testbed/inventory.hpp"
+#include "testbed/lease.hpp"
+
+namespace autolearn::testbed {
+namespace {
+
+// --- identity ---------------------------------------------------------------
+
+TEST(Identity, UserRegistrationAndLogin) {
+  IdentityService id;
+  id.add_user("alice", "University of Missouri");
+  EXPECT_TRUE(id.has_user("alice"));
+  EXPECT_FALSE(id.has_user("bob"));
+  const Session s = id.login("alice");
+  EXPECT_EQ(s.username, "alice");
+  EXPECT_EQ(id.user_for_token(s.token), "alice");
+  EXPECT_FALSE(id.user_for_token("bogus").has_value());
+  EXPECT_THROW(id.login("bob"), std::invalid_argument);
+  EXPECT_THROW(id.add_user("", "x"), std::invalid_argument);
+}
+
+TEST(Identity, TokensAreUnique) {
+  IdentityService id;
+  id.add_user("alice", "MU");
+  const Session a = id.login("alice");
+  const Session b = id.login("alice");
+  EXPECT_NE(a.token, b.token);
+}
+
+TEST(Identity, ProjectLifecycle) {
+  IdentityService id;
+  id.add_user("kate", "ANL");
+  id.add_user("kyle", "MJC");
+  Project& p = id.create_project("CHI-edu-1", "AutoLearn class",
+                                 ProjectDomain::Education, "kate");
+  EXPECT_EQ(p.members.size(), 1u);  // PI auto-member
+  EXPECT_TRUE(id.is_member("CHI-edu-1", "kate"));
+  EXPECT_FALSE(id.is_member("CHI-edu-1", "kyle"));
+  id.add_member("CHI-edu-1", "kyle");
+  EXPECT_TRUE(id.is_member("CHI-edu-1", "kyle"));
+  id.deactivate_project("CHI-edu-1");
+  EXPECT_FALSE(id.is_member("CHI-edu-1", "kyle"));  // inactive project
+}
+
+TEST(Identity, ProjectValidation) {
+  IdentityService id;
+  id.add_user("kate", "ANL");
+  id.create_project("P1", "t", ProjectDomain::Research, "kate");
+  EXPECT_THROW(id.create_project("P1", "t", ProjectDomain::Research, "kate"),
+               std::invalid_argument);
+  EXPECT_THROW(id.create_project("P2", "t", ProjectDomain::Research, "ghost"),
+               std::invalid_argument);
+  EXPECT_THROW(id.add_member("P1", "ghost"), std::invalid_argument);
+  EXPECT_THROW(id.add_member("nope", "kate"), std::invalid_argument);
+  EXPECT_THROW(id.project("nope"), std::invalid_argument);
+}
+
+// --- inventory ---------------------------------------------------------------
+
+TEST(Inventory, ChameleonFleetMatchesPaper) {
+  const Inventory inv = Inventory::chameleon();
+  // "40 nodes with a single Nvidia RTX6000 GPU"
+  EXPECT_EQ(inv.count_of_type("gpu_rtx6000"), 40u);
+  // "sets of 4 nodes each with 4x Nvidia V100, P100, or A100"
+  EXPECT_EQ(inv.count_of_type("gpu_v100"), 4u);
+  EXPECT_EQ(inv.count_of_type("gpu_p100"), 4u);
+  EXPECT_EQ(inv.count_of_type("gpu_a100"), 4u);
+  EXPECT_EQ(inv.count_of_type("gpu_v100_nvlink"), 4u);
+  // "Smaller numbers of nodes with other architectures (M40, K80, MI100)"
+  EXPECT_GT(inv.count_of_type("gpu_m40"), 0u);
+  EXPECT_GT(inv.count_of_type("gpu_k80"), 0u);
+  EXPECT_GT(inv.count_of_type("gpu_mi100"), 0u);
+  // Two principal sites.
+  EXPECT_EQ(inv.sites().size(), 2u);
+}
+
+TEST(Inventory, NodeIdsUniqueAndResolvable) {
+  const Inventory inv = Inventory::chameleon();
+  std::set<std::string> ids;
+  for (const Node& n : inv.nodes()) ids.insert(n.id);
+  EXPECT_EQ(ids.size(), inv.nodes().size());
+  const Node& first = inv.nodes().front();
+  EXPECT_EQ(inv.node(first.id).id, first.id);
+  EXPECT_THROW(inv.node("nope"), std::invalid_argument);
+}
+
+TEST(Inventory, FourGpuNodesHaveInterconnect) {
+  const Inventory inv = Inventory::chameleon();
+  for (const Node* n : inv.nodes_of_type("gpu_v100_nvlink")) {
+    EXPECT_EQ(n->type.gpu_count, 4);
+    EXPECT_EQ(n->type.interconnect, gpu::Interconnect::NVLink);
+  }
+}
+
+TEST(Inventory, AddNodesValidatesGpuName) {
+  Inventory inv;
+  NodeType bad{"gpu_bogus", "NotAGpu", 1, gpu::Interconnect::None};
+  EXPECT_THROW(inv.add_nodes("site", bad, 1), std::invalid_argument);
+}
+
+// --- lease ---------------------------------------------------------------------
+
+TEST(Lease, GrantsWhenCapacityAvailable) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  LeaseRequest req;
+  req.project_id = "CHI-edu-1";
+  req.node_type = "gpu_v100";
+  req.count = 2;
+  req.start = 0;
+  req.duration = 3600;
+  const auto id = lm.request(req);
+  ASSERT_TRUE(id);
+  const Lease& lease = lm.lease(*id);
+  EXPECT_EQ(lease.node_ids.size(), 2u);
+  EXPECT_EQ(lease.status, LeaseStatus::Pending);
+  EXPECT_EQ(lm.available("gpu_v100", 0, 3600), 2u);  // 4 total - 2 leased
+}
+
+TEST(Lease, RejectsWhenOverCommitted) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  LeaseRequest req;
+  req.project_id = "p";
+  req.node_type = "gpu_a100";
+  req.count = 4;
+  req.duration = 3600;
+  ASSERT_TRUE(lm.request(req));
+  EXPECT_FALSE(lm.request(req));  // all 4 taken
+  EXPECT_EQ(lm.rejected_requests(), 1u);
+}
+
+TEST(Lease, NonOverlappingIntervalsShareNodes) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  LeaseRequest morning;
+  morning.project_id = "class-a";
+  morning.node_type = "gpu_a100";
+  morning.count = 4;
+  morning.start = 0;
+  morning.duration = 3600;
+  LeaseRequest afternoon = morning;
+  afternoon.project_id = "class-b";
+  afternoon.start = 3600;
+  EXPECT_TRUE(lm.request(morning));
+  EXPECT_TRUE(lm.request(afternoon));  // back-to-back is fine
+}
+
+TEST(Lease, AdvanceReservationGuaranteesSlot) {
+  // Reserve ahead for a class; later on-demand requests cannot steal it.
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  LeaseRequest advance;
+  advance.project_id = "class";
+  advance.node_type = "gpu_p100";
+  advance.count = 4;
+  advance.start = 7200;  // class starts in 2 hours
+  advance.duration = 3600;
+  ASSERT_TRUE(lm.request(advance));
+  // On-demand request that would overlap the class slot.
+  const auto od = lm.request_on_demand("walkin", "gpu_p100", 1, 7000, 3600);
+  EXPECT_FALSE(od);
+  // But a request that ends before the class is fine.
+  EXPECT_TRUE(lm.request_on_demand("walkin", "gpu_p100", 1, 3000, 3600));
+}
+
+TEST(Lease, CancelFreesCapacity) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  LeaseRequest req;
+  req.project_id = "p";
+  req.node_type = "gpu_a100";
+  req.count = 4;
+  req.duration = 3600;
+  const auto id = lm.request(req);
+  ASSERT_TRUE(id);
+  EXPECT_FALSE(lm.request(req));
+  lm.cancel(*id);
+  EXPECT_TRUE(lm.request(req));
+}
+
+TEST(Lease, TickAdvancesStates) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  LeaseRequest req;
+  req.project_id = "p";
+  req.node_type = "gpu_v100";
+  req.count = 1;
+  req.start = 100;
+  req.duration = 50;
+  const auto id = lm.request(req);
+  ASSERT_TRUE(id);
+  lm.tick(50);
+  EXPECT_EQ(lm.lease(*id).status, LeaseStatus::Pending);
+  lm.tick(120);
+  EXPECT_EQ(lm.lease(*id).status, LeaseStatus::Active);
+  lm.tick(200);
+  EXPECT_EQ(lm.lease(*id).status, LeaseStatus::Ended);
+  EXPECT_THROW(lm.cancel(*id), std::logic_error);
+}
+
+TEST(Lease, UtilizationAccounting) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  // Lease all 4 A100 nodes for half the window.
+  LeaseRequest req;
+  req.project_id = "p";
+  req.node_type = "gpu_a100";
+  req.count = 4;
+  req.start = 0;
+  req.duration = 1800;
+  ASSERT_TRUE(lm.request(req));
+  EXPECT_NEAR(lm.utilization("gpu_a100", 0, 3600), 0.5, 1e-9);
+  EXPECT_NEAR(lm.utilization("gpu_rtx6000", 0, 3600), 0.0, 1e-9);
+  EXPECT_THROW(lm.utilization("gpu_a100", 10, 10), std::invalid_argument);
+}
+
+TEST(Lease, Validation) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  LeaseRequest bad;
+  bad.count = 0;
+  EXPECT_THROW(lm.request(bad), std::invalid_argument);
+  EXPECT_THROW(lm.lease(42), std::invalid_argument);
+  EXPECT_THROW(lm.cancel(42), std::invalid_argument);
+}
+
+// --- deployment -------------------------------------------------------------------
+
+TEST(Deployment, FullProvisioningFlow) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  util::EventQueue q;
+  DeploymentService ds(lm, q);
+  const auto lease_id =
+      lm.request_on_demand("p", "gpu_v100", 1, q.now(), 7200);
+  ASSERT_TRUE(lease_id);
+  lm.tick(q.now());
+
+  bool ready = false;
+  const auto dep_id = ds.deploy(*lease_id, ImageSpec::autolearn_trainer(),
+                                [&](const Deployment& d) {
+                                  ready = true;
+                                  EXPECT_EQ(d.state, DeployState::Active);
+                                });
+  EXPECT_EQ(ds.deployment(dep_id).state, DeployState::Provisioning);
+  q.run_until(539);
+  EXPECT_EQ(ds.deployment(dep_id).state, DeployState::Provisioning);
+  q.run_until(600);
+  EXPECT_EQ(ds.deployment(dep_id).state, DeployState::Configuring);
+  q.run();
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(ds.active_count(), 1u);
+  // cudnn(120) + tensorflow(180) + donkey(90) after the 540 s provision.
+  EXPECT_NEAR(ds.deployment(dep_id).ready_at, 540 + 390, 1e-9);
+}
+
+TEST(Deployment, RejectsCancelledLease) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  util::EventQueue q;
+  DeploymentService ds(lm, q);
+  const auto lease_id = lm.request_on_demand("p", "gpu_v100", 1, 0, 3600);
+  ASSERT_TRUE(lease_id);
+  lm.cancel(*lease_id);
+  EXPECT_THROW(ds.deploy(*lease_id, ImageSpec::jupyter_server()),
+               std::logic_error);
+}
+
+TEST(Deployment, UnknownIdThrows) {
+  const Inventory inv = Inventory::chameleon();
+  LeaseManager lm(inv);
+  util::EventQueue q;
+  DeploymentService ds(lm, q);
+  EXPECT_THROW(ds.deployment(9), std::invalid_argument);
+}
+
+TEST(Deployment, ImageSpecsHavePackages) {
+  const ImageSpec trainer = ImageSpec::autolearn_trainer();
+  EXPECT_EQ(trainer.name, "ubuntu20.04-cuda");
+  EXPECT_EQ(trainer.packages.size(), 3u);  // cudnn, tensorflow, donkeycar
+  const ImageSpec jupyter = ImageSpec::jupyter_server();
+  EXPECT_FALSE(jupyter.packages.empty());
+}
+
+}  // namespace
+}  // namespace autolearn::testbed

@@ -1,0 +1,283 @@
+#include "track/track.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "track/geometry.hpp"
+#include "track/path_builder.hpp"
+#include "util/units.hpp"
+
+namespace autolearn::track {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  Vec2 a{1, 2}, b{3, -1};
+  EXPECT_DOUBLE_EQ((a + b).x, 4);
+  EXPECT_DOUBLE_EQ((a - b).y, 3);
+  EXPECT_DOUBLE_EQ((a * 2).y, 4);
+  EXPECT_DOUBLE_EQ(a.dot(b), 1);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7);
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}.norm()), 5);
+}
+
+TEST(Vec2, PerpRotatesLeft) {
+  const Vec2 east{1, 0};
+  EXPECT_NEAR(east.perp().x, 0, 1e-12);
+  EXPECT_NEAR(east.perp().y, 1, 1e-12);
+}
+
+TEST(Vec2, RotatedQuarterTurn) {
+  const Vec2 v{1, 0};
+  const Vec2 r = v.rotated(M_PI / 2);
+  EXPECT_NEAR(r.x, 0, 1e-12);
+  EXPECT_NEAR(r.y, 1, 1e-12);
+}
+
+TEST(Vec2, NormalizedZeroVectorSafe) {
+  const Vec2 z = Vec2{0, 0}.normalized();
+  EXPECT_EQ(z.x, 0);
+  EXPECT_EQ(z.y, 0);
+}
+
+TEST(Angles, WrapAngle) {
+  EXPECT_NEAR(wrap_angle(3 * M_PI), M_PI, 1e-12);
+  EXPECT_NEAR(wrap_angle(-3 * M_PI), M_PI, 1e-12);
+  EXPECT_NEAR(wrap_angle(0.5), 0.5, 1e-12);
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angle_diff(-M_PI + 0.05, M_PI - 0.05), 0.1, 1e-12);
+}
+
+TEST(PathBuilder, StraightLengthAndHeading) {
+  PathBuilder b({0, 0}, 0.0);
+  b.straight(2.0);
+  EXPECT_NEAR(b.length(), 2.0, 1e-12);
+  EXPECT_NEAR(b.position().x, 2.0, 1e-12);
+  EXPECT_NEAR(b.position().y, 0.0, 1e-12);
+}
+
+TEST(PathBuilder, ArcTurnsLeftAndRight) {
+  PathBuilder left({0, 0}, 0.0);
+  left.arc(1.0, M_PI / 2);
+  EXPECT_NEAR(left.position().x, 1.0, 1e-9);
+  EXPECT_NEAR(left.position().y, 1.0, 1e-9);
+  EXPECT_NEAR(left.heading(), M_PI / 2, 1e-9);
+
+  PathBuilder right({0, 0}, 0.0);
+  right.arc(1.0, -M_PI / 2);
+  EXPECT_NEAR(right.position().x, 1.0, 1e-9);
+  EXPECT_NEAR(right.position().y, -1.0, 1e-9);
+  EXPECT_NEAR(right.heading(), -M_PI / 2, 1e-9);
+}
+
+TEST(PathBuilder, ArcLengthIsRTheta) {
+  PathBuilder b({0, 0}, 0.0);
+  b.arc(2.0, M_PI);
+  EXPECT_NEAR(b.length(), 2.0 * M_PI, 1e-9);
+}
+
+TEST(PathBuilder, RejectsBadSegments) {
+  PathBuilder b;
+  EXPECT_THROW(b.straight(0), std::invalid_argument);
+  EXPECT_THROW(b.straight(-1), std::invalid_argument);
+  EXPECT_THROW(b.arc(0, 1), std::invalid_argument);
+  EXPECT_THROW(b.arc(-1, 1), std::invalid_argument);
+  EXPECT_THROW(b.arc(1, 0), std::invalid_argument);
+}
+
+TEST(PathBuilder, BuildRejectsOpenLoop) {
+  PathBuilder b({0, 0}, 0.0);
+  b.straight(1.0);
+  EXPECT_THROW(b.build(/*close_loop=*/true), std::logic_error);
+  EXPECT_NO_THROW(b.build(/*close_loop=*/false));
+}
+
+TEST(PathBuilder, BuildRejectsEmptyPath) {
+  PathBuilder b;
+  EXPECT_THROW(b.build(false), std::logic_error);
+}
+
+TEST(PathBuilder, StadiumCloses) {
+  PathBuilder b({0, 0}, 0.0);
+  b.straight(2).arc(1, M_PI).straight(2).arc(1, M_PI);
+  EXPECT_NO_THROW(b.build(true));
+  EXPECT_NEAR(b.length(), 4 + 2 * M_PI, 1e-9);
+}
+
+TEST(PathBuilder, SamplesMonotoneInS) {
+  PathBuilder b({0, 0}, 0.0);
+  b.straight(1).arc(0.5, M_PI).straight(1).arc(0.5, M_PI);
+  const auto samples = b.build(true);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].s, samples[i - 1].s);
+  }
+}
+
+// --- Track ---------------------------------------------------------------
+
+TEST(Track, PaperOvalMatchesPublishedDimensions) {
+  const Track t = Track::paper_oval();
+  // Centerline perimeter = mean of the paper's inner (330 in) and outer
+  // (509 in) line lengths.
+  EXPECT_NEAR(t.length(), util::inches_to_meters(419.5), 0.02);
+  EXPECT_NEAR(t.width(), util::inches_to_meters(27.59), 1e-9);
+}
+
+TEST(Track, WaveshareCloses) {
+  const Track t = Track::waveshare();
+  EXPECT_GT(t.length(), 8.0);
+  EXPECT_NEAR(t.width(), 0.45, 1e-12);
+}
+
+TEST(Track, SquareLoopLength) {
+  const Track t = Track::square_loop(3.0, 0.8, 0.7);
+  EXPECT_NEAR(t.length(), 4 * (3.0 - 1.6) + 2 * M_PI * 0.8, 1e-6);
+}
+
+TEST(Track, SquareLoopRejectsImpossibleGeometry) {
+  EXPECT_THROW(Track::square_loop(1.0, 0.8, 0.5), std::invalid_argument);
+}
+
+TEST(Track, WrapS) {
+  const Track t = Track::paper_oval();
+  const double L = t.length();
+  EXPECT_NEAR(t.wrap_s(L + 1.0), 1.0, 1e-9);
+  EXPECT_NEAR(t.wrap_s(-1.0), L - 1.0, 1e-9);
+  EXPECT_NEAR(t.wrap_s(0.5), 0.5, 1e-12);
+}
+
+TEST(Track, PositionAtWrapsAround) {
+  const Track t = Track::paper_oval();
+  const Vec2 a = t.position_at(0.0);
+  const Vec2 b = t.position_at(t.length());
+  EXPECT_NEAR(distance(a, b), 0.0, 0.02);
+}
+
+TEST(Track, HeadingFollowsStraight) {
+  const Track t = Track::paper_oval();
+  // First samples lie on the initial straight, heading 0.
+  EXPECT_NEAR(t.heading_at(0.1), 0.0, 1e-6);
+  EXPECT_NEAR(t.curvature_at(0.1), 0.0, 1e-12);
+}
+
+TEST(Track, CurvatureOnTurnIsOneOverR) {
+  const Track t = Track::paper_oval();
+  // Midway through the first turn (straight is ~1.56 m, turn ~3.77 m).
+  const double s_turn = 1.56 + 1.8;
+  EXPECT_NEAR(t.curvature_at(s_turn), 1.0 / 1.20, 1e-6);
+}
+
+TEST(Track, BoundariesAreHalfWidthFromCenter) {
+  const Track t = Track::paper_oval();
+  for (double s = 0; s < t.length(); s += 0.5) {
+    const Vec2 c = t.position_at(s);
+    EXPECT_NEAR(distance(t.left_boundary_at(s), c), t.half_width(), 1e-9);
+    EXPECT_NEAR(distance(t.right_boundary_at(s), c), t.half_width(), 1e-9);
+  }
+}
+
+TEST(Track, ProjectPointOnCenterline) {
+  const Track t = Track::paper_oval();
+  const Vec2 p = t.position_at(2.0);
+  const Projection pr = t.project(p);
+  EXPECT_NEAR(pr.s, 2.0, 0.02);
+  EXPECT_NEAR(pr.lateral, 0.0, 0.01);
+  EXPECT_TRUE(pr.on_track);
+}
+
+TEST(Track, ProjectLateralSign) {
+  const Track t = Track::paper_oval();
+  // On the first straight (heading +x), left is +y.
+  const Vec2 left_pt{0.5, 0.2};
+  const Vec2 right_pt{0.5, -0.2};
+  EXPECT_GT(t.project(left_pt).lateral, 0.15);
+  EXPECT_LT(t.project(right_pt).lateral, -0.15);
+}
+
+TEST(Track, ProjectDetectsOffTrack) {
+  const Track t = Track::paper_oval();
+  const Vec2 far{0.5, 5.0};
+  const Projection pr = t.project(far);
+  EXPECT_FALSE(pr.on_track);
+  EXPECT_GT(std::abs(pr.lateral), 1.0);
+}
+
+TEST(Track, ProjectFarOutsideGridStillWorks) {
+  const Track t = Track::paper_oval();
+  const Projection pr = t.project({500.0, -900.0});
+  EXPECT_FALSE(pr.on_track);
+  EXPECT_GE(pr.s, 0.0);
+  EXPECT_LT(pr.s, t.length());
+}
+
+TEST(Track, ProgressDeltaAcrossSeam) {
+  const Track t = Track::paper_oval();
+  const double L = t.length();
+  EXPECT_NEAR(t.progress_delta(L - 0.1, 0.1), 0.2, 1e-9);
+  EXPECT_NEAR(t.progress_delta(0.1, L - 0.1), -0.2, 1e-9);
+  EXPECT_NEAR(t.progress_delta(1.0, 3.0), 2.0, 1e-9);
+}
+
+TEST(Track, ConstructorValidation) {
+  PathBuilder b({0, 0}, 0.0);
+  b.straight(1).arc(0.5, M_PI).straight(1).arc(0.5, M_PI);
+  auto samples = b.build(true);
+  EXPECT_THROW(Track("bad", samples, 0.0), std::invalid_argument);
+  EXPECT_THROW(Track("bad", samples, -1.0), std::invalid_argument);
+  EXPECT_THROW(Track("bad", {}, 0.5), std::invalid_argument);
+}
+
+// Property sweep over all presets: geometric invariants hold everywhere.
+class TrackInvariantTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  static Track make(const std::string& name) {
+    if (name == "paper-oval") return Track::paper_oval();
+    if (name == "waveshare") return Track::waveshare();
+    return Track::square_loop();
+  }
+};
+
+TEST_P(TrackInvariantTest, CenterlinePointsProjectToThemselves) {
+  const Track t = make(GetParam());
+  for (double s = 0.05; s < t.length(); s += t.length() / 37) {
+    const Projection pr = t.project(t.position_at(s));
+    EXPECT_NEAR(std::abs(t.progress_delta(s, pr.s)), 0.0, 0.03) << "s=" << s;
+    EXPECT_NEAR(pr.lateral, 0.0, 0.02);
+    EXPECT_TRUE(pr.on_track);
+  }
+}
+
+TEST_P(TrackInvariantTest, LateralOffsetRecovered) {
+  const Track t = make(GetParam());
+  for (double s = 0.1; s < t.length(); s += t.length() / 23) {
+    const double off = 0.15;
+    const Vec2 p = t.position_at(s) + heading_vec(t.heading_at(s)).perp() * off;
+    const Projection pr = t.project(p);
+    EXPECT_NEAR(pr.lateral, off, 0.03) << "s=" << s;
+  }
+}
+
+TEST_P(TrackInvariantTest, HeadingIsTangent) {
+  const Track t = make(GetParam());
+  const double ds = 0.02;
+  for (double s = 0.5; s < t.length() - 0.5; s += t.length() / 19) {
+    const Vec2 d = t.position_at(s + ds) - t.position_at(s - ds);
+    const double tangent_heading = std::atan2(d.y, d.x);
+    EXPECT_NEAR(std::abs(angle_diff(tangent_heading, t.heading_at(s))), 0.0,
+                0.05)
+        << "s=" << s;
+  }
+}
+
+TEST_P(TrackInvariantTest, SamplesEquallyIndexable) {
+  const Track t = make(GetParam());
+  EXPECT_GT(t.centerline().size(), 100u);
+  EXPECT_GT(t.length(), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, TrackInvariantTest,
+                         ::testing::Values("paper-oval", "waveshare",
+                                           "square-loop"));
+
+}  // namespace
+}  // namespace autolearn::track

@@ -1,0 +1,130 @@
+#include "util/delay_line.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autolearn::util {
+namespace {
+
+TEST(DelayLine, ReturnsInitialBeforeFirstValueMatures) {
+  DelayLine<int> dl(0.1, -1);
+  dl.push(5, 0.35);
+  EXPECT_EQ(dl.step(), -1);  // t=0.1
+  EXPECT_EQ(dl.step(), -1);  // t=0.2
+  EXPECT_EQ(dl.step(), -1);  // t=0.3
+  EXPECT_EQ(dl.step(), 5);   // t=0.4 >= 0.35
+}
+
+TEST(DelayLine, ZeroDelayVisibleNextStep) {
+  DelayLine<int> dl(0.05, 0);
+  dl.push(7, 0.0);
+  EXPECT_EQ(dl.step(), 7);
+}
+
+TEST(DelayLine, HoldsLastValueWhenNothingNew) {
+  DelayLine<int> dl(0.1, 0);
+  dl.push(3, 0.0);
+  dl.step();
+  EXPECT_EQ(dl.step(), 3);
+  EXPECT_EQ(dl.step(), 3);
+}
+
+TEST(DelayLine, FreshestMaturedValueWins) {
+  DelayLine<int> dl(1.0, 0);
+  dl.push(1, 0.2);
+  dl.push(2, 0.5);
+  // Both mature within the first step: the newer one is reported.
+  EXPECT_EQ(dl.step(), 2);
+}
+
+TEST(DelayLine, OutOfOrderDeliveryDropsStale) {
+  DelayLine<int> dl(1.0, 0);
+  dl.push(1, 2.5);  // slow path, matures at 2.5
+  dl.push(2, 0.2);  // fast path, matures at 0.2
+  EXPECT_EQ(dl.step(), 2);  // t=1: fast value in effect
+  EXPECT_EQ(dl.in_flight(), 0u);  // the older, slower value was discarded
+  // t=2, t=3: the stale slow value never overrides the fresher command.
+  EXPECT_EQ(dl.step(), 2);
+  EXPECT_EQ(dl.step(), 2);
+}
+
+TEST(DelayLine, ConstantDelayPipelineShiftsSequence) {
+  DelayLine<int> dl(0.1, -1);
+  // Push i at step i with delay 0.25 (2.5 periods -> visible 3 steps later).
+  for (int i = 0; i < 10; ++i) {
+    dl.push(i, 0.25);
+    const int got = dl.step();
+    if (i < 2) {
+      EXPECT_EQ(got, -1);
+    } else {
+      EXPECT_EQ(got, i - 2);
+    }
+  }
+}
+
+TEST(DelayLine, ValuePeeksWithoutAdvancing) {
+  DelayLine<int> dl(0.1, 9);
+  EXPECT_EQ(dl.value(), 9);
+  EXPECT_DOUBLE_EQ(dl.now(), 0.0);
+}
+
+TEST(DelayLine, InFlightCount) {
+  DelayLine<int> dl(0.1, 0);
+  dl.push(1, 1.0);
+  dl.push(2, 1.0);
+  EXPECT_EQ(dl.in_flight(), 2u);
+  for (int i = 0; i < 10; ++i) dl.step();
+  EXPECT_EQ(dl.in_flight(), 0u);
+}
+
+TEST(DelayLine, RejectsBadConstruction) {
+  EXPECT_THROW(DelayLine<int>(0.0, 0), std::invalid_argument);
+  EXPECT_THROW(DelayLine<int>(-1.0, 0), std::invalid_argument);
+}
+
+TEST(DelayLine, RejectsNegativeDelay) {
+  DelayLine<int> dl(0.1, 0);
+  EXPECT_THROW(dl.push(1, -0.5), std::invalid_argument);
+}
+
+TEST(DelayLine, WorksWithNonTrivialTypes) {
+  DelayLine<std::pair<double, double>> dl(0.1, {0.0, 0.0});
+  dl.push({0.5, 1.0}, 0.0);
+  const auto& v = dl.step();
+  EXPECT_DOUBLE_EQ(v.first, 0.5);
+  EXPECT_DOUBLE_EQ(v.second, 1.0);
+}
+
+// Property: pushing at step i and reading at the end of the same control
+// period, a constant delay d with period dt is observed ceil(d/dt) - 1
+// steps later (a value with d <= dt is visible within its own period).
+class DelayLagTest
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(DelayLagTest, LagMatchesCeil) {
+  const auto [dt, d] = GetParam();
+  DelayLine<int> dl(dt, -1);
+  const int expected_lag = std::max(
+      0, static_cast<int>(std::ceil(d / dt - 1e-6)) - 1);
+  for (int i = 0; i < 50; ++i) {
+    dl.push(i, d);
+    const int got = dl.step();
+    if (i >= expected_lag) {
+      EXPECT_EQ(got, i - expected_lag) << "dt=" << dt << " d=" << d;
+    } else {
+      EXPECT_EQ(got, -1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Lags, DelayLagTest,
+    ::testing::Values(std::pair{0.05, 0.0}, std::pair{0.05, 0.05},
+                      std::pair{0.05, 0.1}, std::pair{0.05, 0.12},
+                      std::pair{0.1, 0.25}, std::pair{0.02, 0.3}));
+
+}  // namespace
+}  // namespace autolearn::util

@@ -1,0 +1,147 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace autolearn::util {
+namespace {
+
+TEST(Json, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(nullptr).is_null());
+  EXPECT_TRUE(Json(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json(3.25).as_number(), 3.25);
+  EXPECT_EQ(Json(7).as_int(), 7);
+  EXPECT_EQ(Json("hi").as_string(), "hi");
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j(1.0);
+  EXPECT_THROW(j.as_string(), JsonError);
+  EXPECT_THROW(j.as_bool(), JsonError);
+  EXPECT_THROW(j.as_array(), JsonError);
+  EXPECT_THROW(j.as_object(), JsonError);
+  EXPECT_THROW(j.size(), JsonError);
+}
+
+TEST(Json, ObjectSetGetPreservesInsertionOrder) {
+  Json o = Json::object();
+  o.set("b", Json(2));
+  o.set("a", Json(1));
+  o.set("c", Json(3));
+  ASSERT_EQ(o.size(), 3u);
+  EXPECT_EQ(o.as_object()[0].first, "b");
+  EXPECT_EQ(o.as_object()[1].first, "a");
+  EXPECT_EQ(o.at("a").as_int(), 1);
+  EXPECT_EQ(o.get("missing"), nullptr);
+  EXPECT_THROW(o.at("missing"), JsonError);
+}
+
+TEST(Json, ObjectSetReplaces) {
+  Json o = Json::object();
+  o.set("k", Json(1));
+  o.set("k", Json(2));
+  EXPECT_EQ(o.size(), 1u);
+  EXPECT_EQ(o.at("k").as_int(), 2);
+}
+
+TEST(Json, ArrayPushAndIndex) {
+  Json a = Json::array();
+  a.push_back(Json(1));
+  a.push_back(Json("two"));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].as_int(), 1);
+  EXPECT_EQ(a[1].as_string(), "two");
+  EXPECT_THROW(a[2], JsonError);
+}
+
+TEST(Json, DumpCompact) {
+  Json o = Json::object();
+  o.set("n", Json(1));
+  o.set("s", Json("x"));
+  Json arr = Json::array();
+  arr.push_back(Json(true));
+  arr.push_back(Json(nullptr));
+  o.set("a", std::move(arr));
+  EXPECT_EQ(o.dump(), R"({"n":1,"s":"x","a":[true,null]})");
+}
+
+TEST(Json, DumpIntegersWithoutDecimalPoint) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(Json, StringEscaping) {
+  Json s(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(s.dump(), R"("a\"b\\c\nd\te")");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_FALSE(Json::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(Json::parse(R"("hello")").as_string(), "hello");
+}
+
+TEST(Json, ParseNested) {
+  const auto j = Json::parse(
+      R"({"user": "kz", "runs": [1, 2, 3], "meta": {"ok": true}})");
+  EXPECT_EQ(j.at("user").as_string(), "kz");
+  EXPECT_EQ(j.at("runs").size(), 3u);
+  EXPECT_EQ(j.at("runs")[2].as_int(), 3);
+  EXPECT_TRUE(j.at("meta").at("ok").as_bool());
+}
+
+TEST(Json, ParseEmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").size(), 0u);
+  EXPECT_EQ(Json::parse("{}").size(), 0u);
+  EXPECT_EQ(Json::parse("[ ]").size(), 0u);
+  EXPECT_EQ(Json::parse("{ }").size(), 0u);
+}
+
+TEST(Json, ParseWhitespaceTolerant) {
+  const auto j = Json::parse(" {\n\t\"a\" : [ 1 , 2 ] }\n");
+  EXPECT_EQ(j.at("a").size(), 2u);
+}
+
+TEST(Json, ParseEscapes) {
+  const auto j = Json::parse(R"("line\nbreak\t\"q\" A")");
+  EXPECT_EQ(j.as_string(), "line\nbreak\t\"q\" A");
+}
+
+TEST(Json, RoundTripStable) {
+  const std::string text =
+      R"({"cam/image_array":"1_cam.jpg","user/angle":-0.52,"user/throttle":0.3,"deleted":false})";
+  const auto j = Json::parse(text);
+  EXPECT_EQ(Json::parse(j.dump()), j);
+  EXPECT_EQ(j.dump(), text);
+}
+
+TEST(Json, ParseErrorsThrowWithOffset) {
+  EXPECT_THROW(Json::parse(""), JsonError);
+  EXPECT_THROW(Json::parse("{"), JsonError);
+  EXPECT_THROW(Json::parse("[1,]"), JsonError);
+  EXPECT_THROW(Json::parse("tru"), JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":1} extra"), JsonError);
+  EXPECT_THROW(Json::parse("{'a':1}"), JsonError);
+  EXPECT_THROW(Json::parse("nan"), JsonError);
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json o = Json::object();
+  o.set("a", Json(1));
+  const std::string pretty = o.dump(2);
+  EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos);
+}
+
+TEST(Json, Equality) {
+  EXPECT_EQ(Json(1.0), Json(1));
+  EXPECT_NE(Json(1.0), Json("1"));
+  EXPECT_EQ(Json::parse("[1,2]"), Json::parse("[1, 2]"));
+  EXPECT_NE(Json::parse("[1,2]"), Json::parse("[2,1]"));
+}
+
+}  // namespace
+}  // namespace autolearn::util

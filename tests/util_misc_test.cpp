@@ -1,0 +1,66 @@
+// Coverage for the small util pieces (logging, units) and the eval pilot
+// wrappers.
+#include <gtest/gtest.h>
+
+#include "cv/pilots.hpp"
+#include "eval/evaluator.hpp"
+#include "eval/wrappers.hpp"
+#include "track/track.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace autolearn {
+namespace {
+
+TEST(Units, InchesRoundTrip) {
+  EXPECT_NEAR(util::inches_to_meters(330.0), 8.382, 1e-9);
+  EXPECT_NEAR(util::meters_to_inches(util::inches_to_meters(27.59)), 27.59,
+              1e-9);
+  EXPECT_DOUBLE_EQ(util::ms_to_s(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(util::s_to_ms(0.05), 50.0);
+  EXPECT_NEAR(util::mph_to_mps(10.0), 4.4704, 1e-9);
+  EXPECT_DOUBLE_EQ(util::mib(1), 1024.0 * 1024.0);
+  EXPECT_DOUBLE_EQ(util::gib(2), 2.0 * 1024 * 1024 * 1024);
+}
+
+TEST(Logging, ThresholdFilters) {
+  const util::LogLevel old = util::log_level();
+  util::set_log_level(util::LogLevel::Error);
+  EXPECT_EQ(util::log_level(), util::LogLevel::Error);
+  // Below-threshold lines are dropped without side effects.
+  AUTOLEARN_LOG(Info, "test") << "dropped";
+  AUTOLEARN_LOG(Warn, "test") << "dropped too";
+  util::set_log_level(util::LogLevel::Off);
+  AUTOLEARN_LOG(Error, "test") << "also dropped at Off";
+  util::set_log_level(old);
+}
+
+TEST(FixedThrottlePilot, PinsThrottleKeepsSteering) {
+  cv::LineFollowPilot inner;
+  eval::FixedThrottlePilot pilot(inner, 0.33);
+  camera::Image frame(32, 24, 0.2f);
+  // The inner line follower searches (steers) on a dark frame; the wrapper
+  // must keep that steering but override its throttle.
+  const vehicle::DriveCommand inner_cmd = inner.act(frame);
+  inner.reset();
+  const vehicle::DriveCommand cmd = pilot.act(frame);
+  EXPECT_DOUBLE_EQ(cmd.throttle, 0.33);
+  EXPECT_DOUBLE_EQ(cmd.steering, inner_cmd.steering);
+  EXPECT_EQ(pilot.name(), "line-follow+fixed-throttle");
+  EXPECT_THROW(eval::FixedThrottlePilot(inner, 1.5), std::invalid_argument);
+  EXPECT_THROW(eval::FixedThrottlePilot(inner, -0.1), std::invalid_argument);
+}
+
+TEST(FixedThrottlePilot, RaceModeDrivesTheTrack) {
+  const track::Track t = track::Track::paper_oval();
+  cv::LineFollowPilot inner;
+  eval::FixedThrottlePilot pilot(inner, 0.40);
+  eval::EvalOptions opt;
+  opt.duration_s = 45.0;
+  const eval::EvalResult r = eval::run_evaluation(t, pilot, opt);
+  EXPECT_GT(r.laps, 1.0);
+  EXPECT_LT(r.errors, 5u);
+}
+
+}  // namespace
+}  // namespace autolearn

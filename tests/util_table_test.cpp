@@ -1,0 +1,69 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace autolearn::util {
+namespace {
+
+TEST(TablePrinter, RequiresHeaders) {
+  EXPECT_THROW(TablePrinter({}), std::invalid_argument);
+}
+
+TEST(TablePrinter, BasicRender) {
+  TablePrinter t({"model", "loss"});
+  t.add_row({"linear", "0.12"});
+  t.add_row({"rnn", "0.08"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("model"), std::string::npos);
+  EXPECT_NE(out.find("linear"), std::string::npos);
+  EXPECT_NE(out.find("0.08"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TablePrinter, TitleRendered) {
+  TablePrinter t({"a"});
+  t.add_row({"1"});
+  EXPECT_NE(t.to_string("E1").find("== E1 =="), std::string::npos);
+}
+
+TEST(TablePrinter, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  // Should not throw when rendering padded row.
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(TablePrinter, WideRowRejected) {
+  TablePrinter t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(3.0, 0), "3");
+  EXPECT_EQ(TablePrinter::num(static_cast<long long>(42)), "42");
+}
+
+TEST(TablePrinter, ColumnsAlignToWidestCell) {
+  TablePrinter t({"x", "yyyy"});
+  t.add_row({"longvalue", "1"});
+  const std::string out = t.to_string();
+  // Every data line should have the same length (monospace alignment).
+  std::istringstream is(out);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] != '|') continue;
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << out;
+  }
+}
+
+}  // namespace
+}  // namespace autolearn::util

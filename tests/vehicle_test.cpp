@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "track/track.hpp"
+#include "vehicle/car.hpp"
+#include "vehicle/expert.hpp"
+
+namespace autolearn::vehicle {
+namespace {
+
+Car make_sim_car() { return Car(CarConfig{}, util::Rng(7)); }
+
+TEST(DriveCommand, Clamped) {
+  const DriveCommand c = DriveCommand{2.0, -3.0}.clamped();
+  EXPECT_DOUBLE_EQ(c.steering, 1.0);
+  EXPECT_DOUBLE_EQ(c.throttle, -1.0);
+}
+
+TEST(Car, ConfigValidation) {
+  CarConfig bad;
+  bad.wheelbase = 0;
+  EXPECT_THROW(Car(bad, util::Rng(1)), std::invalid_argument);
+  bad = CarConfig{};
+  bad.max_speed = -1;
+  EXPECT_THROW(Car(bad, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(Car, ResetPlacesCar) {
+  Car car = make_sim_car();
+  car.reset({1.0, 2.0}, M_PI / 2, 0.5);
+  EXPECT_DOUBLE_EQ(car.state().pos.x, 1.0);
+  EXPECT_DOUBLE_EQ(car.state().pos.y, 2.0);
+  EXPECT_DOUBLE_EQ(car.state().heading, M_PI / 2);
+  EXPECT_DOUBLE_EQ(car.state().speed, 0.5);
+}
+
+TEST(Car, StepRequiresPositiveDt) {
+  Car car = make_sim_car();
+  EXPECT_THROW(car.step({0, 0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(car.step({0, 0}, -0.1), std::invalid_argument);
+}
+
+TEST(Car, AcceleratesTowardThrottleTarget) {
+  Car car = make_sim_car();
+  car.reset({0, 0}, 0.0);
+  for (int i = 0; i < 200; ++i) car.step({0.0, 0.5}, 0.05);
+  // After many time constants the speed settles at throttle * max_speed.
+  EXPECT_NEAR(car.state().speed, 0.5 * car.config().max_speed, 0.02);
+}
+
+TEST(Car, BrakesFasterThanAccelerates) {
+  // Time for the speed to cover half the gap to its target is ln(2) * tau;
+  // braking uses the smaller brake_tau.
+  Car braking = make_sim_car();
+  braking.reset({0, 0}, 0.0, 2.0);
+  double t_half_brake = 0;
+  while (braking.state().speed > 1.0) {
+    braking.step({0, -1.0}, 0.01);
+    t_half_brake += 0.01;
+    ASSERT_LT(t_half_brake, 5.0);
+  }
+  Car accel = make_sim_car();
+  accel.reset({0, 0}, 0.0, 0.0);
+  const double half_target = accel.config().max_speed / 2;
+  double t_half_accel = 0;
+  while (accel.state().speed < half_target) {
+    accel.step({0, 1.0}, 0.01);
+    t_half_accel += 0.01;
+    ASSERT_LT(t_half_accel, 5.0);
+  }
+  EXPECT_LT(t_half_brake, t_half_accel);
+}
+
+TEST(Car, NeverReverses) {
+  Car car = make_sim_car();
+  car.reset({0, 0}, 0.0, 0.5);
+  for (int i = 0; i < 100; ++i) {
+    car.step({0, -1.0}, 0.05);
+    ASSERT_GE(car.state().speed, 0.0);
+  }
+}
+
+TEST(Car, DrivesStraightWithZeroSteering) {
+  Car car = make_sim_car();
+  car.reset({0, 0}, 0.0, 1.0);
+  for (int i = 0; i < 100; ++i) car.step({0.0, 0.5}, 0.02);
+  EXPECT_NEAR(car.state().pos.y, 0.0, 1e-9);
+  EXPECT_GT(car.state().pos.x, 1.0);
+  EXPECT_NEAR(car.state().heading, 0.0, 1e-9);
+}
+
+TEST(Car, PositiveSteeringTurnsLeft) {
+  Car car = make_sim_car();
+  car.reset({0, 0}, 0.0, 1.0);
+  for (int i = 0; i < 40; ++i) car.step({0.5, 0.5}, 0.02);
+  EXPECT_GT(car.state().heading, 0.2);
+  EXPECT_GT(car.state().pos.y, 0.05);
+}
+
+TEST(Car, NegativeSteeringTurnsRight) {
+  Car car = make_sim_car();
+  car.reset({0, 0}, 0.0, 1.0);
+  for (int i = 0; i < 40; ++i) car.step({-0.5, 0.5}, 0.02);
+  EXPECT_LT(car.state().heading, -0.2);
+  EXPECT_LT(car.state().pos.y, -0.05);
+}
+
+TEST(Car, TurningRadiusMatchesBicycleModel) {
+  // At constant wheel angle delta and speed v, the car traces a circle of
+  // radius R = wheelbase / tan(delta).
+  CarConfig cfg;
+  cfg.steer_tau = 1e-4;  // effectively instant servo for this test
+  Car car(cfg, util::Rng(3));
+  car.reset({0, 0}, 0.0, 1.0);
+  const double steering_cmd = 0.6;
+  const double delta = steering_cmd * cfg.max_wheel_angle;
+  const double expected_r = cfg.wheelbase / std::tan(delta);
+  // Drive a half-circle with speed held via full model; track max |pos|.
+  const double dt = 0.005;
+  double max_y = 0;
+  for (int i = 0; i < 4000; ++i) {
+    car.step({steering_cmd, 1.0 / cfg.max_speed * 1.0}, dt);
+    max_y = std::max(max_y, car.state().pos.y);
+  }
+  // The chord height of the circle equals its diameter.
+  EXPECT_NEAR(max_y, 2 * expected_r, 0.15 * expected_r);
+}
+
+TEST(Car, SimProfileIsDeterministicAcrossSeeds) {
+  Car a(CarConfig{}, util::Rng(1));
+  Car b(CarConfig{}, util::Rng(999));
+  a.reset({0, 0}, 0, 0);
+  b.reset({0, 0}, 0, 0);
+  for (int i = 0; i < 50; ++i) {
+    a.step({0.3, 0.5}, 0.05);
+    b.step({0.3, 0.5}, 0.05);
+  }
+  EXPECT_DOUBLE_EQ(a.state().pos.x, b.state().pos.x);
+  EXPECT_DOUBLE_EQ(a.state().pos.y, b.state().pos.y);
+}
+
+TEST(Car, RealProfileDivergesFromSim) {
+  CarConfig real_cfg;
+  real_cfg.noise = NoiseProfile::real_car();
+  Car real(real_cfg, util::Rng(5));
+  Car sim(CarConfig{}, util::Rng(5));
+  real.reset({0, 0}, 0, 0);
+  sim.reset({0, 0}, 0, 0);
+  for (int i = 0; i < 200; ++i) {
+    real.step({0.0, 0.5}, 0.05);
+    sim.step({0.0, 0.5}, 0.05);
+  }
+  const double div = track::distance(real.state().pos, sim.state().pos);
+  EXPECT_GT(div, 0.01);
+}
+
+TEST(Car, GripLimitCausesUndersteer) {
+  CarConfig low_grip;
+  low_grip.noise.grip_limit = 1.0;
+  CarConfig high_grip;  // effectively infinite
+  Car limited(low_grip, util::Rng(2));
+  Car gripped(high_grip, util::Rng(2));
+  limited.reset({0, 0}, 0, 2.5);
+  gripped.reset({0, 0}, 0, 2.5);
+  for (int i = 0; i < 60; ++i) {
+    limited.step({1.0, 0.9}, 0.02);
+    gripped.step({1.0, 0.9}, 0.02);
+  }
+  // The grip-limited car turns less.
+  EXPECT_LT(std::abs(limited.state().heading),
+            std::abs(gripped.state().heading));
+}
+
+TEST(Car, LateralAccelComputed) {
+  Car car = make_sim_car();
+  car.reset({0, 0}, 0, 2.0);
+  EXPECT_DOUBLE_EQ(car.lateral_accel(), 0.0);  // wheel angle 0
+  for (int i = 0; i < 50; ++i) car.step({1.0, 0.7}, 0.02);
+  EXPECT_GT(car.lateral_accel(), 0.5);
+}
+
+// --- ExpertPilot -----------------------------------------------------------
+
+TEST(ExpertPilot, KeepsCarOnPaperOval) {
+  const track::Track t = track::Track::paper_oval();
+  Car car(CarConfig{}, util::Rng(11));
+  car.reset(t.position_at(0), t.heading_at(0));
+  ExpertPilot expert(t, ExpertConfig{}, util::Rng(12));
+  const double dt = 0.05;
+  double worst_lat = 0;
+  for (int i = 0; i < 2400; ++i) {  // 2 minutes of driving
+    const DriveCommand cmd = expert.decide(car.state(), dt);
+    car.step(cmd, dt);
+    const auto proj = t.project(car.state().pos);
+    worst_lat = std::max(worst_lat, std::abs(proj.lateral));
+    ASSERT_TRUE(proj.on_track) << "left track at step " << i;
+  }
+  EXPECT_LT(worst_lat, t.half_width());
+}
+
+TEST(ExpertPilot, KeepsCarOnWaveshare) {
+  const track::Track t = track::Track::waveshare();
+  Car car(CarConfig{}, util::Rng(21));
+  car.reset(t.position_at(0), t.heading_at(0));
+  ExpertPilot expert(t, ExpertConfig{}, util::Rng(22));
+  const double dt = 0.05;
+  for (int i = 0; i < 2400; ++i) {
+    car.step(expert.decide(car.state(), dt), dt);
+    ASSERT_TRUE(t.project(car.state().pos).on_track)
+        << "left track at step " << i;
+  }
+}
+
+TEST(ExpertPilot, CompletesLaps) {
+  const track::Track t = track::Track::paper_oval();
+  Car car(CarConfig{}, util::Rng(31));
+  car.reset(t.position_at(0), t.heading_at(0));
+  ExpertPilot expert(t, ExpertConfig{}, util::Rng(32));
+  const double dt = 0.05;
+  double progress = 0;
+  double s_prev = 0;
+  for (int i = 0; i < 2400; ++i) {
+    car.step(expert.decide(car.state(), dt), dt);
+    const double s_now = t.project(car.state().pos).s;
+    progress += t.progress_delta(s_prev, s_now);
+    s_prev = s_now;
+  }
+  EXPECT_GT(progress, 2 * t.length());  // at least two laps in 2 minutes
+}
+
+TEST(ExpertPilot, SlowsForCorners) {
+  const track::Track t = track::Track::paper_oval();
+  Car car(CarConfig{}, util::Rng(41));
+  car.reset(t.position_at(0), t.heading_at(0));
+  ExpertPilot expert(t, ExpertConfig{}, util::Rng(42));
+  const double dt = 0.05;
+  double straight_speed = 0, corner_speed = 1e9;
+  for (int i = 0; i < 2400; ++i) {
+    car.step(expert.decide(car.state(), dt), dt);
+    if (i < 400) continue;  // let it settle
+    const auto proj = t.project(car.state().pos);
+    if (std::abs(proj.curvature) < 1e-6) {
+      straight_speed = std::max(straight_speed, car.state().speed);
+    } else {
+      corner_speed = std::min(corner_speed, car.state().speed);
+    }
+  }
+  EXPECT_GT(straight_speed, corner_speed);
+}
+
+TEST(ExpertPilot, MistakesOccurAtConfiguredRate) {
+  const track::Track t = track::Track::paper_oval();
+  ExpertConfig cfg;
+  cfg.mistake_rate = 30.0;  // 30 per minute -> plenty in 60 s
+  ExpertPilot expert(t, cfg, util::Rng(55));
+  Car car(CarConfig{}, util::Rng(56));
+  car.reset(t.position_at(0), t.heading_at(0));
+  const double dt = 0.05;
+  int mistake_steps = 0;
+  for (int i = 0; i < 1200; ++i) {
+    car.step(expert.decide(car.state(), dt), dt);
+    mistake_steps += expert.in_mistake();
+  }
+  EXPECT_GT(mistake_steps, 10);
+}
+
+TEST(ExpertPilot, NoMistakesByDefault) {
+  const track::Track t = track::Track::paper_oval();
+  ExpertPilot expert(t, ExpertConfig{}, util::Rng(55));
+  Car car(CarConfig{}, util::Rng(56));
+  car.reset(t.position_at(0), t.heading_at(0));
+  for (int i = 0; i < 600; ++i) {
+    car.step(expert.decide(car.state(), 0.05), 0.05);
+    ASSERT_FALSE(expert.in_mistake());
+  }
+}
+
+// Property: the expert keeps the car on every preset track with the real
+// noise profile too.
+class ExpertTrackTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExpertTrackTest, StaysOnTrackWithRealNoise) {
+  const std::string name = GetParam();
+  const track::Track t = name == "paper-oval" ? track::Track::paper_oval()
+                         : name == "waveshare"
+                             ? track::Track::waveshare()
+                             : track::Track::square_loop();
+  CarConfig cfg;
+  cfg.noise = NoiseProfile::real_car();
+  Car car(cfg, util::Rng(61));
+  car.reset(t.position_at(0), t.heading_at(0));
+  ExpertPilot expert(t, ExpertConfig{}, util::Rng(62));
+  const double dt = 0.05;
+  int off_track = 0;
+  for (int i = 0; i < 2400; ++i) {
+    car.step(expert.decide(car.state(), dt), dt);
+    off_track += !t.project(car.state().pos).on_track;
+  }
+  // The real car may clip an edge occasionally but must mostly stay on.
+  EXPECT_LT(off_track, 24);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tracks, ExpertTrackTest,
+                         ::testing::Values("paper-oval", "waveshare",
+                                           "square-loop"));
+
+}  // namespace
+}  // namespace autolearn::vehicle

@@ -1,0 +1,86 @@
+#include "workflow/notebook.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace autolearn::workflow {
+namespace {
+
+TEST(Notebook, AddAndRunSingleCell) {
+  Notebook nb("quickstart");
+  const auto i = nb.add_cell("hello", [] { return "hi"; });
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(nb.cell(0).status, CellStatus::NotRun);
+  EXPECT_TRUE(nb.run_cell(0));
+  EXPECT_EQ(nb.cell(0).status, CellStatus::Ok);
+  EXPECT_EQ(nb.cell(0).output, "hi");
+}
+
+TEST(Notebook, RunAllStopsAtFirstError) {
+  Notebook nb("pipeline");
+  int third_ran = 0;
+  nb.add_cell("ok", [] { return "1"; });
+  nb.add_cell("boom", []() -> std::string {
+    throw std::runtime_error("lease unavailable");
+  });
+  nb.add_cell("after", [&]() -> std::string {
+    ++third_ran;
+    return "3";
+  });
+  const std::size_t ok = nb.run_all();
+  EXPECT_EQ(ok, 1u);
+  EXPECT_EQ(third_ran, 0);
+  EXPECT_EQ(nb.cell(1).status, CellStatus::Error);
+  EXPECT_NE(nb.cell(1).output.find("lease unavailable"), std::string::npos);
+  EXPECT_EQ(nb.cell(2).status, CellStatus::NotRun);
+  EXPECT_FALSE(nb.all_ok());
+}
+
+TEST(Notebook, RerunAfterFixSucceeds) {
+  Notebook nb("retry");
+  bool broken = true;
+  nb.add_cell("flaky", [&]() -> std::string {
+    if (broken) throw std::runtime_error("transient");
+    return "fixed";
+  });
+  EXPECT_EQ(nb.run_all(), 0u);
+  broken = false;
+  EXPECT_EQ(nb.run_all(), 1u);
+  EXPECT_TRUE(nb.all_ok());
+}
+
+TEST(Notebook, ClearStateResets) {
+  Notebook nb("reset");
+  nb.add_cell("a", [] { return "x"; });
+  nb.run_all();
+  nb.clear_state();
+  EXPECT_EQ(nb.cell(0).status, CellStatus::NotRun);
+  EXPECT_TRUE(nb.cell(0).output.empty());
+}
+
+TEST(Notebook, SuccessCallbackFires) {
+  Notebook nb("metrics");
+  int successes = 0;
+  nb.set_on_cell_success([&](const Cell&) { ++successes; });
+  nb.add_cell("a", [] { return ""; });
+  nb.add_cell("b", [] { return ""; });
+  nb.run_all();
+  EXPECT_EQ(successes, 2);
+}
+
+TEST(Notebook, Validation) {
+  Notebook nb("v");
+  EXPECT_THROW(nb.add_cell("bad", nullptr), std::invalid_argument);
+  EXPECT_THROW(nb.run_cell(0), std::out_of_range);
+  EXPECT_THROW(nb.cell(0), std::out_of_range);
+}
+
+TEST(Notebook, StatusNames) {
+  EXPECT_STREQ(to_string(CellStatus::NotRun), "not-run");
+  EXPECT_STREQ(to_string(CellStatus::Ok), "ok");
+  EXPECT_STREQ(to_string(CellStatus::Error), "error");
+}
+
+}  // namespace
+}  // namespace autolearn::workflow
