@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_framesize.dir/bench_a1_framesize.cpp.o"
+  "CMakeFiles/bench_a1_framesize.dir/bench_a1_framesize.cpp.o.d"
+  "bench_a1_framesize"
+  "bench_a1_framesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_framesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_augmentation.dir/bench_a2_augmentation.cpp.o"
+  "CMakeFiles/bench_a2_augmentation.dir/bench_a2_augmentation.cpp.o.d"
+  "bench_a2_augmentation"
+  "bench_a2_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

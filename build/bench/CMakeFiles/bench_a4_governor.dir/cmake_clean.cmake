@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_governor.dir/bench_a4_governor.cpp.o"
+  "CMakeFiles/bench_a4_governor.dir/bench_a4_governor.cpp.o.d"
+  "bench_a4_governor"
+  "bench_a4_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_byod.dir/bench_e10_byod.cpp.o"
+  "CMakeFiles/bench_e10_byod.dir/bench_e10_byod.cpp.o.d"
+  "bench_e10_byod"
+  "bench_e10_byod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_byod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_leases.dir/bench_e11_leases.cpp.o"
+  "CMakeFiles/bench_e11_leases.dir/bench_e11_leases.cpp.o.d"
+  "bench_e11_leases"
+  "bench_e11_leases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_leases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

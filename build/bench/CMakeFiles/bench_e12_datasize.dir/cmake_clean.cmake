@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_datasize.dir/bench_e12_datasize.cpp.o"
+  "CMakeFiles/bench_e12_datasize.dir/bench_e12_datasize.cpp.o.d"
+  "bench_e12_datasize"
+  "bench_e12_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

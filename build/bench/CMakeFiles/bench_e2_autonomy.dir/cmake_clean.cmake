@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_autonomy.dir/bench_e2_autonomy.cpp.o"
+  "CMakeFiles/bench_e2_autonomy.dir/bench_e2_autonomy.cpp.o.d"
+  "bench_e2_autonomy"
+  "bench_e2_autonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_autonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_gpus.dir/bench_e3_gpus.cpp.o"
+  "CMakeFiles/bench_e3_gpus.dir/bench_e3_gpus.cpp.o.d"
+  "bench_e3_gpus"
+  "bench_e3_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_datapaths.dir/bench_e4_datapaths.cpp.o"
+  "CMakeFiles/bench_e4_datapaths.dir/bench_e4_datapaths.cpp.o.d"
+  "bench_e4_datapaths"
+  "bench_e4_datapaths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_datapaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_tracks.dir/bench_e5_tracks.cpp.o"
+  "CMakeFiles/bench_e5_tracks.dir/bench_e5_tracks.cpp.o.d"
+  "bench_e5_tracks"
+  "bench_e5_tracks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_tracks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

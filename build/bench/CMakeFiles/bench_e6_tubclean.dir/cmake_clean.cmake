@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_tubclean.dir/bench_e6_tubclean.cpp.o"
+  "CMakeFiles/bench_e6_tubclean.dir/bench_e6_tubclean.cpp.o.d"
+  "bench_e6_tubclean"
+  "bench_e6_tubclean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_tubclean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_continuum.dir/bench_e7_continuum.cpp.o"
+  "CMakeFiles/bench_e7_continuum.dir/bench_e7_continuum.cpp.o.d"
+  "bench_e7_continuum"
+  "bench_e7_continuum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_continuum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_twin.dir/bench_e8_twin.cpp.o"
+  "CMakeFiles/bench_e8_twin.dir/bench_e8_twin.cpp.o.d"
+  "bench_e8_twin"
+  "bench_e8_twin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_twin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

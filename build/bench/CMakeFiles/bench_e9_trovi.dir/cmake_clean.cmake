@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_trovi.dir/bench_e9_trovi.cpp.o"
+  "CMakeFiles/bench_e9_trovi.dir/bench_e9_trovi.cpp.o.d"
+  "bench_e9_trovi"
+  "bench_e9_trovi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_trovi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_cli.dir/autolearn_cli.cpp.o"
+  "CMakeFiles/autolearn_cli.dir/autolearn_cli.cpp.o.d"
+  "autolearn_cli"
+  "autolearn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classroom_session.dir/classroom_session.cpp.o"
+  "CMakeFiles/classroom_session.dir/classroom_session.cpp.o.d"
+  "classroom_session"
+  "classroom_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classroom_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

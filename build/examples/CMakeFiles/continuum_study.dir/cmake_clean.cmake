@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuum_study.dir/continuum_study.cpp.o"
+  "CMakeFiles/continuum_study.dir/continuum_study.cpp.o.d"
+  "continuum_study"
+  "continuum_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuum_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

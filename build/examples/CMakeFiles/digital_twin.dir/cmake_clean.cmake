@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digital_twin.dir/digital_twin.cpp.o"
+  "CMakeFiles/digital_twin.dir/digital_twin.cpp.o.d"
+  "digital_twin"
+  "digital_twin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digital_twin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

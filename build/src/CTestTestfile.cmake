@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("net")
+subdirs("track")
+subdirs("testbed")
+subdirs("objectstore")
+subdirs("hub")
+subdirs("workflow")
+subdirs("vehicle")
+subdirs("camera")
+subdirs("edge")
+subdirs("data")
+subdirs("ml")
+subdirs("gpu")
+subdirs("cv")
+subdirs("drone")
+subdirs("rl")
+subdirs("core")
+subdirs("eval")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_camera.dir/camera.cpp.o"
+  "CMakeFiles/autolearn_camera.dir/camera.cpp.o.d"
+  "CMakeFiles/autolearn_camera.dir/image.cpp.o"
+  "CMakeFiles/autolearn_camera.dir/image.cpp.o.d"
+  "libautolearn_camera.a"
+  "libautolearn_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/competition.cpp" "src/core/CMakeFiles/autolearn_core.dir/competition.cpp.o" "gcc" "src/core/CMakeFiles/autolearn_core.dir/competition.cpp.o.d"
+  "/root/repo/src/core/continuum.cpp" "src/core/CMakeFiles/autolearn_core.dir/continuum.cpp.o" "gcc" "src/core/CMakeFiles/autolearn_core.dir/continuum.cpp.o.d"
+  "/root/repo/src/core/model_zoo.cpp" "src/core/CMakeFiles/autolearn_core.dir/model_zoo.cpp.o" "gcc" "src/core/CMakeFiles/autolearn_core.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/core/module_catalog.cpp" "src/core/CMakeFiles/autolearn_core.dir/module_catalog.cpp.o" "gcc" "src/core/CMakeFiles/autolearn_core.dir/module_catalog.cpp.o.d"
+  "/root/repo/src/core/pathway.cpp" "src/core/CMakeFiles/autolearn_core.dir/pathway.cpp.o" "gcc" "src/core/CMakeFiles/autolearn_core.dir/pathway.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/autolearn_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/autolearn_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/speed_governor.cpp" "src/core/CMakeFiles/autolearn_core.dir/speed_governor.cpp.o" "gcc" "src/core/CMakeFiles/autolearn_core.dir/speed_governor.cpp.o.d"
+  "/root/repo/src/core/twin.cpp" "src/core/CMakeFiles/autolearn_core.dir/twin.cpp.o" "gcc" "src/core/CMakeFiles/autolearn_core.dir/twin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/autolearn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autolearn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autolearn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/autolearn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/autolearn_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/autolearn_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/camera/CMakeFiles/autolearn_camera.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/autolearn_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/autolearn_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

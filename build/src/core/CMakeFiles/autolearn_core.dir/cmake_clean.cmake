@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_core.dir/competition.cpp.o"
+  "CMakeFiles/autolearn_core.dir/competition.cpp.o.d"
+  "CMakeFiles/autolearn_core.dir/continuum.cpp.o"
+  "CMakeFiles/autolearn_core.dir/continuum.cpp.o.d"
+  "CMakeFiles/autolearn_core.dir/model_zoo.cpp.o"
+  "CMakeFiles/autolearn_core.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/autolearn_core.dir/module_catalog.cpp.o"
+  "CMakeFiles/autolearn_core.dir/module_catalog.cpp.o.d"
+  "CMakeFiles/autolearn_core.dir/pathway.cpp.o"
+  "CMakeFiles/autolearn_core.dir/pathway.cpp.o.d"
+  "CMakeFiles/autolearn_core.dir/pipeline.cpp.o"
+  "CMakeFiles/autolearn_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/autolearn_core.dir/speed_governor.cpp.o"
+  "CMakeFiles/autolearn_core.dir/speed_governor.cpp.o.d"
+  "CMakeFiles/autolearn_core.dir/twin.cpp.o"
+  "CMakeFiles/autolearn_core.dir/twin.cpp.o.d"
+  "libautolearn_core.a"
+  "libautolearn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_cv.dir/features.cpp.o"
+  "CMakeFiles/autolearn_cv.dir/features.cpp.o.d"
+  "CMakeFiles/autolearn_cv.dir/pilots.cpp.o"
+  "CMakeFiles/autolearn_cv.dir/pilots.cpp.o.d"
+  "libautolearn_cv.a"
+  "libautolearn_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/collector.cpp" "src/data/CMakeFiles/autolearn_data.dir/collector.cpp.o" "gcc" "src/data/CMakeFiles/autolearn_data.dir/collector.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/autolearn_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/autolearn_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/pgm.cpp" "src/data/CMakeFiles/autolearn_data.dir/pgm.cpp.o" "gcc" "src/data/CMakeFiles/autolearn_data.dir/pgm.cpp.o.d"
+  "/root/repo/src/data/stats.cpp" "src/data/CMakeFiles/autolearn_data.dir/stats.cpp.o" "gcc" "src/data/CMakeFiles/autolearn_data.dir/stats.cpp.o.d"
+  "/root/repo/src/data/tub.cpp" "src/data/CMakeFiles/autolearn_data.dir/tub.cpp.o" "gcc" "src/data/CMakeFiles/autolearn_data.dir/tub.cpp.o.d"
+  "/root/repo/src/data/tubclean.cpp" "src/data/CMakeFiles/autolearn_data.dir/tubclean.cpp.o" "gcc" "src/data/CMakeFiles/autolearn_data.dir/tubclean.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/autolearn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/camera/CMakeFiles/autolearn_camera.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/autolearn_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/autolearn_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

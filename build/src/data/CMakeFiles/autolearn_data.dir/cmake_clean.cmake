@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_data.dir/collector.cpp.o"
+  "CMakeFiles/autolearn_data.dir/collector.cpp.o.d"
+  "CMakeFiles/autolearn_data.dir/dataset.cpp.o"
+  "CMakeFiles/autolearn_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/autolearn_data.dir/pgm.cpp.o"
+  "CMakeFiles/autolearn_data.dir/pgm.cpp.o.d"
+  "CMakeFiles/autolearn_data.dir/stats.cpp.o"
+  "CMakeFiles/autolearn_data.dir/stats.cpp.o.d"
+  "CMakeFiles/autolearn_data.dir/tub.cpp.o"
+  "CMakeFiles/autolearn_data.dir/tub.cpp.o.d"
+  "CMakeFiles/autolearn_data.dir/tubclean.cpp.o"
+  "CMakeFiles/autolearn_data.dir/tubclean.cpp.o.d"
+  "libautolearn_data.a"
+  "libautolearn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_drone.dir/drone.cpp.o"
+  "CMakeFiles/autolearn_drone.dir/drone.cpp.o.d"
+  "CMakeFiles/autolearn_drone.dir/survey.cpp.o"
+  "CMakeFiles/autolearn_drone.dir/survey.cpp.o.d"
+  "libautolearn_drone.a"
+  "libautolearn_drone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_drone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_edge.dir/container.cpp.o"
+  "CMakeFiles/autolearn_edge.dir/container.cpp.o.d"
+  "CMakeFiles/autolearn_edge.dir/registry.cpp.o"
+  "CMakeFiles/autolearn_edge.dir/registry.cpp.o.d"
+  "libautolearn_edge.a"
+  "libautolearn_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_eval.dir/evaluator.cpp.o"
+  "CMakeFiles/autolearn_eval.dir/evaluator.cpp.o.d"
+  "CMakeFiles/autolearn_eval.dir/pilot.cpp.o"
+  "CMakeFiles/autolearn_eval.dir/pilot.cpp.o.d"
+  "CMakeFiles/autolearn_eval.dir/wrappers.cpp.o"
+  "CMakeFiles/autolearn_eval.dir/wrappers.cpp.o.d"
+  "libautolearn_eval.a"
+  "libautolearn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_gpu.dir/perf_model.cpp.o"
+  "CMakeFiles/autolearn_gpu.dir/perf_model.cpp.o.d"
+  "libautolearn_gpu.a"
+  "libautolearn_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_hub.dir/collaboration.cpp.o"
+  "CMakeFiles/autolearn_hub.dir/collaboration.cpp.o.d"
+  "CMakeFiles/autolearn_hub.dir/hub.cpp.o"
+  "CMakeFiles/autolearn_hub.dir/hub.cpp.o.d"
+  "libautolearn_hub.a"
+  "libautolearn_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/conv.cpp" "src/ml/CMakeFiles/autolearn_ml.dir/conv.cpp.o" "gcc" "src/ml/CMakeFiles/autolearn_ml.dir/conv.cpp.o.d"
+  "/root/repo/src/ml/driving_model.cpp" "src/ml/CMakeFiles/autolearn_ml.dir/driving_model.cpp.o" "gcc" "src/ml/CMakeFiles/autolearn_ml.dir/driving_model.cpp.o.d"
+  "/root/repo/src/ml/layers.cpp" "src/ml/CMakeFiles/autolearn_ml.dir/layers.cpp.o" "gcc" "src/ml/CMakeFiles/autolearn_ml.dir/layers.cpp.o.d"
+  "/root/repo/src/ml/loss.cpp" "src/ml/CMakeFiles/autolearn_ml.dir/loss.cpp.o" "gcc" "src/ml/CMakeFiles/autolearn_ml.dir/loss.cpp.o.d"
+  "/root/repo/src/ml/lstm.cpp" "src/ml/CMakeFiles/autolearn_ml.dir/lstm.cpp.o" "gcc" "src/ml/CMakeFiles/autolearn_ml.dir/lstm.cpp.o.d"
+  "/root/repo/src/ml/optimizer.cpp" "src/ml/CMakeFiles/autolearn_ml.dir/optimizer.cpp.o" "gcc" "src/ml/CMakeFiles/autolearn_ml.dir/optimizer.cpp.o.d"
+  "/root/repo/src/ml/sequential.cpp" "src/ml/CMakeFiles/autolearn_ml.dir/sequential.cpp.o" "gcc" "src/ml/CMakeFiles/autolearn_ml.dir/sequential.cpp.o.d"
+  "/root/repo/src/ml/tensor.cpp" "src/ml/CMakeFiles/autolearn_ml.dir/tensor.cpp.o" "gcc" "src/ml/CMakeFiles/autolearn_ml.dir/tensor.cpp.o.d"
+  "/root/repo/src/ml/trainer.cpp" "src/ml/CMakeFiles/autolearn_ml.dir/trainer.cpp.o" "gcc" "src/ml/CMakeFiles/autolearn_ml.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/camera/CMakeFiles/autolearn_camera.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/autolearn_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/autolearn_track.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_ml.dir/conv.cpp.o"
+  "CMakeFiles/autolearn_ml.dir/conv.cpp.o.d"
+  "CMakeFiles/autolearn_ml.dir/driving_model.cpp.o"
+  "CMakeFiles/autolearn_ml.dir/driving_model.cpp.o.d"
+  "CMakeFiles/autolearn_ml.dir/layers.cpp.o"
+  "CMakeFiles/autolearn_ml.dir/layers.cpp.o.d"
+  "CMakeFiles/autolearn_ml.dir/loss.cpp.o"
+  "CMakeFiles/autolearn_ml.dir/loss.cpp.o.d"
+  "CMakeFiles/autolearn_ml.dir/lstm.cpp.o"
+  "CMakeFiles/autolearn_ml.dir/lstm.cpp.o.d"
+  "CMakeFiles/autolearn_ml.dir/optimizer.cpp.o"
+  "CMakeFiles/autolearn_ml.dir/optimizer.cpp.o.d"
+  "CMakeFiles/autolearn_ml.dir/sequential.cpp.o"
+  "CMakeFiles/autolearn_ml.dir/sequential.cpp.o.d"
+  "CMakeFiles/autolearn_ml.dir/tensor.cpp.o"
+  "CMakeFiles/autolearn_ml.dir/tensor.cpp.o.d"
+  "CMakeFiles/autolearn_ml.dir/trainer.cpp.o"
+  "CMakeFiles/autolearn_ml.dir/trainer.cpp.o.d"
+  "libautolearn_ml.a"
+  "libautolearn_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_net.dir/link.cpp.o"
+  "CMakeFiles/autolearn_net.dir/link.cpp.o.d"
+  "CMakeFiles/autolearn_net.dir/network.cpp.o"
+  "CMakeFiles/autolearn_net.dir/network.cpp.o.d"
+  "CMakeFiles/autolearn_net.dir/transfer.cpp.o"
+  "CMakeFiles/autolearn_net.dir/transfer.cpp.o.d"
+  "CMakeFiles/autolearn_net.dir/tunnel.cpp.o"
+  "CMakeFiles/autolearn_net.dir/tunnel.cpp.o.d"
+  "libautolearn_net.a"
+  "libautolearn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_objectstore.dir/objectstore.cpp.o"
+  "CMakeFiles/autolearn_objectstore.dir/objectstore.cpp.o.d"
+  "libautolearn_objectstore.a"
+  "libautolearn_objectstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_objectstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

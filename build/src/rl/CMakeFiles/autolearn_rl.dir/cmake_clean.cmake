@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_rl.dir/qlearning.cpp.o"
+  "CMakeFiles/autolearn_rl.dir/qlearning.cpp.o.d"
+  "libautolearn_rl.a"
+  "libautolearn_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

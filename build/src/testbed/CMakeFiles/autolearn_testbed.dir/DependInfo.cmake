@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/deployment.cpp" "src/testbed/CMakeFiles/autolearn_testbed.dir/deployment.cpp.o" "gcc" "src/testbed/CMakeFiles/autolearn_testbed.dir/deployment.cpp.o.d"
+  "/root/repo/src/testbed/identity.cpp" "src/testbed/CMakeFiles/autolearn_testbed.dir/identity.cpp.o" "gcc" "src/testbed/CMakeFiles/autolearn_testbed.dir/identity.cpp.o.d"
+  "/root/repo/src/testbed/inventory.cpp" "src/testbed/CMakeFiles/autolearn_testbed.dir/inventory.cpp.o" "gcc" "src/testbed/CMakeFiles/autolearn_testbed.dir/inventory.cpp.o.d"
+  "/root/repo/src/testbed/lease.cpp" "src/testbed/CMakeFiles/autolearn_testbed.dir/lease.cpp.o" "gcc" "src/testbed/CMakeFiles/autolearn_testbed.dir/lease.cpp.o.d"
+  "/root/repo/src/testbed/topology.cpp" "src/testbed/CMakeFiles/autolearn_testbed.dir/topology.cpp.o" "gcc" "src/testbed/CMakeFiles/autolearn_testbed.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/autolearn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/autolearn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_testbed.dir/deployment.cpp.o"
+  "CMakeFiles/autolearn_testbed.dir/deployment.cpp.o.d"
+  "CMakeFiles/autolearn_testbed.dir/identity.cpp.o"
+  "CMakeFiles/autolearn_testbed.dir/identity.cpp.o.d"
+  "CMakeFiles/autolearn_testbed.dir/inventory.cpp.o"
+  "CMakeFiles/autolearn_testbed.dir/inventory.cpp.o.d"
+  "CMakeFiles/autolearn_testbed.dir/lease.cpp.o"
+  "CMakeFiles/autolearn_testbed.dir/lease.cpp.o.d"
+  "CMakeFiles/autolearn_testbed.dir/topology.cpp.o"
+  "CMakeFiles/autolearn_testbed.dir/topology.cpp.o.d"
+  "libautolearn_testbed.a"
+  "libautolearn_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_track.dir/path_builder.cpp.o"
+  "CMakeFiles/autolearn_track.dir/path_builder.cpp.o.d"
+  "CMakeFiles/autolearn_track.dir/track.cpp.o"
+  "CMakeFiles/autolearn_track.dir/track.cpp.o.d"
+  "libautolearn_track.a"
+  "libautolearn_track.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_track.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

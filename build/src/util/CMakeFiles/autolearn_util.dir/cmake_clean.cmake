@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_util.dir/event_queue.cpp.o"
+  "CMakeFiles/autolearn_util.dir/event_queue.cpp.o.d"
+  "CMakeFiles/autolearn_util.dir/json.cpp.o"
+  "CMakeFiles/autolearn_util.dir/json.cpp.o.d"
+  "CMakeFiles/autolearn_util.dir/logging.cpp.o"
+  "CMakeFiles/autolearn_util.dir/logging.cpp.o.d"
+  "CMakeFiles/autolearn_util.dir/rng.cpp.o"
+  "CMakeFiles/autolearn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/autolearn_util.dir/stats.cpp.o"
+  "CMakeFiles/autolearn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/autolearn_util.dir/table.cpp.o"
+  "CMakeFiles/autolearn_util.dir/table.cpp.o.d"
+  "CMakeFiles/autolearn_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/autolearn_util.dir/thread_pool.cpp.o.d"
+  "libautolearn_util.a"
+  "libautolearn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_vehicle.dir/car.cpp.o"
+  "CMakeFiles/autolearn_vehicle.dir/car.cpp.o.d"
+  "CMakeFiles/autolearn_vehicle.dir/expert.cpp.o"
+  "CMakeFiles/autolearn_vehicle.dir/expert.cpp.o.d"
+  "libautolearn_vehicle.a"
+  "libautolearn_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

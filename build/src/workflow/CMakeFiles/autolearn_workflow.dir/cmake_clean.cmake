@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_workflow.dir/notebook.cpp.o"
+  "CMakeFiles/autolearn_workflow.dir/notebook.cpp.o.d"
+  "libautolearn_workflow.a"
+  "libautolearn_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_test.dir/drone_test.cpp.o"
+  "CMakeFiles/drone_test.dir/drone_test.cpp.o.d"
+  "drone_test"
+  "drone_test.pdb"
+  "drone_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

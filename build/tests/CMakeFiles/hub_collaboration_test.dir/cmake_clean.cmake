@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_collaboration_test.dir/hub_collaboration_test.cpp.o"
+  "CMakeFiles/hub_collaboration_test.dir/hub_collaboration_test.cpp.o.d"
+  "hub_collaboration_test"
+  "hub_collaboration_test.pdb"
+  "hub_collaboration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_collaboration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

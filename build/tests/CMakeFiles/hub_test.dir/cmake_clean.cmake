@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_test.dir/hub_test.cpp.o"
+  "CMakeFiles/hub_test.dir/hub_test.cpp.o.d"
+  "hub_test"
+  "hub_test.pdb"
+  "hub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

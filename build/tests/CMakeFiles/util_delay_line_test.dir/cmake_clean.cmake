@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_delay_line_test.dir/util_delay_line_test.cpp.o"
+  "CMakeFiles/util_delay_line_test.dir/util_delay_line_test.cpp.o.d"
+  "util_delay_line_test"
+  "util_delay_line_test.pdb"
+  "util_delay_line_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_delay_line_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

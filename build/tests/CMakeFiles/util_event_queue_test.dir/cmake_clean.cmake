@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_event_queue_test.dir/util_event_queue_test.cpp.o"
+  "CMakeFiles/util_event_queue_test.dir/util_event_queue_test.cpp.o.d"
+  "util_event_queue_test"
+  "util_event_queue_test.pdb"
+  "util_event_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_event_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
