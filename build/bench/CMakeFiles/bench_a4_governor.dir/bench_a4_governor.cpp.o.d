@@ -266,5 +266,7 @@ bench/CMakeFiles/bench_a4_governor.dir/bench_a4_governor.cpp.o: \
  /root/repo/src/core/speed_governor.hpp /root/repo/src/eval/evaluator.hpp \
  /root/repo/src/eval/pilot.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/fault/report.hpp /root/repo/src/util/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/cv/pilots.hpp /root/repo/src/cv/features.hpp \
  /root/repo/src/util/table.hpp

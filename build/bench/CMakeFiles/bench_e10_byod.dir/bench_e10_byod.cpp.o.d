@@ -267,6 +267,8 @@ bench/CMakeFiles/bench_e10_byod.dir/bench_e10_byod.cpp.o: \
  /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/fault/retry.hpp /root/repo/src/net/transfer.hpp \
+ /root/repo/src/net/network.hpp /root/repo/src/net/link.hpp \
  /root/repo/src/testbed/deployment.hpp /root/repo/src/testbed/lease.hpp \
  /root/repo/src/testbed/inventory.hpp /root/repo/src/gpu/perf_model.hpp \
  /root/repo/src/util/table.hpp /root/repo/src/workflow/notebook.hpp

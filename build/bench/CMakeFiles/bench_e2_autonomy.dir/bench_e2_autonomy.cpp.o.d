@@ -266,4 +266,6 @@ bench/CMakeFiles/bench_e2_autonomy.dir/bench_e2_autonomy.cpp.o: \
  /root/repo/src/camera/camera.hpp /root/repo/src/eval/evaluator.hpp \
  /root/repo/src/eval/pilot.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/fault/report.hpp /root/repo/src/util/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/util/table.hpp

@@ -265,4 +265,6 @@ bench/CMakeFiles/bench_e6_tubclean.dir/bench_e6_tubclean.cpp.o: \
  /root/repo/src/data/tubclean.hpp /root/repo/src/ml/trainer.hpp \
  /root/repo/src/eval/evaluator.hpp /root/repo/src/eval/pilot.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/table.hpp
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/fault/report.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/table.hpp

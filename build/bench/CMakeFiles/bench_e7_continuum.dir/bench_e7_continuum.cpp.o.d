@@ -266,5 +266,8 @@ bench/CMakeFiles/bench_e7_continuum.dir/bench_e7_continuum.cpp.o: \
  /root/repo/src/core/continuum.hpp /root/repo/src/eval/evaluator.hpp \
  /root/repo/src/eval/pilot.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/fault/report.hpp /root/repo/src/util/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/fault/circuit_breaker.hpp \
  /root/repo/src/gpu/perf_model.hpp /root/repo/src/util/delay_line.hpp \
  /root/repo/src/util/table.hpp

@@ -266,4 +266,6 @@ bench/CMakeFiles/bench_e8_twin.dir/bench_e8_twin.cpp.o: \
  /root/repo/src/core/twin.hpp /root/repo/src/eval/pilot.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/util/stats.hpp \
- /root/repo/src/eval/evaluator.hpp /root/repo/src/util/table.hpp
+ /root/repo/src/eval/evaluator.hpp /root/repo/src/fault/report.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/util/table.hpp

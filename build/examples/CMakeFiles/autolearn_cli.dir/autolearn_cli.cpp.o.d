@@ -262,5 +262,7 @@ examples/CMakeFiles/autolearn_cli.dir/autolearn_cli.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/eval/pilot.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/fault/report.hpp /root/repo/src/util/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/gpu/perf_model.hpp /root/repo/src/ml/trainer.hpp \
  /root/repo/src/util/table.hpp

@@ -260,12 +260,14 @@ examples/CMakeFiles/classroom_session.dir/classroom_session.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/ml/driving_model.hpp /root/repo/src/ml/optimizer.hpp \
  /root/repo/src/ml/layer.hpp /root/repo/src/ml/tensor.hpp \
- /root/repo/src/ml/sequential.hpp /root/repo/src/gpu/perf_model.hpp \
+ /root/repo/src/ml/sequential.hpp /root/repo/src/fault/report.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/gpu/perf_model.hpp \
  /root/repo/src/ml/trainer.hpp /root/repo/src/edge/container.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/edge/registry.hpp \
- /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/hub/hub.hpp \
- /root/repo/src/testbed/deployment.hpp /root/repo/src/testbed/lease.hpp \
- /root/repo/src/testbed/inventory.hpp /root/repo/src/testbed/identity.hpp \
- /root/repo/src/util/table.hpp
+ /root/repo/src/fault/retry.hpp /root/repo/src/net/transfer.hpp \
+ /root/repo/src/net/network.hpp /root/repo/src/net/link.hpp \
+ /root/repo/src/hub/hub.hpp /root/repo/src/testbed/deployment.hpp \
+ /root/repo/src/testbed/lease.hpp /root/repo/src/testbed/inventory.hpp \
+ /root/repo/src/testbed/identity.hpp /root/repo/src/util/table.hpp

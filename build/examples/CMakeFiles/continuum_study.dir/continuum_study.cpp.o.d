@@ -178,7 +178,21 @@ examples/CMakeFiles/continuum_study.dir/continuum_study.cpp.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
  /usr/include/c++/12/iostream /root/repo/src/core/continuum.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/shared_ptr_atomic.h \
  /usr/include/c++/12/bits/atomic_base.h \
@@ -210,30 +224,15 @@ examples/CMakeFiles/continuum_study.dir/continuum_study.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/src/eval/evaluator.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/node_handle.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/eval/pilot.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/camera/image.hpp /usr/include/c++/12/cstddef \
- /root/repo/src/ml/driving_model.hpp /root/repo/src/ml/optimizer.hpp \
- /root/repo/src/ml/layer.hpp /root/repo/src/ml/tensor.hpp \
- /root/repo/src/util/rng.hpp /root/repo/src/ml/sequential.hpp \
- /root/repo/src/vehicle/car.hpp /root/repo/src/track/geometry.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/eval/evaluator.hpp /root/repo/src/eval/pilot.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/camera/image.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/ml/driving_model.hpp \
+ /root/repo/src/ml/optimizer.hpp /root/repo/src/ml/layer.hpp \
+ /root/repo/src/ml/tensor.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/ml/sequential.hpp /root/repo/src/vehicle/car.hpp \
+ /root/repo/src/track/geometry.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -253,12 +252,16 @@ examples/CMakeFiles/continuum_study.dir/continuum_study.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/track/track.hpp \
- /root/repo/src/track/path_builder.hpp /root/repo/src/gpu/perf_model.hpp \
- /root/repo/src/util/delay_line.hpp /root/repo/src/core/pipeline.hpp \
- /usr/include/c++/12/optional /root/repo/src/data/collector.hpp \
- /root/repo/src/data/tub.hpp /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/fault/report.hpp \
+ /root/repo/src/track/track.hpp /root/repo/src/track/path_builder.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/fault/circuit_breaker.hpp \
+ /root/repo/src/gpu/perf_model.hpp /root/repo/src/util/delay_line.hpp \
+ /root/repo/src/core/pipeline.hpp /usr/include/c++/12/optional \
+ /root/repo/src/data/collector.hpp /root/repo/src/data/tub.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/vehicle/expert.hpp /root/repo/src/data/tubclean.hpp \
  /root/repo/src/ml/trainer.hpp /root/repo/src/util/table.hpp

@@ -26,6 +26,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/gpu/CMakeFiles/autolearn_gpu.dir/DependInfo.cmake"
   "/root/repo/build/src/objectstore/CMakeFiles/autolearn_objectstore.dir/DependInfo.cmake"
   "/root/repo/build/src/workflow/CMakeFiles/autolearn_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/autolearn_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
   )
 

@@ -243,6 +243,8 @@ examples/CMakeFiles/extensions_tour.dir/extensions_tour.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/ml/optimizer.hpp /root/repo/src/ml/layer.hpp \
  /root/repo/src/ml/tensor.hpp /root/repo/src/ml/sequential.hpp \
+ /root/repo/src/fault/report.hpp /root/repo/src/util/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/drone/survey.hpp /root/repo/src/drone/drone.hpp \
  /root/repo/src/cv/features.hpp /usr/include/c++/12/optional \
  /root/repo/src/cv/pilots.hpp /root/repo/src/rl/qlearning.hpp \

@@ -258,5 +258,7 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/ml/driving_model.hpp /root/repo/src/ml/optimizer.hpp \
  /root/repo/src/ml/layer.hpp /root/repo/src/ml/tensor.hpp \
- /root/repo/src/ml/sequential.hpp /root/repo/src/gpu/perf_model.hpp \
+ /root/repo/src/ml/sequential.hpp /root/repo/src/fault/report.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/gpu/perf_model.hpp \
  /root/repo/src/ml/trainer.hpp /root/repo/src/util/table.hpp

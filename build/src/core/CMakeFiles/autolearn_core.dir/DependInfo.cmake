@@ -29,6 +29,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/camera/CMakeFiles/autolearn_camera.dir/DependInfo.cmake"
   "/root/repo/build/src/vehicle/CMakeFiles/autolearn_vehicle.dir/DependInfo.cmake"
   "/root/repo/build/src/track/CMakeFiles/autolearn_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/autolearn_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
   )
 

@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
   "/root/repo/build/src/ml/CMakeFiles/autolearn_ml.dir/DependInfo.cmake"
   "/root/repo/build/src/vehicle/CMakeFiles/autolearn_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/autolearn_fault.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -236,8 +236,10 @@ src/eval/CMakeFiles/autolearn_eval.dir/evaluator.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/track/track.hpp \
- /root/repo/src/track/path_builder.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/fault/report.hpp \
+ /root/repo/src/track/track.hpp /root/repo/src/track/path_builder.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/chaos.cpp" "src/fault/CMakeFiles/autolearn_chaos.dir/chaos.cpp.o" "gcc" "src/fault/CMakeFiles/autolearn_chaos.dir/chaos.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/autolearn_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/autolearn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/autolearn_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/autolearn_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/autolearn_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

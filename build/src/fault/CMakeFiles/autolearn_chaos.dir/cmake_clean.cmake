@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_chaos.dir/chaos.cpp.o"
+  "CMakeFiles/autolearn_chaos.dir/chaos.cpp.o.d"
+  "libautolearn_chaos.a"
+  "libautolearn_chaos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/circuit_breaker.cpp" "src/fault/CMakeFiles/autolearn_fault.dir/circuit_breaker.cpp.o" "gcc" "src/fault/CMakeFiles/autolearn_fault.dir/circuit_breaker.cpp.o.d"
+  "/root/repo/src/fault/report.cpp" "src/fault/CMakeFiles/autolearn_fault.dir/report.cpp.o" "gcc" "src/fault/CMakeFiles/autolearn_fault.dir/report.cpp.o.d"
+  "/root/repo/src/fault/retry.cpp" "src/fault/CMakeFiles/autolearn_fault.dir/retry.cpp.o" "gcc" "src/fault/CMakeFiles/autolearn_fault.dir/retry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autolearn_fault.dir/circuit_breaker.cpp.o"
+  "CMakeFiles/autolearn_fault.dir/circuit_breaker.cpp.o.d"
+  "CMakeFiles/autolearn_fault.dir/report.cpp.o"
+  "CMakeFiles/autolearn_fault.dir/report.cpp.o.d"
+  "CMakeFiles/autolearn_fault.dir/retry.cpp.o"
+  "CMakeFiles/autolearn_fault.dir/retry.cpp.o.d"
+  "libautolearn_fault.a"
+  "libautolearn_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autolearn_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

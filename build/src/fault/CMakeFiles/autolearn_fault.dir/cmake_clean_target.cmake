@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautolearn_fault.a"
+)

@@ -141,8 +141,10 @@ src/net/CMakeFiles/autolearn_net.dir/tunnel.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/bits/nested_exception.h /root/repo/src/net/link.hpp \
- /usr/include/c++/12/stdexcept /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/bits/nested_exception.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/stdexcept \
+ /root/repo/src/net/link.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h

@@ -134,5 +134,6 @@ src/testbed/CMakeFiles/autolearn_testbed.dir/topology.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/net/link.hpp /usr/include/c++/12/stdexcept \
- /root/repo/src/util/rng.hpp
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/stdexcept \
+ /root/repo/src/net/link.hpp /root/repo/src/util/rng.hpp

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/chaos_test.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/chaos_test.dir/chaos_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/autolearn_chaos.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autolearn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/autolearn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/autolearn_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/autolearn_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/autolearn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/autolearn_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autolearn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autolearn_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/autolearn_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/objectstore/CMakeFiles/autolearn_objectstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/workflow/CMakeFiles/autolearn_workflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/camera/CMakeFiles/autolearn_camera.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/autolearn_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/track/CMakeFiles/autolearn_track.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

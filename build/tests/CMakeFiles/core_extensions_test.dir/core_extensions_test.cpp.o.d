@@ -321,8 +321,10 @@ tests/CMakeFiles/core_extensions_test.dir/core_extensions_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/track/track.hpp \
- /root/repo/src/track/path_builder.hpp /root/repo/src/core/model_zoo.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/fault/report.hpp \
+ /root/repo/src/track/track.hpp /root/repo/src/track/path_builder.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/core/model_zoo.hpp \
  /root/repo/src/objectstore/objectstore.hpp \
  /root/repo/src/core/speed_governor.hpp /root/repo/src/cv/pilots.hpp \
  /root/repo/src/cv/features.hpp /root/repo/src/ml/trainer.hpp

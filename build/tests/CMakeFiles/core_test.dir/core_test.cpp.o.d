@@ -325,11 +325,15 @@ tests/CMakeFiles/core_test.dir/core_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/track/track.hpp \
- /root/repo/src/track/path_builder.hpp /root/repo/src/gpu/perf_model.hpp \
- /root/repo/src/util/delay_line.hpp /root/repo/src/core/pathway.hpp \
- /root/repo/src/workflow/notebook.hpp /root/repo/src/core/pipeline.hpp \
- /root/repo/src/data/collector.hpp /root/repo/src/data/tub.hpp \
- /root/repo/src/vehicle/expert.hpp /root/repo/src/data/tubclean.hpp \
- /root/repo/src/ml/trainer.hpp /root/repo/src/core/twin.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/data/dataset.hpp
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/fault/report.hpp \
+ /root/repo/src/track/track.hpp /root/repo/src/track/path_builder.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/fault/circuit_breaker.hpp \
+ /root/repo/src/gpu/perf_model.hpp /root/repo/src/util/delay_line.hpp \
+ /root/repo/src/core/pathway.hpp /root/repo/src/workflow/notebook.hpp \
+ /root/repo/src/core/pipeline.hpp /root/repo/src/data/collector.hpp \
+ /root/repo/src/data/tub.hpp /root/repo/src/vehicle/expert.hpp \
+ /root/repo/src/data/tubclean.hpp /root/repo/src/ml/trainer.hpp \
+ /root/repo/src/core/twin.hpp /root/repo/src/util/stats.hpp \
+ /root/repo/src/data/dataset.hpp

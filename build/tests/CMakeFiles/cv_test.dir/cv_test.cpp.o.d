@@ -324,4 +324,6 @@ tests/CMakeFiles/cv_test.dir/cv_test.cpp.o: /root/repo/tests/cv_test.cpp \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/ml/driving_model.hpp \
  /root/repo/src/ml/optimizer.hpp /root/repo/src/ml/layer.hpp \
  /root/repo/src/ml/tensor.hpp /root/repo/src/ml/sequential.hpp \
- /root/repo/src/eval/evaluator.hpp
+ /root/repo/src/eval/evaluator.hpp /root/repo/src/fault/report.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h

@@ -296,4 +296,7 @@ tests/CMakeFiles/edge_test.dir/edge_test.cpp.o: \
  /root/repo/src/edge/container.hpp /root/repo/src/edge/registry.hpp \
  /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
+ /root/repo/src/fault/retry.hpp /root/repo/src/util/rng.hpp \
+ /root/repo/src/net/transfer.hpp /root/repo/src/net/network.hpp \
+ /root/repo/src/net/link.hpp

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/eval/CMakeFiles/autolearn_eval.dir/DependInfo.cmake"
   "/root/repo/build/src/data/CMakeFiles/autolearn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/autolearn_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/ml/CMakeFiles/autolearn_ml.dir/DependInfo.cmake"
   "/root/repo/build/src/camera/CMakeFiles/autolearn_camera.dir/DependInfo.cmake"
   "/root/repo/build/src/vehicle/CMakeFiles/autolearn_vehicle.dir/DependInfo.cmake"

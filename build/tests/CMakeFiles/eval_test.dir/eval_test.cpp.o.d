@@ -328,4 +328,6 @@ tests/CMakeFiles/eval_test.dir/eval_test.cpp.o: \
  /root/repo/src/ml/tensor.hpp /root/repo/src/ml/sequential.hpp \
  /root/repo/src/eval/evaluator.hpp /root/repo/src/eval/pilot.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/ml/trainer.hpp
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/fault/report.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/ml/trainer.hpp

@@ -331,12 +331,13 @@ tests/CMakeFiles/integration_test.dir/integration_test.cpp.o: \
  /root/repo/src/vehicle/car.hpp /root/repo/src/data/tubclean.hpp \
  /root/repo/src/eval/evaluator.hpp /root/repo/src/eval/pilot.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/gpu/perf_model.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/fault/report.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/gpu/perf_model.hpp \
  /root/repo/src/ml/trainer.hpp /root/repo/src/data/dataset.hpp \
  /root/repo/src/edge/container.hpp /root/repo/src/edge/registry.hpp \
- /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/hub/hub.hpp \
- /root/repo/src/net/transfer.hpp /root/repo/src/net/network.hpp \
- /root/repo/src/net/link.hpp /root/repo/src/testbed/deployment.hpp \
+ /root/repo/src/fault/retry.hpp /root/repo/src/net/transfer.hpp \
+ /root/repo/src/net/network.hpp /root/repo/src/net/link.hpp \
+ /root/repo/src/hub/hub.hpp /root/repo/src/testbed/deployment.hpp \
  /root/repo/src/testbed/lease.hpp /root/repo/src/testbed/inventory.hpp \
  /root/repo/src/testbed/identity.hpp

@@ -295,7 +295,7 @@ tests/CMakeFiles/net_test.dir/net_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/net/link.hpp /root/repo/src/util/rng.hpp \
  /root/repo/src/net/network.hpp /root/repo/src/net/transfer.hpp \
- /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/net/tunnel.hpp
+ /root/repo/src/fault/retry.hpp /root/repo/src/util/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/net/tunnel.hpp

@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/testbed/CMakeFiles/autolearn_testbed.dir/DependInfo.cmake"
   "/root/repo/build/src/gpu/CMakeFiles/autolearn_gpu.dir/DependInfo.cmake"
   "/root/repo/build/src/net/CMakeFiles/autolearn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/autolearn_fault.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/autolearn_util.dir/DependInfo.cmake"
   )
 

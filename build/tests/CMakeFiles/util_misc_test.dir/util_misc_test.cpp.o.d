@@ -322,6 +322,8 @@ tests/CMakeFiles/util_misc_test.dir/util_misc_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/eval/evaluator.hpp /root/repo/src/track/track.hpp \
- /root/repo/src/track/path_builder.hpp /root/repo/src/eval/wrappers.hpp \
+ /root/repo/src/eval/evaluator.hpp /root/repo/src/fault/report.hpp \
+ /root/repo/src/track/track.hpp /root/repo/src/track/path_builder.hpp \
+ /root/repo/src/util/event_queue.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/eval/wrappers.hpp \
  /root/repo/src/util/logging.hpp /root/repo/src/util/units.hpp

@@ -1,0 +1,137 @@
+// Chaos study: how does the hybrid edge/cloud control loop degrade when
+// the continuum fails underneath it?
+//
+// Builds the car <-> campus <-> Chameleon topology, trains a cloud model
+// and an edge fallback, then evaluates the Hybrid placement three times:
+// once on a healthy network, once under a scripted mid-run partition of
+// the cloud site, and once under a seed-generated random fault plan. The
+// circuit breaker guarding cloud inference trips during each outage, the
+// edge model takes over, and the breaker's half-open probes re-admit the
+// cloud once the partition heals. Every run is reproducible from the seed
+// printed with the report.
+//
+//   $ ./chaos_study [seed]
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "core/continuum.hpp"
+#include "core/pipeline.hpp"
+#include "fault/chaos.hpp"
+#include "track/track.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace autolearn;
+  namespace fs = std::filesystem;
+
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  const track::Track track = track::Track::paper_oval();
+
+  auto train_model = [&](ml::ModelType type, std::size_t epochs,
+                         ml::ModelConfig mcfg) {
+    core::PipelineOptions opt;
+    opt.model = type;
+    opt.model_config = mcfg;
+    opt.collect_duration_s = 120.0;
+    opt.driver.steering_noise = 0.08;
+    opt.train.epochs = epochs;
+    opt.eval.duration_s = 1.0;  // skip the long built-in eval
+    core::Pipeline pipe(track, opt,
+                        fs::temp_directory_path() /
+                            (std::string("autolearn_chaos_") +
+                             ml::to_string(type)));
+    pipe.run();
+    return pipe;
+  };
+  std::cout << "Training the cloud model (linear)...\n";
+  core::Pipeline cloud_pipe =
+      train_model(ml::ModelType::Linear, 8, ml::ModelConfig{});
+  std::cout << "Training the edge fallback (inferred)...\n";
+  core::Pipeline edge_pipe =
+      train_model(ml::ModelType::Inferred, 2, ml::ModelConfig{});
+
+  // The paper's deployment: car on campus Wi-Fi, Chameleon over Internet2.
+  net::Network net;
+  net.add_host("car-01");
+  net.add_host("campus");
+  net.add_host("chi-uc");
+  net.add_duplex("car-01", "campus", net::Link::edge_wifi());
+  net.add_duplex("campus", "chi-uc", net::Link::campus_to_cloud());
+
+  const double duration_s = 40.0;
+  util::TablePrinter table({"scenario", "laps", "errors", "cloud use",
+                            "failovers", "denied", "degraded (s)",
+                            "recovery (ms)"});
+
+  // Each scenario gets its own event queue + engine so timelines don't mix.
+  auto run_scenario = [&](const char* name,
+                          const std::vector<fault::FaultSpec>& plan) {
+    util::EventQueue queue;
+    fault::ChaosEngine engine(queue, seed);
+    engine.attach_network(net);
+    engine.inject_plan(plan);
+
+    core::ContinuumOptions copt;
+    copt.network_rtt_s = 0.08;
+    copt.rtt_jitter_s = 0.0;
+    copt.breaker.failure_threshold = 2;
+    copt.breaker.open_duration_s = 0.5;
+    copt.cloud_probe = [&net](double) {
+      return net.route("car-01", "chi-uc").has_value();
+    };
+
+    eval::EvalOptions eopt;
+    eopt.duration_s = duration_s;
+    eopt.seed = seed;
+    eopt.chaos_queue = &queue;
+    const eval::EvalResult r = core::evaluate_placement(
+        track, cloud_pipe.model(), edge_pipe.model(), core::Placement::Hybrid,
+        copt, eopt);
+
+    const fault::DegradationStats& d = r.degradation;
+    table.add_row(
+        {name, util::TablePrinter::num(r.laps, 2),
+         util::TablePrinter::num(static_cast<long long>(r.errors)),
+         util::TablePrinter::num(d.cloud_usage, 3),
+         util::TablePrinter::num(static_cast<long long>(d.failovers)),
+         util::TablePrinter::num(static_cast<long long>(d.denied_calls)),
+         util::TablePrinter::num(d.degraded_time_s, 2),
+         util::TablePrinter::num(d.recovery_latency_s * 1000, 0)});
+    if (!engine.report().timeline.empty()) {
+      std::cout << "\n[" << name << "] fault timeline:\n"
+                << engine.report().summary();
+    }
+  };
+
+  run_scenario("healthy", {});
+  // One scripted outage: the cloud site drops off the routing graph for a
+  // quarter of the run, mid-evaluation.
+  run_scenario("partition",
+               {{fault::FaultKind::Partition, duration_s * 0.4,
+                 duration_s * 0.25, "chi-uc"}});
+  // A seeded random plan mixing partitions and Wi-Fi degradation.
+  {
+    util::EventQueue queue;
+    fault::ChaosEngine planner(queue, seed);
+    fault::RandomPlanOptions popt;
+    popt.horizon_s = duration_s;
+    popt.faults = 4;
+    popt.mean_duration_s = 4.0;
+    popt.partition_host = "chi-uc";
+    popt.link_from = "car-01";
+    popt.link_to = "campus";
+    run_scenario("random plan", planner.random_plan(popt));
+  }
+
+  std::cout << "\n";
+  table.print(std::cout,
+              "Hybrid placement under chaos (seed " + std::to_string(seed) +
+                  ")");
+  std::cout << "\nReading the table: the breaker converts each outage into"
+               "\nedge-only steering instead of a stalled loop — cloud usage"
+               "\ndips for roughly the degraded window, then the half-open"
+               "\nprobes re-admit the cloud within a control period or two.\n";
+  return 0;
+}

@@ -46,15 +46,18 @@ HybridPilot::HybridPilot(ml::DrivingModel& edge_model,
       cloud_model_(cloud_model),
       options_(options),
       rng_(rng),
-      cloud_pipe_(options.control_dt, Stamped{}) {}
+      cloud_pipe_(options.control_dt, Stamped{}),
+      breaker_(options.breaker) {}
 
 void HybridPilot::reset() {
+  // Episode reset: the evaluator calls this when the student places the
+  // car back on the line. That local intervention clears the control path
+  // (model state, in-flight cloud commands) but does not move the wall
+  // clock, heal the network, or erase observed degradation — construct a
+  // fresh pilot for an independent run.
   edge_.reset();
   cloud_.reset();
   cloud_pipe_ = util::DelayLine<Stamped>(options_.control_dt, Stamped{});
-  now_ = 0.0;
-  steps_ = 0;
-  cloud_steps_ = 0;
 }
 
 double HybridPilot::cloud_usage() const {
@@ -63,26 +66,60 @@ double HybridPilot::cloud_usage() const {
                 : 0.0;
 }
 
+fault::DegradationStats HybridPilot::degradation() const {
+  fault::DegradationStats stats;
+  stats.cloud_usage = cloud_usage();
+  stats.failovers = breaker_.times_opened();
+  stats.denied_calls = denied_;
+  stats.degraded_time_s = breaker_.degraded_s(now_);
+  stats.recovery_latency_s = recovery_latency_s_;
+  return stats;
+}
+
 vehicle::DriveCommand HybridPilot::act(const camera::Image& frame) {
   now_ += options_.control_dt;
   ++steps_;
   // Edge model answers within the control period.
   const vehicle::DriveCommand edge_cmd = edge_.act(frame);
-  // The same frame is also shipped to the cloud; its (better) command
-  // arrives RTT + GPU-inference later.
-  const vehicle::DriveCommand cloud_cmd = cloud_.act(frame);
-  const double cloud_infer = gpu::inference_latency_s(
-      gpu::device(options_.cloud_device),
-      static_cast<std::uint64_t>(
-          static_cast<double>(cloud_model_.flops_per_sample()) *
-          options_.flops_scale));
-  double delay = options_.network_rtt_s + cloud_infer;
-  if (options_.rtt_jitter_s > 0) {
-    delay = std::max(0.0, rng_.normal(delay, options_.rtt_jitter_s));
+  // The same frame is also shipped to the cloud — unless the breaker is
+  // open (a partitioned or preempted cloud) in which case the loop does
+  // not even try: the edge model has already taken over.
+  if (breaker_.allow(now_)) {
+    const bool was_degraded =
+        breaker_.state() != fault::CircuitBreaker::State::Closed;
+    if (!options_.cloud_probe || options_.cloud_probe(now_)) {
+      breaker_.record_success(now_);
+      if (was_degraded &&
+          breaker_.state() == fault::CircuitBreaker::State::Closed) {
+        awaiting_recovery_ = true;  // half-open probe re-closed the breaker
+      }
+      const vehicle::DriveCommand cloud_cmd = cloud_.act(frame);
+      const double cloud_infer = gpu::inference_latency_s(
+          gpu::device(options_.cloud_device),
+          static_cast<std::uint64_t>(
+              static_cast<double>(cloud_model_.flops_per_sample()) *
+              options_.flops_scale));
+      double delay = options_.network_rtt_s + cloud_infer;
+      if (options_.rtt_jitter_s > 0) {
+        delay = std::max(0.0, rng_.normal(delay, options_.rtt_jitter_s));
+      }
+      cloud_pipe_.push(Stamped{cloud_cmd, now_}, delay);
+    } else {
+      breaker_.record_failure(now_);
+    }
+  } else {
+    ++denied_;
   }
-  cloud_pipe_.push(Stamped{cloud_cmd, now_}, delay);
   const Stamped& freshest = cloud_pipe_.step();
-  if (now_ - freshest.time <= options_.hybrid_staleness_s) {
+  const bool cloud_fresh =
+      now_ - freshest.time <= options_.hybrid_staleness_s;
+  if (cloud_fresh &&
+      breaker_.state() == fault::CircuitBreaker::State::Closed) {
+    if (awaiting_recovery_) {
+      // Full recovery: commands are flowing back through the pipe again.
+      recovery_latency_s_ = now_ - breaker_.last_closed_at();
+      awaiting_recovery_ = false;
+    }
     ++cloud_steps_;
     return freshest.cmd;
   }
@@ -118,7 +155,9 @@ eval::EvalResult evaluate_placement(const track::Track& track,
                                                    edge_flops, main_flops);
       HybridPilot pilot(edge_fallback, main_model, options,
                         util::Rng(eval_options.seed + 17));
-      return eval::run_evaluation(track, pilot, opts);
+      eval::EvalResult result = eval::run_evaluation(track, pilot, opts);
+      result.degradation = pilot.degradation();
+      return result;
     }
   }
   throw std::invalid_argument("evaluate_placement: bad placement");

@@ -14,10 +14,13 @@
 //             edge model otherwise.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 
 #include "eval/evaluator.hpp"
+#include "fault/circuit_breaker.hpp"
+#include "fault/report.hpp"
 #include "gpu/perf_model.hpp"
 #include "ml/driving_model.hpp"
 #include "util/delay_line.hpp"
@@ -42,6 +45,17 @@ struct ContinuumOptions {
   /// full DonkeyCar stack at 160x120, roughly 1500x the arithmetic. Set
   /// this to study the full-scale deployment without training it.
   double flops_scale = 1.0;
+  /// Circuit breaker guarding cloud inference: consecutive unreachable
+  /// probes trip it open and the edge model takes over outright (no frames
+  /// shipped); half-open probes re-close it once the cloud is back.
+  fault::CircuitBreakerConfig breaker;
+  /// Cloud reachability probe, called with the loop's virtual time before
+  /// each cloud call. Wire it to the chaos-injected network, e.g.
+  ///   opt.cloud_probe = [&net](double) {
+  ///     return net.route("car-01", "chi-uc").has_value();
+  ///   };
+  /// Unset means the cloud is always reachable (the pre-chaos behavior).
+  std::function<bool(double now)> cloud_probe;
 };
 
 /// End-to-end command latency for a placement (excluding jitter).
@@ -64,6 +78,13 @@ class HybridPilot : public eval::Pilot {
   /// Fraction of steps that used the (fresh) cloud command so far.
   double cloud_usage() const;
 
+  /// Breaker-observed degradation so far: failovers, denied cloud calls,
+  /// time open, and the latency from re-close to the first cloud command
+  /// actually steering the car again.
+  fault::DegradationStats degradation() const;
+
+  const fault::CircuitBreaker& breaker() const { return breaker_; }
+
  private:
   struct Stamped {
     vehicle::DriveCommand cmd;
@@ -76,9 +97,13 @@ class HybridPilot : public eval::Pilot {
   ContinuumOptions options_;
   util::Rng rng_;
   util::DelayLine<Stamped> cloud_pipe_;
+  fault::CircuitBreaker breaker_;
   double now_ = 0.0;
   std::size_t steps_ = 0;
   std::size_t cloud_steps_ = 0;
+  std::size_t denied_ = 0;
+  bool awaiting_recovery_ = false;  // breaker re-closed, cloud not used yet
+  double recovery_latency_s_ = 0.0;
 };
 
 /// Evaluates a placement on a track: wires latency into the evaluator (or

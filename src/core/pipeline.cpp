@@ -70,6 +70,7 @@ PipelineReport Pipeline::run() {
   // Phase 4: evaluate closed-loop.
   eval::ModelPilot pilot(*model_);
   report.eval_result = eval::run_evaluation(track_, pilot, options_.eval);
+  report.degradation = report.eval_result.degradation;
 
   AUTOLEARN_LOG(Info, "pipeline")
       << ml::to_string(options_.model) << " on " << track_.name() << ": mae "

@@ -13,6 +13,7 @@
 #include "data/collector.hpp"
 #include "data/tubclean.hpp"
 #include "eval/evaluator.hpp"
+#include "fault/report.hpp"
 #include "gpu/perf_model.hpp"
 #include "ml/trainer.hpp"
 #include "track/track.hpp"
@@ -42,6 +43,9 @@ struct PipelineReport {
   double steering_mae = 0.0;
   double simulated_gpu_seconds = 0.0;  // on the configured node
   eval::EvalResult eval_result;
+  /// Degradation observed during the evaluation phase (zeros unless the
+  /// eval ran a resilient placement under injected faults).
+  fault::DegradationStats degradation;
 };
 
 /// Runs the full pipeline in a working directory (tub storage) and returns

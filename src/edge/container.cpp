@@ -30,14 +30,34 @@ ContainerSpec ContainerSpec::autolearn_car() {
 ContainerService::ContainerService(EdgeRegistry& registry,
                                    util::EventQueue& queue, Config config)
     : registry_(registry), queue_(queue), config_(config) {
-  if (config_.downlink_bps <= 0 || config_.start_delay_s < 0) {
+  if (config_.downlink_bps <= 0 || config_.start_delay_s < 0 ||
+      config_.restart_delay_s < 0 || config_.max_restarts < 0) {
     throw std::invalid_argument("container: bad config");
   }
+  config_.pull_retry.validate();
+}
+
+void ContainerService::use_network(net::Network& network,
+                                   std::string registry_host, util::Rng rng) {
+  if (!network.has_host(registry_host)) {
+    throw std::invalid_argument("container: unknown registry host " +
+                                registry_host);
+  }
+  network_ = &network;
+  registry_host_ = std::move(registry_host);
+  pull_transfers_ = std::make_unique<net::TransferManager>(
+      network, queue_, rng, config_.pull_retry);
+}
+
+bool ContainerService::is_live(ContainerState s) const {
+  return s == ContainerState::Pulling || s == ContainerState::Starting ||
+         s == ContainerState::Running;
 }
 
 std::uint64_t ContainerService::launch(
     const std::string& device, const std::string& project, ContainerSpec spec,
-    std::function<void(const Container&)> on_running) {
+    std::function<void(const Container&)> on_running,
+    std::function<void(const Container&)> on_failed) {
   const Device& dev = registry_.device(device);
   if (dev.state != DeviceState::Ready) {
     throw std::logic_error("container: device " + device + " is " +
@@ -54,36 +74,142 @@ std::uint64_t ContainerService::launch(
   c.project = project;
   c.spec = spec;
   c.launched_at = queue_.now();
-  c.state = ContainerState::Pulling;
   containers_[id] = std::move(c);
+  hooks_[id] = Hooks{std::move(on_running), std::move(on_failed)};
+  epochs_[id] = 0;
+  begin_pull(id);
+  return id;
+}
+
+void ContainerService::begin_pull(std::uint64_t id) {
+  Container& c = containers_.at(id);
+  c.state = ContainerState::Pulling;
+  const std::uint64_t epoch = ++epochs_.at(id);
 
   const bool cached = config_.reuse_image_cache &&
-                      image_cache_[device].count(spec.image) > 0;
+                      image_cache_[c.device].count(c.spec.image) > 0;
+  if (cached) {
+    queue_.schedule_in(0.5, [this, id, epoch] { finish_pull(id, epoch); });
+    return;
+  }
+  if (network_) {
+    // The pull is a real transfer: degradation slows it, drops and
+    // partitions burn pull_retry attempts, and exhaustion fails the launch.
+    try {
+      pull_transfers_->start(
+          registry_host_, c.device, c.spec.image_bytes,
+          [this, id, epoch](const net::TransferResult& r) {
+            const auto it = containers_.find(id);
+            if (it == containers_.end() || epochs_.at(id) != epoch ||
+                it->second.state != ContainerState::Pulling) {
+              return;
+            }
+            if (r.status == net::TransferStatus::Done) {
+              finish_pull(id, epoch);
+            } else {
+              fail_container(id, "image pull failed (retries exhausted)");
+            }
+          });
+    } catch (const net::UnreachableError&) {
+      fail_container(id, "image registry unreachable from " + c.device);
+    }
+    return;
+  }
   const double pull_s =
-      cached ? 0.5
-             : static_cast<double>(spec.image_bytes) / config_.downlink_bps;
-  queue_.schedule_in(pull_s, [this, id, device, image = spec.image] {
-    containers_.at(id).state = ContainerState::Starting;
-    image_cache_[device].insert(image);
+      static_cast<double>(c.spec.image_bytes) / config_.downlink_bps;
+  queue_.schedule_in(pull_s, [this, id, epoch] { finish_pull(id, epoch); });
+}
+
+void ContainerService::finish_pull(std::uint64_t id, std::uint64_t epoch) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end() || epochs_.at(id) != epoch ||
+      it->second.state != ContainerState::Pulling) {
+    return;
+  }
+  Container& c = it->second;
+  if (registry_.device(c.device).state != DeviceState::Ready) {
+    fail_container(id, c.device + " went away during pull");
+    return;
+  }
+  c.state = ContainerState::Starting;
+  image_cache_[c.device].insert(c.spec.image);
+  queue_.schedule_in(config_.start_delay_s, [this, id, epoch] {
+    const auto cit = containers_.find(id);
+    if (cit == containers_.end() || epochs_.at(id) != epoch ||
+        cit->second.state != ContainerState::Starting) {
+      return;
+    }
+    Container& cc = cit->second;
+    // The device may have dropped while starting.
+    if (registry_.device(cc.device).state != DeviceState::Ready) {
+      fail_container(id, cc.device + " went away");
+      return;
+    }
+    cc.state = ContainerState::Running;
+    cc.running_at = queue_.now();
+    AUTOLEARN_LOG(Info, "container")
+        << cc.spec.image << " running on " << cc.device;
+    const auto& hooks = hooks_.at(id);
+    if (hooks.on_running) hooks.on_running(cc);
   });
-  queue_.schedule_in(
-      pull_s + config_.start_delay_s,
-      [this, id, on_running = std::move(on_running)] {
-        Container& cc = containers_.at(id);
-        // The device may have dropped while pulling.
-        if (registry_.device(cc.device).state != DeviceState::Ready) {
-          cc.state = ContainerState::Failed;
-          AUTOLEARN_LOG(Warn, "container")
-              << "launch failed: " << cc.device << " went away";
-          return;
-        }
-        cc.state = ContainerState::Running;
-        cc.running_at = queue_.now();
-        AUTOLEARN_LOG(Info, "container")
-            << cc.spec.image << " running on " << cc.device;
-        if (on_running) on_running(cc);
-      });
-  return id;
+}
+
+void ContainerService::fail_container(std::uint64_t id,
+                                      const std::string& reason) {
+  Container& c = containers_.at(id);
+  if (!is_live(c.state)) return;
+  c.state = ContainerState::Failed;
+  c.failed_at = queue_.now();
+  c.failure_reason = reason;
+  ++epochs_.at(id);  // invalidate any still-scheduled lifecycle events
+  AUTOLEARN_LOG(Warn, "container")
+      << "container " << id << " on " << c.device << " failed: " << reason;
+  const auto& hooks = hooks_.at(id);
+  if (hooks.on_failed) hooks.on_failed(c);
+  maybe_schedule_restart(id);
+}
+
+void ContainerService::maybe_schedule_restart(std::uint64_t id) {
+  Container& c = containers_.at(id);
+  if (!config_.auto_restart || c.restarts >= config_.max_restarts) return;
+  ++c.restarts;
+  const std::uint64_t epoch = epochs_.at(id);
+  queue_.schedule_in(config_.restart_delay_s, [this, id, epoch] {
+    const auto it = containers_.find(id);
+    if (it == containers_.end() || epochs_.at(id) != epoch ||
+        it->second.state != ContainerState::Failed) {
+      return;
+    }
+    if (registry_.device(it->second.device).state != DeviceState::Ready) {
+      // Device still down: wait another period (burns a restart slot so a
+      // dead device cannot keep a container in limbo forever).
+      maybe_schedule_restart(id);
+      return;
+    }
+    AUTOLEARN_LOG(Info, "container")
+        << "auto-restarting container " << id << " (attempt "
+        << it->second.restarts << ")";
+    begin_pull(id);
+  });
+}
+
+void ContainerService::kill(std::uint64_t id, const std::string& reason) {
+  const auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    throw std::invalid_argument("container: unknown id");
+  }
+  if (!is_live(it->second.state)) return;
+  fail_container(id, reason);
+}
+
+std::size_t ContainerService::kill_on_device(const std::string& device,
+                                             const std::string& reason) {
+  std::vector<std::uint64_t> victims;
+  for (const auto& [id, c] : containers_) {
+    if (c.device == device && is_live(c.state)) victims.push_back(id);
+  }
+  for (const std::uint64_t id : victims) fail_container(id, reason);
+  return victims.size();
 }
 
 void ContainerService::stop(std::uint64_t id) {
@@ -93,6 +219,7 @@ void ContainerService::stop(std::uint64_t id) {
   }
   if (it->second.state == ContainerState::Exited) return;
   it->second.state = ContainerState::Exited;
+  ++epochs_.at(id);
 }
 
 const Container& ContainerService::container(std::uint64_t id) const {

@@ -10,15 +10,26 @@
 // downlink), then starts it. A built-in console runs commands inside a
 // Running container (§3.5 "after launching a container, there is a
 // built-in console in Jupyter for running commands on the Raspberry Pi").
+//
+// Failure paths: a crashed device or an image pull over a partitioned or
+// exhausted downlink lands the container in ContainerState::Failed and
+// fires the launch's on_failed callback. When use_network() is wired, the
+// pull is a real TransferManager transfer (so it inherits the shared
+// fault::RetryPolicy backoff) between the registry host and the device
+// host. kill() is the chaos engine's hook; auto_restart re-pulls a failed
+// container after restart_delay_s, up to max_restarts times.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "edge/registry.hpp"
+#include "fault/retry.hpp"
+#include "net/transfer.hpp"
 #include "util/event_queue.hpp"
 
 namespace autolearn::edge {
@@ -45,12 +56,22 @@ struct Container {
   ContainerState state = ContainerState::Pending;
   double launched_at = 0.0;
   double running_at = -1.0;
+  double failed_at = -1.0;
+  std::string failure_reason;
+  int restarts = 0;  // auto-restarts consumed so far
 };
 
 struct ContainerConfig {
   double downlink_bps = 4e6;      // edge Wi-Fi image pull bandwidth
   double start_delay_s = 6.0;     // docker create+start on a Pi
   bool reuse_image_cache = true;  // second pull of the same image is free
+  /// Backoff for image pulls routed through use_network().
+  fault::RetryPolicy pull_retry = fault::RetryPolicy::standard();
+  /// Failed containers re-pull automatically after restart_delay_s while
+  /// the device is Ready, at most max_restarts times.
+  bool auto_restart = false;
+  double restart_delay_s = 5.0;
+  int max_restarts = 2;
 };
 
 class ContainerService {
@@ -60,12 +81,28 @@ class ContainerService {
   ContainerService(EdgeRegistry& registry, util::EventQueue& queue,
                    Config config = {});
 
+  /// Routes image pulls over the simulated network from `registry_host` to
+  /// the device's host (device names must be network hosts): pulls then
+  /// honor degradation, partitions, and the pull_retry policy.
+  void use_network(net::Network& network, std::string registry_host,
+                   util::Rng rng = util::Rng(0x517edull));
+
   /// Launches a container for `project` on `device`. Throws if the device
   /// is not Ready or the project is not whitelisted. on_running fires when
-  /// the container reaches Running.
+  /// the container reaches Running; on_failed fires if the launch (or a
+  /// later kill) lands it in Failed.
   std::uint64_t launch(const std::string& device, const std::string& project,
                        ContainerSpec spec,
-                       std::function<void(const Container&)> on_running = {});
+                       std::function<void(const Container&)> on_running = {},
+                       std::function<void(const Container&)> on_failed = {});
+
+  /// Fault injection: forces a live (Pulling/Starting/Running) container to
+  /// Failed. No-op on containers already finished.
+  void kill(std::uint64_t id, const std::string& reason = "killed");
+
+  /// Kills every live container on a device (used when the device crashes).
+  std::size_t kill_on_device(const std::string& device,
+                             const std::string& reason);
 
   void stop(std::uint64_t id);
   const Container& container(std::uint64_t id) const;
@@ -82,10 +119,26 @@ class ContainerService {
       std::function<std::string(const std::string& args)> handler);
 
  private:
+  struct Hooks {
+    std::function<void(const Container&)> on_running;
+    std::function<void(const Container&)> on_failed;
+  };
+
+  void begin_pull(std::uint64_t id);
+  void finish_pull(std::uint64_t id, std::uint64_t epoch);
+  void fail_container(std::uint64_t id, const std::string& reason);
+  void maybe_schedule_restart(std::uint64_t id);
+  bool is_live(ContainerState s) const;
+
   EdgeRegistry& registry_;
   util::EventQueue& queue_;
   Config config_;
+  net::Network* network_ = nullptr;
+  std::string registry_host_;
+  std::unique_ptr<net::TransferManager> pull_transfers_;
   std::map<std::uint64_t, Container> containers_;
+  std::map<std::uint64_t, Hooks> hooks_;
+  std::map<std::uint64_t, std::uint64_t> epochs_;  // invalidates stale events
   std::map<std::string, std::function<std::string(const std::string&)>>
       commands_;
   std::map<std::string, std::set<std::string>> image_cache_;  // device->images

@@ -145,6 +145,19 @@ void EdgeRegistry::fail_device(const std::string& name) {
   });
 }
 
+void EdgeRegistry::revive_device(const std::string& name,
+                                 std::function<void(const Device&)> on_ready) {
+  Device& d = device_mut(name);
+  if (d.state == DeviceState::Disconnected) {
+    recover_device(name, std::move(on_ready));
+    return;
+  }
+  if (failed_.erase(name)) {
+    d.last_heartbeat = queue_.now();
+    if (on_ready && d.state == DeviceState::Ready) on_ready(d);
+  }
+}
+
 void EdgeRegistry::recover_device(const std::string& name,
                                   std::function<void(const Device&)> on_ready) {
   Device& d = device_mut(name);

@@ -91,6 +91,16 @@ class EdgeRegistry {
   void recover_device(const std::string& name,
                       std::function<void(const Device&)> on_ready = {});
 
+  /// True while the device's daemon is failed (whether or not the liveness
+  /// monitor has marked it Disconnected yet).
+  bool is_failed(const std::string& name) const { return failed_.count(name); }
+
+  /// Chaos-friendly recovery: if the failure was detected (Disconnected),
+  /// reboot as recover_device; if the daemon comes back before detection,
+  /// simply resume heartbeating (the device never left Ready).
+  void revive_device(const std::string& name,
+                     std::function<void(const Device&)> on_ready = {});
+
   const Config& config() const { return config_; }
 
  private:

@@ -52,6 +52,10 @@ EvalResult run_evaluation(const track::Track& track, Pilot& pilot,
   double lap_clock = 0.0;
 
   for (std::size_t i = 0; i < steps; ++i) {
+    if (options.chaos_queue) {
+      // Fire any fault events due by this control step before sensing.
+      options.chaos_queue->run_until(static_cast<double>(i) * options.dt);
+    }
     if (options.telemetry) options.telemetry(car.state());
     const camera::Image frame = cam.render(track, car.state());
     const vehicle::DriveCommand cmd = pilot.act(frame);

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "eval/pilot.hpp"
+#include "fault/report.hpp"
 #include "track/track.hpp"
+#include "util/event_queue.hpp"
 #include "util/rng.hpp"
 #include "vehicle/car.hpp"
 
@@ -34,6 +36,10 @@ struct EvalOptions {
   /// Telemetry tap: called with the true car state before each control
   /// step (speed sensor / GPS feed for pilots that consume telemetry).
   std::function<void(const vehicle::CarState&)> telemetry;
+  /// Optional discrete-event clock advanced in lock-step with the control
+  /// loop. Chaos plans scheduled on it (partitions, degradations) then fire
+  /// mid-evaluation at their exact virtual times.
+  util::EventQueue* chaos_queue = nullptr;
 };
 
 struct EvalResult {
@@ -49,6 +55,9 @@ struct EvalResult {
   /// (1 + errors).
   double score() const;
   double best_lap() const;       // 0 when no lap was completed
+  /// Degradation observed by a resilient pilot (zeros for plain pilots);
+  /// filled by evaluate_placement(Hybrid) from its circuit breaker.
+  fault::DegradationStats degradation;
 };
 
 /// Runs the pilot on the track and measures driving quality.

@@ -1,0 +1,196 @@
+#include "fault/chaos.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace autolearn::fault {
+
+ChaosEngine::ChaosEngine(util::EventQueue& queue, std::uint64_t seed)
+    : queue_(queue), rng_(seed) {}
+
+void ChaosEngine::attach_network(net::Network& network) {
+  network_ = &network;
+}
+void ChaosEngine::attach_registry(edge::EdgeRegistry& registry) {
+  registry_ = &registry;
+}
+void ChaosEngine::attach_containers(edge::ContainerService& containers) {
+  containers_ = &containers;
+}
+void ChaosEngine::attach_leases(testbed::LeaseManager& leases) {
+  leases_ = &leases;
+}
+
+void ChaosEngine::record(FaultKind kind, const std::string& target,
+                         bool recovery, std::string detail) {
+  InjectedEvent e;
+  e.time = queue_.now();
+  e.kind = kind;
+  e.target = target;
+  e.recovery = recovery;
+  e.detail = std::move(detail);
+  report_.timeline.push_back(std::move(e));
+  if (recovery) {
+    ++report_.recovered;
+  } else {
+    ++report_.injected;
+  }
+}
+
+void ChaosEngine::inject(const FaultSpec& spec) {
+  if (spec.at < queue_.now()) {
+    throw std::invalid_argument("chaos: fault scheduled in the past");
+  }
+  switch (spec.kind) {
+    case FaultKind::LinkDegrade:
+    case FaultKind::TransferFlap:
+    case FaultKind::Partition:
+      if (!network_) throw std::logic_error("chaos: no network attached");
+      break;
+    case FaultKind::DeviceCrash:
+      if (!registry_) throw std::logic_error("chaos: no registry attached");
+      break;
+    case FaultKind::ContainerKill:
+      if (!containers_) {
+        throw std::logic_error("chaos: no container service attached");
+      }
+      break;
+    case FaultKind::LeasePreempt:
+      if (!leases_) throw std::logic_error("chaos: no lease manager attached");
+      break;
+  }
+  // Scheduled-outage accounting happens at planning time so the report
+  // reflects the plan even if the run ends inside a fault window.
+  if (spec.duration > 0) {
+    if (spec.kind == FaultKind::Partition) {
+      report_.partition_s += spec.duration;
+    } else if (spec.kind == FaultKind::LinkDegrade ||
+               spec.kind == FaultKind::TransferFlap) {
+      report_.degraded_link_s += spec.duration;
+    }
+  }
+  queue_.schedule_at(spec.at, [this, spec] { apply(spec); });
+  if (spec.duration > 0) {
+    queue_.schedule_at(spec.at + spec.duration,
+                       [this, spec] { revert(spec); });
+  }
+}
+
+void ChaosEngine::inject_plan(const std::vector<FaultSpec>& plan) {
+  for (const FaultSpec& spec : plan) inject(spec);
+}
+
+void ChaosEngine::apply(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::LinkDegrade:
+    case FaultKind::TransferFlap: {
+      net::LinkFault fault;
+      fault.latency_mult = spec.latency_mult;
+      fault.loss_add =
+          spec.kind == FaultKind::TransferFlap ? 1.0 : spec.loss_add;
+      fault.bandwidth_mult = spec.bandwidth_mult;
+      network_->degrade_duplex(spec.target, spec.peer, fault);
+      std::ostringstream detail;
+      detail << "x" << fault.latency_mult << " latency, +" << fault.loss_add
+             << " loss";
+      record(spec.kind, spec.target + "<->" + spec.peer, false, detail.str());
+      break;
+    }
+    case FaultKind::Partition:
+      network_->partition_host(spec.target);
+      record(spec.kind, spec.target, false, "host off the routing graph");
+      break;
+    case FaultKind::DeviceCrash:
+      registry_->fail_device(spec.target);
+      record(spec.kind, spec.target, false, "daemon stopped");
+      if (containers_) {
+        const std::size_t killed =
+            containers_->kill_on_device(spec.target, "device crashed");
+        if (killed > 0) {
+          record(FaultKind::ContainerKill, spec.target, false,
+                 std::to_string(killed) + " container(s) died with the device");
+        }
+      }
+      break;
+    case FaultKind::ContainerKill:
+      containers_->kill(spec.id, "chaos kill");
+      record(spec.kind, "container-" + std::to_string(spec.id), false,
+             "killed");
+      break;
+    case FaultKind::LeasePreempt: {
+      std::vector<std::uint64_t> victims;
+      if (spec.id != 0) {
+        victims.push_back(spec.id);
+      } else {
+        victims = leases_->live_leases(spec.target, queue_.now());
+      }
+      for (const std::uint64_t lease_id : victims) {
+        leases_->preempt(lease_id, queue_.now());
+        record(spec.kind, "lease-" + std::to_string(lease_id), false,
+               "nodes reclaimed");
+      }
+      break;
+    }
+  }
+}
+
+void ChaosEngine::revert(const FaultSpec& spec) {
+  switch (spec.kind) {
+    case FaultKind::LinkDegrade:
+    case FaultKind::TransferFlap:
+      network_->clear_degradation_duplex(spec.target, spec.peer);
+      record(spec.kind, spec.target + "<->" + spec.peer, true, "link restored");
+      break;
+    case FaultKind::Partition:
+      network_->heal_host(spec.target);
+      record(spec.kind, spec.target, true, "host rejoined");
+      break;
+    case FaultKind::DeviceCrash:
+      registry_->revive_device(spec.target);
+      record(spec.kind, spec.target, true, "daemon back");
+      break;
+    case FaultKind::ContainerKill:
+    case FaultKind::LeasePreempt:
+      // One-shot faults: recovery (auto-restart, a fresh lease) is the
+      // responsibility of the resilience policies under test.
+      break;
+  }
+}
+
+std::vector<FaultSpec> ChaosEngine::random_plan(
+    const RandomPlanOptions& options) {
+  if (options.horizon_s <= 0 || options.mean_duration_s <= 0) {
+    throw std::invalid_argument("chaos: bad plan options");
+  }
+  std::vector<FaultSpec> plan;
+  for (std::size_t i = 0; i < options.faults; ++i) {
+    const bool can_partition = !options.partition_host.empty();
+    const bool can_degrade = !options.link_from.empty();
+    if (!can_partition && !can_degrade) break;
+    FaultSpec spec;
+    const bool partition =
+        can_partition && (!can_degrade || rng_.chance(0.5));
+    spec.at = queue_.now() + rng_.uniform(0.0, options.horizon_s);
+    spec.duration =
+        std::min(options.horizon_s, rng_.exponential(options.mean_duration_s));
+    if (partition) {
+      spec.kind = FaultKind::Partition;
+      spec.target = options.partition_host;
+    } else {
+      spec.kind = FaultKind::LinkDegrade;
+      spec.target = options.link_from;
+      spec.peer = options.link_to;
+      spec.latency_mult = options.latency_mult;
+      spec.loss_add = options.loss_add;
+    }
+    plan.push_back(std::move(spec));
+  }
+  std::sort(plan.begin(), plan.end(),
+            [](const FaultSpec& a, const FaultSpec& b) { return a.at < b.at; });
+  return plan;
+}
+
+}  // namespace autolearn::fault

@@ -1,0 +1,89 @@
+// Deterministic chaos engine for the edge-to-cloud continuum.
+//
+// The paper's substrate fails constantly in practice — Wi-Fi drops,
+// Chameleon leases end, containers die mid-session — so the chaos engine
+// turns those failures into first-class, seed-reproducible experiment
+// inputs. A ChaosEngine is attached to the subsystems it may break and is
+// handed FaultSpecs (a timed plan, hand-written or generated from the
+// engine's seed); it schedules the fault and its recovery on the shared
+// util::EventQueue and records every action in a ChaosReport. The same
+// seed and plan always produce the same event timeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "edge/container.hpp"
+#include "edge/registry.hpp"
+#include "fault/report.hpp"
+#include "net/network.hpp"
+#include "testbed/lease.hpp"
+#include "util/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::fault {
+
+struct FaultSpec {
+  FaultKind kind{};
+  double at = 0.0;        // injection time (virtual seconds)
+  double duration = 0.0;  // recovery is scheduled at at+duration; 0 = never
+  std::string target;     // host / device / lease node type
+  std::string peer;       // second endpoint for link faults
+  // Link degradation knobs (LinkDegrade; TransferFlap forces loss to 1).
+  double latency_mult = 1.0;
+  double loss_add = 0.0;
+  double bandwidth_mult = 1.0;
+  std::uint64_t id = 0;  // container id (ContainerKill) / lease id (optional)
+};
+
+/// Knobs for random_plan(): a horizon, a fault budget, and the blast
+/// radius (which host to partition, which link to degrade).
+struct RandomPlanOptions {
+  double horizon_s = 60.0;
+  std::size_t faults = 4;
+  double mean_duration_s = 5.0;
+  std::string partition_host;  // empty: no partitions generated
+  std::string link_from;       // empty: no link degradation generated
+  std::string link_to;
+  double latency_mult = 5.0;
+  double loss_add = 0.3;
+};
+
+class ChaosEngine {
+ public:
+  ChaosEngine(util::EventQueue& queue, std::uint64_t seed = 42);
+
+  // Wire up the subsystems this engine may break. Injecting a fault whose
+  // subsystem is not attached throws std::logic_error at inject() time.
+  void attach_network(net::Network& network);
+  void attach_registry(edge::EdgeRegistry& registry);
+  void attach_containers(edge::ContainerService& containers);
+  void attach_leases(testbed::LeaseManager& leases);
+
+  /// Schedules one fault (and its recovery when duration > 0).
+  void inject(const FaultSpec& spec);
+  void inject_plan(const std::vector<FaultSpec>& plan);
+
+  /// Generates a reproducible plan from the engine's seed: partition and
+  /// link-degradation windows at random times within the horizon.
+  std::vector<FaultSpec> random_plan(const RandomPlanOptions& options);
+
+  const ChaosReport& report() const { return report_; }
+
+ private:
+  void apply(const FaultSpec& spec);
+  void revert(const FaultSpec& spec);
+  void record(FaultKind kind, const std::string& target, bool recovery,
+              std::string detail);
+
+  util::EventQueue& queue_;
+  util::Rng rng_;
+  net::Network* network_ = nullptr;
+  edge::EdgeRegistry* registry_ = nullptr;
+  edge::ContainerService* containers_ = nullptr;
+  testbed::LeaseManager* leases_ = nullptr;
+  ChaosReport report_;
+};
+
+}  // namespace autolearn::fault

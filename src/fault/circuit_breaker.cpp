@@ -1,0 +1,101 @@
+#include "fault/circuit_breaker.hpp"
+
+#include <stdexcept>
+
+namespace autolearn::fault {
+
+void CircuitBreakerConfig::validate() const {
+  if (failure_threshold < 1) {
+    throw std::invalid_argument("breaker: failure_threshold must be >= 1");
+  }
+  if (open_duration_s <= 0) {
+    throw std::invalid_argument("breaker: open_duration_s must be > 0");
+  }
+  if (half_open_successes < 1) {
+    throw std::invalid_argument("breaker: half_open_successes must be >= 1");
+  }
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config) : config_(config) {
+  config_.validate();
+}
+
+void CircuitBreaker::trip(double now) {
+  if (state_ == State::Closed) degraded_since_ = now;
+  state_ = State::Open;
+  opened_at_ = now;
+  last_opened_at_ = now;
+  half_open_hits_ = 0;
+  consecutive_failures_ = 0;
+  ++times_opened_;
+}
+
+bool CircuitBreaker::allow(double now) {
+  switch (state_) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      if (now - opened_at_ >= config_.open_duration_s) {
+        state_ = State::HalfOpen;
+        half_open_hits_ = 0;
+        return true;
+      }
+      return false;
+    case State::HalfOpen:
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(double now) {
+  switch (state_) {
+    case State::Closed:
+      consecutive_failures_ = 0;
+      break;
+    case State::Open:
+      break;  // success reported for a call admitted before the trip
+    case State::HalfOpen:
+      if (++half_open_hits_ >= config_.half_open_successes) {
+        state_ = State::Closed;
+        consecutive_failures_ = 0;
+        if (degraded_since_ >= 0) {
+          degraded_total_s_ += now - degraded_since_;
+          degraded_since_ = -1.0;
+        }
+        last_closed_at_ = now;
+      }
+      break;
+  }
+}
+
+void CircuitBreaker::record_failure(double now) {
+  switch (state_) {
+    case State::Closed:
+      if (++consecutive_failures_ >= config_.failure_threshold) trip(now);
+      break;
+    case State::Open:
+      break;
+    case State::HalfOpen:
+      trip(now);  // probe failed: back to a full cool-down
+      break;
+  }
+}
+
+double CircuitBreaker::degraded_s(double now) const {
+  double total = degraded_total_s_;
+  if (degraded_since_ >= 0 && now > degraded_since_) {
+    total += now - degraded_since_;
+  }
+  return total;
+}
+
+const char* to_string(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::Closed: return "closed";
+    case CircuitBreaker::State::Open: return "open";
+    case CircuitBreaker::State::HalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace autolearn::fault

@@ -1,0 +1,52 @@
+#include "fault/report.hpp"
+
+#include <sstream>
+
+namespace autolearn::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::LinkDegrade: return "link-degrade";
+    case FaultKind::Partition: return "partition";
+    case FaultKind::DeviceCrash: return "device-crash";
+    case FaultKind::ContainerKill: return "container-kill";
+    case FaultKind::LeasePreempt: return "lease-preempt";
+    case FaultKind::TransferFlap: return "transfer-flap";
+  }
+  return "?";
+}
+
+bool operator==(const InjectedEvent& a, const InjectedEvent& b) {
+  return a.time == b.time && a.kind == b.kind && a.target == b.target &&
+         a.recovery == b.recovery && a.detail == b.detail;
+}
+
+std::size_t ChaosReport::count(FaultKind k, bool recoveries) const {
+  std::size_t n = 0;
+  for (const InjectedEvent& e : timeline) {
+    if (e.kind == k && e.recovery == recoveries) ++n;
+  }
+  return n;
+}
+
+std::string ChaosReport::summary() const {
+  std::ostringstream os;
+  os << "chaos: " << injected << " faults, " << recovered << " recoveries, "
+     << partition_s << "s partitioned, " << degraded_link_s
+     << "s degraded links\n";
+  for (const InjectedEvent& e : timeline) {
+    os << "  t=" << e.time << " " << (e.recovery ? "heal " : "fault ")
+       << to_string(e.kind) << " " << e.target;
+    if (!e.detail.empty()) os << " (" << e.detail << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool operator==(const ChaosReport& a, const ChaosReport& b) {
+  return a.timeline == b.timeline && a.injected == b.injected &&
+         a.recovered == b.recovered && a.partition_s == b.partition_s &&
+         a.degraded_link_s == b.degraded_link_s;
+}
+
+}  // namespace autolearn::fault

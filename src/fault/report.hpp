@@ -1,0 +1,61 @@
+// Chaos bookkeeping: what was injected, and how the system degraded.
+//
+// ChaosReport is the ground-truth timeline of injected faults and
+// recoveries (identical across runs with the same seed and plan);
+// DegradationStats is the observed cost on the control loop, surfaced
+// through eval::EvalResult and core::PipelineReport.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autolearn::fault {
+
+enum class FaultKind {
+  LinkDegrade,    // latency/loss/bandwidth multipliers on a link
+  Partition,      // a host drops off the routing graph
+  DeviceCrash,    // an edge device stops heartbeating
+  ContainerKill,  // a container transitions to Failed
+  LeasePreempt,   // a testbed lease ends early
+  TransferFlap    // transient full-loss window on a link (drops transfers)
+};
+
+const char* to_string(FaultKind k);
+
+struct InjectedEvent {
+  double time = 0.0;
+  FaultKind kind{};
+  std::string target;
+  bool recovery = false;  // true for the heal/restart half of a fault
+  std::string detail;
+};
+
+bool operator==(const InjectedEvent& a, const InjectedEvent& b);
+
+struct ChaosReport {
+  std::vector<InjectedEvent> timeline;  // in execution order
+
+  std::size_t injected = 0;   // fault halves
+  std::size_t recovered = 0;  // recovery halves
+  double partition_s = 0.0;   // scheduled partition seconds
+  double degraded_link_s = 0.0;  // scheduled degrade/flap seconds
+
+  std::size_t count(FaultKind k, bool recoveries = false) const;
+  /// One-line-per-event human-readable dump; equal for equal timelines.
+  std::string summary() const;
+};
+
+bool operator==(const ChaosReport& a, const ChaosReport& b);
+
+/// Degradation observed by a resilient component (e.g. the hybrid pilot's
+/// circuit breaker around cloud inference).
+struct DegradationStats {
+  double cloud_usage = 0.0;        // fraction of steps served by the cloud
+  std::size_t failovers = 0;       // breaker trips (edge took over)
+  std::size_t denied_calls = 0;    // cloud calls skipped while open
+  double degraded_time_s = 0.0;    // time with the breaker not Closed
+  double recovery_latency_s = 0.0; // breaker re-close -> first cloud command
+};
+
+}  // namespace autolearn::fault

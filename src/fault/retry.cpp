@@ -1,0 +1,74 @@
+#include "fault/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autolearn::fault {
+
+void RetryPolicy::validate() const {
+  if (max_attempts < 1) {
+    throw std::invalid_argument("retry: max_attempts must be >= 1");
+  }
+  if (base_delay_s < 0 || max_delay_s < 0 || attempt_timeout_s < 0) {
+    throw std::invalid_argument("retry: negative delay");
+  }
+  if (multiplier < 1.0) {
+    throw std::invalid_argument("retry: multiplier must be >= 1");
+  }
+  if (max_delay_s < base_delay_s) {
+    throw std::invalid_argument("retry: max_delay below base_delay");
+  }
+}
+
+double RetryPolicy::backoff_s(int failures, double& prev_delay,
+                              util::Rng& rng) const {
+  if (failures < 1) throw std::invalid_argument("retry: failures must be >= 1");
+  const double target = std::min(
+      max_delay_s, base_delay_s * std::pow(multiplier, failures - 1));
+  double delay = target;
+  switch (jitter) {
+    case Jitter::None:
+      break;
+    case Jitter::Full:
+      delay = target > 0 ? rng.uniform(0.0, target) : 0.0;
+      break;
+    case Jitter::Decorrelated: {
+      const double hi = std::max(base_delay_s, prev_delay * 3.0);
+      delay = hi > base_delay_s ? rng.uniform(base_delay_s, hi) : base_delay_s;
+      delay = std::min(delay, max_delay_s);
+      break;
+    }
+  }
+  prev_delay = delay;
+  return delay;
+}
+
+RetryPolicy RetryPolicy::none() {
+  RetryPolicy p;
+  p.max_attempts = 1;
+  p.base_delay_s = 0.0;
+  p.jitter = Jitter::None;
+  return p;
+}
+
+RetryPolicy RetryPolicy::immediate(int attempts) {
+  RetryPolicy p;
+  p.max_attempts = attempts;
+  p.base_delay_s = 0.0;
+  p.max_delay_s = 0.0;
+  p.jitter = Jitter::None;
+  return p;
+}
+
+RetryPolicy RetryPolicy::standard() { return RetryPolicy{}; }
+
+RetryState::RetryState(RetryPolicy policy) : policy_(policy) {
+  policy_.validate();
+}
+
+double RetryState::next_backoff_s(util::Rng& rng) {
+  return policy_.backoff_s(std::max(1, attempts_), prev_delay_, rng);
+}
+
+}  // namespace autolearn::fault

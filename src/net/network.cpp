@@ -7,6 +7,18 @@
 
 namespace autolearn::net {
 
+UnreachableError::UnreachableError(std::string from, std::string to)
+    : std::runtime_error("network: no route " + from + " -> " + to),
+      from_(std::move(from)),
+      to_(std::move(to)) {}
+
+void LinkFault::validate() const {
+  if (latency_mult < 1.0 || bandwidth_mult <= 0 || bandwidth_mult > 1.0 ||
+      loss_add < 0.0 || loss_add > 1.0) {
+    throw std::invalid_argument("network: bad link fault");
+  }
+}
+
 void Network::add_host(const std::string& name) {
   if (name.empty()) throw std::invalid_argument("network: empty host name");
   adj_.try_emplace(name);
@@ -42,6 +54,7 @@ void Network::add_duplex(const std::string& a, const std::string& b,
 std::optional<std::vector<std::string>> Network::route(
     const std::string& from, const std::string& to) const {
   if (!has_host(from) || !has_host(to)) return std::nullopt;
+  if (partitioned(from) || partitioned(to)) return std::nullopt;
   if (from == to) return std::vector<std::string>{from};
   // Dijkstra on (hops, base latency) lexicographic cost.
   struct Cost {
@@ -62,6 +75,7 @@ std::optional<std::vector<std::string>> Network::route(
     frontier.pop_front();
     const Cost cu = best[u];
     for (const auto& [v, link] : adj_.at(u)) {
+      if (partitioned(v)) continue;
       const Cost cv{cu.hops + 1, cu.latency + link.spec().latency_s};
       auto it = best.find(v);
       if (it == best.end() || cv < it->second) {
@@ -85,24 +99,29 @@ const Link& Network::link_between(const std::string& from,
   return adj_.at(from).at(to);
 }
 
-std::vector<const Link*> Network::links_on_route(const std::string& from,
+std::vector<Network::Hop> Network::hops_on_route(const std::string& from,
                                                  const std::string& to) const {
   const auto r = route(from, to);
-  if (!r) {
-    throw std::runtime_error("network: no route " + from + " -> " + to);
-  }
-  std::vector<const Link*> links;
+  if (!r) throw UnreachableError(from, to);
+  std::vector<Hop> hops;
   for (std::size_t i = 0; i + 1 < r->size(); ++i) {
-    links.push_back(&link_between((*r)[i], (*r)[i + 1]));
+    Hop hop;
+    hop.link = &link_between((*r)[i], (*r)[i + 1]);
+    const auto fit = faults_.find((*r)[i]);
+    if (fit != faults_.end()) {
+      const auto hit = fit->second.find((*r)[i + 1]);
+      if (hit != fit->second.end()) hop.fault = hit->second;
+    }
+    hops.push_back(hop);
   }
-  return links;
+  return hops;
 }
 
 double Network::sample_latency(const std::string& from, const std::string& to,
                                util::Rng& rng) const {
   double total = 0;
-  for (const Link* l : links_on_route(from, to)) {
-    total += l->sample_latency(rng);
+  for (const Hop& h : hops_on_route(from, to)) {
+    total += h.link->sample_latency(rng) * h.fault.latency_mult;
   }
   return total;
 }
@@ -116,17 +135,20 @@ double Network::transfer_time(const std::string& from, const std::string& to,
                               std::uint64_t bytes, util::Rng& rng) const {
   double latency = 0;
   double min_bw = std::numeric_limits<double>::max();
-  for (const Link* l : links_on_route(from, to)) {
-    latency += l->sample_latency(rng);
-    min_bw = std::min(min_bw, l->spec().bandwidth_bps);
+  for (const Hop& h : hops_on_route(from, to)) {
+    latency += h.link->sample_latency(rng) * h.fault.latency_mult;
+    min_bw = std::min(min_bw,
+                      h.link->spec().bandwidth_bps * h.fault.bandwidth_mult);
   }
   return latency + static_cast<double>(bytes) / min_bw;
 }
 
 bool Network::drops(const std::string& from, const std::string& to,
                     util::Rng& rng) const {
-  for (const Link* l : links_on_route(from, to)) {
-    if (l->drops(rng)) return true;
+  for (const Hop& h : hops_on_route(from, to)) {
+    const double loss =
+        std::min(1.0, h.link->spec().loss_prob + h.fault.loss_add);
+    if (rng.chance(loss)) return true;
   }
   return false;
 }
@@ -134,10 +156,52 @@ bool Network::drops(const std::string& from, const std::string& to,
 double Network::base_latency(const std::string& from,
                              const std::string& to) const {
   double total = 0;
-  for (const Link* l : links_on_route(from, to)) {
-    total += l->spec().latency_s;
+  for (const Hop& h : hops_on_route(from, to)) {
+    total += h.link->spec().latency_s * h.fault.latency_mult;
   }
   return total;
+}
+
+void Network::degrade_link(const std::string& from, const std::string& to,
+                           LinkFault fault) {
+  fault.validate();
+  const auto it = adj_.find(from);
+  if (it == adj_.end() || !it->second.count(to)) {
+    throw std::invalid_argument("network: no link to degrade " + from +
+                                " -> " + to);
+  }
+  faults_[from][to] = fault;
+}
+
+void Network::degrade_duplex(const std::string& a, const std::string& b,
+                             LinkFault fault) {
+  degrade_link(a, b, fault);
+  degrade_link(b, a, fault);
+}
+
+void Network::clear_degradation(const std::string& from,
+                                const std::string& to) {
+  const auto it = faults_.find(from);
+  if (it != faults_.end()) it->second.erase(to);
+}
+
+void Network::clear_degradation_duplex(const std::string& a,
+                                       const std::string& b) {
+  clear_degradation(a, b);
+  clear_degradation(b, a);
+}
+
+void Network::partition_host(const std::string& name) {
+  if (!has_host(name)) {
+    throw std::invalid_argument("network: unknown host " + name);
+  }
+  partitioned_.insert(name);
+}
+
+void Network::heal_host(const std::string& name) { partitioned_.erase(name); }
+
+bool Network::partitioned(const std::string& name) const {
+  return partitioned_.count(name) > 0;
 }
 
 }  // namespace autolearn::net

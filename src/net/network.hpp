@@ -1,15 +1,22 @@
-// Host graph with multi-hop routing.
+// Host graph with multi-hop routing and fault overlays.
 //
 // The continuum topology is small and named: a car ("car-01"), a campus
 // gateway, Chameleon sites ("chi-uc", "chi-tacc"), GPU nodes. The Network
 // registers hosts and directed links, routes by fewest hops (then lowest
 // base latency), and answers end-to-end latency/transfer-time queries by
 // summing per-hop costs.
+//
+// Fault injection (the chaos engine's hooks) layers on top of the static
+// topology without touching the installed LinkSpecs: a LinkFault multiplies
+// a link's latency/bandwidth and adds loss for the duration of a degrade
+// window, and a partitioned host vanishes from routing until healed.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,6 +24,29 @@
 #include "util/rng.hpp"
 
 namespace autolearn::net {
+
+/// Thrown when a query needs a route that does not exist. Carries both
+/// endpoints so callers can tell a partition-induced (retryable) failure
+/// apart from a programming error and react per-route.
+class UnreachableError : public std::runtime_error {
+ public:
+  UnreachableError(std::string from, std::string to);
+  const std::string& from() const { return from_; }
+  const std::string& to() const { return to_; }
+
+ private:
+  std::string from_;
+  std::string to_;
+};
+
+/// Multiplicative/additive degradation applied to one directed link.
+struct LinkFault {
+  double latency_mult = 1.0;    // scales base latency and jitter
+  double loss_add = 0.0;        // added to the link's loss probability
+  double bandwidth_mult = 1.0;  // scales available bandwidth
+
+  void validate() const;
+};
 
 class Network {
  public:
@@ -31,11 +61,13 @@ class Network {
   void add_duplex(const std::string& a, const std::string& b, LinkSpec spec);
 
   /// Fewest-hop route (ties broken by total base latency); empty optional
-  /// when unreachable. The route includes both endpoints.
+  /// when unreachable. Partitioned hosts are invisible to routing. The
+  /// route includes both endpoints.
   std::optional<std::vector<std::string>> route(const std::string& from,
                                                 const std::string& to) const;
 
-  /// One-way latency sample along the route; throws if unreachable.
+  /// One-way latency sample along the route; throws UnreachableError when
+  /// no route exists.
   double sample_latency(const std::string& from, const std::string& to,
                         util::Rng& rng) const;
 
@@ -52,17 +84,41 @@ class Network {
   bool drops(const std::string& from, const std::string& to,
              util::Rng& rng) const;
 
-  /// Base (jitter-free) one-way latency along the route; throws if
-  /// unreachable. Useful for deterministic analysis.
+  /// Base (jitter-free) one-way latency along the route, including any
+  /// active degradation; throws UnreachableError when no route exists.
   double base_latency(const std::string& from, const std::string& to) const;
 
+  // --- Fault overlays (chaos engine hooks) -------------------------------
+
+  /// Applies a degradation overlay to an installed link (one direction).
+  void degrade_link(const std::string& from, const std::string& to,
+                    LinkFault fault);
+  /// Applies the overlay in both directions.
+  void degrade_duplex(const std::string& a, const std::string& b,
+                      LinkFault fault);
+  /// Removes the overlay (one direction / both directions).
+  void clear_degradation(const std::string& from, const std::string& to);
+  void clear_degradation_duplex(const std::string& a, const std::string& b);
+
+  /// Removes the host from routing (links stay installed) until healed.
+  void partition_host(const std::string& name);
+  void heal_host(const std::string& name);
+  bool partitioned(const std::string& name) const;
+
  private:
+  struct Hop {
+    const Link* link = nullptr;
+    LinkFault fault;  // identity when no overlay is active
+  };
+
   const Link& link_between(const std::string& from,
                            const std::string& to) const;
-  std::vector<const Link*> links_on_route(const std::string& from,
-                                          const std::string& to) const;
+  std::vector<Hop> hops_on_route(const std::string& from,
+                                 const std::string& to) const;
 
   std::map<std::string, std::map<std::string, Link>> adj_;
+  std::map<std::string, std::map<std::string, LinkFault>> faults_;
+  std::set<std::string> partitioned_;
 };
 
 }  // namespace autolearn::net

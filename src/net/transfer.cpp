@@ -7,28 +7,31 @@
 namespace autolearn::net {
 
 TransferManager::TransferManager(Network& network, util::EventQueue& queue,
-                                 util::Rng rng, int max_retries)
-    : network_(network),
-      queue_(queue),
-      rng_(rng),
-      max_retries_(max_retries) {
-  if (max_retries < 0) {
-    throw std::invalid_argument("transfer: negative retries");
-  }
+                                 util::Rng rng, fault::RetryPolicy policy)
+    : network_(network), queue_(queue), rng_(rng), policy_(policy) {
+  policy_.validate();
 }
+
+TransferManager::TransferManager(Network& network, util::EventQueue& queue,
+                                 util::Rng rng, int max_retries)
+    : TransferManager(network, queue, rng, [max_retries] {
+        if (max_retries < 0) {
+          throw std::invalid_argument("transfer: negative retries");
+        }
+        return fault::RetryPolicy::immediate(max_retries + 1);
+      }()) {}
 
 std::uint64_t TransferManager::start(
     const std::string& from, const std::string& to, std::uint64_t bytes,
     std::function<void(const TransferResult&)> on_done) {
-  if (!network_.route(from, to)) {
-    throw std::runtime_error("transfer: no route " + from + " -> " + to);
-  }
+  if (!network_.route(from, to)) throw UnreachableError(from, to);
   const std::uint64_t id = next_id_++;
   TransferResult r;
   r.id = id;
   r.started_at = queue_.now();
   r.bytes = bytes;
   results_[id] = r;
+  backoff_state_[id] = 0.0;
   ++in_flight_;
   attempt(id, from, to, std::move(on_done));
   return id;
@@ -39,38 +42,67 @@ void TransferManager::attempt(
     std::function<void(const TransferResult&)> on_done) {
   TransferResult& r = results_.at(id);
   ++r.attempts;
-  const bool dropped = network_.drops(from, to, rng_);
-  const double duration =
-      network_.transfer_time(from, to, r.bytes, rng_);
+  r.attempt_starts.push_back(queue_.now());
+
+  bool dropped = false;
+  double duration = 0.0;
+  try {
+    dropped = network_.drops(from, to, rng_);
+    duration = network_.transfer_time(from, to, r.bytes, rng_);
+  } catch (const UnreachableError&) {
+    // The route vanished (partition) since the last attempt. Nothing was
+    // transmitted, so no time is wasted beyond the backoff.
+    retry_or_fail(id, from, to, /*wasted_s=*/0.0, "unreachable",
+                  std::move(on_done));
+    return;
+  }
+  if (policy_.attempt_timeout_s > 0 && duration > policy_.attempt_timeout_s) {
+    // The attempt would overrun its budget: abort at the timeout.
+    retry_or_fail(id, from, to, policy_.attempt_timeout_s, "timeout",
+                  std::move(on_done));
+    return;
+  }
   if (!dropped) {
     queue_.schedule_in(duration, [this, id, on_done = std::move(on_done)] {
       TransferResult& res = results_.at(id);
       res.status = TransferStatus::Done;
       res.finished_at = queue_.now();
+      backoff_state_.erase(id);
       --in_flight_;
       ++completed_;
       if (on_done) on_done(res);
     });
     return;
   }
-  // Drop detected mid-transfer: waste half the transfer time, then retry or
-  // give up.
-  const double wasted = duration / 2;
-  if (r.attempts > max_retries_) {
-    queue_.schedule_in(wasted, [this, id, on_done = std::move(on_done)] {
+  // Drop detected mid-transfer: waste half the transfer time, then retry
+  // (after the policy's backoff) or give up.
+  retry_or_fail(id, from, to, duration / 2, "dropped", std::move(on_done));
+}
+
+void TransferManager::retry_or_fail(
+    std::uint64_t id, const std::string& from, const std::string& to,
+    double wasted_s, const char* reason,
+    std::function<void(const TransferResult&)> on_done) {
+  TransferResult& r = results_.at(id);
+  if (r.attempts >= policy_.max_attempts) {
+    queue_.schedule_in(wasted_s, [this, id, reason,
+                                  on_done = std::move(on_done)] {
       TransferResult& res = results_.at(id);
       res.status = TransferStatus::Failed;
       res.finished_at = queue_.now();
+      backoff_state_.erase(id);
       --in_flight_;
       ++failed_;
       AUTOLEARN_LOG(Warn, "net")
           << "transfer " << id << " failed after " << res.attempts
-          << " attempts";
+          << " attempts (" << reason << ")";
       if (on_done) on_done(res);
     });
     return;
   }
-  queue_.schedule_in(wasted,
+  const double backoff =
+      policy_.backoff_s(r.attempts, backoff_state_.at(id), rng_);
+  queue_.schedule_in(wasted_s + backoff,
                      [this, id, from, to, on_done = std::move(on_done)] {
                        attempt(id, from, to, std::move(on_done));
                      });

@@ -7,6 +7,17 @@
 
 namespace autolearn::testbed {
 
+const char* to_string(LeaseStatus s) {
+  switch (s) {
+    case LeaseStatus::Pending: return "pending";
+    case LeaseStatus::Active: return "active";
+    case LeaseStatus::Ended: return "ended";
+    case LeaseStatus::Cancelled: return "cancelled";
+    case LeaseStatus::Preempted: return "preempted";
+  }
+  return "?";
+}
+
 LeaseManager::LeaseManager(const Inventory& inventory)
     : inventory_(inventory) {}
 
@@ -14,7 +25,8 @@ bool LeaseManager::node_free(const std::string& node_id, double start,
                              double end) const {
   for (const auto& [id, lease] : leases_) {
     if (lease.status == LeaseStatus::Cancelled ||
-        lease.status == LeaseStatus::Ended) {
+        lease.status == LeaseStatus::Ended ||
+        lease.status == LeaseStatus::Preempted) {
       continue;
     }
     if (lease.end <= start || lease.start >= end) continue;  // no overlap
@@ -90,9 +102,47 @@ void LeaseManager::cancel(std::uint64_t id) {
   it->second.status = LeaseStatus::Cancelled;
 }
 
+void LeaseManager::preempt(std::uint64_t id, double now) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) throw std::invalid_argument("lease: unknown id");
+  Lease& lease = it->second;
+  if (lease.status == LeaseStatus::Ended ||
+      lease.status == LeaseStatus::Cancelled ||
+      lease.status == LeaseStatus::Preempted) {
+    throw std::logic_error("lease: cannot preempt a finished lease");
+  }
+  // Trim the reservation to what was actually held so utilization stays
+  // truthful; a never-started lease held zero node-seconds.
+  lease.end = std::max(lease.start, std::min(lease.end, now));
+  lease.status = LeaseStatus::Preempted;
+  ++preempted_;
+  AUTOLEARN_LOG(Warn, "lease")
+      << "lease " << id << " (" << lease.project_id << ", "
+      << lease.node_ids.size() << "x " << lease.node_type
+      << ") preempted at " << now;
+}
+
+std::vector<std::uint64_t> LeaseManager::live_leases(
+    const std::string& node_type, double now) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.node_type != node_type) continue;
+    if (lease.status == LeaseStatus::Ended ||
+        lease.status == LeaseStatus::Cancelled ||
+        lease.status == LeaseStatus::Preempted) {
+      continue;
+    }
+    if (now < lease.end) out.push_back(id);
+  }
+  return out;
+}
+
 void LeaseManager::tick(double now) {
   for (auto& [id, lease] : leases_) {
-    if (lease.status == LeaseStatus::Cancelled) continue;
+    if (lease.status == LeaseStatus::Cancelled ||
+        lease.status == LeaseStatus::Preempted) {
+      continue;
+    }
     if (now >= lease.end) {
       lease.status = LeaseStatus::Ended;
     } else if (now >= lease.start) {

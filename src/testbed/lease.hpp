@@ -20,7 +20,9 @@
 
 namespace autolearn::testbed {
 
-enum class LeaseStatus { Pending, Active, Ended, Cancelled };
+enum class LeaseStatus { Pending, Active, Ended, Cancelled, Preempted };
+
+const char* to_string(LeaseStatus s);
 
 struct Lease {
   std::uint64_t id = 0;
@@ -57,6 +59,19 @@ class LeaseManager {
   const Lease& lease(std::uint64_t id) const;
   void cancel(std::uint64_t id);
 
+  /// Fault injection: the provider reclaims the nodes early (a Chameleon
+  /// lease ending mid-session). The lease's end is trimmed to `now`, the
+  /// nodes free up immediately, and the status becomes Preempted. Pending
+  /// leases lose their reservation outright.
+  void preempt(std::uint64_t id, double now);
+
+  /// Leases of the node type live (Pending or Active) at time `now` —
+  /// the chaos engine's preemption targets.
+  std::vector<std::uint64_t> live_leases(const std::string& node_type,
+                                         double now) const;
+
+  std::size_t preempted_count() const { return preempted_; }
+
   /// Advances lease states for virtual time t (Pending->Active->Ended).
   void tick(double now);
 
@@ -77,6 +92,7 @@ class LeaseManager {
   std::map<std::uint64_t, Lease> leases_;
   std::uint64_t next_id_ = 1;
   std::size_t rejected_ = 0;
+  std::size_t preempted_ = 0;
 };
 
 }  // namespace autolearn::testbed

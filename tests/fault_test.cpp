@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/circuit_breaker.hpp"
+#include "fault/report.hpp"
+#include "fault/retry.hpp"
+
+namespace autolearn::fault {
+namespace {
+
+// --- RetryPolicy -----------------------------------------------------------
+
+TEST(RetryPolicy, ValidationRejectsNonsense) {
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = RetryPolicy{};
+  p.base_delay_s = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = RetryPolicy{};
+  p.multiplier = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = RetryPolicy{};
+  p.max_delay_s = p.base_delay_s / 2;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(RetryPolicy{}.validate());
+  EXPECT_NO_THROW(RetryPolicy::none().validate());
+  EXPECT_NO_THROW(RetryPolicy::immediate(3).validate());
+}
+
+TEST(RetryPolicy, NoJitterFollowsExactExponentialSchedule) {
+  RetryPolicy p;
+  p.base_delay_s = 1.0;
+  p.multiplier = 2.0;
+  p.max_delay_s = 10.0;
+  p.jitter = RetryPolicy::Jitter::None;
+  util::Rng rng(7);
+  double prev = 0.0;
+  EXPECT_DOUBLE_EQ(p.backoff_s(1, prev, rng), 1.0);
+  EXPECT_DOUBLE_EQ(p.backoff_s(2, prev, rng), 2.0);
+  EXPECT_DOUBLE_EQ(p.backoff_s(3, prev, rng), 4.0);
+  EXPECT_DOUBLE_EQ(p.backoff_s(4, prev, rng), 8.0);
+  EXPECT_DOUBLE_EQ(p.backoff_s(5, prev, rng), 10.0);  // capped
+  EXPECT_DOUBLE_EQ(p.backoff_s(50, prev, rng), 10.0);
+}
+
+TEST(RetryPolicy, FullJitterStaysWithinTarget) {
+  RetryPolicy p;
+  p.base_delay_s = 0.5;
+  p.multiplier = 3.0;
+  p.max_delay_s = 20.0;
+  p.jitter = RetryPolicy::Jitter::Full;
+  util::Rng rng(11);
+  for (int failures = 1; failures <= 8; ++failures) {
+    const double target =
+        std::min(p.max_delay_s, p.base_delay_s * std::pow(3.0, failures - 1));
+    for (int i = 0; i < 50; ++i) {
+      double prev = 0.0;
+      const double d = p.backoff_s(failures, prev, rng);
+      EXPECT_GE(d, 0.0);
+      EXPECT_LE(d, target);
+    }
+  }
+}
+
+TEST(RetryPolicy, DecorrelatedJitterBoundedByBaseAndCap) {
+  RetryPolicy p;  // default jitter is Decorrelated
+  p.base_delay_s = 0.25;
+  p.max_delay_s = 5.0;
+  util::Rng rng(13);
+  double prev = 0.0;
+  for (int failures = 1; failures < 40; ++failures) {
+    const double d = p.backoff_s(failures, prev, rng);
+    EXPECT_GE(d, p.base_delay_s);
+    EXPECT_LE(d, p.max_delay_s);
+    EXPECT_DOUBLE_EQ(prev, d);  // state carried for the next draw
+  }
+}
+
+TEST(RetryPolicy, SameSeedSameSchedule) {
+  RetryPolicy p;
+  util::Rng a(99), b(99);
+  double pa = 0.0, pb = 0.0;
+  for (int k = 1; k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(p.backoff_s(k, pa, a), p.backoff_s(k, pb, b));
+  }
+}
+
+TEST(RetryState, CountsAndExhausts) {
+  RetryPolicy p = RetryPolicy::immediate(3);
+  RetryState state(p);
+  EXPECT_FALSE(state.exhausted());
+  state.record_attempt();
+  state.record_attempt();
+  EXPECT_FALSE(state.exhausted());
+  state.record_attempt();
+  EXPECT_TRUE(state.exhausted());
+  EXPECT_EQ(state.attempts(), 3);
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(state.next_backoff_s(rng), 0.0);  // immediate = no backoff
+}
+
+// --- CircuitBreaker --------------------------------------------------------
+
+CircuitBreakerConfig cfg(int threshold = 3, double open_s = 2.0,
+                         int probes = 1) {
+  CircuitBreakerConfig c;
+  c.failure_threshold = threshold;
+  c.open_duration_s = open_s;
+  c.half_open_successes = probes;
+  return c;
+}
+
+TEST(CircuitBreaker, ConfigValidation) {
+  EXPECT_THROW(CircuitBreaker(cfg(0)), std::invalid_argument);
+  EXPECT_THROW(CircuitBreaker(cfg(1, 0.0)), std::invalid_argument);
+  EXPECT_THROW(CircuitBreaker(cfg(1, 1.0, 0)), std::invalid_argument);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  CircuitBreaker b(cfg(3));
+  EXPECT_TRUE(b.allow(0.0));
+  b.record_failure(0.1);
+  b.record_failure(0.2);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+  // A success resets the consecutive count.
+  b.record_success(0.3);
+  b.record_failure(0.4);
+  b.record_failure(0.5);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+  b.record_failure(0.6);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(b.times_opened(), 1u);
+  EXPECT_FALSE(b.allow(0.7));  // open denies outright
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOrReopens) {
+  CircuitBreaker b(cfg(1, 2.0));
+  b.record_failure(1.0);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Open);
+  EXPECT_FALSE(b.allow(2.5));  // still cooling down
+  EXPECT_TRUE(b.allow(3.0));   // cool-down elapsed -> half-open probe
+  EXPECT_EQ(b.state(), CircuitBreaker::State::HalfOpen);
+  // Probe fails: straight back to open, full cool-down again.
+  b.record_failure(3.0);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Open);
+  EXPECT_EQ(b.times_opened(), 2u);
+  EXPECT_FALSE(b.allow(4.5));
+  EXPECT_TRUE(b.allow(5.0));
+  b.record_success(5.0);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+  EXPECT_DOUBLE_EQ(b.last_closed_at(), 5.0);
+  EXPECT_TRUE(b.allow(5.1));
+}
+
+TEST(CircuitBreaker, MultipleProbesRequired) {
+  CircuitBreaker b(cfg(1, 1.0, /*probes=*/2));
+  b.record_failure(0.0);
+  EXPECT_TRUE(b.allow(1.0));
+  b.record_success(1.0);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::HalfOpen);  // one is not enough
+  b.record_success(1.1);
+  EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreaker, DegradedTimeAccumulates) {
+  CircuitBreaker b(cfg(1, 1.0));
+  b.record_failure(10.0);
+  EXPECT_DOUBLE_EQ(b.degraded_s(12.0), 2.0);  // still open
+  EXPECT_TRUE(b.allow(11.0));
+  b.record_success(11.5);
+  EXPECT_DOUBLE_EQ(b.degraded_s(20.0), 1.5);  // frozen after close
+  b.record_failure(30.0);
+  EXPECT_DOUBLE_EQ(b.degraded_s(31.0), 2.5);
+}
+
+// --- ChaosReport plumbing --------------------------------------------------
+
+TEST(ChaosReport, CountsAndEquality) {
+  ChaosReport a;
+  a.timeline.push_back({1.0, FaultKind::Partition, "chi-uc", false, "x"});
+  a.timeline.push_back({2.0, FaultKind::Partition, "chi-uc", true, "y"});
+  a.injected = 1;
+  a.recovered = 1;
+  EXPECT_EQ(a.count(FaultKind::Partition), 1u);
+  EXPECT_EQ(a.count(FaultKind::Partition, /*recoveries=*/true), 1u);
+  EXPECT_EQ(a.count(FaultKind::DeviceCrash), 0u);
+  ChaosReport b = a;
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.summary(), b.summary());
+  b.timeline[0].time = 1.5;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FaultKind, Names) {
+  EXPECT_STREQ(to_string(FaultKind::LinkDegrade), "link-degrade");
+  EXPECT_STREQ(to_string(FaultKind::Partition), "partition");
+  EXPECT_STREQ(to_string(FaultKind::DeviceCrash), "device-crash");
+  EXPECT_STREQ(to_string(FaultKind::ContainerKill), "container-kill");
+  EXPECT_STREQ(to_string(FaultKind::LeasePreempt), "lease-preempt");
+  EXPECT_STREQ(to_string(FaultKind::TransferFlap), "transfer-flap");
+}
+
+}  // namespace
+}  // namespace autolearn::fault

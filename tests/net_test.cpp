@@ -256,6 +256,128 @@ TEST(TransferManager, ConcurrentTransfersIndependent) {
   EXPECT_NEAR(finish_times[1], 3.0, 1e-9);
 }
 
+// --- fault overlays ---------------------------------------------------------
+
+TEST(Network, UnreachableErrorCarriesEndpoints) {
+  Network n;
+  n.add_host("a");
+  n.add_host("b");
+  auto g = rng();
+  try {
+    n.sample_latency("a", "b", g);
+    FAIL() << "expected UnreachableError";
+  } catch (const UnreachableError& e) {
+    EXPECT_EQ(e.from(), "a");
+    EXPECT_EQ(e.to(), "b");
+    EXPECT_NE(std::string(e.what()).find("a"), std::string::npos);
+  }
+}
+
+TEST(Network, LinkFaultValidation) {
+  EXPECT_NO_THROW(LinkFault{}.validate());
+  LinkFault bad;
+  bad.latency_mult = 0.5;  // faults cannot speed a link up
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = LinkFault{};
+  bad.loss_add = 1.5;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = LinkFault{};
+  bad.bandwidth_mult = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = LinkFault{};
+  bad.bandwidth_mult = 2.0;  // nor widen it
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Network, DegradeLinkScalesLatencyAndBandwidth) {
+  Network n;
+  n.add_host("a");
+  n.add_host("b");
+  n.add_duplex("a", "b", LinkSpec{0.01, 0, 1e6, 0});
+  LinkFault fault;
+  fault.latency_mult = 3.0;
+  fault.bandwidth_mult = 0.5;
+  n.degrade_duplex("a", "b", fault);
+  EXPECT_NEAR(n.base_latency("a", "b"), 0.03, 1e-9);
+  auto g = rng();
+  // 1 MB at 0.5 MB/s effective plus the inflated latency.
+  EXPECT_NEAR(n.transfer_time("a", "b", 1'000'000, g), 2.03, 1e-9);
+  n.clear_degradation_duplex("a", "b");
+  EXPECT_NEAR(n.base_latency("a", "b"), 0.01, 1e-9);
+}
+
+TEST(Network, DegradeLinkAddsLoss) {
+  Network n;
+  n.add_host("a");
+  n.add_host("b");
+  n.add_duplex("a", "b", LinkSpec{0.001, 0, 1e6, 0});  // lossless
+  auto g = rng();
+  EXPECT_FALSE(n.drops("a", "b", g));
+  LinkFault fault;
+  fault.loss_add = 1.0;
+  n.degrade_link("a", "b", fault);
+  EXPECT_TRUE(n.drops("a", "b", g));
+  EXPECT_FALSE(n.drops("b", "a", g));  // one direction only
+  n.clear_degradation("a", "b");
+  EXPECT_FALSE(n.drops("a", "b", g));
+}
+
+TEST(Network, DegradeUnknownLinkThrows) {
+  Network n;
+  n.add_host("a");
+  n.add_host("b");
+  EXPECT_THROW(n.degrade_link("a", "b", LinkFault{}), std::invalid_argument);
+}
+
+TEST(Network, PartitionedHostVanishesFromRouting) {
+  Network n;
+  for (const char* h : {"car", "gw", "cloud"}) n.add_host(h);
+  n.add_duplex("car", "gw", Link::edge_wifi());
+  n.add_duplex("gw", "cloud", Link::campus_to_cloud());
+  ASSERT_TRUE(n.route("car", "cloud"));
+
+  n.partition_host("gw");  // intermediate hop goes dark
+  EXPECT_TRUE(n.partitioned("gw"));
+  EXPECT_FALSE(n.route("car", "cloud"));
+  n.heal_host("gw");
+  EXPECT_TRUE(n.route("car", "cloud"));
+
+  n.partition_host("cloud");  // endpoint goes dark
+  EXPECT_FALSE(n.route("car", "cloud"));
+  EXPECT_TRUE(n.route("car", "gw"));
+  n.heal_host("cloud");
+  EXPECT_TRUE(n.route("car", "cloud"));
+  EXPECT_THROW(n.partition_host("ghost"), std::invalid_argument);
+}
+
+TEST(TransferManager, RecordsAttemptStartTimes) {
+  Network n;
+  n.add_host("a");
+  n.add_host("b");
+  n.add_duplex("a", "b", LinkSpec{0.001, 0, 1e6, 1.0});  // always drops
+  util::EventQueue q;
+  fault::RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_delay_s = 1.0;
+  policy.multiplier = 2.0;
+  policy.jitter = fault::RetryPolicy::Jitter::None;
+  TransferManager tm(n, q, rng(), policy);
+  const auto id = tm.start("a", "b", 1000);
+  q.run();
+  const TransferResult& r = tm.result(id);
+  ASSERT_EQ(r.attempt_starts.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.attempt_starts[0], 0.0);
+  // Gap = wasted half-transfer + deterministic backoff (1 s then 2 s).
+  EXPECT_GT(r.attempt_starts[1] - r.attempt_starts[0], 1.0);
+  EXPECT_GT(r.attempt_starts[2] - r.attempt_starts[1], 2.0);
+}
+
+TEST(TransferManager, NegativeRetriesThrows) {
+  Network n;
+  util::EventQueue q;
+  EXPECT_THROW(TransferManager(n, q, rng(), /*max_retries=*/-1),
+               std::invalid_argument);
+}
 
 TEST(SshTunnel, OpenHandshakeTakesThreeRtts) {
   Network n;
