@@ -1,0 +1,191 @@
+// Observability kill-switch overhead (docs/observability.md §overhead).
+//
+// The spine's contract is that instrumentation costs nothing when it is
+// off: a SpanGuard on a null tracer (the runtime kill switch) must be a
+// branch and nothing else, and a muted tracer must not allocate or
+// record. The microbenchmarks compare a bare workload against the null,
+// muted, and enabled paths; the reproduction pass re-times the same four
+// variants with std::chrono and writes BENCH_obs.json so the acceptance
+// check ("disabled within noise of baseline") is machine-readable.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iostream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace autolearn;
+
+// A workload small enough that span overhead would show if it existed.
+inline std::uint64_t work_step(std::uint64_t x) {
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return x;
+}
+
+void BM_BareWorkload(benchmark::State& state) {
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    x = work_step(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_BareWorkload);
+
+void BM_NullTracerSpan(benchmark::State& state) {
+  // The runtime kill switch: subsystems keep a Tracer* that is null.
+  obs::Tracer* tracer = nullptr;
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    const obs::SpanGuard span(tracer, "bench.step", "bench");
+    x = work_step(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_NullTracerSpan);
+
+void BM_MutedTracerSpan(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.set_enabled(false);
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    const obs::SpanGuard span(&tracer, "bench.step", "bench");
+    x = work_step(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_MutedTracerSpan);
+
+void BM_EnabledTracerSpan(benchmark::State& state) {
+  obs::Tracer tracer;
+  std::uint64_t x = 1;
+  for (auto _ : state) {
+    if (tracer.size() > 1u << 16) tracer.clear();  // before any span opens
+    const obs::SpanGuard span(&tracer, "bench.step", "bench");
+    x = work_step(x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_EnabledTracerSpan);
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("bench.steps");  // resolved once, hot-path
+  for (auto _ : state) {
+    c.inc();
+    benchmark::DoNotOptimize(c.value());
+  }
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("bench.lat");
+  double v = 0.0001;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 10.0 ? v * 1.01 : 0.0001;
+    benchmark::DoNotOptimize(h.count());
+  }
+}
+BENCHMARK(BM_HistogramObserve);
+
+/// Times `body` over `iters` iterations and returns ns per iteration.
+double time_ns_per_op(std::size_t iters,
+                      const std::function<std::uint64_t()>& body) {
+  // Warm-up pass so lazy init and cache effects do not skew the first run.
+  std::uint64_t sink = body();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) sink ^= body();
+  const auto t1 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(sink);
+  const double ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              t1 - t0)
+                              .count());
+  return ns / static_cast<double>(iters);
+}
+
+void reproduce() {
+  constexpr std::size_t kIters = 2'000'000;
+  constexpr int kSteps = 8;  // workload steps per measured op
+
+  const auto workload = [] {
+    std::uint64_t x = 1;
+    for (int i = 0; i < kSteps; ++i) x = work_step(x);
+    return x;
+  };
+
+  const double baseline = time_ns_per_op(kIters, workload);
+
+  obs::Tracer* null_tracer = nullptr;
+  const double null_path = time_ns_per_op(kIters, [&] {
+    const obs::SpanGuard span(null_tracer, "bench.step", "bench");
+    return workload();
+  });
+
+  obs::Tracer muted;
+  muted.set_enabled(false);
+  const double muted_path = time_ns_per_op(kIters, [&] {
+    const obs::SpanGuard span(&muted, "bench.step", "bench");
+    return workload();
+  });
+
+  obs::Tracer enabled;
+  const double enabled_path = time_ns_per_op(kIters, [&] {
+    if (enabled.size() > 1u << 16) enabled.clear();  // before any span opens
+    const obs::SpanGuard span(&enabled, "bench.step", "bench");
+    return workload();
+  });
+
+  util::Json out = util::Json::object();
+#ifdef AUTOLEARN_OBS_DISABLED
+  out.set("compiled_out", util::Json(true));
+#else
+  out.set("compiled_out", util::Json(false));
+#endif
+  out.set("iters", util::Json(static_cast<double>(kIters)));
+  out.set("baseline_ns", util::Json(baseline));
+  out.set("null_tracer_ns", util::Json(null_path));
+  out.set("muted_tracer_ns", util::Json(muted_path));
+  out.set("enabled_tracer_ns", util::Json(enabled_path));
+  out.set("null_overhead_ns", util::Json(null_path - baseline));
+  out.set("muted_overhead_ns", util::Json(muted_path - baseline));
+  out.set("enabled_overhead_ns", util::Json(enabled_path - baseline));
+  out.set("null_ratio", util::Json(null_path / baseline));
+  out.set("muted_ratio", util::Json(muted_path / baseline));
+  out.set("enabled_ratio", util::Json(enabled_path / baseline));
+
+  std::ofstream file("BENCH_obs.json", std::ios::binary);
+  file << out.dump() << "\n";
+  std::cout << "Observability overhead (ns/op over " << kSteps
+            << " workload steps):\n"
+            << "  baseline        " << baseline << "\n"
+            << "  null tracer     " << null_path << "  (x"
+            << null_path / baseline << ")\n"
+            << "  muted tracer    " << muted_path << "  (x"
+            << muted_path / baseline << ")\n"
+            << "  enabled tracer  " << enabled_path << "  (x"
+            << enabled_path / baseline << ")\n"
+            << "Wrote BENCH_obs.json. Acceptance: the null/muted paths stay "
+               "within noise of baseline.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  reproduce();
+  return 0;
+}

@@ -18,6 +18,8 @@
 #include "core/continuum.hpp"
 #include "core/pipeline.hpp"
 #include "fault/chaos.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "track/track.hpp"
 #include "util/table.hpp"
 
@@ -65,11 +67,19 @@ int main(int argc, char** argv) {
                             "failovers", "denied", "degraded (s)",
                             "recovery (ms)"});
 
+  // One metrics registry across scenarios; one tracer, cleared per
+  // scenario so the exported file holds the last (random plan) timeline.
+  obs::MetricsRegistry metrics;
+  obs::Tracer tracer;
+
   // Each scenario gets its own event queue + engine so timelines don't mix.
   auto run_scenario = [&](const char* name,
                           const std::vector<fault::FaultSpec>& plan) {
     util::EventQueue queue;
+    tracer.clear();
+    tracer.use_clock([&queue] { return queue.now(); });
     fault::ChaosEngine engine(queue, seed);
+    engine.instrument(&tracer, &metrics);
     engine.attach_network(net);
     engine.inject_plan(plan);
 
@@ -81,6 +91,8 @@ int main(int argc, char** argv) {
     copt.cloud_probe = [&net](double) {
       return net.route("car-01", "chi-uc").has_value();
     };
+    copt.tracer = &tracer;
+    copt.metrics = &metrics;
 
     eval::EvalOptions eopt;
     eopt.duration_s = duration_s;
@@ -125,6 +137,9 @@ int main(int argc, char** argv) {
     run_scenario("random plan", planner.random_plan(popt));
   }
 
+  tracer.use_clock({});  // the scenario queues are gone
+  tracer.write_file("chaos_study.trace.json");
+
   std::cout << "\n";
   table.print(std::cout,
               "Hybrid placement under chaos (seed " + std::to_string(seed) +
@@ -133,5 +148,10 @@ int main(int argc, char** argv) {
                "\nedge-only steering instead of a stalled loop — cloud usage"
                "\ndips for roughly the degraded window, then the half-open"
                "\nprobes re-admit the cloud within a control period or two.\n";
+  std::cout << "\nWrote chaos_study.trace.json (" << tracer.size()
+            << " events from the random-plan run) — open it at"
+               "\nhttps://ui.perfetto.dev or chrome://tracing; see"
+               "\ndocs/observability.md. Metrics across all three runs:\n"
+            << metrics.summary();
   return 0;
 }

@@ -47,7 +47,28 @@ HybridPilot::HybridPilot(ml::DrivingModel& edge_model,
       options_(options),
       rng_(rng),
       cloud_pipe_(options.control_dt, Stamped{}),
-      breaker_(options.breaker) {}
+      breaker_(options.breaker) {
+  if (options_.tracer || options_.metrics) {
+    breaker_.set_on_transition([this](fault::CircuitBreaker::State from,
+                                      fault::CircuitBreaker::State to,
+                                      double now) {
+      if (options_.tracer) {
+        util::Json args = util::Json::object();
+        args.set("from", util::Json(fault::to_string(from)));
+        args.set("to", util::Json(fault::to_string(to)));
+        args.set("t", util::Json(now));
+        options_.tracer->instant("fault.breaker", "fault", std::move(args));
+      }
+      if (options_.metrics) {
+        options_.metrics->counter("fault.breaker.transitions").inc();
+        options_.metrics
+            ->counter(std::string("fault.breaker.to_") +
+                      fault::to_string(to))
+            .inc();
+      }
+    });
+  }
+}
 
 void HybridPilot::reset() {
   // Episode reset: the evaluator calls this when the student places the
@@ -109,7 +130,11 @@ vehicle::DriveCommand HybridPilot::act(const camera::Image& frame) {
     }
   } else {
     ++denied_;
+    if (options_.metrics) {
+      options_.metrics->counter("core.hybrid.denied").inc();
+    }
   }
+  if (options_.metrics) options_.metrics->counter("core.hybrid.steps").inc();
   const Stamped& freshest = cloud_pipe_.step();
   const bool cloud_fresh =
       now_ - freshest.time <= options_.hybrid_staleness_s;
@@ -121,6 +146,9 @@ vehicle::DriveCommand HybridPilot::act(const camera::Image& frame) {
       awaiting_recovery_ = false;
     }
     ++cloud_steps_;
+    if (options_.metrics) {
+      options_.metrics->counter("core.hybrid.cloud_steps").inc();
+    }
     return freshest.cmd;
   }
   return edge_cmd;
@@ -134,6 +162,8 @@ eval::EvalResult evaluate_placement(const track::Track& track,
                                     const eval::EvalOptions& eval_options) {
   eval::EvalOptions opts = eval_options;
   opts.dt = options.control_dt;
+  if (!opts.tracer) opts.tracer = options.tracer;
+  if (!opts.metrics) opts.metrics = options.metrics;
   const std::uint64_t main_flops = main_model.flops_per_sample();
   const std::uint64_t edge_flops = edge_fallback.flops_per_sample();
   switch (placement) {

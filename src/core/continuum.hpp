@@ -23,6 +23,8 @@
 #include "fault/report.hpp"
 #include "gpu/perf_model.hpp"
 #include "ml/driving_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/delay_line.hpp"
 
 namespace autolearn::core {
@@ -56,6 +58,12 @@ struct ContinuumOptions {
   ///   };
   /// Unset means the cloud is always reachable (the pre-chaos behavior).
   std::function<bool(double now)> cloud_probe;
+  /// Observability sinks (either may be null): breaker state transitions
+  /// become "fault.breaker" trace instants and counters, cloud/edge step
+  /// and denied-call counts land in the registry. evaluate_placement()
+  /// forwards them into the evaluator's EvalOptions too.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// End-to-end command latency for a placement (excluding jitter).

@@ -47,6 +47,14 @@ void ContainerService::use_network(net::Network& network,
   registry_host_ = std::move(registry_host);
   pull_transfers_ = std::make_unique<net::TransferManager>(
       network, queue_, rng, config_.pull_retry);
+  pull_transfers_->instrument(tracer_, metrics_);
+}
+
+void ContainerService::instrument(obs::Tracer* tracer,
+                                  obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (pull_transfers_) pull_transfers_->instrument(tracer, metrics);
 }
 
 bool ContainerService::is_live(ContainerState s) const {
@@ -77,6 +85,7 @@ std::uint64_t ContainerService::launch(
   containers_[id] = std::move(c);
   hooks_[id] = Hooks{std::move(on_running), std::move(on_failed)};
   epochs_[id] = 0;
+  if (metrics_) metrics_->counter("edge.container.launched").inc();
   begin_pull(id);
   return id;
 }
@@ -85,9 +94,15 @@ void ContainerService::begin_pull(std::uint64_t id) {
   Container& c = containers_.at(id);
   c.state = ContainerState::Pulling;
   const std::uint64_t epoch = ++epochs_.at(id);
+  pull_began_[id] = queue_.now();
 
   const bool cached = config_.reuse_image_cache &&
                       image_cache_[c.device].count(c.spec.image) > 0;
+  if (metrics_) {
+    metrics_->counter(cached ? "edge.container.pulls_cached"
+                             : "edge.container.pulls")
+        .inc();
+  }
   if (cached) {
     queue_.schedule_in(0.5, [this, id, epoch] { finish_pull(id, epoch); });
     return;
@@ -131,6 +146,18 @@ void ContainerService::finish_pull(std::uint64_t id, std::uint64_t epoch) {
     fail_container(id, c.device + " went away during pull");
     return;
   }
+  if (tracer_) {
+    util::Json args = util::Json::object();
+    args.set("id", util::Json(id));
+    args.set("device", util::Json(c.device));
+    args.set("image", util::Json(c.spec.image));
+    tracer_->complete("edge.container.pull", "edge", pull_began_.at(id),
+                      queue_.now(), std::move(args));
+  }
+  if (metrics_) {
+    metrics_->histogram("edge.container.pull_s")
+        .observe(queue_.now() - pull_began_.at(id));
+  }
   c.state = ContainerState::Starting;
   image_cache_[c.device].insert(c.spec.image);
   queue_.schedule_in(config_.start_delay_s, [this, id, epoch] {
@@ -149,6 +176,20 @@ void ContainerService::finish_pull(std::uint64_t id, std::uint64_t epoch) {
     cc.running_at = queue_.now();
     AUTOLEARN_LOG(Info, "container")
         << cc.spec.image << " running on " << cc.device;
+    if (tracer_) {
+      util::Json args = util::Json::object();
+      args.set("id", util::Json(id));
+      args.set("device", util::Json(cc.device));
+      args.set("image", util::Json(cc.spec.image));
+      args.set("restarts", util::Json(cc.restarts));
+      tracer_->complete("edge.container.launch", "edge", cc.launched_at,
+                        cc.running_at, std::move(args));
+    }
+    if (metrics_) {
+      metrics_->counter("edge.container.running").inc();
+      metrics_->histogram("edge.container.launch_s")
+          .observe(cc.running_at - cc.launched_at);
+    }
     const auto& hooks = hooks_.at(id);
     if (hooks.on_running) hooks.on_running(cc);
   });
@@ -164,6 +205,14 @@ void ContainerService::fail_container(std::uint64_t id,
   ++epochs_.at(id);  // invalidate any still-scheduled lifecycle events
   AUTOLEARN_LOG(Warn, "container")
       << "container " << id << " on " << c.device << " failed: " << reason;
+  if (tracer_) {
+    util::Json args = util::Json::object();
+    args.set("id", util::Json(id));
+    args.set("device", util::Json(c.device));
+    args.set("reason", util::Json(reason));
+    tracer_->instant("edge.container.failed", "edge", std::move(args));
+  }
+  if (metrics_) metrics_->counter("edge.container.failed").inc();
   const auto& hooks = hooks_.at(id);
   if (hooks.on_failed) hooks.on_failed(c);
   maybe_schedule_restart(id);
@@ -189,6 +238,13 @@ void ContainerService::maybe_schedule_restart(std::uint64_t id) {
     AUTOLEARN_LOG(Info, "container")
         << "auto-restarting container " << id << " (attempt "
         << it->second.restarts << ")";
+    if (tracer_) {
+      util::Json args = util::Json::object();
+      args.set("id", util::Json(id));
+      args.set("attempt", util::Json(it->second.restarts));
+      tracer_->instant("edge.container.restart", "edge", std::move(args));
+    }
+    if (metrics_) metrics_->counter("edge.container.restarts").inc();
     begin_pull(id);
   });
 }

@@ -30,6 +30,8 @@
 #include "edge/registry.hpp"
 #include "fault/retry.hpp"
 #include "net/transfer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/event_queue.hpp"
 
 namespace autolearn::edge {
@@ -87,6 +89,12 @@ class ContainerService {
   void use_network(net::Network& network, std::string registry_host,
                    util::Rng rng = util::Rng(0x517edull));
 
+  /// Wires the observability sinks (either may be null). Spans cover image
+  /// pulls and the whole launch; instants mark failures and restarts. When
+  /// use_network() is active the underlying TransferManager is instrumented
+  /// with the same sinks (per-attempt pull spans).
+  void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   /// Launches a container for `project` on `device`. Throws if the device
   /// is not Ready or the project is not whitelisted. on_running fires when
   /// the container reaches Running; on_failed fires if the launch (or a
@@ -133,6 +141,9 @@ class ContainerService {
   EdgeRegistry& registry_;
   util::EventQueue& queue_;
   Config config_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::map<std::uint64_t, double> pull_began_;  // per-container pull start
   net::Network* network_ = nullptr;
   std::string registry_host_;
   std::unique_ptr<net::TransferManager> pull_transfers_;

@@ -51,7 +51,9 @@ EvalResult run_evaluation(const track::Track& track, Pilot& pilot,
   double lap_progress = 0.0;
   double lap_clock = 0.0;
 
+  const obs::SpanGuard run_span(options.tracer, "eval.run", "eval");
   for (std::size_t i = 0; i < steps; ++i) {
+    const obs::SpanGuard tick_span(options.tracer, "eval.tick", "eval");
     if (options.chaos_queue) {
       // Fire any fault events due by this control step before sensing.
       options.chaos_queue->run_until(static_cast<double>(i) * options.dt);
@@ -62,6 +64,9 @@ EvalResult run_evaluation(const track::Track& track, Pilot& pilot,
     double latency = options.command_latency_s;
     if (options.latency_jitter_s > 0) {
       latency = std::max(0.0, rng.normal(latency, options.latency_jitter_s));
+    }
+    if (options.metrics) {
+      options.metrics->histogram("eval.cmd_latency_s").observe(latency);
     }
     pipeline.push(cmd, latency);
     const vehicle::DriveCommand effective = pipeline.step();
@@ -86,6 +91,13 @@ EvalResult run_evaluation(const track::Track& track, Pilot& pilot,
       // Off the track: the student places the car back on the line facing
       // forward, at walking pace — and the error counter ticks.
       ++result.errors;
+      if (options.tracer) {
+        util::Json args = util::Json::object();
+        args.set("step", util::Json(i));
+        args.set("track_s", util::Json(proj.s));
+        options.tracer->instant("eval.off_track", "eval", std::move(args));
+      }
+      if (options.metrics) options.metrics->counter("eval.errors").inc();
       car.reset(track.position_at(proj.s), track.heading_at(proj.s), 0.3);
       pilot.reset();
       pipeline = util::DelayLine<vehicle::DriveCommand>(
@@ -100,6 +112,12 @@ EvalResult run_evaluation(const track::Track& track, Pilot& pilot,
           : 0.0;
   result.laps = result.distance_m / track.length();
   result.duration_s = static_cast<double>(result.steps) * options.dt;
+  if (options.metrics) {
+    options.metrics->counter("eval.runs").inc();
+    options.metrics->counter("eval.steps").inc(result.steps);
+    options.metrics->gauge("eval.distance_m").set(result.distance_m);
+    options.metrics->gauge("eval.mean_speed").set(result.mean_speed);
+  }
   return result;
 }
 

@@ -16,6 +16,8 @@
 
 #include "eval/pilot.hpp"
 #include "fault/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "track/track.hpp"
 #include "util/event_queue.hpp"
 #include "util/rng.hpp"
@@ -40,6 +42,11 @@ struct EvalOptions {
   /// loop. Chaos plans scheduled on it (partitions, degradations) then fire
   /// mid-evaluation at their exact virtual times.
   util::EventQueue* chaos_queue = nullptr;
+  /// Observability sinks (either may be null): an "eval.run" span wrapping
+  /// per-tick "eval.tick" spans, off-track instants, and step/error/latency
+  /// metrics. Clock the tracer from chaos_queue for virtual-time spans.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct EvalResult {

@@ -24,6 +24,12 @@ void ChaosEngine::attach_leases(testbed::LeaseManager& leases) {
   leases_ = &leases;
 }
 
+void ChaosEngine::instrument(obs::Tracer* tracer,
+                             obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+}
+
 void ChaosEngine::record(FaultKind kind, const std::string& target,
                          bool recovery, std::string detail) {
   InjectedEvent e;
@@ -32,6 +38,18 @@ void ChaosEngine::record(FaultKind kind, const std::string& target,
   e.target = target;
   e.recovery = recovery;
   e.detail = std::move(detail);
+  if (tracer_) {
+    util::Json args = util::Json::object();
+    args.set("target", util::Json(e.target));
+    args.set("recovery", util::Json(e.recovery));
+    args.set("detail", util::Json(e.detail));
+    tracer_->instant(std::string("chaos.") + to_string(kind), "chaos",
+                     std::move(args));
+  }
+  if (metrics_) {
+    metrics_->counter(recovery ? "chaos.recovered" : "chaos.injected").inc();
+    metrics_->counter(std::string("chaos.kind.") + to_string(kind)).inc();
+  }
   report_.timeline.push_back(std::move(e));
   if (recovery) {
     ++report_.recovered;

@@ -18,6 +18,8 @@
 #include "edge/registry.hpp"
 #include "fault/report.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "testbed/lease.hpp"
 #include "util/event_queue.hpp"
 #include "util/rng.hpp"
@@ -71,6 +73,11 @@ class ChaosEngine {
 
   const ChaosReport& report() const { return report_; }
 
+  /// Wires the observability sinks (either may be null): every injection
+  /// and recovery becomes a "chaos.<kind>" trace instant plus counters, so
+  /// exported traces show faults inline with the spans they perturb.
+  void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
  private:
   void apply(const FaultSpec& spec);
   void revert(const FaultSpec& spec);
@@ -79,6 +86,8 @@ class ChaosEngine {
 
   util::EventQueue& queue_;
   util::Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   net::Network* network_ = nullptr;
   edge::EdgeRegistry* registry_ = nullptr;
   edge::ContainerService* containers_ = nullptr;

@@ -20,7 +20,12 @@ CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config) : config_(config) {
   config_.validate();
 }
 
+void CircuitBreaker::moved(State from, double now) {
+  if (on_transition_) on_transition_(from, state_, now);
+}
+
 void CircuitBreaker::trip(double now) {
+  const State from = state_;
   if (state_ == State::Closed) degraded_since_ = now;
   state_ = State::Open;
   opened_at_ = now;
@@ -28,6 +33,7 @@ void CircuitBreaker::trip(double now) {
   half_open_hits_ = 0;
   consecutive_failures_ = 0;
   ++times_opened_;
+  moved(from, now);
 }
 
 bool CircuitBreaker::allow(double now) {
@@ -38,6 +44,7 @@ bool CircuitBreaker::allow(double now) {
       if (now - opened_at_ >= config_.open_duration_s) {
         state_ = State::HalfOpen;
         half_open_hits_ = 0;
+        moved(State::Open, now);
         return true;
       }
       return false;
@@ -63,6 +70,7 @@ void CircuitBreaker::record_success(double now) {
           degraded_since_ = -1.0;
         }
         last_closed_at_ = now;
+        moved(State::HalfOpen, now);
       }
       break;
   }

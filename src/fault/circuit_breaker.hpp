@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 
 namespace autolearn::fault {
 
@@ -45,9 +46,17 @@ class CircuitBreaker {
   double last_opened_at() const { return last_opened_at_; }
   double last_closed_at() const { return last_closed_at_; }
 
+  /// Observer for every state transition (trip, half-open probe window,
+  /// re-close), fired after the state has changed. Used by the
+  /// observability layer to emit trace instants and transition counters.
+  using TransitionHook = std::function<void(State from, State to, double now)>;
+  void set_on_transition(TransitionHook hook) { on_transition_ = std::move(hook); }
+
  private:
   void trip(double now);
+  void moved(State from, double now);
 
+  TransitionHook on_transition_;
   CircuitBreakerConfig config_;
   State state_ = State::Closed;
   int consecutive_failures_ = 0;

@@ -53,6 +53,7 @@ TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
   if (train.empty()) throw std::invalid_argument("fit: empty training set");
   if (options.batch_size == 0) throw std::invalid_argument("fit: batch 0");
   const auto t0 = std::chrono::steady_clock::now();
+  const obs::SpanGuard fit_span(options.tracer, "ml.fit", "ml");
 
   util::Rng rng(options.shuffle_seed);
   std::vector<std::size_t> order(train.size());
@@ -64,6 +65,7 @@ TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
   std::string best_weights;  // serialized snapshot of the best epoch
 
   for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    const obs::SpanGuard epoch_span(options.tracer, "ml.epoch", "ml");
     rng.shuffle(order);
     double epoch_loss = 0;
     std::size_t seen = 0;
@@ -107,6 +109,16 @@ TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (options.metrics) {
+    options.metrics->counter("ml.train.fits").inc();
+    options.metrics->counter("ml.train.epochs").inc(result.epochs_run);
+    options.metrics->counter("ml.train.samples").inc(result.samples_seen);
+    options.metrics->counter("ml.train.forward_flops")
+        .inc(result.forward_flops);
+    options.metrics->gauge("ml.train.final_loss")
+        .set(result.final_train_loss);
+    options.metrics->gauge("ml.train.best_val_loss").set(result.best_val_loss);
+  }
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "ml/driving_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace autolearn::ml {
@@ -23,6 +25,13 @@ struct TrainOptions {
   /// DonkeyCar training script uses). Requires a non-empty val set.
   bool restore_best = false;
   bool verbose = false;
+  /// Observability sinks (either may be null): an "ml.fit" span wrapping
+  /// per-epoch "ml.epoch" spans, plus sample/epoch counters and loss
+  /// gauges. Span timestamps come from the tracer's clock — its logical
+  /// tick counter unless it is wired to a simulation clock — never from
+  /// wall time, so traces stay seed-deterministic.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct EpochStats {

@@ -5,6 +5,26 @@
 #include "util/logging.hpp"
 
 namespace autolearn::net {
+namespace {
+
+util::Json attempt_args(const TransferResult& r, const char* outcome) {
+  util::Json args = util::Json::object();
+  args.set("id", util::Json(r.id));
+  args.set("attempt", util::Json(r.attempts));
+  args.set("outcome", util::Json(outcome));
+  return args;
+}
+
+util::Json transfer_args(const TransferResult& r, const char* outcome) {
+  util::Json args = util::Json::object();
+  args.set("id", util::Json(r.id));
+  args.set("bytes", util::Json(r.bytes));
+  args.set("attempts", util::Json(r.attempts));
+  args.set("outcome", util::Json(outcome));
+  return args;
+}
+
+}  // namespace
 
 TransferManager::TransferManager(Network& network, util::EventQueue& queue,
                                  util::Rng rng, fault::RetryPolicy policy)
@@ -21,6 +41,12 @@ TransferManager::TransferManager(Network& network, util::EventQueue& queue,
         return fault::RetryPolicy::immediate(max_retries + 1);
       }()) {}
 
+void TransferManager::instrument(obs::Tracer* tracer,
+                                 obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+}
+
 std::uint64_t TransferManager::start(
     const std::string& from, const std::string& to, std::uint64_t bytes,
     std::function<void(const TransferResult&)> on_done) {
@@ -33,6 +59,15 @@ std::uint64_t TransferManager::start(
   results_[id] = r;
   backoff_state_[id] = 0.0;
   ++in_flight_;
+  if (metrics_) {
+    metrics_->counter("net.transfer.started").inc();
+    metrics_->counter("net.transfer.bytes_requested").inc(bytes);
+    metrics_->histogram("net.transfer.bytes",
+                        obs::MetricsRegistry::bytes_buckets())
+        .observe(static_cast<double>(bytes));
+    metrics_->gauge("net.transfer.in_flight")
+        .set(static_cast<double>(in_flight_));
+  }
   attempt(id, from, to, std::move(on_done));
   return id;
 }
@@ -70,6 +105,21 @@ void TransferManager::attempt(
       backoff_state_.erase(id);
       --in_flight_;
       ++completed_;
+      if (tracer_) {
+        tracer_->complete("net.transfer.attempt", "net",
+                          res.attempt_starts.back(), res.finished_at,
+                          attempt_args(res, "done"));
+        tracer_->complete("net.transfer", "net", res.started_at,
+                          res.finished_at, transfer_args(res, "done"));
+      }
+      if (metrics_) {
+        metrics_->counter("net.transfer.completed").inc();
+        metrics_->counter("net.transfer.bytes_moved").inc(res.bytes);
+        metrics_->histogram("net.transfer.duration_s")
+            .observe(res.duration());
+        metrics_->gauge("net.transfer.in_flight")
+            .set(static_cast<double>(in_flight_));
+      }
       if (on_done) on_done(res);
     });
     return;
@@ -84,6 +134,13 @@ void TransferManager::retry_or_fail(
     double wasted_s, const char* reason,
     std::function<void(const TransferResult&)> on_done) {
   TransferResult& r = results_.at(id);
+  if (tracer_) {
+    // The attempt's cost (half the transfer for a drop, the timeout for an
+    // overrun, nothing for a partition) elapses via the scheduled event;
+    // the span covers it with explicit timestamps.
+    tracer_->complete("net.transfer.attempt", "net", r.attempt_starts.back(),
+                      queue_.now() + wasted_s, attempt_args(r, reason));
+  }
   if (r.attempts >= policy_.max_attempts) {
     queue_.schedule_in(wasted_s, [this, id, reason,
                                   on_done = std::move(on_done)] {
@@ -96,12 +153,26 @@ void TransferManager::retry_or_fail(
       AUTOLEARN_LOG(Warn, "net")
           << "transfer " << id << " failed after " << res.attempts
           << " attempts (" << reason << ")";
+      if (tracer_) {
+        tracer_->complete("net.transfer", "net", res.started_at,
+                          res.finished_at, transfer_args(res, reason));
+      }
+      if (metrics_) {
+        metrics_->counter("net.transfer.failed").inc();
+        metrics_->gauge("net.transfer.in_flight")
+            .set(static_cast<double>(in_flight_));
+      }
       if (on_done) on_done(res);
     });
     return;
   }
+  if (metrics_) {
+    metrics_->counter("net.transfer.retries").inc();
+    metrics_->counter(std::string("net.transfer.retry.") + reason).inc();
+  }
   const double backoff =
       policy_.backoff_s(r.attempts, backoff_state_.at(id), rng_);
+  if (metrics_) metrics_->histogram("net.transfer.backoff_s").observe(backoff);
   queue_.schedule_in(wasted_s + backoff,
                      [this, id, from, to, on_done = std::move(on_done)] {
                        attempt(id, from, to, std::move(on_done));

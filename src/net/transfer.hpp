@@ -19,6 +19,8 @@
 
 #include "fault/retry.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/event_queue.hpp"
 #include "util/rng.hpp"
 
@@ -62,6 +64,12 @@ class TransferManager {
 
   const fault::RetryPolicy& policy() const { return policy_; }
 
+  /// Wires the observability sinks (either may be null). Spans cover each
+  /// attempt ("net.transfer.attempt") and the whole transfer
+  /// ("net.transfer"); metrics cover bytes, attempts, retries, outcomes,
+  /// and in-flight depth. See docs/observability.md for the catalog.
+  void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   std::size_t in_flight() const { return in_flight_; }
   std::size_t completed() const { return completed_; }
   std::size_t failed() const { return failed_; }
@@ -79,6 +87,8 @@ class TransferManager {
   util::EventQueue& queue_;
   util::Rng rng_;
   fault::RetryPolicy policy_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::uint64_t next_id_ = 1;
   std::map<std::uint64_t, TransferResult> results_;
   std::map<std::uint64_t, double> backoff_state_;  // decorrelated-jitter memory

@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace autolearn::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("histogram: bounds must be sorted");
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+util::Json Histogram::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("count", util::Json(count_));
+  j.set("sum", util::Json(sum_));
+  j.set("min", util::Json(min_));
+  j.set("max", util::Json(max_));
+  util::JsonArray bounds;
+  for (const double b : bounds_) bounds.emplace_back(b);
+  j.set("bounds", util::Json(std::move(bounds)));
+  util::JsonArray buckets;
+  for (const std::uint64_t c : buckets_) {
+    buckets.emplace_back(static_cast<std::size_t>(c));
+  }
+  j.set("buckets", util::Json(std::move(buckets)));
+  return j;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(std::move(bounds)))
+      .first->second;
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::vector<double> MetricsRegistry::latency_buckets_s() {
+  // 1 ms .. ~100 s in half-decade steps: spans Pi inference (~ms),
+  // WAN RTTs (~0.1 s), and bulk transfers (~tens of seconds).
+  return {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0};
+}
+
+std::vector<double> MetricsRegistry::bytes_buckets() {
+  // 1 KiB .. 1 GiB in decade-ish steps.
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+}
+
+util::Json MetricsRegistry::to_json() const {
+  util::Json counters = util::Json::object();
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, util::Json(static_cast<std::size_t>(c.value())));
+  }
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, util::Json(g.value()));
+  util::Json histograms = util::Json::object();
+  for (const auto& [name, h] : histograms_) histograms.set(name, h.to_json());
+  util::Json j = util::Json::object();
+  j.set("counters", std::move(counters));
+  j.set("gauges", std::move(gauges));
+  j.set("histograms", std::move(histograms));
+  return j;
+}
+
+std::string MetricsRegistry::summary() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " = " << g.value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " n=" << h.count() << " mean=" << h.mean()
+       << " min=" << h.min() << " max=" << h.max() << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace autolearn::obs

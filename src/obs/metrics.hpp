@@ -1,0 +1,111 @@
+// Metric primitives for the continuum: counters, gauges, and fixed-bucket
+// histograms behind a name-keyed registry.
+//
+// Components are handed an optional MetricsRegistry* and record what the
+// control loop, the transfer layer, and the resilience policies are doing:
+// inference latencies, transfer bytes and retries, queue depths, breaker
+// state transitions. Everything is deterministic — metric iteration order
+// is the lexicographic name order and histogram buckets are fixed at
+// construction — so a registry snapshot from a seeded simulation is
+// byte-for-byte reproducible. A null registry pointer is the kill switch:
+// instrumented code guards every touch with a single branch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace autolearn::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper edges of the
+/// first bounds.size() buckets; one overflow bucket catches the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }  // 0 when empty
+  double max() const { return max_; }
+  double mean() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  const std::vector<std::uint64_t>& buckets() const { return buckets_; }
+
+  util::Json to_json() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Name-keyed metric store. Lookups create on first use so call sites do
+/// not need registration boilerplate; names follow the dotted convention
+/// documented in docs/observability.md (e.g. "net.transfer.attempts").
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` applies on first creation only; later calls reuse the
+  /// existing histogram regardless.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = latency_buckets_s());
+
+  /// Value accessors that do not create: 0 / empty for unknown names.
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// Default bucket ladders (seconds / bytes), shared so the same metric
+  /// name always has the same shape across components.
+  static std::vector<double> latency_buckets_s();
+  static std::vector<double> bytes_buckets();
+
+  /// Snapshot of every metric, ordered by name within each kind.
+  util::Json to_json() const;
+  /// Human-readable one-line-per-metric dump (stable ordering).
+  std::string summary() const;
+
+  void clear();
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace autolearn::obs

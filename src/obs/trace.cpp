@@ -1,0 +1,105 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace autolearn::obs {
+
+double Tracer::now() {
+  if (clock_) return clock_();
+  return logical_++;
+}
+
+std::uint64_t Tracer::begin(std::string name, std::string cat) {
+  if (!enabled_) return 0;
+  OpenSpan span;
+  span.name = std::move(name);
+  span.cat = std::move(cat);
+  span.ts = now();
+  span.token = next_token_++;
+  open_.push_back(std::move(span));
+  return open_.back().token;
+}
+
+void Tracer::end(std::uint64_t token, util::Json args) {
+  if (token == 0) return;
+  // Spans close LIFO in the common nested case; scan from the back so an
+  // out-of-order close (overlapping async spans) still finds its begin.
+  for (std::size_t i = open_.size(); i-- > 0;) {
+    if (open_[i].token != token) continue;
+    TraceEvent e;
+    e.name = std::move(open_[i].name);
+    e.cat = std::move(open_[i].cat);
+    e.ph = 'X';
+    e.ts = open_[i].ts;
+    e.dur = now() - open_[i].ts;
+    e.args = std::move(args);
+    open_.erase(open_.begin() + static_cast<std::ptrdiff_t>(i));
+    events_.push_back(std::move(e));
+    return;
+  }
+  throw std::logic_error("tracer: end() for unknown span token");
+}
+
+void Tracer::complete(std::string name, std::string cat, double begin_ts,
+                      double end_ts, util::Json args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'X';
+  e.ts = begin_ts;
+  e.dur = end_ts - begin_ts;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(std::string name, std::string cat, util::Json args) {
+  if (!enabled_) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.ph = 'i';
+  e.ts = now();
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+util::Json Tracer::to_json() const {
+  util::JsonArray events;
+  events.reserve(events_.size());
+  for (const TraceEvent& e : events_) {
+    util::Json j = util::Json::object();
+    j.set("name", util::Json(e.name));
+    j.set("cat", util::Json(e.cat));
+    j.set("ph", util::Json(std::string(1, e.ph)));
+    j.set("ts", util::Json(e.ts * 1e6));  // the format counts microseconds
+    if (e.ph == 'X') j.set("dur", util::Json(e.dur * 1e6));
+    j.set("pid", util::Json(1));
+    j.set("tid", util::Json(1));
+    if (e.ph == 'i') j.set("s", util::Json("g"));  // global-scope instant
+    if (!e.args.is_null()) j.set("args", e.args);
+    events.push_back(std::move(j));
+  }
+  util::Json root = util::Json::object();
+  root.set("traceEvents", util::Json(std::move(events)));
+  root.set("displayTimeUnit", util::Json("ms"));
+  return root;
+}
+
+std::string Tracer::dump() const { return to_json().dump(); }
+
+void Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("tracer: cannot write " + path);
+  out << dump();
+}
+
+void Tracer::clear() {
+  open_.clear();
+  events_.clear();
+  logical_ = 0.0;
+  next_token_ = 1;
+}
+
+}  // namespace autolearn::obs

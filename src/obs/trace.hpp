@@ -1,0 +1,134 @@
+// Span tracer with Chrome trace_event JSON export.
+//
+// The simulation advances on a shared virtual clock (util::EventQueue), so
+// a trace of begin/end spans over that clock is *deterministic*: the same
+// seed yields a byte-identical canonical trace. That turns the tracer into
+// a regression harness — tier-1 tests snapshot a small scenario's trace
+// (tests/golden/) and fail on any unintended behavioral drift — and the
+// export opens directly in chrome://tracing or Perfetto for eyeballing
+// where continuum time goes.
+//
+// Clocking: use_clock() points the tracer at the simulation clock
+// (typically [&queue] { return queue.now(); }). Without a clock the tracer
+// falls back to a logical tick counter — still fully deterministic, which
+// matters for spans recorded off the simulated clock (e.g. ml::fit runs
+// between queue events; wall time would break golden traces).
+//
+// Kill switches. Runtime: instrumented components hold a nullable
+// Tracer* — the disabled path is one branch on a null pointer (see
+// bench_obs_overhead); set_enabled(false) mutes a live tracer the same
+// way. Compile time: defining AUTOLEARN_OBS_DISABLED (cmake
+// -DAUTOLEARN_OBS=OFF) compiles SpanGuard down to an empty object.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace autolearn::obs {
+
+/// One trace event. `ph` follows the Chrome trace_event phases used here:
+/// 'X' (complete span with duration) and 'i' (instant). Times are virtual
+/// seconds (exported as microseconds, the format's unit).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';
+  double ts = 0.0;
+  double dur = 0.0;      // 'X' only
+  util::Json args;       // object, or null when absent
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  /// Points now() at the simulation clock. Unset: logical ticks (one per
+  /// timestamp taken).
+  void use_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  /// Runtime mute: while disabled, begin/end/instant/complete are no-ops.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  double now();
+
+  /// Opens a span; close it with end(). Returns a token (0 while muted —
+  /// end(0) is a no-op).
+  std::uint64_t begin(std::string name, std::string cat);
+  void end(std::uint64_t token, util::Json args = util::Json());
+
+  /// Complete span with explicit timestamps, for work that crosses event
+  /// boundaries (a transfer attempt ends inside a later queue callback).
+  void complete(std::string name, std::string cat, double begin_ts,
+                double end_ts, util::Json args = util::Json());
+
+  /// Point event (fault injected, breaker tripped, container failed).
+  void instant(std::string name, std::string cat,
+               util::Json args = util::Json());
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Chrome trace_event JSON object: {"traceEvents": [...]}.
+  util::Json to_json() const;
+  /// Canonical byte form (compact dump of to_json()); equal seeds produce
+  /// equal strings — this is what golden tests snapshot.
+  std::string dump() const;
+  /// Writes dump() to a file loadable by chrome://tracing / Perfetto.
+  void write_file(const std::string& path) const;
+
+  void clear();
+
+ private:
+  struct OpenSpan {
+    std::string name;
+    std::string cat;
+    double ts = 0.0;
+    std::uint64_t token = 0;
+  };
+
+  std::function<double()> clock_;
+  bool enabled_ = true;
+  double logical_ = 0.0;
+  std::uint64_t next_token_ = 1;
+  std::vector<OpenSpan> open_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span for synchronous scopes: one branch when the tracer is null or
+/// muted, begin/end otherwise.
+class SpanGuard {
+ public:
+  SpanGuard() = default;
+  SpanGuard(Tracer* tracer, const char* name, const char* cat) {
+#ifndef AUTOLEARN_OBS_DISABLED
+    if (tracer && tracer->enabled()) {
+      tracer_ = tracer;
+      token_ = tracer->begin(name, cat);
+    }
+#else
+    (void)tracer;
+    (void)name;
+    (void)cat;
+#endif
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+  ~SpanGuard() {
+#ifndef AUTOLEARN_OBS_DISABLED
+    if (tracer_) tracer_->end(token_);
+#endif
+  }
+
+ private:
+#ifndef AUTOLEARN_OBS_DISABLED
+  Tracer* tracer_ = nullptr;
+  std::uint64_t token_ = 0;
+#endif
+};
+
+}  // namespace autolearn::obs

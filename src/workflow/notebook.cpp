@@ -37,14 +37,28 @@ bool Notebook::run_cell(std::size_t index) {
     throw std::out_of_range("notebook: bad cell index");
   }
   Cell& c = cells_[index];
+  const std::uint64_t span =
+      tracer_ ? tracer_->begin("workflow.cell", "workflow") : 0;
+  const auto close_span = [&] {
+    if (!tracer_) return;
+    util::Json args = util::Json::object();
+    args.set("notebook", util::Json(title_));
+    args.set("cell", util::Json(c.label));
+    args.set("status", util::Json(to_string(c.status)));
+    tracer_->end(span, std::move(args));
+  };
   try {
     c.output = c.body();
     c.status = CellStatus::Ok;
+    close_span();
+    if (metrics_) metrics_->counter("workflow.cells_ok").inc();
     if (on_success_) on_success_(c);
     return true;
   } catch (const std::exception& e) {
     c.output = std::string("error: ") + e.what();
     c.status = CellStatus::Error;
+    close_span();
+    if (metrics_) metrics_->counter("workflow.cells_error").inc();
     return false;
   }
 }

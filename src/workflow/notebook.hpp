@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace autolearn::workflow {
 
 enum class CellStatus { NotRun, Ok, Error };
@@ -59,10 +62,20 @@ class Notebook {
     on_success_ = std::move(cb);
   }
 
+  /// Wires the observability sinks (either may be null): a
+  /// "workflow.cell" span per executed cell (stage boundaries of the
+  /// pipeline) plus ok/error counters.
+  void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
  private:
   std::string title_;
   std::vector<Cell> cells_;
   std::function<void(const Cell&)> on_success_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace autolearn::workflow

@@ -356,6 +356,35 @@ TEST(Chaos, HybridStalenessBoundaryIsInclusive) {
   EXPECT_DOUBLE_EQ(too_stale.cloud_usage(), 0.0);
 }
 
+TEST(Chaos, OffTrackResetPreservesBreakerAccounting) {
+  ml::ModelConfig cfg;
+  auto edge_model = ml::make_model(ml::ModelType::Inferred, cfg);
+  auto cloud_model = ml::make_model(ml::ModelType::Linear, cfg);
+  camera::Image frame(cfg.img_w, cfg.img_h, 0.5f);
+
+  core::ContinuumOptions opt;
+  opt.rtt_jitter_s = 0.0;
+  opt.breaker.failure_threshold = 2;
+  opt.breaker.open_duration_s = 100.0;  // stays open for the whole test
+  opt.cloud_probe = [](double) { return false; };
+  core::HybridPilot pilot(*edge_model, *cloud_model, opt, util::Rng(3));
+  for (int i = 0; i < 5; ++i) pilot.act(frame);
+  ASSERT_EQ(pilot.breaker().state(), fault::CircuitBreaker::State::Open);
+  ASSERT_EQ(pilot.breaker().times_opened(), 1u);
+  const fault::DegradationStats before = pilot.degradation();
+  ASSERT_GT(before.denied_calls, 0u);
+
+  // Off-track reset: the evaluator puts the car back on the line. That
+  // local intervention must not heal the breaker or erase its accounting.
+  pilot.reset();
+  EXPECT_EQ(pilot.breaker().state(), fault::CircuitBreaker::State::Open);
+  EXPECT_EQ(pilot.breaker().times_opened(), 1u);
+  EXPECT_EQ(pilot.degradation().failovers, before.failovers);
+  EXPECT_EQ(pilot.degradation().denied_calls, before.denied_calls);
+  pilot.act(frame);  // still partitioned: denial accounting continues
+  EXPECT_GT(pilot.degradation().denied_calls, before.denied_calls);
+}
+
 // --- acceptance: partition mid-evaluation ----------------------------------
 
 /// Runs the Hybrid placement with a car<->cloud partition over

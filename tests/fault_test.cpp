@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "fault/circuit_breaker.hpp"
 #include "fault/report.hpp"
@@ -173,6 +176,100 @@ TEST(CircuitBreaker, DegradedTimeAccumulates) {
   EXPECT_DOUBLE_EQ(b.degraded_s(20.0), 1.5);  // frozen after close
   b.record_failure(30.0);
   EXPECT_DOUBLE_EQ(b.degraded_s(31.0), 2.5);
+}
+
+// --- property sweeps -------------------------------------------------------
+
+TEST(RetryPolicyProperty, JitterEnvelopesHoldAcrossSeeds) {
+  RetryPolicy full;
+  full.base_delay_s = 0.5;
+  full.multiplier = 2.0;
+  full.max_delay_s = 8.0;
+  full.jitter = RetryPolicy::Jitter::Full;
+  RetryPolicy deco = full;
+  deco.jitter = RetryPolicy::Jitter::Decorrelated;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    util::Rng rng(seed);
+    double prev_full = 0.0;
+    double prev_deco = 0.0;
+    for (int failures = 1; failures <= 8; ++failures) {
+      const double target =
+          std::min(full.max_delay_s,
+                   full.base_delay_s * std::pow(full.multiplier, failures - 1));
+      // Full jitter: uniform in [0, exponential target].
+      const double f = full.backoff_s(failures, prev_full, rng);
+      ASSERT_GE(f, 0.0);
+      ASSERT_LE(f, target);
+      // Decorrelated jitter: uniform in [base, 3 * previous], capped.
+      const double before = prev_deco;
+      const double d = deco.backoff_s(failures, prev_deco, rng);
+      ASSERT_GE(d, deco.base_delay_s);
+      ASSERT_LE(d, deco.max_delay_s);
+      ASSERT_LE(d, std::max(deco.base_delay_s, 3.0 * before) + 1e-12);
+      ASSERT_DOUBLE_EQ(prev_deco, d);  // jitter memory updated in place
+    }
+  }
+}
+
+TEST(RetryPolicyProperty, AttemptCapIsExact) {
+  for (int cap = 1; cap <= 6; ++cap) {
+    RetryPolicy p = RetryPolicy::standard();
+    p.max_attempts = cap;
+    RetryState state(p);
+    util::Rng rng(static_cast<std::uint64_t>(cap));
+    int attempts = 0;
+    while (!state.exhausted()) {
+      state.record_attempt();
+      ++attempts;
+      if (!state.exhausted()) {
+        EXPECT_GT(state.next_backoff_s(rng), 0.0);
+      }
+    }
+    EXPECT_EQ(attempts, cap);
+  }
+}
+
+TEST(RetryPolicyProperty, ImmediateMatchesLegacyCounterSemantics) {
+  // The legacy max_retries interface maps onto immediate(): N attempts
+  // retried back-to-back, no backoff, no rng draws.
+  const RetryPolicy p = RetryPolicy::immediate(3);
+  EXPECT_EQ(p.max_attempts, 3);
+  EXPECT_EQ(p.jitter, RetryPolicy::Jitter::None);
+  util::Rng probe(1);
+  double prev = 0.0;
+  for (int failures = 1; failures <= 5; ++failures) {
+    EXPECT_DOUBLE_EQ(p.backoff_s(failures, prev, probe), 0.0);
+  }
+  util::Rng untouched(1);
+  EXPECT_EQ(untouched.next_u64(), probe.next_u64());  // no randomness consumed
+}
+
+// --- transition hook (observability tap) -----------------------------------
+
+TEST(CircuitBreaker, TransitionHookSeesEveryStateChange) {
+  CircuitBreaker b(cfg(2, 1.0, /*probes=*/1));
+  std::vector<std::pair<CircuitBreaker::State, CircuitBreaker::State>> seen;
+  std::vector<double> when;
+  b.set_on_transition([&](CircuitBreaker::State from,
+                          CircuitBreaker::State to, double now) {
+    seen.emplace_back(from, to);
+    when.push_back(now);
+    EXPECT_EQ(b.state(), to);  // hook fires after the move
+  });
+  b.record_failure(0.0);
+  EXPECT_TRUE(seen.empty());  // below threshold: no transition
+  b.record_failure(0.5);      // trip
+  EXPECT_TRUE(b.allow(2.0));  // cool-down elapsed: half-open probe
+  b.record_failure(2.1);      // probe fails: re-trip
+  EXPECT_TRUE(b.allow(4.0));
+  b.record_success(4.1);      // probe succeeds: re-close
+  using S = CircuitBreaker::State;
+  const std::vector<std::pair<S, S>> expected = {
+      {S::Closed, S::Open},   {S::Open, S::HalfOpen}, {S::HalfOpen, S::Open},
+      {S::Open, S::HalfOpen}, {S::HalfOpen, S::Closed}};
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(when, (std::vector<double>{0.5, 2.0, 2.1, 4.0, 4.1}));
+  EXPECT_EQ(b.times_opened(), 2u);
 }
 
 // --- ChaosReport plumbing --------------------------------------------------

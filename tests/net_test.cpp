@@ -379,6 +379,17 @@ TEST(TransferManager, NegativeRetriesThrows) {
                std::invalid_argument);
 }
 
+TEST(TransferManager, LegacyCounterCtorMapsToImmediatePolicy) {
+  // max_retries = 2 extra tries after the first attempt, back-to-back.
+  Network n;
+  util::EventQueue q;
+  TransferManager tm(n, q, rng(), /*max_retries=*/2);
+  EXPECT_EQ(tm.policy().max_attempts, 3);
+  EXPECT_EQ(tm.policy().jitter, fault::RetryPolicy::Jitter::None);
+  EXPECT_DOUBLE_EQ(tm.policy().base_delay_s, 0.0);
+  EXPECT_DOUBLE_EQ(tm.policy().max_delay_s, 0.0);
+}
+
 TEST(SshTunnel, OpenHandshakeTakesThreeRtts) {
   Network n;
   n.add_host("laptop");

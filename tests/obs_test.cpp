@@ -1,0 +1,190 @@
+// Unit tests for the observability spine: metric primitives, the span
+// tracer, and the Chrome trace_event export contract.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/event_queue.hpp"
+#include "util/json.hpp"
+
+namespace autolearn {
+namespace {
+
+// --- metrics ---------------------------------------------------------------
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  obs::MetricsRegistry reg;
+  reg.counter("a.b").inc();
+  reg.counter("a.b").inc(4);
+  reg.gauge("g").set(2.5);
+  reg.gauge("g").add(-0.5);
+  EXPECT_EQ(reg.counter_value("a.b"), 5u);
+  EXPECT_DOUBLE_EQ(reg.gauge_value("g"), 2.0);
+  // Accessors do not create.
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(Metrics, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(1.0);   // lands in the first bucket (inclusive upper edge)
+  h.observe(1.5);   // second bucket
+  h.observe(2.0);   // second bucket
+  h.observe(99.0);  // overflow
+  ASSERT_EQ(h.buckets().size(), 3u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 103.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 99.0);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Metrics, RegistrySnapshotIsOrderedAndStable) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.last").inc();
+  reg.counter("a.first").inc(2);
+  reg.histogram("lat", {0.1, 1.0}).observe(0.05);
+  const util::Json j = reg.to_json();
+  const auto& counters = j.at("counters").as_object();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "a.first");  // map order, not insertion order
+  EXPECT_EQ(counters[1].first, "z.last");
+  // Two identical registries dump identical bytes.
+  obs::MetricsRegistry reg2;
+  reg2.counter("z.last").inc();
+  reg2.counter("a.first").inc(2);
+  reg2.histogram("lat", {0.1, 1.0}).observe(0.05);
+  EXPECT_EQ(reg.to_json().dump(), reg2.to_json().dump());
+  EXPECT_EQ(reg.summary(), reg2.summary());
+  reg.clear();
+  EXPECT_TRUE(reg.counters().empty());
+}
+
+TEST(Metrics, HistogramReuseIgnoresLaterBounds) {
+  obs::MetricsRegistry reg;
+  reg.histogram("h", {1.0}).observe(0.5);
+  // Second lookup with different bounds reuses the existing shape.
+  EXPECT_EQ(reg.histogram("h", {5.0, 6.0}).bounds().size(), 1u);
+}
+
+// --- tracer ----------------------------------------------------------------
+
+TEST(Trace, NestedSpansCloseInOrder) {
+  obs::Tracer tracer;  // logical clock
+  const auto outer = tracer.begin("outer", "t");
+  const auto inner = tracer.begin("inner", "t");
+  tracer.end(inner);
+  tracer.end(outer);
+  ASSERT_EQ(tracer.size(), 2u);
+  EXPECT_EQ(tracer.events()[0].name, "inner");
+  EXPECT_EQ(tracer.events()[1].name, "outer");
+  // Logical clock: outer opened first, so it starts earlier and lasts
+  // longer than the nested span.
+  EXPECT_LT(tracer.events()[1].ts, tracer.events()[0].ts);
+  EXPECT_GT(tracer.events()[1].dur, tracer.events()[0].dur);
+  EXPECT_THROW(tracer.end(999), std::logic_error);
+}
+
+TEST(Trace, SimulationClockStampsVirtualTime) {
+  util::EventQueue queue;
+  obs::Tracer tracer;
+  tracer.use_clock([&queue] { return queue.now(); });
+  const auto span = tracer.begin("work", "sim");
+  queue.schedule_at(3.5, [] {});
+  queue.run();
+  tracer.end(span);
+  tracer.instant("mark", "sim");
+  ASSERT_EQ(tracer.size(), 2u);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].ts, 0.0);
+  EXPECT_DOUBLE_EQ(tracer.events()[0].dur, 3.5);
+  EXPECT_DOUBLE_EQ(tracer.events()[1].ts, 3.5);
+}
+
+TEST(Trace, MutedTracerRecordsNothing) {
+  obs::Tracer tracer;
+  tracer.set_enabled(false);
+  const auto token = tracer.begin("x", "t");
+  EXPECT_EQ(token, 0u);
+  tracer.end(token);  // no-op, does not throw
+  tracer.instant("y", "t");
+  tracer.complete("z", "t", 0.0, 1.0);
+  EXPECT_EQ(tracer.size(), 0u);
+  {
+    obs::SpanGuard guard(&tracer, "scoped", "t");
+  }
+  EXPECT_EQ(tracer.size(), 0u);
+  {
+    obs::SpanGuard null_guard(nullptr, "scoped", "t");  // the disabled path
+  }
+}
+
+TEST(Trace, SpanGuardEmitsOneCompleteEvent) {
+  obs::Tracer tracer;
+  {
+    obs::SpanGuard guard(&tracer, "scoped", "cat");
+  }
+#ifndef AUTOLEARN_OBS_DISABLED
+  ASSERT_EQ(tracer.size(), 1u);
+  EXPECT_EQ(tracer.events()[0].name, "scoped");
+  EXPECT_EQ(tracer.events()[0].ph, 'X');
+#else
+  EXPECT_EQ(tracer.size(), 0u);
+#endif
+}
+
+TEST(Trace, ExportIsValidChromeTraceEventJson) {
+  obs::Tracer tracer;
+  const auto span = tracer.begin("span", "net");
+  tracer.end(span);
+  util::Json args = util::Json::object();
+  args.set("k", util::Json("v"));
+  tracer.instant("fault", "chaos", std::move(args));
+
+  // The canonical dump parses back through util::Json and carries the
+  // trace_event required fields.
+  const util::Json parsed = util::Json::parse(tracer.dump());
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), 2u);
+  for (const util::Json& e : events) {
+    EXPECT_TRUE(e.contains("name"));
+    EXPECT_TRUE(e.contains("cat"));
+    EXPECT_TRUE(e.contains("ph"));
+    EXPECT_TRUE(e.contains("ts"));
+    EXPECT_TRUE(e.contains("pid"));
+    EXPECT_TRUE(e.contains("tid"));
+  }
+  EXPECT_EQ(events[0].at("ph").as_string(), "X");
+  EXPECT_TRUE(events[0].contains("dur"));
+  EXPECT_EQ(events[1].at("ph").as_string(), "i");
+  EXPECT_EQ(events[1].at("s").as_string(), "g");
+  EXPECT_EQ(events[1].at("args").at("k").as_string(), "v");
+
+  // Microsecond export: the second event was stamped at logical tick 2.
+  EXPECT_DOUBLE_EQ(events[1].at("ts").as_number(), 2e6);
+}
+
+TEST(Trace, WriteFileRoundTrips) {
+  namespace fs = std::filesystem;
+  obs::Tracer tracer;
+  tracer.instant("mark", "t");
+  const fs::path path = fs::temp_directory_path() / "autolearn_obs_test.json";
+  tracer.write_file(path.string());
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), tracer.dump());
+  fs::remove(path);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+}
+
+}  // namespace
+}  // namespace autolearn

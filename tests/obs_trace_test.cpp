@@ -1,0 +1,318 @@
+// Golden-trace regression harness (ctest -L trace).
+//
+// The simulation is seed-deterministic, so the canonical trace exported by
+// obs::Tracer is a *behavioral fingerprint*: any change to retry timing,
+// container lifecycle, chaos scheduling, or the control loop shifts a span
+// and the bytes stop matching. GoldenTrace pins a small continuum scenario
+// against tests/golden/; the determinism tests re-run scenarios twice and
+// require byte-identical traces (and different bytes for different seeds).
+//
+// Regenerate the snapshot after an *intended* behavioral change with:
+//   AUTOLEARN_REGEN_GOLDEN=1 ./obs_trace_test
+// and commit the updated tests/golden/ file with the change that moved it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/continuum.hpp"
+#include "edge/container.hpp"
+#include "edge/registry.hpp"
+#include "fault/chaos.hpp"
+#include "ml/trainer.hpp"
+#include "net/transfer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "track/track.hpp"
+#include "util/event_queue.hpp"
+#include "util/json.hpp"
+#include "workflow/notebook.hpp"
+
+namespace autolearn {
+namespace {
+
+#ifndef AUTOLEARN_GOLDEN_DIR
+#error "obs_trace_test requires AUTOLEARN_GOLDEN_DIR"
+#endif
+
+struct ScenarioOut {
+  std::string trace;
+  std::string metrics;
+  fault::ChaosReport report;
+};
+
+/// A small but cross-cutting continuum run, entirely on the virtual clock:
+/// an edge device boots, a data upload and an image pull fight a flapping
+/// Wi-Fi link (retries + backoff), a second launch lands inside a registry
+/// partition (failure + auto-restart), and a notebook runs its cells.
+ScenarioOut run_small_continuum(std::uint64_t seed) {
+  util::EventQueue queue;
+  obs::Tracer tracer;
+  tracer.use_clock([&queue] { return queue.now(); });
+  obs::MetricsRegistry metrics;
+
+  net::Network net;
+  net.add_host("hub");
+  net.add_host("campus");
+  net.add_host("pi-01");
+  net.add_duplex("hub", "campus", net::Link::campus_to_cloud());
+  net.add_duplex("campus", "pi-01", net::Link::edge_wifi());
+
+  edge::EdgeRegistry registry(queue);
+  registry.register_device("pi-01", "proj");
+  registry.flash_device("pi-01");
+  registry.boot_device("pi-01");
+
+  edge::ContainerService::Config cfg;
+  cfg.auto_restart = true;
+  cfg.restart_delay_s = 2.0;
+  cfg.max_restarts = 1;
+  cfg.pull_retry.base_delay_s = 0.5;
+  cfg.pull_retry.max_delay_s = 2.0;
+  cfg.pull_retry.max_attempts = 5;
+  edge::ContainerService svc(registry, queue, cfg);
+  svc.instrument(&tracer, &metrics);
+  svc.use_network(net, "hub", util::Rng(seed));
+
+  fault::RetryPolicy upload_policy;
+  upload_policy.base_delay_s = 0.5;
+  upload_policy.max_delay_s = 2.0;
+  upload_policy.max_attempts = 5;
+  net::TransferManager uploads(net, queue, util::Rng(seed + 1),
+                               upload_policy);
+  uploads.instrument(&tracer, &metrics);
+
+  fault::ChaosEngine chaos(queue, seed);
+  chaos.instrument(&tracer, &metrics);
+  chaos.attach_network(net);
+  // Wi-Fi flaps while the pull and the upload are attempting; the hub
+  // registry partitions during the second launch.
+  chaos.inject({fault::FaultKind::TransferFlap, 42.0, 3.0, "campus", "pi-01"});
+  chaos.inject({fault::FaultKind::Partition, 60.0, 5.0, "hub"});
+
+  edge::ContainerSpec spec;
+  spec.image = "autolearn/agent:v1";
+  spec.image_bytes = 4ull << 20;
+  queue.schedule_at(42.5, [&] { svc.launch("pi-01", "proj", spec); });
+  queue.schedule_at(43.0, [&] {
+    uploads.start("pi-01", "hub", 2ull << 20);
+  });
+  edge::ContainerSpec spec2 = spec;
+  spec2.image = "autolearn/agent:v2";  // distinct image: no pull cache hit
+  queue.schedule_at(60.5, [&] { svc.launch("pi-01", "proj", spec2); });
+
+  workflow::Notebook nb("session");
+  nb.instrument(&tracer, &metrics);
+  nb.add_cell("collect", [] { return std::string("ok"); });
+  nb.add_cell("explode", []() -> std::string {
+    throw std::runtime_error("boom");
+  });
+  queue.schedule_at(70.0, [&] { nb.run_all(); });
+
+  queue.run_until(80.0);
+
+  ScenarioOut out;
+  out.trace = tracer.dump();
+  out.metrics = metrics.to_json().dump();
+  out.report = chaos.report();
+  return out;
+}
+
+std::string golden_path() {
+  return std::string(AUTOLEARN_GOLDEN_DIR) + "/continuum_small.trace.json";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// --- golden snapshot -------------------------------------------------------
+
+TEST(GoldenTrace, SmallContinuumMatchesSnapshot) {
+  const ScenarioOut run = run_small_continuum(7);
+  if (std::getenv("AUTOLEARN_REGEN_GOLDEN")) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    out << run.trace;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  // Byte-identical, not structurally similar: a drifted timestamp means a
+  // behavioral change, and an intended one must regenerate the snapshot.
+  EXPECT_EQ(run.trace, read_file(golden_path()))
+      << "Canonical trace drifted from tests/golden/. If the behavioral "
+         "change is intended, run AUTOLEARN_REGEN_GOLDEN=1 ./obs_trace_test "
+         "and commit the new snapshot.";
+}
+
+TEST(GoldenTrace, ExportIsValidChromeTraceEventFormat) {
+  const ScenarioOut run = run_small_continuum(7);
+  const util::Json parsed = util::Json::parse(run.trace);
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_GT(events.size(), 10u);
+  bool saw_span = false;
+  bool saw_instant = false;
+  for (const util::Json& e : events) {
+    ASSERT_TRUE(e.contains("name"));
+    ASSERT_TRUE(e.contains("cat"));
+    ASSERT_TRUE(e.contains("ts"));
+    ASSERT_TRUE(e.contains("pid"));
+    ASSERT_TRUE(e.contains("tid"));
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "X") {
+      saw_span = true;
+      ASSERT_TRUE(e.contains("dur"));
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+    } else {
+      ASSERT_EQ(ph, "i");
+      saw_instant = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST(GoldenTrace, ScenarioCoversTheSpanCatalog) {
+  const ScenarioOut run = run_small_continuum(7);
+  for (const char* needle :
+       {"net.transfer.attempt", "net.transfer", "edge.container.pull",
+        "edge.container.launch", "edge.container.failed",
+        "edge.container.restart", "chaos.transfer-flap", "chaos.partition",
+        "workflow.cell"}) {
+    EXPECT_NE(run.trace.find(needle), std::string::npos)
+        << "missing " << needle;
+  }
+}
+
+// --- determinism harness ---------------------------------------------------
+
+TEST(TraceDeterminism, SameSeedSameBytesDifferentSeedDifferentBytes) {
+  const ScenarioOut a = run_small_continuum(7);
+  const ScenarioOut b = run_small_continuum(7);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.report, b.report);
+  const ScenarioOut c = run_small_continuum(8);
+  EXPECT_NE(a.trace, c.trace);
+}
+
+struct StudyOut {
+  eval::EvalResult result;
+  fault::ChaosReport report;
+  std::string trace;
+};
+
+/// The chaos_study example's random-plan scenario, sized for a test:
+/// untrained models (deterministic init), a seeded fault plan, and the
+/// Hybrid placement under the circuit breaker, all traced.
+StudyOut run_chaos_study(std::uint64_t seed) {
+  const track::Track track = track::Track::paper_oval();
+  ml::ModelConfig cfg;
+  auto cloud_model = ml::make_model(ml::ModelType::Linear, cfg);
+  auto edge_model = ml::make_model(ml::ModelType::Inferred, cfg);
+
+  net::Network net;
+  net.add_host("car-01");
+  net.add_host("campus");
+  net.add_host("chi-uc");
+  net.add_duplex("car-01", "campus", net::Link::edge_wifi());
+  net.add_duplex("campus", "chi-uc", net::Link::campus_to_cloud());
+
+  util::EventQueue queue;
+  obs::Tracer tracer;
+  tracer.use_clock([&queue] { return queue.now(); });
+  obs::MetricsRegistry metrics;
+
+  fault::ChaosEngine engine(queue, seed);
+  engine.instrument(&tracer, &metrics);
+  engine.attach_network(net);
+  fault::RandomPlanOptions popt;
+  popt.horizon_s = 16.0;
+  popt.faults = 3;
+  popt.mean_duration_s = 3.0;
+  popt.partition_host = "chi-uc";
+  popt.link_from = "car-01";
+  popt.link_to = "campus";
+  engine.inject_plan(engine.random_plan(popt));
+
+  core::ContinuumOptions copt;
+  copt.network_rtt_s = 0.08;
+  copt.rtt_jitter_s = 0.0;
+  copt.breaker.failure_threshold = 2;
+  copt.breaker.open_duration_s = 0.5;
+  copt.cloud_probe = [&net](double) {
+    return net.route("car-01", "chi-uc").has_value();
+  };
+  copt.tracer = &tracer;
+  copt.metrics = &metrics;
+
+  eval::EvalOptions eopt;
+  eopt.duration_s = 16.0;
+  eopt.seed = seed;
+  eopt.chaos_queue = &queue;
+
+  StudyOut out;
+  out.result = core::evaluate_placement(track, *cloud_model, *edge_model,
+                                        core::Placement::Hybrid, copt, eopt);
+  out.report = engine.report();
+  out.trace = tracer.dump();
+  return out;
+}
+
+TEST(TraceDeterminism, ChaosStudyScenarioReproducesFromSeed) {
+  const StudyOut a = run_chaos_study(21);
+  const StudyOut b = run_chaos_study(21);
+  EXPECT_EQ(a.report, b.report);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_DOUBLE_EQ(a.result.distance_m, b.result.distance_m);
+  EXPECT_EQ(a.result.errors, b.result.errors);
+  EXPECT_EQ(a.result.degradation.failovers, b.result.degradation.failovers);
+
+  const StudyOut c = run_chaos_study(22);
+  EXPECT_NE(a.trace, c.trace);
+  // The trace carries the control loop and the breaker's view of the plan.
+  EXPECT_NE(a.trace.find("eval.tick"), std::string::npos);
+  EXPECT_NE(a.trace.find("eval.run"), std::string::npos);
+}
+
+TEST(TraceDeterminism, MlFitTraceIsSeedDeterministic) {
+  // ml::fit runs off the simulated clock; the tracer's logical tick
+  // fallback keeps its spans reproducible (wall time never leaks in).
+  ml::ModelConfig cfg;
+  const auto run_fit = [&] {
+    util::Rng rng(11);
+    std::vector<ml::Sample> data;
+    for (int i = 0; i < 16; ++i) {
+      ml::Sample s;
+      camera::Image img(cfg.img_w, cfg.img_h,
+                        static_cast<float>(rng.uniform(0.0, 1.0)));
+      for (std::size_t f = 0; f < cfg.seq_len; ++f) s.frames.push_back(img);
+      for (std::size_t h = 0; h < cfg.history_len; ++h) {
+        s.history.push_back(0.0f);
+        s.history.push_back(0.5f);
+      }
+      s.steering = static_cast<float>(rng.uniform(-1.0, 1.0));
+      s.throttle = 0.5f;
+      data.push_back(std::move(s));
+    }
+    obs::Tracer tracer;
+    obs::MetricsRegistry metrics;
+    auto model = ml::make_model(ml::ModelType::Linear, cfg);
+    ml::TrainOptions opt;
+    opt.epochs = 3;
+    opt.tracer = &tracer;
+    opt.metrics = &metrics;
+    ml::fit(*model, data, {}, opt);
+    return tracer.dump() + "\n" + metrics.to_json().dump();
+  };
+  EXPECT_EQ(run_fit(), run_fit());
+  EXPECT_NE(run_fit().find("ml.epoch"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace autolearn
