@@ -1,11 +1,26 @@
 #include "ml/conv.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "util/thread_pool.hpp"
 
 namespace autolearn::ml {
+namespace {
+
+// ScratchArena slot ids shared by Conv2D and Conv3D. Both convolutions
+// run the same batched im2col + GEMM pipeline: the whole batch shares one
+// [CKK, N*P] patch matrix (sample i owns columns [i*P, (i+1)*P)), so the
+// forward pass is a single W[oc, CKK] @ col GEMM and the backward pass is
+// the two adjoint GEMMs — the batch reduction for dW happens inside the
+// GEMM k-loop, which is what keeps it deterministic under parallelism.
+constexpr std::size_t kSlotCol = 0;   // im2col patch matrix   [CKK, N*P]
+constexpr std::size_t kSlotOut = 1;   // batched output        [OC, N*P]
+constexpr std::size_t kSlotGrad = 2;  // gathered grad_out     [OC, N*P]
+constexpr std::size_t kSlotDcol = 3;  // grad patch matrix     [CKK, N*P]
+
+}  // namespace
 
 Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
                std::size_t kernel, std::size_t stride, util::Rng& rng)
@@ -26,82 +41,87 @@ Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
   if (x.rank() != 4 || x.dim(1) != ic_) {
     throw std::invalid_argument("Conv2D: bad input shape " + x.shape_str());
   }
-  last_input_ = x;
+  in_shape_ = x.shape();
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = out_dim(h, k_, stride_), ow = out_dim(w, k_, stride_);
   flops_ = 2ull * oc_ * oh * ow * ic_ * k_ * k_;
+  const std::size_t p = oh * ow, ckk = ic_ * k_ * k_, np = n * p;
+  float* col = scratch_.get(kSlotCol, ckk * np);
+  auto& pool = util::ThreadPool::shared();
+  pool.parallel_for_chunks(0, n, [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t i = n0; i < n1; ++i) {
+      im2col(x.data() + i * ic_ * h * w, ic_, h, w, k_, k_, stride_, stride_,
+             col + i * p, np);
+    }
+  });
+  // One GEMM for the whole batch: Y[oc, N*P] = W[oc, CKK] @ col[CKK, N*P].
+  float* yall = scratch_.get(kSlotOut, oc_ * np);
+  sgemm(false, false, oc_, np, ckk, 1.0f, w_.value.data(), ckk, col, np,
+        0.0f, yall, np);
   Tensor y({n, oc_, oh, ow});
-  const Tensor& wt = w_.value;
   const Tensor& bt = b_.value;
-  util::ThreadPool::shared().parallel_for_chunks(
-      0, n, [&](std::size_t n0, std::size_t n1) {
-        for (std::size_t i = n0; i < n1; ++i) {
-          for (std::size_t oc = 0; oc < oc_; ++oc) {
-            for (std::size_t oy = 0; oy < oh; ++oy) {
-              for (std::size_t ox = 0; ox < ow; ++ox) {
-                float acc = bt[oc];
-                const std::size_t iy0 = oy * stride_, ix0 = ox * stride_;
-                for (std::size_t ic = 0; ic < ic_; ++ic) {
-                  for (std::size_t ky = 0; ky < k_; ++ky) {
-                    const float* xrow = &x.at(i, ic, iy0 + ky, ix0);
-                    const float* wrow = &wt.at(oc, ic, ky, 0);
-                    for (std::size_t kx = 0; kx < k_; ++kx) {
-                      acc += xrow[kx] * wrow[kx];
-                    }
-                  }
-                }
-                y.at(i, oc, oy, ox) = acc;
-              }
-            }
-          }
-        }
-      });
+  pool.parallel_for_chunks(0, n, [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t i = n0; i < n1; ++i) {
+      for (std::size_t oc = 0; oc < oc_; ++oc) {
+        const float* src = yall + oc * np + i * p;
+        float* dst = y.data() + (i * oc_ + oc) * p;
+        const float bias = bt[oc];
+        for (std::size_t q = 0; q < p; ++q) dst[q] = src[q] + bias;
+      }
+    }
+  });
   return y;
 }
 
 Tensor Conv2D::backward(const Tensor& grad_out) {
-  const Tensor& x = last_input_;
-  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t n = in_shape_[0], h = in_shape_[2], w = in_shape_[3];
   const std::size_t oh = out_dim(h, k_, stride_), ow = out_dim(w, k_, stride_);
   if (grad_out.rank() != 4 || grad_out.dim(0) != n || grad_out.dim(1) != oc_ ||
       grad_out.dim(2) != oh || grad_out.dim(3) != ow) {
     throw std::invalid_argument("Conv2D: bad grad shape");
   }
-  Tensor grad_in(x.shape());
-  const Tensor& wt = w_.value;
-  Tensor& dw = w_.grad;
-  Tensor& db = b_.grad;
-  // Serial over batch: parameter gradient accumulation is shared state.
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t oc = 0; oc < oc_; ++oc) {
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          const float g = grad_out.at(i, oc, oy, ox);
-          if (g == 0.0f) continue;
-          db[oc] += g;
-          const std::size_t iy0 = oy * stride_, ix0 = ox * stride_;
-          for (std::size_t ic = 0; ic < ic_; ++ic) {
-            for (std::size_t ky = 0; ky < k_; ++ky) {
-              const float* xrow = &x.at(i, ic, iy0 + ky, ix0);
-              float* dxrow = &grad_in.at(i, ic, iy0 + ky, ix0);
-              float* dwrow = &dw.at(oc, ic, ky, 0);
-              const float* wrow = &wt.at(oc, ic, ky, 0);
-              for (std::size_t kx = 0; kx < k_; ++kx) {
-                dwrow[kx] += g * xrow[kx];
-                dxrow[kx] += g * wrow[kx];
-              }
-            }
-          }
-        }
+  const std::size_t p = oh * ow, ckk = ic_ * k_ * k_, np = n * p;
+  auto& pool = util::ThreadPool::shared();
+  // Gather grad_out into the batched [OC, N*P] layout matching col.
+  float* gall = scratch_.get(kSlotGrad, oc_ * np);
+  pool.parallel_for_chunks(0, n, [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t i = n0; i < n1; ++i) {
+      for (std::size_t oc = 0; oc < oc_; ++oc) {
+        std::memcpy(gall + oc * np + i * p,
+                    grad_out.data() + (i * oc_ + oc) * p, p * sizeof(float));
       }
     }
+  });
+  Tensor& db = b_.grad;
+  for (std::size_t oc = 0; oc < oc_; ++oc) {
+    const float* row = gall + oc * np;
+    float acc = 0.0f;
+    for (std::size_t q = 0; q < np; ++q) acc += row[q];
+    db[oc] += acc;
   }
+  // dW[oc, CKK] += G[oc, N*P] @ col[CKK, N*P]^T — the batch+position
+  // reduction runs inside the GEMM k-loop (col is still valid from the
+  // forward pass on this batch).
+  float* col = scratch_.get(kSlotCol, ckk * np);
+  sgemm(false, true, oc_, ckk, np, 1.0f, gall, np, col, np, 1.0f,
+        w_.grad.data(), ckk);
+  // dcol[CKK, N*P] = W[oc, CKK]^T @ G[oc, N*P], scattered back per sample.
+  float* dcol = scratch_.get(kSlotDcol, ckk * np);
+  sgemm(true, false, ckk, np, oc_, 1.0f, w_.value.data(), ckk, gall, np,
+        0.0f, dcol, np);
+  Tensor grad_in(in_shape_);
+  pool.parallel_for_chunks(0, n, [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t i = n0; i < n1; ++i) {
+      col2im(dcol + i * p, np, ic_, h, w, k_, k_, stride_, stride_,
+             grad_in.data() + i * ic_ * h * w);
+    }
+  });
   return grad_in;
 }
 
 Tensor MaxPool2D::forward(const Tensor& x, bool /*train*/) {
   if (x.rank() != 4) throw std::invalid_argument("MaxPool2D: rank != 4");
-  last_input_ = x;
+  in_shape_ = x.shape();
   const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::size_t oh = h / 2, ow = w / 2;
   if (oh == 0 || ow == 0) {
@@ -140,7 +160,7 @@ Tensor MaxPool2D::backward(const Tensor& grad_out) {
   if (grad_out.size() != argmax_.size()) {
     throw std::invalid_argument("MaxPool2D: bad grad size");
   }
-  Tensor grad_in(last_input_.shape());
+  Tensor grad_in(in_shape_);
   for (std::size_t i = 0; i < grad_out.size(); ++i) {
     grad_in[argmax_[i]] += grad_out[i];
   }
@@ -170,50 +190,42 @@ Tensor Conv3D::forward(const Tensor& x, bool /*train*/) {
   if (x.rank() != 5 || x.dim(1) != ic_) {
     throw std::invalid_argument("Conv3D: bad input shape " + x.shape_str());
   }
-  last_input_ = x;
+  in_shape_ = x.shape();
   const std::size_t n = x.dim(0), d = x.dim(2), h = x.dim(3), w = x.dim(4);
   const std::size_t od = Conv2D::out_dim(d, kd_, stride_d_);
   const std::size_t oh = Conv2D::out_dim(h, k_, stride_);
   const std::size_t ow = Conv2D::out_dim(w, k_, stride_);
   flops_ = 2ull * oc_ * od * oh * ow * ic_ * kd_ * k_ * k_;
+  const std::size_t p = od * oh * ow, ckk = ic_ * kd_ * k_ * k_, np = n * p;
+  float* col = scratch_.get(kSlotCol, ckk * np);
+  auto& pool = util::ThreadPool::shared();
+  pool.parallel_for_chunks(0, n, [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t i = n0; i < n1; ++i) {
+      vol2col(x.data() + i * ic_ * d * h * w, ic_, d, h, w, kd_, k_, k_,
+              stride_d_, stride_, stride_, col + i * p, np);
+    }
+  });
+  float* yall = scratch_.get(kSlotOut, oc_ * np);
+  sgemm(false, false, oc_, np, ckk, 1.0f, w_.value.data(), ckk, col, np,
+        0.0f, yall, np);
   Tensor y({n, oc_, od, oh, ow});
-  const Tensor& wt = w_.value;
   const Tensor& bt = b_.value;
-  util::ThreadPool::shared().parallel_for_chunks(
-      0, n, [&](std::size_t n0, std::size_t n1) {
-        for (std::size_t i = n0; i < n1; ++i) {
-          for (std::size_t oc = 0; oc < oc_; ++oc) {
-            for (std::size_t oz = 0; oz < od; ++oz) {
-              for (std::size_t oy = 0; oy < oh; ++oy) {
-                for (std::size_t ox = 0; ox < ow; ++ox) {
-                  float acc = bt[oc];
-                  const std::size_t iz0 = oz * stride_d_;
-                  const std::size_t iy0 = oy * stride_, ix0 = ox * stride_;
-                  for (std::size_t ic = 0; ic < ic_; ++ic) {
-                    for (std::size_t kz = 0; kz < kd_; ++kz) {
-                      for (std::size_t ky = 0; ky < k_; ++ky) {
-                        const float* xrow =
-                            &x.at(i, ic, iz0 + kz, iy0 + ky, ix0);
-                        const float* wrow = &wt.at(oc, ic, kz, ky, 0);
-                        for (std::size_t kx = 0; kx < k_; ++kx) {
-                          acc += xrow[kx] * wrow[kx];
-                        }
-                      }
-                    }
-                  }
-                  y.at(i, oc, oz, oy, ox) = acc;
-                }
-              }
-            }
-          }
-        }
-      });
+  pool.parallel_for_chunks(0, n, [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t i = n0; i < n1; ++i) {
+      for (std::size_t oc = 0; oc < oc_; ++oc) {
+        const float* src = yall + oc * np + i * p;
+        float* dst = y.data() + (i * oc_ + oc) * p;
+        const float bias = bt[oc];
+        for (std::size_t q = 0; q < p; ++q) dst[q] = src[q] + bias;
+      }
+    }
+  });
   return y;
 }
 
 Tensor Conv3D::backward(const Tensor& grad_out) {
-  const Tensor& x = last_input_;
-  const std::size_t n = x.dim(0), d = x.dim(2), h = x.dim(3), w = x.dim(4);
+  const std::size_t n = in_shape_[0], d = in_shape_[2], h = in_shape_[3],
+                    w = in_shape_[4];
   const std::size_t od = Conv2D::out_dim(d, kd_, stride_d_);
   const std::size_t oh = Conv2D::out_dim(h, k_, stride_);
   const std::size_t ow = Conv2D::out_dim(w, k_, stride_);
@@ -222,39 +234,37 @@ Tensor Conv3D::backward(const Tensor& grad_out) {
       grad_out.dim(3) != oh || grad_out.dim(4) != ow) {
     throw std::invalid_argument("Conv3D: bad grad shape");
   }
-  Tensor grad_in(x.shape());
-  const Tensor& wt = w_.value;
-  Tensor& dw = w_.grad;
-  Tensor& db = b_.grad;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t oc = 0; oc < oc_; ++oc) {
-      for (std::size_t oz = 0; oz < od; ++oz) {
-        for (std::size_t oy = 0; oy < oh; ++oy) {
-          for (std::size_t ox = 0; ox < ow; ++ox) {
-            const float g = grad_out.at(i, oc, oz, oy, ox);
-            if (g == 0.0f) continue;
-            db[oc] += g;
-            const std::size_t iz0 = oz * stride_d_;
-            const std::size_t iy0 = oy * stride_, ix0 = ox * stride_;
-            for (std::size_t ic = 0; ic < ic_; ++ic) {
-              for (std::size_t kz = 0; kz < kd_; ++kz) {
-                for (std::size_t ky = 0; ky < k_; ++ky) {
-                  const float* xrow = &x.at(i, ic, iz0 + kz, iy0 + ky, ix0);
-                  float* dxrow = &grad_in.at(i, ic, iz0 + kz, iy0 + ky, ix0);
-                  float* dwrow = &dw.at(oc, ic, kz, ky, 0);
-                  const float* wrow = &wt.at(oc, ic, kz, ky, 0);
-                  for (std::size_t kx = 0; kx < k_; ++kx) {
-                    dwrow[kx] += g * xrow[kx];
-                    dxrow[kx] += g * wrow[kx];
-                  }
-                }
-              }
-            }
-          }
-        }
+  const std::size_t p = od * oh * ow, ckk = ic_ * kd_ * k_ * k_, np = n * p;
+  auto& pool = util::ThreadPool::shared();
+  float* gall = scratch_.get(kSlotGrad, oc_ * np);
+  pool.parallel_for_chunks(0, n, [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t i = n0; i < n1; ++i) {
+      for (std::size_t oc = 0; oc < oc_; ++oc) {
+        std::memcpy(gall + oc * np + i * p,
+                    grad_out.data() + (i * oc_ + oc) * p, p * sizeof(float));
       }
     }
+  });
+  Tensor& db = b_.grad;
+  for (std::size_t oc = 0; oc < oc_; ++oc) {
+    const float* row = gall + oc * np;
+    float acc = 0.0f;
+    for (std::size_t q = 0; q < np; ++q) acc += row[q];
+    db[oc] += acc;
   }
+  float* col = scratch_.get(kSlotCol, ckk * np);
+  sgemm(false, true, oc_, ckk, np, 1.0f, gall, np, col, np, 1.0f,
+        w_.grad.data(), ckk);
+  float* dcol = scratch_.get(kSlotDcol, ckk * np);
+  sgemm(true, false, ckk, np, oc_, 1.0f, w_.value.data(), ckk, gall, np,
+        0.0f, dcol, np);
+  Tensor grad_in(in_shape_);
+  pool.parallel_for_chunks(0, n, [&](std::size_t n0, std::size_t n1) {
+    for (std::size_t i = n0; i < n1; ++i) {
+      col2vol(dcol + i * p, np, ic_, d, h, w, kd_, k_, k_, stride_d_, stride_,
+              stride_, grad_in.data() + i * ic_ * d * h * w);
+    }
+  });
   return grad_in;
 }
 

@@ -5,6 +5,7 @@
 // takes [N, C, D, H, W] where D is the frame (time) axis of the "3D" model.
 #pragma once
 
+#include "ml/gemm.hpp"
 #include "ml/layer.hpp"
 #include "util/rng.hpp"
 
@@ -32,7 +33,12 @@ class Conv2D : public Layer {
  private:
   std::size_t ic_, oc_, k_, stride_;
   Param w_, b_;
-  Tensor last_input_;
+  // Backward reads the input only through the im2col scratch (still valid
+  // from the forward pass), so only the shape is retained — no copy.
+  std::vector<std::size_t> in_shape_;
+  // im2col patch matrix, batched output, gathered gradient, and gradient
+  // patch matrix — reused across batches so the hot path never allocates.
+  ScratchArena scratch_;
   mutable std::uint64_t flops_ = 0;  // set on first forward (needs H, W)
 };
 
@@ -44,7 +50,7 @@ class MaxPool2D : public Layer {
   std::string name() const override { return "maxpool2d"; }
 
  private:
-  Tensor last_input_;
+  std::vector<std::size_t> in_shape_;  // backward only needs the shape
   std::vector<std::size_t> argmax_;
 };
 
@@ -64,7 +70,8 @@ class Conv3D : public Layer {
  private:
   std::size_t ic_, oc_, kd_, k_, stride_d_, stride_;
   Param w_, b_;
-  Tensor last_input_;
+  std::vector<std::size_t> in_shape_;  // see Conv2D::in_shape_
+  ScratchArena scratch_;
   mutable std::uint64_t flops_ = 0;
 };
 

@@ -1,0 +1,96 @@
+// The matmul backbone of the ml module: a cache-blocked, register-tiled
+// single-precision GEMM plus the im2col/col2im lowering helpers that turn
+// convolution into matrix multiplication (the standard cuDNN-style
+// lowering, here on CPU).
+//
+// All matrices are row-major with explicit leading dimensions, so views
+// into larger buffers (e.g. one time-step slice of an [N, T, D] tensor)
+// work directly.
+//
+// Determinism contract: for a given problem shape the reduction over k
+// runs in one fixed order (KC-sized blocks ascending, elements ascending
+// within a block), and parallel workers own disjoint tiles of C — no two
+// threads ever accumulate into the same output element. Results are
+// therefore bitwise identical regardless of the worker count, which is
+// what keeps ml::fit() reproducible under any AUTOLEARN_THREADS setting.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace autolearn::ml {
+
+/// C[m,n] = alpha * op(A)[m,k] @ op(B)[k,n] + beta * C   (row-major).
+/// op(X) is X or X^T per the trans flag; lda/ldb are the leading
+/// dimensions of the *stored* matrices. When beta == 0 the output is
+/// overwritten without being read (uninitialized scratch is fine).
+/// `parallel` distributes C tiles over the shared ThreadPool; it must be
+/// false when the caller already runs inside a pool task (the pool does
+/// not support nested parallel sections).
+void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+           std::size_t k, float alpha, const float* a, std::size_t lda,
+           const float* b, std::size_t ldb, float beta, float* c,
+           std::size_t ldc, bool parallel = true);
+
+/// im2col for valid (unpadded) convolution, channels-first layout.
+/// x: one image [C, H, W]. Writes the patch matrix with one row per
+/// kernel tap (row index (ic*KH + ky)*KW + kx, matching a flattened
+/// [OC, C, KH, KW] weight tensor) and one column per output position
+/// (oy*OW + ox). Row r of the patch matrix starts at col + r*col_stride,
+/// so a whole batch can share one [C*KH*KW, N*OH*OW] matrix with each
+/// sample occupying a disjoint column band.
+void im2col(const float* x, std::size_t c, std::size_t h, std::size_t w,
+            std::size_t kh, std::size_t kw, std::size_t sh, std::size_t sw,
+            float* col, std::size_t col_stride);
+
+/// Adjoint of im2col: accumulates the patch matrix back into the image
+/// (x must be zeroed by the caller first). Overlapping windows sum.
+void col2im(const float* col, std::size_t col_stride, std::size_t c,
+            std::size_t h, std::size_t w, std::size_t kh, std::size_t kw,
+            std::size_t sh, std::size_t sw, float* x);
+
+/// 3D (depth/frame axis) variants for Conv3D: volume [C, D, H, W], row
+/// index ((ic*KD + kz)*KH + ky)*KW + kx, column index (oz*OH + oy)*OW + ox.
+void vol2col(const float* x, std::size_t c, std::size_t d, std::size_t h,
+             std::size_t w, std::size_t kd, std::size_t kh, std::size_t kw,
+             std::size_t sd, std::size_t sh, std::size_t sw, float* col,
+             std::size_t col_stride);
+void col2vol(const float* col, std::size_t col_stride, std::size_t c,
+             std::size_t d, std::size_t h, std::size_t w, std::size_t kd,
+             std::size_t kh, std::size_t kw, std::size_t sd, std::size_t sh,
+             std::size_t sw, float* x);
+
+/// Reusable scratch buffers for the layer hot paths: capacity only grows,
+/// so after the first batch the im2col/GEMM pipeline performs no
+/// allocation. Slots are caller-defined small integers (one per distinct
+/// buffer a layer needs).
+class ScratchArena {
+ public:
+  /// Buffer of at least n floats for `slot`. Contents are unspecified.
+  /// The pointer stays valid until the next get() call for the same slot
+  /// with a larger n.
+  float* get(std::size_t slot, std::size_t n) {
+    if (slot >= slots_.size()) slots_.resize(slot + 1);
+    if (slots_[slot].size() < n) slots_[slot].resize(n);
+    return slots_[slot].data();
+  }
+
+ private:
+  std::vector<std::vector<float>> slots_;
+};
+
+/// Process-wide kernel workload counters (monotonic totals). fit()
+/// publishes per-run deltas through obs::MetricsRegistry so traces and
+/// the GPU performance model see real workload numbers.
+struct KernelCounters {
+  std::uint64_t gemm_calls = 0;
+  std::uint64_t gemm_flops = 0;     // 2*m*n*k per call
+  std::uint64_t im2col_elems = 0;   // patch-matrix elements written
+  std::uint64_t col2im_elems = 0;   // patch-matrix elements accumulated
+};
+
+/// Snapshot of the totals accumulated so far in this process.
+KernelCounters kernel_counters();
+
+}  // namespace autolearn::ml

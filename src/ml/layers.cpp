@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "util/thread_pool.hpp"
+#include "ml/gemm.hpp"
 
 namespace autolearn::ml {
 
@@ -26,21 +26,15 @@ Tensor Dense::forward(const Tensor& x, bool /*train*/) {
   last_input_ = x;
   const std::size_t n = x.dim(0);
   Tensor y({n, out_features_});
-  auto& pool = util::ThreadPool::shared();
-  const Tensor& w = w_.value;
   const Tensor& b = b_.value;
-  pool.parallel_for_chunks(0, n, [&](std::size_t b0, std::size_t b1) {
-    for (std::size_t i = b0; i < b1; ++i) {
-      const float* xi = x.data() + i * in_features_;
-      float* yi = y.data() + i * out_features_;
-      for (std::size_t o = 0; o < out_features_; ++o) {
-        const float* wo = w.data() + o * in_features_;
-        float acc = b[o];
-        for (std::size_t k = 0; k < in_features_; ++k) acc += wo[k] * xi[k];
-        yi[o] = acc;
-      }
-    }
-  });
+  for (std::size_t i = 0; i < n; ++i) {
+    float* yi = y.data() + i * out_features_;
+    for (std::size_t o = 0; o < out_features_; ++o) yi[o] = b[o];
+  }
+  // y += x @ W^T on top of the broadcast bias.
+  sgemm(false, true, n, out_features_, in_features_, 1.0f, x.data(),
+        in_features_, w_.value.data(), in_features_, 1.0f, y.data(),
+        out_features_);
   return y;
 }
 
@@ -50,45 +44,51 @@ Tensor Dense::backward(const Tensor& grad_out) {
       grad_out.dim(1) != out_features_) {
     throw std::invalid_argument("Dense: bad grad shape");
   }
-  // dW[o,k] = sum_i g[i,o] * x[i,k]; db[o] = sum_i g[i,o];
-  // dx[i,k] = sum_o g[i,o] * W[o,k].
+  // dW = g^T @ x, db[o] = sum_i g[i,o], dx = g @ W — the batch reduction
+  // for dW runs inside the GEMM k-loop, so the parallel backward is
+  // deterministic for any worker count.
   Tensor grad_in({n, in_features_});
-  const Tensor& w = w_.value;
-  Tensor& dw = w_.grad;
+  sgemm(false, false, n, in_features_, out_features_, 1.0f, grad_out.data(),
+        out_features_, w_.value.data(), in_features_, 0.0f, grad_in.data(),
+        in_features_);
+  sgemm(true, false, out_features_, in_features_, n, 1.0f, grad_out.data(),
+        out_features_, last_input_.data(), in_features_, 1.0f,
+        w_.grad.data(), in_features_);
   Tensor& db = b_.grad;
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* gi = grad_out.data() + i * out_features_;
-    const float* xi = last_input_.data() + i * in_features_;
-    float* dxi = grad_in.data() + i * in_features_;
-    for (std::size_t o = 0; o < out_features_; ++o) {
-      const float g = gi[o];
-      if (g == 0.0f) continue;
-      db[o] += g;
-      float* dwo = dw.data() + o * in_features_;
-      const float* wo = w.data() + o * in_features_;
-      for (std::size_t k = 0; k < in_features_; ++k) {
-        dwo[k] += g * xi[k];
-        dxi[k] += g * wo[k];
-      }
+  for (std::size_t o = 0; o < out_features_; ++o) {
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += grad_out.data()[i * out_features_ + o];
     }
+    db[o] += acc;
   }
   return grad_in;
 }
 
 Tensor ReLU::forward(const Tensor& x, bool /*train*/) {
-  last_input_ = x;
   Tensor y = x;
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    if (y[i] < 0) y[i] = 0;
+  float* yd = y.data();
+  const std::size_t n = y.size();
+  mask_.resize(n);
+  mask_size_ = n;
+  // Branchless select: activation signs are data-dependent, so an `if`
+  // here mispredicts about half the time and costs ~10x the arithmetic.
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool on = yd[i] > 0.0f;
+    mask_[i] = static_cast<std::uint8_t>(on);
+    yd[i] = on ? yd[i] : 0.0f;
   }
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
-  grad_out.check_same_shape(last_input_, "relu backward");
+  if (grad_out.size() != mask_size_) {
+    throw std::invalid_argument("relu backward: grad size mismatch");
+  }
   Tensor g = grad_out;
+  float* gd = g.data();
   for (std::size_t i = 0; i < g.size(); ++i) {
-    if (last_input_[i] <= 0) g[i] = 0;
+    gd[i] = mask_[i] ? gd[i] : 0.0f;
   }
   return g;
 }

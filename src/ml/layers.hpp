@@ -1,6 +1,8 @@
 // Basic layers: Dense, ReLU, Tanh, Flatten, Dropout.
 #pragma once
 
+#include <cstdint>
+
 #include "ml/layer.hpp"
 #include "util/rng.hpp"
 
@@ -35,7 +37,10 @@ class ReLU : public Layer {
   std::string name() const override { return "relu"; }
 
  private:
-  Tensor last_input_;
+  // Backward only needs the sign of each input, so forward records a byte
+  // mask instead of copying the whole activation tensor.
+  std::vector<std::uint8_t> mask_;
+  std::size_t mask_size_ = 0;
 };
 
 class Tanh : public Layer {

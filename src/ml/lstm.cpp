@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "ml/gemm.hpp"
+
 namespace autolearn::ml {
 namespace {
 
@@ -49,17 +51,16 @@ Tensor LSTM::forward(const Tensor& x, bool /*train*/) {
     sc.gates = Tensor({n, 4 * h_});
     sc.c = Tensor({n, h_});
     sc.tanh_c = Tensor({n, h_});
+    // Pre-activation gates = b + x @ Wx^T + h_prev @ Wh^T.
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t r = 0; r < 4 * h_; ++r) {
-        float acc = b_.value[r];
-        const float* wxr = wx_.value.data() + r * d_;
-        const float* xr = sc.x.data() + i * d_;
-        for (std::size_t k = 0; k < d_; ++k) acc += wxr[k] * xr[k];
-        const float* whr = wh_.value.data() + r * h_;
-        const float* hr = sc.h_prev.data() + i * h_;
-        for (std::size_t k = 0; k < h_; ++k) acc += whr[k] * hr[k];
-        sc.gates.at(i, r) = acc;
-      }
+      float* gi = sc.gates.data() + i * 4 * h_;
+      for (std::size_t r = 0; r < 4 * h_; ++r) gi[r] = b_.value[r];
+    }
+    sgemm(false, true, n, 4 * h_, d_, 1.0f, sc.x.data(), d_,
+          wx_.value.data(), d_, 1.0f, sc.gates.data(), 4 * h_);
+    sgemm(false, true, n, 4 * h_, h_, 1.0f, sc.h_prev.data(), h_,
+          wh_.value.data(), h_, 1.0f, sc.gates.data(), 4 * h_);
+    for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < h_; ++j) {
         const float gi = sigmoid(sc.gates.at(i, j));
         const float gf = sigmoid(sc.gates.at(i, h_ + j));
@@ -114,29 +115,23 @@ Tensor LSTM::backward(const Tensor& grad_out) {
         dgates.at(i, 2 * h_ + j) = dgg * (1 - gg * gg);
         dgates.at(i, 3 * h_ + j) = dgo * go * (1 - go);
       }
-      // Accumulate parameter grads and input/hidden grads.
-      for (std::size_t r = 0; r < 4 * h_; ++r) {
-        const float g = dgates.at(i, r);
-        if (g == 0.0f) continue;
-        b_.grad[r] += g;
-        float* dwxr = wx_.grad.data() + r * d_;
-        const float* xr = sc.x.data() + i * d_;
-        const float* wxr = wx_.value.data() + r * d_;
-        float* gxr = grad_x.data() + (i * t_len + t) * d_;
-        for (std::size_t k = 0; k < d_; ++k) {
-          dwxr[k] += g * xr[k];
-          gxr[k] += g * wxr[k];
-        }
-        float* dwhr = wh_.grad.data() + r * h_;
-        const float* hr = sc.h_prev.data() + i * h_;
-        const float* whr = wh_.value.data() + r * h_;
-        float* dhp = dh_prev.data() + i * h_;
-        for (std::size_t k = 0; k < h_; ++k) {
-          dwhr[k] += g * hr[k];
-          dhp[k] += g * whr[k];
-        }
-      }
     }
+    // Parameter and input/hidden grads as GEMMs; the batch reduction for
+    // dWx/dWh runs inside the GEMM k-loop (deterministic in parallel).
+    for (std::size_t r = 0; r < 4 * h_; ++r) {
+      float acc = 0.0f;
+      for (std::size_t i = 0; i < n; ++i) acc += dgates.at(i, r);
+      b_.grad[r] += acc;
+    }
+    sgemm(true, false, 4 * h_, d_, n, 1.0f, dgates.data(), 4 * h_,
+          sc.x.data(), d_, 1.0f, wx_.grad.data(), d_);
+    sgemm(true, false, 4 * h_, h_, n, 1.0f, dgates.data(), 4 * h_,
+          sc.h_prev.data(), h_, 1.0f, wh_.grad.data(), h_);
+    // grad_x time-step slice is a strided [N, D] view of [N, T, D].
+    sgemm(false, false, n, d_, 4 * h_, 1.0f, dgates.data(), 4 * h_,
+          wx_.value.data(), d_, 0.0f, grad_x.data() + t * d_, t_len * d_);
+    sgemm(false, false, n, h_, 4 * h_, 1.0f, dgates.data(), 4 * h_,
+          wh_.value.data(), h_, 0.0f, dh_prev.data(), h_);
     dh = dh_prev;
     dc = dc_prev;
   }

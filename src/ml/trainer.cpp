@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "ml/gemm.hpp"
 #include "util/logging.hpp"
 
 namespace autolearn::ml {
@@ -53,6 +54,7 @@ TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
   if (train.empty()) throw std::invalid_argument("fit: empty training set");
   if (options.batch_size == 0) throw std::invalid_argument("fit: batch 0");
   const auto t0 = std::chrono::steady_clock::now();
+  const KernelCounters kernels0 = kernel_counters();
   const obs::SpanGuard fit_span(options.tracer, "ml.fit", "ml");
 
   util::Rng rng(options.shuffle_seed);
@@ -118,6 +120,17 @@ TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
     options.metrics->gauge("ml.train.final_loss")
         .set(result.final_train_loss);
     options.metrics->gauge("ml.train.best_val_loss").set(result.best_val_loss);
+    // Per-kernel workload actually executed by this fit (deltas of the
+    // process-wide counters, so concurrent-free runs are reproducible).
+    const KernelCounters kernels1 = kernel_counters();
+    options.metrics->counter("ml.kernel.gemm_calls")
+        .inc(kernels1.gemm_calls - kernels0.gemm_calls);
+    options.metrics->counter("ml.kernel.gemm_flops")
+        .inc(kernels1.gemm_flops - kernels0.gemm_flops);
+    options.metrics->counter("ml.kernel.im2col_elems")
+        .inc(kernels1.im2col_elems - kernels0.im2col_elems);
+    options.metrics->counter("ml.kernel.col2im_elems")
+        .inc(kernels1.col2im_elems - kernels0.col2im_elems);
   }
   return result;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <exception>
 
 namespace autolearn::util {
@@ -54,22 +55,30 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
-                              const std::function<void(std::size_t)>& fn) {
-  parallel_for_chunks(begin, end, [&fn](std::size_t b, std::size_t e) {
-    for (std::size_t i = b; i < e; ++i) fn(i);
-  });
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&fn](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) fn(i);
+      },
+      grain);
 }
 
 void ThreadPool::parallel_for_chunks(
     std::size_t begin, std::size_t end,
-    const std::function<void(std::size_t, std::size_t)>& fn) {
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t parts = std::min(n, workers_.size() + 1);
-  if (parts <= 1) {
+  // Inline fast path: tiny ranges and single-worker pools gain nothing
+  // from the enqueue/future round trip (and the single-worker case keeps
+  // serial-pool runs free of any scheduling at all).
+  if (n <= grain || workers_.size() <= 1) {
     fn(begin, end);
     return;
   }
+  const std::size_t parts = std::min(n, workers_.size() + 1);
   const std::size_t chunk = (n + parts - 1) / parts;
   std::vector<std::future<void>> futures;
   futures.reserve(parts - 1);
@@ -93,9 +102,30 @@ void ThreadPool::parallel_for_chunks(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+namespace {
+ThreadPool* shared_override = nullptr;
+}  // namespace
+
+std::size_t ThreadPool::env_thread_override() {
+  const char* env = std::getenv("AUTOLEARN_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == nullptr || *end != '\0') return 0;
+  return static_cast<std::size_t>(v);
+}
+
 ThreadPool& ThreadPool::shared() {
-  static ThreadPool pool;
+  if (shared_override != nullptr) return *shared_override;
+  static ThreadPool pool(env_thread_override());
   return pool;
 }
+
+ThreadPool::ScopedOverride::ScopedOverride(ThreadPool& pool)
+    : prev_(shared_override) {
+  shared_override = &pool;
+}
+
+ThreadPool::ScopedOverride::~ScopedOverride() { shared_override = prev_; }
 
 }  // namespace autolearn::util

@@ -39,20 +39,44 @@ class ThreadPool {
   /// Runs fn(i) for every i in [begin, end), partitioned into contiguous
   /// chunks across the workers plus the calling thread. Blocks until all
   /// iterations finish. Exceptions from fn propagate to the caller
-  /// (the first one observed).
+  /// (the first one observed). Ranges of at most `grain` iterations — and
+  /// every range when the pool has a single worker — run inline on the
+  /// calling thread with no enqueue or future overhead.
   void parallel_for(std::size_t begin, std::size_t end,
-                    const std::function<void(std::size_t)>& fn);
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
 
   /// Chunked variant: fn(chunk_begin, chunk_end) — lower overhead when the
   /// body is a tight loop.
   void parallel_for_chunks(
       std::size_t begin, std::size_t end,
-      const std::function<void(std::size_t, std::size_t)>& fn);
+      const std::function<void(std::size_t, std::size_t)>& fn,
+      std::size_t grain = 1);
 
   /// Process-wide shared pool, created on first use with default size.
   /// Use for library internals so each training run does not spawn its
-  /// own set of workers.
+  /// own set of workers. The AUTOLEARN_THREADS environment variable, when
+  /// set to a positive integer, fixes the worker count of the pool created
+  /// here (reproducible thread counts for benchmarks and CI).
   static ThreadPool& shared();
+
+  /// Parsed AUTOLEARN_THREADS value; 0 when unset, empty, or invalid.
+  static std::size_t env_thread_override();
+
+  /// RAII redirect of shared() to a caller-owned pool, used by tests and
+  /// benchmarks to pin the worker count seen by library internals. Not
+  /// thread-safe: install and remove from the main thread only, while no
+  /// parallel section is in flight.
+  class ScopedOverride {
+   public:
+    explicit ScopedOverride(ThreadPool& pool);
+    ~ScopedOverride();
+    ScopedOverride(const ScopedOverride&) = delete;
+    ScopedOverride& operator=(const ScopedOverride&) = delete;
+
+   private:
+    ThreadPool* prev_;
+  };
 
  private:
   void worker_loop();

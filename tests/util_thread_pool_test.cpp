@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 namespace autolearn::util {
@@ -118,6 +121,61 @@ TEST(ThreadPool, SharedPoolSingleton) {
   ThreadPool& a = ThreadPool::shared();
   ThreadPool& b = ThreadPool::shared();
   EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, GrainRunsSmallRangeInlineAsOneChunk) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::tuple<std::size_t, std::size_t, std::thread::id>> chunks;
+  // n == 64 <= grain == 64: must run as a single inline chunk, so the
+  // unsynchronized vector push is safe by construction.
+  pool.parallel_for_chunks(
+      0, 64,
+      [&](std::size_t b, std::size_t e) {
+        chunks.emplace_back(b, e, std::this_thread::get_id());
+      },
+      /*grain=*/64);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(std::get<0>(chunks[0]), 0u);
+  EXPECT_EQ(std::get<1>(chunks[0]), 64u);
+  EXPECT_EQ(std::get<2>(chunks[0]), caller);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsParallelForInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(100);
+  pool.parallel_for(0, seen.size(),
+                    [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ScopedOverrideRedirectsShared) {
+  ThreadPool& original = ThreadPool::shared();
+  {
+    ThreadPool mine(2);
+    ThreadPool::ScopedOverride guard(mine);
+    EXPECT_EQ(&ThreadPool::shared(), &mine);
+    {
+      ThreadPool inner(3);
+      ThreadPool::ScopedOverride nested(inner);
+      EXPECT_EQ(&ThreadPool::shared(), &inner);
+    }
+    EXPECT_EQ(&ThreadPool::shared(), &mine);  // nesting restores in order
+  }
+  EXPECT_EQ(&ThreadPool::shared(), &original);
+}
+
+TEST(ThreadPool, EnvThreadOverrideParsing) {
+  ASSERT_EQ(unsetenv("AUTOLEARN_THREADS"), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 0u);
+  ASSERT_EQ(setenv("AUTOLEARN_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 3u);
+  ASSERT_EQ(setenv("AUTOLEARN_THREADS", "", 1), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 0u);
+  ASSERT_EQ(setenv("AUTOLEARN_THREADS", "banana", 1), 0);
+  EXPECT_EQ(ThreadPool::env_thread_override(), 0u);
+  ASSERT_EQ(unsetenv("AUTOLEARN_THREADS"), 0);
 }
 
 TEST(ThreadPool, NestedSubmitFromTask) {
