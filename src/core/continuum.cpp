@@ -21,10 +21,12 @@ double placement_latency_s(Placement placement, const ContinuumOptions& opt,
     return static_cast<std::uint64_t>(static_cast<double>(flops) *
                                       opt.flops_scale);
   };
+  // Batch-of-1 through the batched perf model (bitwise-equal to the legacy
+  // single-sample accounting) so eval and serving price compute the same.
   const double edge_infer = gpu::inference_latency_s(
-      gpu::device(opt.edge_device), scaled(edge_model_flops));
+      gpu::device(opt.edge_device), scaled(edge_model_flops), /*batch=*/1);
   const double cloud_infer = gpu::inference_latency_s(
-      gpu::device(opt.cloud_device), scaled(cloud_model_flops));
+      gpu::device(opt.cloud_device), scaled(cloud_model_flops), /*batch=*/1);
   switch (placement) {
     case Placement::OnDevice:
       // On-device runs the edge-sized model (the big one does not hold
@@ -115,11 +117,14 @@ vehicle::DriveCommand HybridPilot::act(const camera::Image& frame) {
         awaiting_recovery_ = true;  // half-open probe re-closed the breaker
       }
       const vehicle::DriveCommand cloud_cmd = cloud_.act(frame);
+      // Batch-of-1 through the batched perf model: the same accounting the
+      // fleet serving tier uses for its dynamic batches.
       const double cloud_infer = gpu::inference_latency_s(
           gpu::device(options_.cloud_device),
           static_cast<std::uint64_t>(
               static_cast<double>(cloud_model_.flops_per_sample()) *
-              options_.flops_scale));
+              options_.flops_scale),
+          /*batch=*/1);
       double delay = options_.network_rtt_s + cloud_infer;
       if (options_.rtt_jitter_s > 0) {
         delay = std::max(0.0, rng_.normal(delay, options_.rtt_jitter_s));
@@ -164,25 +169,36 @@ eval::EvalResult evaluate_placement(const track::Track& track,
   opts.dt = options.control_dt;
   if (!opts.tracer) opts.tracer = options.tracer;
   if (!opts.metrics) opts.metrics = options.metrics;
+  const auto scaled = [&](std::uint64_t flops) {
+    return static_cast<std::uint64_t>(static_cast<double>(flops) *
+                                      options.flops_scale);
+  };
+  // The evaluator derives the compute part of the command latency through
+  // the batched perf model at infer_batch = 1 (bitwise-equal to the legacy
+  // precomputed placement_latency_s); command_latency_s carries only the
+  // network part.
   const std::uint64_t main_flops = main_model.flops_per_sample();
   const std::uint64_t edge_flops = edge_fallback.flops_per_sample();
   switch (placement) {
     case Placement::OnDevice: {
-      opts.command_latency_s = placement_latency_s(
-          Placement::OnDevice, options, edge_flops, main_flops);
+      opts.infer_device = &gpu::device(options.edge_device);
+      opts.infer_flops = scaled(edge_flops);
       eval::ModelPilot pilot(edge_fallback);
       return eval::run_evaluation(track, pilot, opts);
     }
     case Placement::Cloud: {
-      opts.command_latency_s = placement_latency_s(Placement::Cloud, options,
-                                                   edge_flops, main_flops);
+      opts.command_latency_s = options.network_rtt_s;
+      opts.infer_device = &gpu::device(options.cloud_device);
+      opts.infer_flops = scaled(main_flops);
       opts.latency_jitter_s = options.rtt_jitter_s;
       eval::ModelPilot pilot(main_model);
       return eval::run_evaluation(track, pilot, opts);
     }
     case Placement::Hybrid: {
-      opts.command_latency_s = placement_latency_s(Placement::Hybrid, options,
-                                                   edge_flops, main_flops);
+      // The loop is never blocked longer than the edge model's latency;
+      // the cloud command's extra delay flows through the pilot's pipe.
+      opts.infer_device = &gpu::device(options.edge_device);
+      opts.infer_flops = scaled(edge_flops);
       HybridPilot pilot(edge_fallback, main_model, options,
                         util::Rng(eval_options.seed + 17));
       eval::EvalResult result = eval::run_evaluation(track, pilot, opts);

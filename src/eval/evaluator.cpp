@@ -45,6 +45,14 @@ EvalResult run_evaluation(const track::Track& track, Pilot& pilot,
   util::DelayLine<vehicle::DriveCommand> pipeline(options.dt,
                                                   vehicle::DriveCommand{});
 
+  // Fixed per-command latency: the network part plus (when a device is
+  // given) the batched perf-model inference cost.
+  double fixed_latency_s = options.command_latency_s;
+  if (options.infer_device) {
+    fixed_latency_s += gpu::inference_latency_s(
+        *options.infer_device, options.infer_flops, options.infer_batch);
+  }
+
   EvalResult result;
   const auto steps = static_cast<std::size_t>(options.duration_s / options.dt);
   double s_prev = track.project(car.state().pos).s;
@@ -61,7 +69,7 @@ EvalResult run_evaluation(const track::Track& track, Pilot& pilot,
     if (options.telemetry) options.telemetry(car.state());
     const camera::Image frame = cam.render(track, car.state());
     const vehicle::DriveCommand cmd = pilot.act(frame);
-    double latency = options.command_latency_s;
+    double latency = fixed_latency_s;
     if (options.latency_jitter_s > 0) {
       latency = std::max(0.0, rng.normal(latency, options.latency_jitter_s));
     }

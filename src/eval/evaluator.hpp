@@ -16,6 +16,7 @@
 
 #include "eval/pilot.hpp"
 #include "fault/report.hpp"
+#include "gpu/perf_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "track/track.hpp"
@@ -31,8 +32,17 @@ struct EvalOptions {
   std::size_t img_w = 32;
   std::size_t img_h = 24;
   bool real_profiles = false;    // real-car noise on vehicle and camera
-  double command_latency_s = 0.0;    // fixed part (inference compute)
+  double command_latency_s = 0.0;    // fixed part (network / externally given)
   double latency_jitter_s = 0.0;     // gaussian stddev per command (network)
+  /// Batched perf-model latency accounting. When infer_device is set the
+  /// per-command latency is command_latency_s (the network part) plus
+  /// gpu::inference_latency_s(*infer_device, infer_flops, infer_batch) —
+  /// the same batched path the fleet serving tier prices batches with, so
+  /// single-car eval (infer_batch = 1) and serving agree bitwise on the
+  /// batch-of-1 cost. Unset: command_latency_s is taken literally.
+  const gpu::DeviceSpec* infer_device = nullptr;
+  std::uint64_t infer_flops = 0;
+  std::size_t infer_batch = 1;
   double off_track_grace = 0.10;     // meters beyond the lane edge tolerated
   std::uint64_t seed = 5;
   /// Telemetry tap: called with the true car state before each control

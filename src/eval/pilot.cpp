@@ -25,7 +25,10 @@ vehicle::DriveCommand ModelPilot::act(const camera::Image& frame) {
   ml::Sample obs;
   obs.frames.assign(frames_.begin(), frames_.end());
   obs.history.assign(history_.begin(), history_.end());
-  const ml::Prediction p = model_.predict(obs);
+  // The control loop is a fleet batch of one: same entry point the serving
+  // tier uses, so closed-loop eval and serving share the inference path.
+  ml::Prediction p;
+  model_.predict_batch(&obs, 1, &p);
 
   if (need_hist > 0) {
     history_.pop_front();

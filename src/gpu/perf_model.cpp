@@ -77,8 +77,18 @@ double training_time_s(const DeviceSpec& spec, const TrainingWorkload& load,
 
 double inference_latency_s(const DeviceSpec& spec,
                            std::uint64_t model_flops) {
+  return inference_latency_s(spec, model_flops, 1);
+}
+
+double inference_latency_s(const DeviceSpec& spec, std::uint64_t model_flops,
+                           std::size_t batch) {
+  if (batch == 0) throw std::invalid_argument("gpu: inference batch 0");
+  // Written so batch = 1 is bitwise-identical to the historical
+  // single-sample formula (overhead + flops / effective): the flops term
+  // scales by the batch, the launch overhead does not.
   return spec.infer_overhead_us * 1e-6 +
-         static_cast<double>(model_flops) / spec.effective_flops();
+         static_cast<double>(batch) * static_cast<double>(model_flops) /
+             spec.effective_flops();
 }
 
 }  // namespace autolearn::gpu

@@ -62,7 +62,15 @@ double training_time_s(const DeviceSpec& spec, const TrainingWorkload& load,
 double scaling_efficiency(Interconnect link);
 
 /// Simulated single-sample inference latency (seconds) for a model with
-/// the given forward FLOPs on this device.
+/// the given forward FLOPs on this device. Equivalent to the batched
+/// variant at batch = 1.
 double inference_latency_s(const DeviceSpec& spec, std::uint64_t model_flops);
+
+/// Batched inference latency: one per-call overhead amortized across the
+/// whole batch, compute scaled by the batch size. This is the cost model
+/// the fleet serving tier and the dynamic batcher are sized against; the
+/// single-sample signature above is its batch-of-1 wrapper.
+double inference_latency_s(const DeviceSpec& spec, std::uint64_t model_flops,
+                           std::size_t batch);
 
 }  // namespace autolearn::gpu

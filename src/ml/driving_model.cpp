@@ -35,7 +35,19 @@ std::vector<ModelType> all_model_types() {
           ModelType::Categorical, ModelType::Inferred, ModelType::Rnn};
 }
 
+void DrivingModel::predict_batch(const Sample* obs, std::size_t n,
+                                 Prediction* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = predict(obs[i]);
+}
+
 namespace {
+
+std::vector<const Sample*> batch_ptrs(const Sample* obs, std::size_t n) {
+  std::vector<const Sample*> ptrs;
+  ptrs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) ptrs.push_back(obs + i);
+  return ptrs;
+}
 
 /// Copies the last frame of each sample into an [N, 1, H, W] tensor.
 Tensor frames_tensor(const std::vector<const Sample*>& batch,
@@ -143,6 +155,19 @@ class NetModel : public DrivingModel {
   explicit NetModel(const ModelConfig& cfg)
       : cfg_(cfg), rng_(cfg.seed), opt_(cfg.lr) {}
 
+  /// Single-sample inference is the batched path at n = 1, so predict and
+  /// predict_batch can never drift apart.
+  Prediction predict(const Sample& obs) final {
+    Prediction p;
+    predict_batch(&obs, 1, &p);
+    return p;
+  }
+
+  /// Every zoo model must provide the real batched forward (the inherited
+  /// fallback loop would recurse through predict).
+  void predict_batch(const Sample* obs, std::size_t n,
+                     Prediction* out) override = 0;
+
   std::size_t num_parameters() override { return net_.num_parameters(); }
   std::uint64_t flops_per_sample() const override {
     return net_.flops_per_sample();
@@ -172,11 +197,16 @@ class LinearModel : public NetModel {
 
   ModelType type() const override { return ModelType::Linear; }
 
-  Prediction predict(const Sample& obs) override {
-    const Tensor y = net_.forward(frames_tensor({&obs}, cfg_.img_h, cfg_.img_w),
-                                  /*train=*/false);
-    return Prediction{std::clamp<double>(y.at(0, 0), -1, 1),
-                      std::clamp<double>(y.at(0, 1), 0, 1)};
+  void predict_batch(const Sample* obs, std::size_t n,
+                     Prediction* out) override {
+    if (n == 0) return;
+    const Tensor y = net_.forward(
+        frames_tensor(batch_ptrs(obs, n), cfg_.img_h, cfg_.img_w),
+        /*train=*/false);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = Prediction{std::clamp<double>(y.at(i, 0), -1, 1),
+                          std::clamp<double>(y.at(i, 1), 0, 1)};
+    }
   }
 
   double train_batch(const std::vector<const Sample*>& batch) override {
@@ -210,18 +240,23 @@ class CategoricalModel : public NetModel {
 
   ModelType type() const override { return ModelType::Categorical; }
 
-  Prediction predict(const Sample& obs) override {
+  void predict_batch(const Sample* obs, std::size_t n,
+                     Prediction* out) override {
+    if (n == 0) return;
     const Tensor logits = net_.forward(
-        frames_tensor({&obs}, cfg_.img_h, cfg_.img_w), /*train=*/false);
-    const auto ps = softmax_row(logits, 0, 0, cfg_.steering_bins);
-    const auto pt = softmax_row(logits, 0, cfg_.steering_bins,
-                                cfg_.steering_bins + cfg_.throttle_bins);
-    const std::size_t sb = static_cast<std::size_t>(
-        std::max_element(ps.begin(), ps.end()) - ps.begin());
-    const std::size_t tb = static_cast<std::size_t>(
-        std::max_element(pt.begin(), pt.end()) - pt.begin());
-    return Prediction{from_bin(sb, -1, 1, cfg_.steering_bins),
-                      from_bin(tb, 0, 1, cfg_.throttle_bins)};
+        frames_tensor(batch_ptrs(obs, n), cfg_.img_h, cfg_.img_w),
+        /*train=*/false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto ps = softmax_row(logits, i, 0, cfg_.steering_bins);
+      const auto pt = softmax_row(logits, i, cfg_.steering_bins,
+                                  cfg_.steering_bins + cfg_.throttle_bins);
+      const std::size_t sb = static_cast<std::size_t>(
+          std::max_element(ps.begin(), ps.end()) - ps.begin());
+      const std::size_t tb = static_cast<std::size_t>(
+          std::max_element(pt.begin(), pt.end()) - pt.begin());
+      out[i] = Prediction{from_bin(sb, -1, 1, cfg_.steering_bins),
+                          from_bin(tb, 0, 1, cfg_.throttle_bins)};
+    }
   }
 
   double train_batch(const std::vector<const Sample*>& batch) override {
@@ -281,17 +316,22 @@ class InferredModel : public NetModel {
 
   ModelType type() const override { return ModelType::Inferred; }
 
-  Prediction predict(const Sample& obs) override {
-    const Tensor y = net_.forward(frames_tensor({&obs}, cfg_.img_h, cfg_.img_w),
-                                  /*train=*/false);
-    const double steer = std::clamp<double>(y.at(0, 0), -1, 1);
-    // Throttle policy: full speed with the wheel straight, easing off as
-    // the commanded steering grows.
-    const double throttle = std::clamp(
-        cfg_.inferred_throttle_base +
-            cfg_.inferred_throttle_gain * (1.0 - std::abs(steer)),
-        0.0, 1.0);
-    return Prediction{steer, throttle};
+  void predict_batch(const Sample* obs, std::size_t n,
+                     Prediction* out) override {
+    if (n == 0) return;
+    const Tensor y = net_.forward(
+        frames_tensor(batch_ptrs(obs, n), cfg_.img_h, cfg_.img_w),
+        /*train=*/false);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double steer = std::clamp<double>(y.at(i, 0), -1, 1);
+      // Throttle policy: full speed with the wheel straight, easing off as
+      // the commanded steering grows.
+      const double throttle = std::clamp(
+          cfg_.inferred_throttle_base +
+              cfg_.inferred_throttle_gain * (1.0 - std::abs(steer)),
+          0.0, 1.0);
+      out[i] = Prediction{steer, throttle};
+    }
   }
 
   double train_batch(const std::vector<const Sample*>& batch) override {
@@ -335,10 +375,14 @@ class MemoryModel : public NetModel {
   ModelType type() const override { return ModelType::Memory; }
   std::size_t history_len() const override { return cfg_.history_len; }
 
-  Prediction predict(const Sample& obs) override {
-    const Tensor y = forward({&obs}, /*train=*/false);
-    return Prediction{std::clamp<double>(y.at(0, 0), -1, 1),
-                      std::clamp<double>(y.at(0, 1), 0, 1)};
+  void predict_batch(const Sample* obs, std::size_t n,
+                     Prediction* out) override {
+    if (n == 0) return;
+    const Tensor y = forward(batch_ptrs(obs, n), /*train=*/false);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = Prediction{std::clamp<double>(y.at(i, 0), -1, 1),
+                          std::clamp<double>(y.at(i, 1), 0, 1)};
+    }
   }
 
   double train_batch(const std::vector<const Sample*>& batch) override {
@@ -421,10 +465,14 @@ class RnnModel : public NetModel {
   ModelType type() const override { return ModelType::Rnn; }
   std::size_t seq_len() const override { return cfg_.seq_len; }
 
-  Prediction predict(const Sample& obs) override {
-    const Tensor y = forward({&obs}, /*train=*/false);
-    return Prediction{std::clamp<double>(y.at(0, 0), -1, 1),
-                      std::clamp<double>(y.at(0, 1), 0, 1)};
+  void predict_batch(const Sample* obs, std::size_t n,
+                     Prediction* out) override {
+    if (n == 0) return;
+    const Tensor y = forward(batch_ptrs(obs, n), /*train=*/false);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = Prediction{std::clamp<double>(y.at(i, 0), -1, 1),
+                          std::clamp<double>(y.at(i, 1), 0, 1)};
+    }
   }
 
   double train_batch(const std::vector<const Sample*>& batch) override {
@@ -497,12 +545,17 @@ class Conv3dModel : public NetModel {
   ModelType type() const override { return ModelType::Conv3d; }
   std::size_t seq_len() const override { return cfg_.seq_len; }
 
-  Prediction predict(const Sample& obs) override {
+  void predict_batch(const Sample* obs, std::size_t n,
+                     Prediction* out) override {
+    if (n == 0) return;
     const Tensor y = net_.forward(
-        frames_tensor_3d({&obs}, cfg_.seq_len, cfg_.img_h, cfg_.img_w),
+        frames_tensor_3d(batch_ptrs(obs, n), cfg_.seq_len, cfg_.img_h,
+                         cfg_.img_w),
         /*train=*/false);
-    return Prediction{std::clamp<double>(y.at(0, 0), -1, 1),
-                      std::clamp<double>(y.at(0, 1), 0, 1)};
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = Prediction{std::clamp<double>(y.at(i, 0), -1, 1),
+                          std::clamp<double>(y.at(i, 1), 0, 1)};
+    }
   }
 
   double train_batch(const std::vector<const Sample*>& batch) override {

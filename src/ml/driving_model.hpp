@@ -76,8 +76,17 @@ class DrivingModel {
   /// Command pairs required in Sample::history (0 if unused).
   virtual std::size_t history_len() const { return 0; }
 
-  /// Inference on one observation.
+  /// Inference on one observation. The zoo models implement this as
+  /// predict_batch of 1, so the two entry points agree bitwise.
   virtual Prediction predict(const Sample& obs) = 0;
+
+  /// Batched inference: fills out[0..n) from obs[0..n). The zoo models
+  /// override this to run a single batched forward through the GEMM
+  /// backbone (one im2col + sgemm per layer instead of n), which is what
+  /// makes fleet serving amortize per-call cost; the base implementation
+  /// is a per-sample fallback loop for external subclasses.
+  virtual void predict_batch(const Sample* obs, std::size_t n,
+                             Prediction* out);
 
   /// One optimizer step on a minibatch; returns the batch loss.
   virtual double train_batch(const std::vector<const Sample*>& batch) = 0;

@@ -40,11 +40,18 @@ double evaluate_loss(DrivingModel& model, const std::vector<Sample>& data,
   return total / static_cast<double>(count);
 }
 
-double steering_mae(DrivingModel& model, const std::vector<Sample>& data) {
+double steering_mae(DrivingModel& model, const std::vector<Sample>& data,
+                    std::size_t batch_size) {
   if (data.empty()) return 0.0;
+  if (batch_size == 0) throw std::invalid_argument("steering_mae: batch 0");
   double total = 0;
-  for (const Sample& s : data) {
-    total += std::abs(model.predict(s).steering - s.steering);
+  std::vector<Prediction> preds(batch_size);
+  for (std::size_t b = 0; b < data.size(); b += batch_size) {
+    const std::size_t n = std::min(batch_size, data.size() - b);
+    model.predict_batch(data.data() + b, n, preds.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      total += std::abs(preds[i].steering - data[b + i].steering);
+    }
   }
   return total / static_cast<double>(data.size());
 }

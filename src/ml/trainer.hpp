@@ -59,6 +59,9 @@ double evaluate_loss(DrivingModel& model, const std::vector<Sample>& data,
 
 /// Mean absolute steering error of per-sample predictions — the accuracy
 /// number reported in the E1 model-comparison table.
-double steering_mae(DrivingModel& model, const std::vector<Sample>& data);
+/// Mean absolute steering error over the dataset, computed through the
+/// batched inference path (chunks of `batch_size`).
+double steering_mae(DrivingModel& model, const std::vector<Sample>& data,
+                    std::size_t batch_size = 32);
 
 }  // namespace autolearn::ml

@@ -1,0 +1,48 @@
+#include "serve/model_registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace autolearn::serve {
+
+std::uint64_t ModelRegistry::publish(std::shared_ptr<ml::DrivingModel> model,
+                                     std::string tag) {
+  if (!model) {
+    throw std::invalid_argument("ModelRegistry::publish: null model");
+  }
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->model = std::move(model);
+  snap->tag = std::move(tag);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap->version = next_version_++;
+    snapshot_ = std::move(snap);
+  }
+  const auto current = this->current();
+  if (metrics_) metrics_->counter("serve.model.publishes").inc();
+  if (tracer_) {
+    util::Json args = util::Json::object();
+    args.set("version", util::Json(current->version));
+    args.set("tag", util::Json(current->tag));
+    args.set("model", util::Json(std::string(current->model->type_name())));
+    tracer_->instant("serve.model_swap", "serve", std::move(args));
+  }
+  return current->version;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+std::uint64_t ModelRegistry::version() const {
+  const auto snap = current();
+  return snap ? snap->version : 0;
+}
+
+std::size_t ModelRegistry::swaps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_version_ > 2 ? static_cast<std::size_t>(next_version_ - 2) : 0;
+}
+
+}  // namespace autolearn::serve

@@ -1,0 +1,62 @@
+// Versioned model registry with atomic hot-swap.
+//
+// The serving tier never touches a model directly: workers grab an
+// immutable Snapshot (model + version + tag) at batch-dispatch time, so a
+// publish() racing a running batch is safe — in-flight batches finish on
+// the version they started with, the next dispatch sees the new one.
+// Versions are 1-based and strictly monotonic; a publish from a scheduled
+// event models the trainer pushing a freshly fitted model into the fleet.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "ml/driving_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace autolearn::serve {
+
+/// Immutable view of one published model. Holders keep the model alive
+/// through shared ownership even after it is superseded.
+struct ModelSnapshot {
+  std::shared_ptr<ml::DrivingModel> model;
+  std::uint64_t version = 0;
+  std::string tag;  // free-form provenance ("bootstrap", "retrain-3", ...)
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  /// Optional observability sinks: publishes become "serve.model_swap"
+  /// trace instants and a "serve.model.publishes" counter.
+  void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
+  /// Atomically replaces the current model; returns the new version.
+  std::uint64_t publish(std::shared_ptr<ml::DrivingModel> model,
+                        std::string tag = "");
+
+  /// Latest published snapshot; nullptr before the first publish.
+  std::shared_ptr<const ModelSnapshot> current() const;
+
+  bool empty() const { return current() == nullptr; }
+  /// Version of the current snapshot; 0 before the first publish.
+  std::uint64_t version() const;
+  /// Hot-swaps performed: publishes beyond the first.
+  std::size_t swaps() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelSnapshot> snapshot_;
+  std::uint64_t next_version_ = 1;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace autolearn::serve

@@ -1,0 +1,58 @@
+// Aggregate outcome of a fleet serving run.
+//
+// Deterministic for a fixed seed and arrival schedule: the batch-boundary
+// vector and the JSON snapshot are byte-for-byte reproducible, which is
+// what the serve determinism tests pin.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fault/report.hpp"
+#include "serve/request.hpp"
+#include "util/json.hpp"
+
+namespace autolearn::serve {
+
+struct ServeReport {
+  std::size_t requests = 0;         // arrivals offered to the service
+  std::size_t completed = 0;        // served through the dynamic batcher
+  std::size_t shed = 0;             // admission control -> per-sample edge
+  std::size_t denied = 0;           // batched while the breaker was open
+  std::size_t batches = 0;
+  std::size_t cloud_batches = 0;
+  std::size_t edge_batches = 0;
+  std::size_t failover_batches = 0;  // cloud probe failed, edge took the batch
+  double duration_s = 0.0;           // makespan: first arrival to last response
+  double throughput_rps = 0.0;       // completed / duration_s
+
+  /// Batch boundaries in dispatch order — the determinism fingerprint.
+  std::vector<std::size_t> batch_sizes;
+  /// Every finished request in completion order (shed ones included).
+  std::vector<ServeRecord> records;
+  /// Completed requests per model version (hot-swap visibility).
+  std::map<std::uint64_t, std::size_t> requests_by_version;
+  /// Breaker-observed degradation (cloud usage, failovers, denied calls).
+  fault::DegradationStats degradation;
+
+  double mean_batch() const;
+  std::size_t max_batch() const;
+  /// Quantile (0..1) of time spent waiting in the batcher, over completed
+  /// (non-shed) requests; 0 when none completed.
+  double queued_quantile_s(double q) const;
+  /// Quantile of arrival-to-response time over all records.
+  double total_quantile_s(double q) const;
+  /// Mean |steering| over all predictions — evidence the batched forward
+  /// actually ran through the model.
+  double mean_abs_steering() const;
+
+  /// Deterministic snapshot (aggregates + batch boundaries + quantiles;
+  /// per-record data summarized, not dumped).
+  util::Json to_json() const;
+  /// One-line human-readable summary; equal runs produce equal strings.
+  std::string summary() const;
+};
+
+}  // namespace autolearn::serve

@@ -1,0 +1,396 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "gpu/perf_model.hpp"
+
+namespace autolearn::serve {
+
+void FleetOptions::validate() const {
+  if (cars == 0) throw std::invalid_argument("fleet: cars must be >= 1");
+  if (duration_s <= 0.0) {
+    throw std::invalid_argument("fleet: duration_s must be > 0");
+  }
+  if (mean_interarrival_s <= 0.0) {
+    throw std::invalid_argument("fleet: mean_interarrival_s must be > 0");
+  }
+  if (queue_budget == 0) {
+    throw std::invalid_argument("fleet: queue_budget must be >= 1");
+  }
+  if (img_w == 0 || img_h == 0) {
+    throw std::invalid_argument("fleet: zero image dimension");
+  }
+  batcher.validate();
+}
+
+FleetService::FleetService(util::EventQueue& queue, ModelRegistry& registry,
+                           FleetOptions options)
+    : queue_(queue),
+      registry_(registry),
+      options_(std::move(options)),
+      batcher_(options_.batcher),
+      breaker_(options_.continuum.breaker),
+      rng_(options_.seed) {
+  options_.validate();
+  car_rng_.reserve(options_.cars);
+  for (std::size_t i = 0; i < options_.cars; ++i) {
+    car_rng_.push_back(rng_.split());
+  }
+  jitter_rng_ = rng_.split();
+
+  obs::Tracer* tracer = options_.continuum.tracer;
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  if (tracer || metrics) {
+    breaker_.set_on_transition([this, tracer, metrics](
+                                   fault::CircuitBreaker::State from,
+                                   fault::CircuitBreaker::State to,
+                                   double now) {
+      if (to == fault::CircuitBreaker::State::Closed) {
+        awaiting_recovery_ = true;
+      }
+      if (tracer) {
+        util::Json args = util::Json::object();
+        args.set("from", util::Json(fault::to_string(from)));
+        args.set("to", util::Json(fault::to_string(to)));
+        args.set("t", util::Json(now));
+        tracer->instant("fault.breaker", "fault", std::move(args));
+      }
+      if (metrics) {
+        metrics->counter("fault.breaker.transitions").inc();
+        metrics
+            ->counter(std::string("fault.breaker.to_") + fault::to_string(to))
+            .inc();
+      }
+    });
+  } else {
+    breaker_.set_on_transition(
+        [this](fault::CircuitBreaker::State, fault::CircuitBreaker::State to,
+               double) {
+          if (to == fault::CircuitBreaker::State::Closed) {
+            awaiting_recovery_ = true;
+          }
+        });
+  }
+}
+
+ServeReport FleetService::run() {
+  if (ran_) throw std::logic_error("FleetService::run: call once");
+  ran_ = true;
+  if (registry_.empty()) {
+    throw std::logic_error("FleetService::run: no model published");
+  }
+
+  for (std::size_t car = 0; car < options_.cars; ++car) {
+    schedule_arrival(car);
+  }
+  queue_.run_until(options_.duration_s);
+
+  // Arrival window closed: force-flush whatever the batcher still holds
+  // (partial batches included) and drain in-flight work.
+  draining_ = true;
+  try_dispatch();
+  queue_.run();
+
+  const double makespan = queue_.now();
+  report_.duration_s = makespan;
+  report_.throughput_rps =
+      makespan > 0.0 ? static_cast<double>(report_.completed) / makespan : 0.0;
+  report_.degradation.cloud_usage =
+      report_.records.empty()
+          ? 0.0
+          : static_cast<double>(cloud_requests_) /
+                static_cast<double>(report_.records.size());
+  report_.degradation.failovers = breaker_.times_opened();
+  report_.degradation.denied_calls = denied_batches_;
+  report_.degradation.degraded_time_s = breaker_.degraded_s(makespan);
+  report_.degradation.recovery_latency_s = recovery_latency_s_;
+  set_queue_gauge();
+  return report_;
+}
+
+void FleetService::schedule_arrival(std::size_t car) {
+  const double t =
+      queue_.now() + car_rng_[car].exponential(options_.mean_interarrival_s);
+  if (t >= options_.duration_s) return;
+  queue_.schedule_at(t, [this, car] { on_arrival(car); });
+}
+
+void FleetService::on_arrival(std::size_t car) {
+  const double now = queue_.now();
+  const auto snapshot = registry_.current();
+  ServeRequest request;
+  request.id = next_id_++;
+  request.car = car;
+  request.t_arrive = now;
+  request.sample = make_sample(car_rng_[car], *snapshot->model);
+
+  ++report_.requests;
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  if (metrics) metrics->counter("serve.requests").inc();
+
+  if (batcher_.pending() >= options_.queue_budget) {
+    shed_request(std::move(request));
+  } else {
+    batcher_.push(std::move(request));
+    set_queue_gauge();
+    try_dispatch();
+  }
+  schedule_arrival(car);
+}
+
+void FleetService::shed_request(ServeRequest request) {
+  const double now = queue_.now();
+  const auto snapshot = registry_.current();
+  ml::Prediction prediction;
+  snapshot->model->predict_batch(&request.sample, 1, &prediction);
+
+  // The car's own edge tier absorbs the overflow per-sample: degraded
+  // latency amortization, never a dropped command.
+  const gpu::DeviceSpec& edge = gpu::device(options_.continuum.edge_device);
+  const double exec_s =
+      gpu::inference_latency_s(edge, scaled_flops(*snapshot->model), 1);
+
+  ServeRecord record;
+  record.id = request.id;
+  record.car = request.car;
+  record.shed = true;
+  record.tier = Tier::Edge;
+  record.model_version = snapshot->version;
+  record.batch = 1;
+  record.t_arrive = request.t_arrive;
+  record.t_dispatch = now;
+  record.t_done = now + exec_s;
+  record.prediction = prediction;
+
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  if (metrics) metrics->counter("serve.shed").inc();
+  if (obs::Tracer* tracer = options_.continuum.tracer) {
+    util::Json args = util::Json::object();
+    args.set("car", util::Json(record.car));
+    args.set("queue_depth", util::Json(batcher_.pending()));
+    tracer->instant("serve.shed", "serve", std::move(args));
+    util::Json span = util::Json::object();
+    span.set("car", util::Json(record.car));
+    span.set("shed", util::Json(true));
+    span.set("tier", util::Json(to_string(record.tier)));
+    span.set("version", util::Json(record.model_version));
+    span.set("queued_s", util::Json(0.0));
+    span.set("exec_s", util::Json(exec_s));
+    tracer->complete("serve.request", "serve", record.t_arrive, record.t_done,
+                     std::move(span));
+  }
+  queue_.schedule_at(record.t_done, [this, record] { deliver(record); });
+}
+
+void FleetService::try_dispatch() {
+  while (!worker_busy_ && !batcher_.empty() &&
+         (draining_ || batcher_.ready(queue_.now()))) {
+    dispatch_batch();
+  }
+  if (!worker_busy_ && !draining_ && !batcher_.empty()) arm_deadline();
+}
+
+void FleetService::arm_deadline() {
+  if (deadline_armed_) return;
+  deadline_armed_ = true;
+  const double t = std::max(queue_.now(), batcher_.deadline());
+  queue_.schedule_at(t, [this] {
+    deadline_armed_ = false;
+    try_dispatch();
+  });
+}
+
+void FleetService::dispatch_batch() {
+  const double now = queue_.now();
+  std::vector<ServeRequest> batch = batcher_.take();
+  set_queue_gauge();
+  const std::size_t n = batch.size();
+  const auto snapshot = registry_.current();
+
+  // One batched forward through the GEMM backbone — this is the whole
+  // point of the batcher. Run it before pricing: conv layers size
+  // themselves on the first forward, so flops_per_sample() is only
+  // meaningful afterwards.
+  std::vector<ml::Sample> samples;
+  samples.reserve(n);
+  for (ServeRequest& r : batch) samples.push_back(std::move(r.sample));
+  std::vector<ml::Prediction> predictions(n);
+  snapshot->model->predict_batch(samples.data(), n, predictions.data());
+
+  const std::uint64_t flops = scaled_flops(*snapshot->model);
+  const Tier tier = choose_tier(now, n, flops);
+  const gpu::DeviceSpec& spec =
+      gpu::device(tier == Tier::Cloud ? options_.continuum.cloud_device
+                                      : options_.continuum.edge_device);
+  const double exec_s = gpu::inference_latency_s(spec, flops, n);
+  const double t_exec_done = now + exec_s;
+
+  double rtt_s = 0.0;
+  if (tier == Tier::Cloud) {
+    rtt_s = options_.continuum.network_rtt_s;
+    if (options_.continuum.rtt_jitter_s > 0.0) {
+      rtt_s += jitter_rng_.normal(0.0, options_.continuum.rtt_jitter_s);
+    }
+    rtt_s = std::max(0.0, rtt_s);
+  }
+  const double t_done = t_exec_done + rtt_s;
+
+  ++report_.batches;
+  report_.batch_sizes.push_back(n);
+  if (tier == Tier::Cloud) {
+    ++report_.cloud_batches;
+    cloud_requests_ += n;
+  } else {
+    ++report_.edge_batches;
+  }
+
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  obs::Tracer* tracer = options_.continuum.tracer;
+  if (metrics) {
+    metrics->counter("serve.batches").inc();
+    metrics->histogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64})
+        .observe(static_cast<double>(n));
+    metrics->histogram("serve.batch_exec_s").observe(exec_s);
+  }
+  if (tracer) {
+    util::Json args = util::Json::object();
+    args.set("size", util::Json(n));
+    args.set("tier", util::Json(to_string(tier)));
+    args.set("version", util::Json(snapshot->version));
+    args.set("exec_s", util::Json(exec_s));
+    tracer->complete("serve.batch", "serve", now, t_exec_done,
+                     std::move(args));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const ServeRequest& r = batch[i];
+    ServeRecord record;
+    record.id = r.id;
+    record.car = r.car;
+    record.shed = false;
+    record.tier = tier;
+    record.model_version = snapshot->version;
+    record.batch = n;
+    record.t_arrive = r.t_arrive;
+    record.t_dispatch = now;
+    record.t_done = t_done;
+    record.prediction = predictions[i];
+
+    const double queued_s = now - r.t_arrive;
+    if (metrics) metrics->histogram("serve.queued_s").observe(queued_s);
+    if (tracer) {
+      util::Json span = util::Json::object();
+      span.set("car", util::Json(record.car));
+      span.set("shed", util::Json(false));
+      span.set("tier", util::Json(to_string(tier)));
+      span.set("version", util::Json(record.model_version));
+      span.set("batch", util::Json(n));
+      span.set("queued_s", util::Json(queued_s));
+      span.set("exec_s", util::Json(exec_s));
+      span.set("rtt_s", util::Json(rtt_s));
+      tracer->complete("serve.request", "serve", record.t_arrive,
+                       record.t_done, std::move(span));
+    }
+    queue_.schedule_at(t_done, [this, record] { deliver(record); });
+  }
+
+  worker_busy_ = true;
+  queue_.schedule_at(t_exec_done, [this] {
+    worker_busy_ = false;
+    try_dispatch();
+  });
+}
+
+Tier FleetService::choose_tier(double now, std::size_t batch,
+                               std::uint64_t flops) {
+  bool want_cloud = false;
+  switch (options_.placement) {
+    case core::Placement::OnDevice:
+      want_cloud = false;
+      break;
+    case core::Placement::Cloud:
+      want_cloud = true;
+      break;
+    case core::Placement::Hybrid: {
+      // Per-batch cost gate on the same perf model the continuum uses:
+      // ship only when RTT + cloud compute beats local compute.
+      const double edge_s = gpu::inference_latency_s(
+          gpu::device(options_.continuum.edge_device), flops, batch);
+      const double cloud_s =
+          options_.continuum.network_rtt_s +
+          gpu::inference_latency_s(gpu::device(options_.continuum.cloud_device),
+                                   flops, batch);
+      want_cloud = cloud_s < edge_s;
+      break;
+    }
+  }
+  if (!want_cloud) return Tier::Edge;
+
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  if (!breaker_.allow(now)) {
+    ++denied_batches_;
+    report_.denied += batch;
+    if (metrics) metrics->counter("serve.denied").inc(batch);
+    return Tier::Edge;
+  }
+  const bool reachable = options_.continuum.cloud_probe
+                             ? options_.continuum.cloud_probe(now)
+                             : true;
+  if (!reachable) {
+    breaker_.record_failure(now);
+    ++report_.failover_batches;
+    if (metrics) metrics->counter("serve.failovers").inc();
+    return Tier::Edge;
+  }
+  breaker_.record_success(now);
+  if (awaiting_recovery_ && breaker_.last_closed_at() >= 0.0) {
+    recovery_latency_s_ = now - breaker_.last_closed_at();
+    awaiting_recovery_ = false;
+  }
+  return Tier::Cloud;
+}
+
+void FleetService::deliver(ServeRecord record) {
+  if (record.shed) {
+    ++report_.shed;
+  } else {
+    ++report_.completed;
+  }
+  ++report_.requests_by_version[record.model_version];
+  report_.records.push_back(std::move(record));
+}
+
+void FleetService::set_queue_gauge() {
+  if (obs::MetricsRegistry* metrics = options_.continuum.metrics) {
+    metrics->gauge("serve.queue_depth")
+        .set(static_cast<double>(batcher_.pending()));
+  }
+}
+
+ml::Sample FleetService::make_sample(util::Rng& rng,
+                                     const ml::DrivingModel& model) const {
+  ml::Sample s;
+  const std::size_t frames = std::max<std::size_t>(1, model.seq_len());
+  s.frames.reserve(frames);
+  for (std::size_t f = 0; f < frames; ++f) {
+    s.frames.emplace_back(options_.img_w, options_.img_h,
+                          static_cast<float>(rng.uniform(0.0, 1.0)));
+  }
+  for (std::size_t h = 0; h < model.history_len(); ++h) {
+    s.history.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+    s.history.push_back(0.5f);
+  }
+  return s;
+}
+
+std::uint64_t FleetService::scaled_flops(const ml::DrivingModel& model) const {
+  // Call sites run a forward first: conv layers size lazily, so
+  // flops_per_sample() only counts the full stack after one pass.
+  return static_cast<std::uint64_t>(
+      static_cast<double>(model.flops_per_sample()) *
+      options_.continuum.flops_scale);
+}
+
+}  // namespace autolearn::serve

@@ -1,0 +1,107 @@
+// Fleet inference service on the simulated clock.
+//
+// N cars emit observations with exponential interarrival times into a
+// shared service queue; a dynamic batcher forms batches (flush on cap or
+// age-out) and a placement-aware worker executes each batch as ONE
+// predict_batch call through the GEMM backbone, priced by the
+// gpu::perf_model batched latency. Placement semantics mirror
+// core::Continuum:
+//
+//   OnDevice  every batch runs on the edge device spec
+//   Cloud     batches ship to the cloud device; responses pay RTT+jitter;
+//             the circuit breaker guards the cloud — denied or
+//             probe-failed batches fail over to the edge spec
+//   Hybrid    per-batch cost gate: the cheaper of edge vs RTT+cloud wins
+//             (cloud still behind the breaker)
+//
+// Admission control: when the queue already holds queue_budget requests a
+// new arrival is shed — the car's own edge tier answers it per-sample
+// (graceful degradation, never an error). Everything runs on one
+// util::EventQueue with per-car Rng splits, so a seed pins the arrival
+// schedule, the batch boundaries, and the whole ServeReport bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/continuum.hpp"
+#include "serve/batcher.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/report.hpp"
+#include "util/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::serve {
+
+struct FleetOptions {
+  std::size_t cars = 8;
+  double duration_s = 10.0;            // arrival window (virtual seconds)
+  double mean_interarrival_s = 0.1;    // per car, exponential
+  BatcherConfig batcher;
+  core::Placement placement = core::Placement::Cloud;
+  /// Device specs, RTT/jitter, flops_scale, breaker config, cloud_probe,
+  /// and the tracer/metrics sinks all come from here — the serving tier
+  /// reuses the continuum's cost model wholesale.
+  core::ContinuumOptions continuum;
+  /// Admission control: arrivals beyond this many pending requests are
+  /// shed to per-sample edge execution.
+  std::size_t queue_budget = 64;
+  /// Observation geometry for synthetic fleet frames; must match the
+  /// served model's input (ml::ModelConfig defaults).
+  std::size_t img_w = 32;
+  std::size_t img_h = 24;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+class FleetService {
+ public:
+  /// The service borrows the queue (so tests can co-schedule hot-swaps or
+  /// chaos on the same clock) and reads the registry at every dispatch.
+  FleetService(util::EventQueue& queue, ModelRegistry& registry,
+               FleetOptions options);
+
+  /// Runs the full scenario: arrivals for duration_s, then drains the
+  /// queue (partial batches force-flush). Call once.
+  ServeReport run();
+
+  const fault::CircuitBreaker& breaker() const { return breaker_; }
+
+ private:
+  void schedule_arrival(std::size_t car);
+  void on_arrival(std::size_t car);
+  void shed_request(ServeRequest request);
+  void try_dispatch();
+  void arm_deadline();
+  void dispatch_batch();
+  Tier choose_tier(double now, std::size_t batch, std::uint64_t flops);
+  void deliver(ServeRecord record);
+  void set_queue_gauge();
+  ml::Sample make_sample(util::Rng& rng,
+                         const ml::DrivingModel& model) const;
+  std::uint64_t scaled_flops(const ml::DrivingModel& model) const;
+
+  util::EventQueue& queue_;
+  ModelRegistry& registry_;
+  FleetOptions options_;
+  DynamicBatcher batcher_;
+  fault::CircuitBreaker breaker_;
+  util::Rng rng_;
+  std::vector<util::Rng> car_rng_;
+  util::Rng jitter_rng_{0};
+
+  std::uint64_t next_id_ = 1;
+  bool worker_busy_ = false;
+  bool deadline_armed_ = false;
+  bool draining_ = false;
+  bool ran_ = false;
+  bool awaiting_recovery_ = false;
+  std::size_t denied_batches_ = 0;
+  std::size_t cloud_requests_ = 0;
+  double recovery_latency_s_ = 0.0;
+
+  ServeReport report_;
+};
+
+}  // namespace autolearn::serve

@@ -5,6 +5,7 @@
 #include "data/tub.hpp"
 #include "eval/evaluator.hpp"
 #include "eval/pilot.hpp"
+#include "gpu/perf_model.hpp"
 #include "ml/trainer.hpp"
 #include "track/track.hpp"
 
@@ -109,6 +110,32 @@ TEST(Evaluator, LatencyHurtsDriving) {
   // More errors or less distance — either signals degradation.
   EXPECT_TRUE(r_slow.errors > r_fast.errors ||
               r_slow.distance_m < r_fast.distance_m);
+}
+
+TEST(Evaluator, PerfModelPathMatchesFixedLatencyAtBatchOne) {
+  // Command-latency accounting through the batched perf-model path: at
+  // batch 1 it must be indistinguishable from folding the same inference
+  // latency into command_latency_s by hand.
+  const track::Track t = track::Track::paper_oval();
+  CentroidPilot pilot;
+  const gpu::DeviceSpec& pi = gpu::device("RaspberryPi4");
+  const std::uint64_t flops = 20'000'000;
+
+  EvalOptions modeled;
+  modeled.duration_s = 20.0;
+  modeled.infer_device = &pi;
+  modeled.infer_flops = flops;
+  modeled.infer_batch = 1;
+
+  EvalOptions legacy;
+  legacy.duration_s = 20.0;
+  legacy.command_latency_s = gpu::inference_latency_s(pi, flops);
+
+  const EvalResult a = run_evaluation(t, pilot, modeled);
+  const EvalResult b = run_evaluation(t, pilot, legacy);
+  EXPECT_EQ(a.errors, b.errors);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_DOUBLE_EQ(a.distance_m, b.distance_m);
 }
 
 // End-to-end: collect -> train -> closed-loop drive. The trained model

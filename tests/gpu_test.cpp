@@ -109,6 +109,42 @@ TEST(Inference, SmallerModelIsFaster) {
             inference_latency_s(pi, 50'000'000));
 }
 
+TEST(Inference, BatchOfOneMatchesSingleSignatureBitwise) {
+  // The legacy single-sample signature is defined as the batched variant
+  // at batch = 1 — equal bits, not just equal-ish values.
+  for (const std::string& name : all_devices()) {
+    const DeviceSpec& spec = device(name);
+    for (std::uint64_t flops : {0ull, 1'000'000ull, 50'000'000ull}) {
+      EXPECT_EQ(inference_latency_s(spec, flops),
+                inference_latency_s(spec, flops, 1))
+          << name << " @ " << flops;
+    }
+  }
+}
+
+TEST(Inference, BatchingAmortizesPerCallOverhead) {
+  const DeviceSpec& v100 = device("V100");
+  const std::uint64_t model_flops = 2'000'000;  // DonkeyCar-class
+  const double single = inference_latency_s(v100, model_flops, 1);
+  for (std::size_t batch : {8u, 32u}) {
+    const double batched = inference_latency_s(v100, model_flops, batch);
+    // A batch costs more than one call but far less than `batch` calls.
+    EXPECT_GT(batched, single);
+    EXPECT_LT(batched, static_cast<double>(batch) * single);
+    // Per-request cost strictly improves with batching.
+    EXPECT_LT(batched / static_cast<double>(batch), single);
+  }
+  // Small models are overhead-bound: cap-32 batching must amortize at
+  // least 3x per request on a datacenter GPU.
+  EXPECT_GT(single / (inference_latency_s(v100, model_flops, 32) / 32.0),
+            3.0);
+}
+
+TEST(Inference, BatchZeroThrows) {
+  EXPECT_THROW(inference_latency_s(device("V100"), 1'000'000, 0),
+               std::invalid_argument);
+}
+
 TEST(Scaling, EfficiencyRanges) {
   EXPECT_EQ(scaling_efficiency(Interconnect::None), 1.0);
   EXPECT_GT(scaling_efficiency(Interconnect::NVLink),

@@ -1,0 +1,163 @@
+// Golden-trace regression for the fleet serving tier (ctest -L trace).
+//
+// A small serving scenario exercises the whole pipeline on the virtual
+// clock — dynamic batching, a cloud outage tripping the breaker, load
+// shedding under a full-scale flops profile, and a mid-run model hot-swap.
+// The canonical trace is its behavioral fingerprint; any drift in batch
+// boundaries, breaker timing, or shed decisions moves a span and fails the
+// byte comparison.
+//
+// Regenerate after an *intended* behavioral change with:
+//   AUTOLEARN_REGEN_GOLDEN=1 ./serve_trace_test
+// and commit the updated tests/golden/ file with the change that moved it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/service.hpp"
+#include "util/event_queue.hpp"
+#include "util/json.hpp"
+
+namespace autolearn {
+namespace {
+
+#ifndef AUTOLEARN_GOLDEN_DIR
+#error "serve_trace_test requires AUTOLEARN_GOLDEN_DIR"
+#endif
+
+struct ServeOut {
+  std::string trace;
+  std::string metrics;
+  serve::ServeReport report;
+};
+
+/// Three cars against a cloud-placed service for 0.3 virtual seconds at
+/// full-scale FLOPs: the slow worker backs the queue up past the budget
+/// (sheds), the cloud goes dark in [0.10, 0.20) (breaker trips, fails
+/// over, recovers), and a retrained model hot-swaps in at 0.15.
+ServeOut run_small_serve(std::uint64_t seed) {
+  util::EventQueue queue;
+  obs::Tracer tracer;
+  tracer.use_clock([&queue] { return queue.now(); });
+  obs::MetricsRegistry metrics;
+
+  serve::ModelRegistry registry;
+  registry.instrument(&tracer, &metrics);
+  ml::ModelConfig cfg;
+  cfg.seed = 42;
+  registry.publish(
+      std::shared_ptr<ml::DrivingModel>(
+          ml::make_model(ml::ModelType::Linear, cfg)),
+      "bootstrap");
+  queue.schedule_at(0.15, [&registry] {
+    ml::ModelConfig retrained;
+    retrained.seed = 1234;
+    registry.publish(
+        std::shared_ptr<ml::DrivingModel>(
+            ml::make_model(ml::ModelType::Linear, retrained)),
+        "retrain-1");
+  });
+
+  serve::FleetOptions opt;
+  opt.cars = 3;
+  opt.duration_s = 0.3;
+  opt.mean_interarrival_s = 0.008;
+  opt.batcher.max_batch = 4;
+  opt.batcher.max_delay_s = 0.01;
+  opt.placement = core::Placement::Cloud;
+  opt.queue_budget = 6;
+  opt.seed = seed;
+  opt.continuum.flops_scale = 1500.0;  // the paper's 160x120 full stack
+  // One dark probe trips the breaker: the failover batch runs on the Pi,
+  // which is slow enough at full scale that a second pre-recovery probe
+  // would never happen.
+  opt.continuum.breaker.failure_threshold = 1;
+  opt.continuum.breaker.open_duration_s = 0.05;
+  opt.continuum.cloud_probe = [](double now) {
+    return now < 0.10 || now >= 0.20;
+  };
+  opt.continuum.tracer = &tracer;
+  opt.continuum.metrics = &metrics;
+
+  serve::FleetService service(queue, registry, opt);
+  ServeOut out;
+  out.report = service.run();
+  out.trace = tracer.dump();
+  out.metrics = metrics.to_json().dump();
+  return out;
+}
+
+std::string golden_path() {
+  return std::string(AUTOLEARN_GOLDEN_DIR) + "/serve_small.trace.json";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(GoldenServeTrace, SmallServeMatchesSnapshot) {
+  const ServeOut run = run_small_serve(9);
+  if (std::getenv("AUTOLEARN_REGEN_GOLDEN")) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    out << run.trace;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  EXPECT_EQ(run.trace, read_file(golden_path()))
+      << "Canonical serve trace drifted from tests/golden/. If the "
+         "behavioral change is intended, run AUTOLEARN_REGEN_GOLDEN=1 "
+         "./serve_trace_test and commit the new snapshot.";
+}
+
+TEST(GoldenServeTrace, ScenarioCoversTheServeSpanCatalog) {
+  const ServeOut run = run_small_serve(9);
+  for (const char* needle :
+       {"serve.request", "serve.batch", "serve.shed", "serve.model_swap",
+        "fault.breaker"}) {
+    EXPECT_NE(run.trace.find(needle), std::string::npos)
+        << "missing " << needle;
+  }
+  // The scenario must actually exercise every degraded path it claims to.
+  EXPECT_GT(run.report.shed, 0u);
+  EXPECT_GE(run.report.degradation.failovers, 1u);
+  EXPECT_GT(run.report.cloud_batches, 0u);
+  EXPECT_GT(run.report.edge_batches, 0u);
+  EXPECT_EQ(run.report.requests_by_version.size(), 2u);
+}
+
+TEST(ServeTraceDeterminism, SameSeedSameBytes) {
+  const ServeOut a = run_small_serve(9);
+  const ServeOut b = run_small_serve(9);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.report.to_json().dump(), b.report.to_json().dump());
+
+  const ServeOut c = run_small_serve(10);
+  EXPECT_NE(a.trace, c.trace);
+}
+
+TEST(ServeTraceDeterminism, ExportIsValidChromeTraceEventFormat) {
+  const ServeOut run = run_small_serve(9);
+  const util::Json parsed = util::Json::parse(run.trace);
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_GT(events.size(), 10u);
+  for (const util::Json& e : events) {
+    ASSERT_TRUE(e.contains("name"));
+    ASSERT_TRUE(e.contains("ph"));
+    ASSERT_TRUE(e.contains("ts"));
+  }
+}
+
+}  // namespace
+}  // namespace autolearn
