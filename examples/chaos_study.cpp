@@ -14,10 +14,15 @@
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "core/continuum.hpp"
 #include "core/pipeline.hpp"
 #include "fault/chaos.hpp"
+#include "fault/preempt.hpp"
+#include "ml/trainer.hpp"
+#include "objectstore/objectstore.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "track/track.hpp"
@@ -137,6 +142,110 @@ int main(int argc, char** argv) {
     run_scenario("random plan", planner.random_plan(popt));
   }
 
+  // --- Part 2: lease preemption during training ---------------------------
+  //
+  // A Chameleon lease ending mid-fit is a SIGKILL — the process gets no
+  // chance to save. The checkpoint interval decides the blast radius: the
+  // batches trained since the last durable generation are re-run on
+  // resume, everything older is recovered from the store, and the resumed
+  // fit continues bitwise-identically either way. Each row kills the same
+  // fit at the same seed-drawn tick and only varies the interval.
+  std::cout << "\nTraining under lease preemption (same kill, four "
+               "checkpoint intervals)...\n";
+
+  // A small synthetic steering task: a bright vertical band whose column
+  // position encodes the steering label.
+  ml::ModelConfig mcfg;
+  mcfg.seed = seed;
+  std::vector<ml::Sample> band_train;
+  {
+    util::Rng data_rng(seed + 1);
+    for (int i = 0; i < 96; ++i) {
+      const std::size_t col = static_cast<std::size_t>(data_rng.uniform_int(
+          2, static_cast<std::int64_t>(mcfg.img_w) - 3));
+      camera::Image img(mcfg.img_w, mcfg.img_h, 0.1f);
+      for (std::size_t y = 0; y < mcfg.img_h; ++y) {
+        for (std::size_t dx = 0; dx < 3; ++dx) img.at(col - 1 + dx, y) = 0.9f;
+      }
+      ml::Sample s;
+      s.frames.push_back(img);
+      s.steering = static_cast<float>(
+          2.0 * static_cast<double>(col) / (mcfg.img_w - 1) - 1.0);
+      s.throttle = 0.5f;
+      band_train.push_back(std::move(s));
+    }
+  }
+  const std::vector<ml::Sample> no_val;
+
+  util::TablePrinter preempt_table({"ckpt interval", "kill tick",
+                                    "batches lost", "recovered", "saves",
+                                    "ckpt KB"});
+  std::string last_timeline;
+  for (const std::size_t interval : {std::size_t{0}, std::size_t{4},
+                                     std::size_t{2}, std::size_t{1}}) {
+    util::EventQueue queue;
+    objectstore::ObjectStore blobs;
+    ckpt::StoreOptions sopt;
+    sopt.spill_dir = "checkpoints";  // git-ignored local envelope copies
+    ckpt::CheckpointStore ckpts(blobs, sopt);
+    ckpts.instrument(nullptr, &metrics);
+    // Same seed every iteration => the engine draws the same kill tick.
+    fault::ChaosEngine engine(queue, seed);
+    engine.attach_checkpoints(ckpts);
+    engine.instrument(nullptr, &metrics);
+
+    ml::TrainOptions topt;
+    topt.epochs = 2;  // long epochs: the interval, not the epoch boundary,
+    topt.batch_size = 8;  // decides how much work a kill destroys
+    topt.metrics = &metrics;
+    topt.checkpoint_store = &ckpts;
+    topt.checkpoint_key =
+        "lease-fit-every-" + (interval ? std::to_string(interval) : "epoch");
+    topt.checkpoint_every_batches = interval;
+    const std::size_t total_batches =
+        (band_train.size() / topt.batch_size) * topt.epochs;
+
+    fault::PreemptionToken token;
+    fault::PreemptPlanOptions window;
+    window.min_tick = 2;
+    window.max_tick = 2 * total_batches - 1;
+    const std::uint64_t tick = engine.arm_preemption(token, window);
+    const std::uint64_t bytes0 = metrics.counter_value("ckpt.save_bytes");
+
+    std::size_t done_before_kill = 0;
+    {
+      ml::TrainOptions killed = topt;
+      killed.preempt = &token;
+      auto doomed = ml::make_model(ml::ModelType::Linear, mcfg);
+      ml::Trainer trainer(*doomed, band_train, no_val, killed);
+      try {
+        trainer.fit();
+      } catch (const fault::PreemptedError& e) {
+        done_before_kill = static_cast<std::size_t>(e.tick() / 2);
+      }
+    }  // the leased node is gone; only the checkpoint store survives
+
+    auto model = ml::make_model(ml::ModelType::Linear, mcfg);
+    ml::Trainer trainer(*model, band_train, no_val, topt);
+    const ml::TrainResult r = trainer.fit();
+    const std::size_t recovered = total_batches - r.batches_run;
+    const std::size_t lost = done_before_kill - recovered;
+    engine.record_preempt_outcome(lost, recovered);
+
+    preempt_table.add_row(
+        {interval ? std::to_string(interval) +
+                        (interval == 1 ? " batch" : " batches")
+                  : "epoch end",
+         util::TablePrinter::num(static_cast<long long>(tick)),
+         util::TablePrinter::num(static_cast<long long>(lost)),
+         util::TablePrinter::num(static_cast<long long>(recovered)),
+         util::TablePrinter::num(static_cast<long long>(ckpts.saves())),
+         util::TablePrinter::num(
+             (metrics.counter_value("ckpt.save_bytes") - bytes0) / 1024.0,
+             1)});
+    last_timeline = engine.report().summary();
+  }
+
   tracer.use_clock({});  // the scenario queues are gone
   tracer.write_file("chaos_study.trace.json");
 
@@ -148,6 +257,18 @@ int main(int argc, char** argv) {
                "\nedge-only steering instead of a stalled loop — cloud usage"
                "\ndips for roughly the degraded window, then the half-open"
                "\nprobes re-admit the cloud within a control period or two.\n";
+
+  std::cout << "\n";
+  preempt_table.print(std::cout,
+                      "Work lost to a mid-fit lease kill vs checkpoint "
+                      "interval (seed " +
+                          std::to_string(seed) + ")");
+  std::cout << "\nReading the table: every resumed fit finishes bitwise-"
+               "\nidentically to an uninterrupted one; the interval only"
+               "\ntrades re-run batches (recovery time) against checkpoint"
+               "\nbytes shipped. Durable envelopes spill to ./checkpoints/."
+               "\n\nLast run's fault timeline:\n"
+            << last_timeline;
   std::cout << "\nWrote chaos_study.trace.json (" << tracer.size()
             << " events from the random-plan run) — open it at"
                "\nhttps://ui.perfetto.dev or chrome://tracing; see"

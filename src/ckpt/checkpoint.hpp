@@ -1,0 +1,205 @@
+// Durable checkpoint / restore subsystem for the continuum.
+//
+// Training runs on leased, preemptible nodes (the paper's students lose
+// multi-hour fits to lease expiry), workflow cells die mid-run, and the
+// serving tier restarts from nothing — so every stage that accumulates
+// state persists it here. A CheckpointStore keeps versioned *generations*
+// of a checkpoint key in the objectstore:
+//
+//   - Atomic write-rename: bytes are staged under "<key>#staging" and only
+//     become the visible generation "<key>#gen-N" at commit, so a crashed
+//     or failed upload never leaves a half-written current checkpoint.
+//   - Self-describing binary envelope: magic + version header, the saver's
+//     epoch/step/seed, payload length, and a CRC32 of the payload. A
+//     flipped byte or a truncated upload fails decode at load time.
+//   - Corruption is quarantined, not fatal: load_latest() walks
+//     generations newest -> oldest, moves undecodable ones aside
+//     ("<key>#gen-N#quarantined") and falls back to the previous
+//     generation instead of crashing or silently misloading.
+//   - A manifest object ("<key>#manifest", JSON) lists the live
+//     generations with epoch/step/seed/metrics; retention keeps the last
+//     `keep_generations`.
+//   - Uploads optionally travel through net::TransferManager, inheriting
+//     its retry/backoff and the chaos layer's link faults: a failed
+//     transfer leaves the previous generation current, and an injected
+//     truncation (FaultKind::CheckpointTruncate) commits a prefix whose
+//     CRC cannot match.
+//
+// Anything that can be preempted implements Checkpointable (ml::Trainer,
+// workflow::Notebook, published models via serve::ModelRegistry) and round
+// trips through save_checkpoint()/restore_checkpoint().
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/transfer.hpp"
+#include "objectstore/objectstore.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace autolearn::ckpt {
+
+/// CRC32 (IEEE 802.3 polynomial, the zlib convention) over a byte span.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+class CheckpointError : public std::runtime_error {
+ public:
+  enum class Code {
+    BadMagic,       // not a checkpoint envelope
+    BadVersion,     // format from the future
+    Truncated,      // envelope shorter than its declared payload
+    CrcMismatch,    // payload bytes corrupted
+    NotFound,       // no such key / no valid generation
+  };
+
+  CheckpointError(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  Code code() const { return code_; }
+
+ private:
+  Code code_;
+};
+
+/// Saver-supplied progress metadata, carried in the envelope header and the
+/// manifest so recovery tooling can pick a generation without decoding it.
+struct CheckpointInfo {
+  std::uint64_t epoch = 0;
+  std::uint64_t step = 0;
+  std::uint64_t seed = 0;
+  std::string note;                       // free-form provenance
+  std::map<std::string, double> metrics;  // e.g. {"val_loss": 0.004}
+};
+
+/// One manifest entry (a committed generation).
+struct GenerationInfo {
+  std::uint64_t generation = 0;
+  std::uint64_t bytes = 0;  // full envelope size as committed
+  std::uint32_t crc = 0;    // payload CRC recorded at save time
+  bool quarantined = false;
+  CheckpointInfo info;
+};
+
+/// Binary envelope codec (exposed for tests and for tools that inspect
+/// spilled .ckpt files). encode() returns the full envelope; decode()
+/// validates magic/version/length/CRC and throws CheckpointError.
+std::vector<std::uint8_t> encode_envelope(const std::string& payload,
+                                          const CheckpointInfo& info);
+struct DecodedEnvelope {
+  std::string payload;
+  CheckpointInfo info;  // metrics are manifest-only; note/epoch/step/seed set
+};
+DecodedEnvelope decode_envelope(const std::vector<std::uint8_t>& bytes);
+
+struct StoreOptions {
+  std::string container = "checkpoints";
+  /// Retention: live generations kept per key (older ones are deleted at
+  /// commit time). Must be >= 1.
+  std::size_t keep_generations = 3;
+  /// When non-empty, committed envelopes are also spilled to local files
+  /// "<dir>/<key>.gen-N.ckpt" (examples use ./checkpoints; git-ignored).
+  std::string spill_dir;
+};
+
+class CheckpointStore {
+ public:
+  CheckpointStore(objectstore::ObjectStore& store, StoreOptions options = {});
+
+  /// Observability sinks (either may be null): "ckpt.save"/"ckpt.restore"
+  /// spans, byte/outcome counters, and a per-key generation gauge.
+  void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// Routes every save through the simulated network: the envelope is
+  /// staged immediately, but the commit (rename + manifest update) happens
+  /// only when the transfer completes. Retries/backoff come from the
+  /// manager's policy; a Failed transfer (or no route at start) counts as
+  /// an upload failure and leaves the previous generation current.
+  void use_transfer(net::TransferManager& transfers, std::string from_host,
+                    std::string to_host);
+
+  /// Saves one generation. Returns the generation number assigned (commit
+  /// may still be in flight when a transfer path is wired — pump the event
+  /// queue to land it).
+  std::uint64_t save(const std::string& key, const std::string& payload,
+                     const CheckpointInfo& info);
+
+  struct Loaded {
+    std::string payload;
+    GenerationInfo generation;
+    std::size_t quarantined_now = 0;  // corrupt generations skipped this load
+  };
+
+  /// Newest generation that decodes cleanly; corrupt ones are quarantined
+  /// and skipped. nullopt when the key has no loadable generation.
+  std::optional<Loaded> load_latest(const std::string& key);
+
+  /// Manifest view (newest last). Empty when the key has never committed.
+  std::vector<GenerationInfo> manifest(const std::string& key) const;
+
+  /// Chaos hook (FaultKind::CheckpointTruncate): the next commit keeps only
+  /// `fraction` of its envelope bytes, modeling a torn upload the object
+  /// store accepted. CRC catches it at load time.
+  void truncate_next_upload(double fraction);
+
+  std::size_t saves() const { return saves_; }
+  std::size_t upload_failures() const { return upload_failures_; }
+  std::size_t quarantined() const { return quarantined_; }
+  std::size_t pending_uploads() const { return pending_uploads_; }
+  const StoreOptions& options() const { return options_; }
+
+ private:
+  void commit(const std::string& key, std::uint64_t generation,
+              std::vector<std::uint8_t> bytes, const CheckpointInfo& info,
+              std::uint32_t payload_crc);
+  void quarantine(const std::string& key, std::uint64_t generation);
+  util::Json read_manifest(const std::string& key) const;
+  void write_manifest(const std::string& key, const util::Json& manifest);
+  std::string object_name(const std::string& key,
+                          std::uint64_t generation) const;
+  void spill(const std::string& key, std::uint64_t generation,
+             const std::vector<std::uint8_t>& bytes) const;
+
+  objectstore::ObjectStore& store_;
+  StoreOptions options_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  net::TransferManager* transfers_ = nullptr;
+  std::string from_host_, to_host_;
+  std::optional<double> truncate_fraction_;
+  std::size_t saves_ = 0;
+  std::size_t upload_failures_ = 0;
+  std::size_t quarantined_ = 0;
+  std::size_t pending_uploads_ = 0;
+};
+
+/// Implemented by anything that can be preempted and resumed: the object
+/// serializes *all* state needed to continue exactly where it stopped
+/// (for ml::Trainer that means optimizer moments, RNG streams, and loop
+/// counters — resumed training is bitwise-identical to uninterrupted).
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Stable identifier written into checkpoint notes ("ml.trainer", ...).
+  virtual const char* checkpoint_kind() const = 0;
+
+  virtual void save_state(std::ostream& os) = 0;
+  virtual void load_state(std::istream& is) = 0;
+};
+
+/// Serializes `object` and saves it under `key`. Returns the generation.
+std::uint64_t save_checkpoint(CheckpointStore& store, const std::string& key,
+                              Checkpointable& object, CheckpointInfo info);
+
+/// Restores `object` from the newest valid generation of `key`. Returns
+/// false when no loadable checkpoint exists (fresh start).
+bool restore_checkpoint(CheckpointStore& store, const std::string& key,
+                        Checkpointable& object);
+
+}  // namespace autolearn::ckpt

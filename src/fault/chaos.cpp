@@ -23,6 +23,9 @@ void ChaosEngine::attach_containers(edge::ContainerService& containers) {
 void ChaosEngine::attach_leases(testbed::LeaseManager& leases) {
   leases_ = &leases;
 }
+void ChaosEngine::attach_checkpoints(ckpt::CheckpointStore& checkpoints) {
+  checkpoints_ = &checkpoints;
+}
 
 void ChaosEngine::instrument(obs::Tracer* tracer,
                              obs::MetricsRegistry* metrics) {
@@ -79,6 +82,14 @@ void ChaosEngine::inject(const FaultSpec& spec) {
     case FaultKind::LeasePreempt:
       if (!leases_) throw std::logic_error("chaos: no lease manager attached");
       break;
+    case FaultKind::CheckpointTruncate:
+      if (!checkpoints_) {
+        throw std::logic_error("chaos: no checkpoint store attached");
+      }
+      break;
+    case FaultKind::TrainPreempt:
+      throw std::logic_error(
+          "chaos: TrainPreempt is armed via arm_preemption(), not inject()");
   }
   // Scheduled-outage accounting happens at planning time so the report
   // reflects the plan even if the run ends inside a fault window.
@@ -152,6 +163,17 @@ void ChaosEngine::apply(const FaultSpec& spec) {
       }
       break;
     }
+    case FaultKind::CheckpointTruncate: {
+      checkpoints_->truncate_next_upload(spec.truncate_frac);
+      std::ostringstream detail;
+      detail << "next upload keeps " << spec.truncate_frac
+             << " of its bytes";
+      record(spec.kind, spec.target.empty() ? "checkpoints" : spec.target,
+             false, detail.str());
+      break;
+    }
+    case FaultKind::TrainPreempt:
+      break;  // unreachable: rejected at inject()
   }
 }
 
@@ -172,10 +194,40 @@ void ChaosEngine::revert(const FaultSpec& spec) {
       break;
     case FaultKind::ContainerKill:
     case FaultKind::LeasePreempt:
-      // One-shot faults: recovery (auto-restart, a fresh lease) is the
-      // responsibility of the resilience policies under test.
+    case FaultKind::TrainPreempt:
+    case FaultKind::CheckpointTruncate:
+      // One-shot faults: recovery (auto-restart, a fresh lease, a resume
+      // from the checkpoint store) is the responsibility of the resilience
+      // policies under test.
       break;
   }
+}
+
+std::uint64_t ChaosEngine::arm_preemption(
+    PreemptionToken& token, const PreemptPlanOptions& options) {
+  if (options.min_tick == 0 || options.max_tick < options.min_tick) {
+    throw std::invalid_argument("chaos: bad preemption tick window");
+  }
+  const std::uint64_t tick = static_cast<std::uint64_t>(
+      rng_.uniform_int(static_cast<std::int64_t>(options.min_tick),
+                       static_cast<std::int64_t>(options.max_tick)));
+  token.arm(tick);
+  token.set_on_fire([this](std::uint64_t fired_at) {
+    ++report_.preemptions;
+    record(FaultKind::TrainPreempt, "trainer", false,
+           "killed at tick " + std::to_string(fired_at));
+  });
+  return tick;
+}
+
+void ChaosEngine::record_preempt_outcome(std::size_t batches_lost,
+                                         std::size_t batches_recovered) {
+  report_.batches_lost += batches_lost;
+  report_.batches_recovered += batches_recovered;
+  record(FaultKind::TrainPreempt, "trainer", true,
+         std::to_string(batches_lost) + " batch(es) lost, " +
+             std::to_string(batches_recovered) +
+             " recovered from checkpoint");
 }
 
 std::vector<FaultSpec> ChaosEngine::random_plan(

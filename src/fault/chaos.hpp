@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "edge/container.hpp"
 #include "edge/registry.hpp"
+#include "fault/preempt.hpp"
 #include "fault/report.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
@@ -37,6 +39,8 @@ struct FaultSpec {
   double loss_add = 0.0;
   double bandwidth_mult = 1.0;
   std::uint64_t id = 0;  // container id (ContainerKill) / lease id (optional)
+  // CheckpointTruncate: fraction of the next upload's bytes that survive.
+  double truncate_frac = 0.5;
 };
 
 /// Knobs for random_plan(): a horizon, a fault budget, and the blast
@@ -52,6 +56,15 @@ struct RandomPlanOptions {
   double loss_add = 0.3;
 };
 
+/// Tick window for ChaosEngine::arm_preemption(): the fatal tick is drawn
+/// uniformly in [min_tick, max_tick] from the engine seed. ml::Trainer
+/// ticks twice per batch, so a window of [1, 2*batches] can kill at any
+/// boundary or mid-batch point.
+struct PreemptPlanOptions {
+  std::uint64_t min_tick = 1;
+  std::uint64_t max_tick = 16;
+};
+
 class ChaosEngine {
  public:
   ChaosEngine(util::EventQueue& queue, std::uint64_t seed = 42);
@@ -62,6 +75,7 @@ class ChaosEngine {
   void attach_registry(edge::EdgeRegistry& registry);
   void attach_containers(edge::ContainerService& containers);
   void attach_leases(testbed::LeaseManager& leases);
+  void attach_checkpoints(ckpt::CheckpointStore& checkpoints);
 
   /// Schedules one fault (and its recovery when duration > 0).
   void inject(const FaultSpec& spec);
@@ -70,6 +84,20 @@ class ChaosEngine {
   /// Generates a reproducible plan from the engine's seed: partition and
   /// link-degradation windows at random times within the horizon.
   std::vector<FaultSpec> random_plan(const RandomPlanOptions& options);
+
+  /// Arms a training kill (FaultKind::TrainPreempt): draws the fatal tick
+  /// from the engine seed, arms the token, and hooks its on_fire so the
+  /// kill lands in the report/trace the moment the loop dies. Returns the
+  /// drawn tick so experiments can print/replay it.
+  std::uint64_t arm_preemption(PreemptionToken& token,
+                               const PreemptPlanOptions& options = {});
+
+  /// Called by the driver after a preempted stage resumed: credits the
+  /// checkpoint subsystem with the batches it saved and charges the kill
+  /// with the batches it destroyed. Recorded as the recovery half of the
+  /// TrainPreempt fault.
+  void record_preempt_outcome(std::size_t batches_lost,
+                              std::size_t batches_recovered);
 
   const ChaosReport& report() const { return report_; }
 
@@ -92,6 +120,7 @@ class ChaosEngine {
   edge::EdgeRegistry* registry_ = nullptr;
   edge::ContainerService* containers_ = nullptr;
   testbed::LeaseManager* leases_ = nullptr;
+  ckpt::CheckpointStore* checkpoints_ = nullptr;
   ChaosReport report_;
 };
 

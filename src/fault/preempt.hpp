@@ -1,0 +1,75 @@
+// Cooperative preemption for compute loops that run *between* events on
+// the virtual clock (ml::Trainer's fit most of all).
+//
+// A Chameleon lease ending mid-fit is a SIGKILL: the process gets no
+// chance to checkpoint. We model that with a PreemptionToken armed at a
+// "tick" — the instrumented loop calls tick() at every preemption point
+// (ml::Trainer ticks at each batch boundary and again mid-batch, right
+// after the GEMM-backed train_batch), and when the armed tick is reached
+// the loop throws PreemptedError. Work since the last durable checkpoint
+// is lost, exactly like a real kill; recovery restarts from the
+// CheckpointStore. ChaosEngine::arm_preemption() draws the fatal tick from
+// the engine seed so kill points are reproducible experiment inputs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+namespace autolearn::fault {
+
+/// Thrown by an instrumented loop at its armed preemption point.
+class PreemptedError : public std::runtime_error {
+ public:
+  PreemptedError(std::uint64_t tick, const std::string& what)
+      : std::runtime_error(what), tick_(tick) {}
+  /// The tick count at which the kill fired.
+  std::uint64_t tick() const { return tick_; }
+
+ private:
+  std::uint64_t tick_;
+};
+
+class PreemptionToken {
+ public:
+  /// Arms the token: tick() returns true when the running tick count
+  /// reaches `fire_tick` (1-based; tick 1 is the first preemption point).
+  void arm(std::uint64_t fire_tick) {
+    fire_tick_ = fire_tick;
+    fired_ = false;
+  }
+
+  bool armed() const { return fire_tick_ != 0 && !fired_; }
+  std::uint64_t fire_tick() const { return fire_tick_; }
+  std::uint64_t ticks() const { return ticks_; }
+  bool fired() const { return fired_; }
+
+  /// Notifies an observer (the chaos engine records the kill in its
+  /// report) the moment the token fires.
+  void set_on_fire(std::function<void(std::uint64_t)> cb) {
+    on_fire_ = std::move(cb);
+  }
+
+  /// Called by the instrumented loop at each preemption point. Returns
+  /// true exactly once, at the armed tick; the loop then throws
+  /// PreemptedError without checkpointing (kill semantics).
+  bool tick() {
+    ++ticks_;
+    if (!armed() || ticks_ < fire_tick_) return false;
+    fired_ = true;
+    if (on_fire_) on_fire_(ticks_);
+    return true;
+  }
+
+  /// Resets the running tick count (a resumed run starts a new process —
+  /// its preemption clock starts over). Does not re-arm a fired token.
+  void reset_ticks() { ticks_ = 0; }
+
+ private:
+  std::uint64_t fire_tick_ = 0;
+  std::uint64_t ticks_ = 0;
+  bool fired_ = false;
+  std::function<void(std::uint64_t)> on_fire_;
+};
+
+}  // namespace autolearn::fault

@@ -12,6 +12,8 @@ const char* to_string(FaultKind k) {
     case FaultKind::ContainerKill: return "container-kill";
     case FaultKind::LeasePreempt: return "lease-preempt";
     case FaultKind::TransferFlap: return "transfer-flap";
+    case FaultKind::TrainPreempt: return "train-preempt";
+    case FaultKind::CheckpointTruncate: return "checkpoint-truncate";
   }
   return "?";
 }
@@ -34,6 +36,11 @@ std::string ChaosReport::summary() const {
   os << "chaos: " << injected << " faults, " << recovered << " recoveries, "
      << partition_s << "s partitioned, " << degraded_link_s
      << "s degraded links\n";
+  if (preemptions > 0) {
+    os << "  preemption: " << preemptions << " kill(s), " << batches_lost
+       << " batch(es) of work lost, " << batches_recovered
+       << " batch(es) recovered from checkpoints\n";
+  }
   for (const InjectedEvent& e : timeline) {
     os << "  t=" << e.time << " " << (e.recovery ? "heal " : "fault ")
        << to_string(e.kind) << " " << e.target;
@@ -46,7 +53,10 @@ std::string ChaosReport::summary() const {
 bool operator==(const ChaosReport& a, const ChaosReport& b) {
   return a.timeline == b.timeline && a.injected == b.injected &&
          a.recovered == b.recovered && a.partition_s == b.partition_s &&
-         a.degraded_link_s == b.degraded_link_s;
+         a.degraded_link_s == b.degraded_link_s &&
+         a.preemptions == b.preemptions &&
+         a.batches_lost == b.batches_lost &&
+         a.batches_recovered == b.batches_recovered;
 }
 
 }  // namespace autolearn::fault

@@ -13,12 +13,14 @@
 namespace autolearn::fault {
 
 enum class FaultKind {
-  LinkDegrade,    // latency/loss/bandwidth multipliers on a link
-  Partition,      // a host drops off the routing graph
-  DeviceCrash,    // an edge device stops heartbeating
-  ContainerKill,  // a container transitions to Failed
-  LeasePreempt,   // a testbed lease ends early
-  TransferFlap    // transient full-loss window on a link (drops transfers)
+  LinkDegrade,        // latency/loss/bandwidth multipliers on a link
+  Partition,          // a host drops off the routing graph
+  DeviceCrash,        // an edge device stops heartbeating
+  ContainerKill,      // a container transitions to Failed
+  LeasePreempt,       // a testbed lease ends early
+  TransferFlap,       // transient full-loss window on a link (drops transfers)
+  TrainPreempt,       // SIGKILL of a training loop mid-fit (PreemptionToken)
+  CheckpointTruncate  // torn checkpoint upload the object store accepted
 };
 
 const char* to_string(FaultKind k);
@@ -40,6 +42,13 @@ struct ChaosReport {
   std::size_t recovered = 0;  // recovery halves
   double partition_s = 0.0;   // scheduled partition seconds
   double degraded_link_s = 0.0;  // scheduled degrade/flap seconds
+  // Preemption accounting (filled by arm_preemption / the resumed loop):
+  // work lost is batches trained after the last durable checkpoint and
+  // thrown away by the kill; work recovered is batches skipped on resume
+  // because a checkpoint already held them.
+  std::size_t preemptions = 0;
+  std::size_t batches_lost = 0;
+  std::size_t batches_recovered = 0;
 
   std::size_t count(FaultKind k, bool recoveries = false) const;
   /// One-line-per-event human-readable dump; equal for equal timelines.

@@ -8,6 +8,7 @@
 #include "ml/layers.hpp"
 #include "ml/loss.hpp"
 #include "ml/lstm.hpp"
+#include "util/binio.hpp"
 
 namespace autolearn::ml {
 
@@ -168,14 +169,44 @@ class NetModel : public DrivingModel {
   void predict_batch(const Sample* obs, std::size_t n,
                      Prediction* out) override = 0;
 
-  std::size_t num_parameters() override { return net_.num_parameters(); }
+  std::size_t num_parameters() override {
+    std::size_t n = 0;
+    for (Sequential* s : nets()) n += s->num_parameters();
+    return n;
+  }
   std::uint64_t flops_per_sample() const override {
     return net_.flops_per_sample();
   }
-  void save(std::ostream& os) override { net_.save_params(os); }
-  void load(std::istream& is) override { net_.load_params(is); }
+  void save(std::ostream& os) override {
+    for (Sequential* s : nets()) s->save_params(os);
+  }
+  void load(std::istream& is) override {
+    for (Sequential* s : nets()) s->load_params(is);
+  }
+  void save_full(std::ostream& os) override {
+    for (Sequential* s : nets()) s->save_params(os);
+    for (Sequential* s : nets()) s->save_state(os);
+    opt_.save_state(os);
+    util::write_rng_state(os, rng_.state());
+  }
+  void load_full(std::istream& is) override {
+    for (Sequential* s : nets()) s->load_params(is);
+    for (Sequential* s : nets()) s->load_state(is);
+    opt_.load_state(is);
+    util::RngState st;
+    if (!util::read_rng_state(is, st)) {
+      throw ModelLoadError(ModelLoadError::Code::Truncated,
+                           "DrivingModel: truncated RNG state");
+    }
+    rng_.set_state(st);
+  }
 
  protected:
+  /// Every Sequential the model owns, in parameter order. The memory/rnn
+  /// models add their head here, which hoists all (de)serialization and
+  /// parameter counting into NetModel.
+  virtual std::vector<Sequential*> nets() { return {&net_}; }
+
   ModelConfig cfg_;
   util::Rng rng_;
   Sequential net_;
@@ -410,20 +441,12 @@ class MemoryModel : public NetModel {
     return mse_loss(pred, targets_tensor(batch)).first;
   }
 
-  std::size_t num_parameters() override {
-    return net_.num_parameters() + head_.num_parameters();
-  }
   std::uint64_t flops_per_sample() const override {
     return net_.flops_per_sample() + head_.flops_per_sample();
   }
-  void save(std::ostream& os) override {
-    net_.save_params(os);
-    head_.save_params(os);
-  }
-  void load(std::istream& is) override {
-    net_.load_params(is);
-    head_.load_params(is);
-  }
+
+ protected:
+  std::vector<Sequential*> nets() override { return {&net_, &head_}; }
 
  private:
   Tensor forward(const std::vector<const Sample*>& batch, bool train) {
@@ -492,20 +515,12 @@ class RnnModel : public NetModel {
     return mse_loss(pred, targets_tensor(batch)).first;
   }
 
-  std::size_t num_parameters() override {
-    return net_.num_parameters() + head_.num_parameters();
-  }
   std::uint64_t flops_per_sample() const override {
     return cfg_.seq_len * net_.flops_per_sample() + head_.flops_per_sample();
   }
-  void save(std::ostream& os) override {
-    net_.save_params(os);
-    head_.save_params(os);
-  }
-  void load(std::istream& is) override {
-    net_.load_params(is);
-    head_.load_params(is);
-  }
+
+ protected:
+  std::vector<Sequential*> nets() override { return {&net_, &head_}; }
 
  private:
   Tensor forward(const std::vector<const Sample*>& batch, bool train) {
@@ -590,6 +605,76 @@ std::unique_ptr<DrivingModel> make_model(ModelType type,
     case ModelType::Conv3d: return std::make_unique<Conv3dModel>(config);
   }
   throw std::invalid_argument("make_model: bad type");
+}
+
+namespace {
+// "ALMB": model-bundle magic.
+constexpr std::uint32_t kBundleMagic = 0x424d4c41;
+}  // namespace
+
+void save_model_bundle(std::ostream& os, DrivingModel& model,
+                       const ModelConfig& config) {
+  util::write_pod(os, kBundleMagic);
+  util::write_string(os, model.type_name());
+  util::write_pod(os, static_cast<std::uint64_t>(config.img_w));
+  util::write_pod(os, static_cast<std::uint64_t>(config.img_h));
+  util::write_pod(os, static_cast<std::uint64_t>(config.seq_len));
+  util::write_pod(os, static_cast<std::uint64_t>(config.history_len));
+  util::write_pod(os, static_cast<std::uint64_t>(config.steering_bins));
+  util::write_pod(os, static_cast<std::uint64_t>(config.throttle_bins));
+  util::write_pod(os, config.lr);
+  util::write_pod(os, config.dropout);
+  util::write_pod(os, config.seed);
+  util::write_pod(os, config.inferred_throttle_base);
+  util::write_pod(os, config.inferred_throttle_gain);
+  model.save_full(os);
+}
+
+LoadedModelBundle load_model_bundle(std::istream& is) {
+  std::uint32_t magic = 0;
+  if (!util::read_pod(is, magic)) {
+    throw ModelLoadError(ModelLoadError::Code::Truncated,
+                         "model bundle: empty stream");
+  }
+  if (magic != kBundleMagic) {
+    throw ModelLoadError(ModelLoadError::Code::BadHeader,
+                         "model bundle: bad magic");
+  }
+  std::string type_name;
+  if (!util::read_string(is, type_name)) {
+    throw ModelLoadError(ModelLoadError::Code::Truncated,
+                         "model bundle: truncated type name");
+  }
+  ModelConfig cfg;
+  auto read_size = [&is](std::size_t& dst) {
+    std::uint64_t v = 0;
+    if (!util::read_pod(is, v)) return false;
+    dst = static_cast<std::size_t>(v);
+    return true;
+  };
+  if (!read_size(cfg.img_w) || !read_size(cfg.img_h) ||
+      !read_size(cfg.seq_len) || !read_size(cfg.history_len) ||
+      !read_size(cfg.steering_bins) || !read_size(cfg.throttle_bins) ||
+      !util::read_pod(is, cfg.lr) || !util::read_pod(is, cfg.dropout) ||
+      !util::read_pod(is, cfg.seed) ||
+      !util::read_pod(is, cfg.inferred_throttle_base) ||
+      !util::read_pod(is, cfg.inferred_throttle_gain)) {
+    throw ModelLoadError(ModelLoadError::Code::Truncated,
+                         "model bundle: truncated config");
+  }
+  ModelType type;
+  try {
+    type = model_type_from_string(type_name);
+  } catch (const std::invalid_argument&) {
+    throw ModelLoadError(ModelLoadError::Code::BadHeader,
+                         "model bundle: unknown model type '" + type_name +
+                             "'");
+  }
+  LoadedModelBundle out;
+  out.config = cfg;
+  out.model = make_model(type, cfg);
+  out.model->load_full(is);
+  return out;
 }
 
 }  // namespace autolearn::ml

@@ -102,9 +102,32 @@ class DrivingModel {
 
   virtual void save(std::ostream& os) = 0;
   virtual void load(std::istream& is) = 0;
+
+  /// Full training-state snapshot: parameters PLUS optimizer slots, layer
+  /// RNG streams and the model's own init/dropout RNG. A fit resumed from
+  /// save_full continues bitwise-identically to an uninterrupted run; a
+  /// plain save/load pair does not (Adam moments and dropout masks reset).
+  /// Defaults to save/load for external subclasses with no extra state.
+  virtual void save_full(std::ostream& os) { save(os); }
+  virtual void load_full(std::istream& is) { load(is); }
 };
 
 std::unique_ptr<DrivingModel> make_model(ModelType type,
                                          const ModelConfig& config = {});
+
+/// Self-describing checkpoint payload: model type + full ModelConfig +
+/// save_full bytes, so a reader can reconstruct the model without any
+/// out-of-band knowledge (used by serve::ModelRegistry warm starts).
+void save_model_bundle(std::ostream& os, DrivingModel& model,
+                       const ModelConfig& config);
+
+struct LoadedModelBundle {
+  std::unique_ptr<DrivingModel> model;
+  ModelConfig config;
+};
+
+/// Rebuilds the model named in the stream and restores its full state.
+/// Throws ModelLoadError on a malformed or truncated bundle.
+LoadedModelBundle load_model_bundle(std::istream& is);
 
 }  // namespace autolearn::ml

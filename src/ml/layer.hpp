@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +41,12 @@ class Layer {
   /// Multiply-accumulate count per sample (forward pass), used by the GPU
   /// performance model to convert a workload into simulated time.
   virtual std::uint64_t flops_per_sample() const { return 0; }
+
+  /// Checkpoint hooks for non-parameter state that affects training
+  /// (Dropout's RNG stream). Parameters travel separately through
+  /// Sequential::save_params; layers without such state keep the no-op.
+  virtual void save_state(std::ostream& os) const { (void)os; }
+  virtual void load_state(std::istream& is) { (void)is; }
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

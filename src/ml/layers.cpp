@@ -1,8 +1,10 @@
 #include "ml/layers.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 #include "ml/gemm.hpp"
+#include "util/binio.hpp"
 
 namespace autolearn::ml {
 
@@ -147,6 +149,18 @@ Tensor Dropout::backward(const Tensor& grad_out) {
   Tensor g = grad_out;
   for (std::size_t i = 0; i < g.size(); ++i) g[i] *= mask_[i];
   return g;
+}
+
+void Dropout::save_state(std::ostream& os) const {
+  util::write_rng_state(os, rng_.state());
+}
+
+void Dropout::load_state(std::istream& is) {
+  util::RngState st;
+  if (!util::read_rng_state(is, st)) {
+    throw std::runtime_error("Dropout: truncated RNG state");
+  }
+  rng_.set_state(st);
 }
 
 }  // namespace autolearn::ml

@@ -72,6 +72,10 @@ class Dropout : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override { return "dropout"; }
+  /// The mask RNG is training state: a checkpoint must resume the stream
+  /// exactly or a restored fit would draw different masks.
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
  private:
   double p_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/binio.hpp"
+
 namespace autolearn::ml {
 
 SGD::SGD(double lr, double momentum) : lr_(lr), momentum_(momentum) {
@@ -65,6 +67,63 @@ void Adam::step(const std::vector<Param*>& params) {
     }
     p.zero_grad();
   }
+}
+
+namespace {
+
+// Slot tensors are stored flat (count, then size + raw floats each): the
+// optimizers only ever index them linearly, so shape is not needed to
+// resume and a 1-D restore is exact.
+void save_slots(std::ostream& os, const std::vector<Tensor>& slots) {
+  util::write_pod(os, static_cast<std::uint64_t>(slots.size()));
+  for (const Tensor& t : slots) {
+    util::write_pod(os, static_cast<std::uint64_t>(t.size()));
+    util::write_f32_span(os, t.data(), t.size());
+  }
+}
+
+void load_slots(std::istream& is, std::vector<Tensor>& slots,
+                const char* who) {
+  std::uint64_t count = 0;
+  if (!util::read_pod(is, count)) {
+    throw std::runtime_error(std::string(who) + ": truncated slot count");
+  }
+  std::vector<Tensor> loaded;
+  loaded.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t n = 0;
+    if (!util::read_pod(is, n)) {
+      throw std::runtime_error(std::string(who) + ": truncated slot size");
+    }
+    Tensor t({static_cast<std::size_t>(n)});
+    if (!util::read_f32_span(is, t.data(), t.size())) {
+      throw std::runtime_error(std::string(who) + ": truncated slot data");
+    }
+    loaded.push_back(std::move(t));
+  }
+  slots = std::move(loaded);
+}
+
+}  // namespace
+
+void SGD::save_state(std::ostream& os) const { save_slots(os, velocity_); }
+
+void SGD::load_state(std::istream& is) { load_slots(is, velocity_, "SGD"); }
+
+void Adam::save_state(std::ostream& os) const {
+  util::write_pod(os, static_cast<std::uint64_t>(t_));
+  save_slots(os, m_);
+  save_slots(os, v_);
+}
+
+void Adam::load_state(std::istream& is) {
+  std::uint64_t t = 0;
+  if (!util::read_pod(is, t)) {
+    throw std::runtime_error("Adam: truncated step counter");
+  }
+  t_ = static_cast<std::size_t>(t);
+  load_slots(is, m_, "Adam");
+  load_slots(is, v_, "Adam");
 }
 
 }  // namespace autolearn::ml

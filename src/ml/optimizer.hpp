@@ -1,6 +1,7 @@
 // Optimizers over a flat parameter list.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -14,6 +15,12 @@ class Optimizer {
   /// Applies one update using the accumulated gradients, then zeroes them.
   virtual void step(const std::vector<Param*>& params) = 0;
   virtual std::string name() const = 0;
+
+  /// Checkpoint hooks: slot tensors (momentum / Adam moments) and step
+  /// counters are training state — without them a restored fit diverges
+  /// from the uninterrupted run on the first update.
+  virtual void save_state(std::ostream& os) const = 0;
+  virtual void load_state(std::istream& is) = 0;
 };
 
 /// SGD with classical momentum.
@@ -22,6 +29,8 @@ class SGD : public Optimizer {
   explicit SGD(double lr, double momentum = 0.9);
   void step(const std::vector<Param*>& params) override;
   std::string name() const override { return "sgd"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
  private:
   double lr_, momentum_;
@@ -35,6 +44,8 @@ class Adam : public Optimizer {
                 double eps = 1e-8);
   void step(const std::vector<Param*>& params) override;
   std::string name() const override { return "adam"; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
  private:
   double lr_, beta1_, beta2_, eps_;

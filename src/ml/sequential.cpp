@@ -1,9 +1,12 @@
 #include "ml/sequential.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+
+#include "util/binio.hpp"
 
 namespace autolearn::ml {
 
@@ -41,35 +44,88 @@ std::uint64_t Sequential::flops_per_sample() const {
   return total;
 }
 
+namespace {
+// "ALSQ": parameter-block magic, so a stream that is not a Sequential
+// checkpoint fails fast with BadHeader instead of misreading sizes.
+constexpr std::uint32_t kParamsMagic = 0x51534c41;
+}  // namespace
+
 void Sequential::save_params(std::ostream& os) {
   const auto ps = params();
-  const std::uint64_t count = ps.size();
-  os.write(reinterpret_cast<const char*>(&count), sizeof count);
+  util::write_pod(os, kParamsMagic);
+  util::write_pod(os, static_cast<std::uint64_t>(ps.size()));
   for (Param* p : ps) {
-    const std::uint64_t n = p->value.size();
-    os.write(reinterpret_cast<const char*>(&n), sizeof n);
-    os.write(reinterpret_cast<const char*>(p->value.data()),
-             static_cast<std::streamsize>(n * sizeof(float)));
+    const auto& shape = p->value.shape();
+    util::write_pod(os, static_cast<std::uint32_t>(shape.size()));
+    for (const std::size_t dim : shape) {
+      util::write_pod(os, static_cast<std::uint64_t>(dim));
+    }
+    util::write_f32_span(os, p->value.data(), p->value.size());
   }
 }
 
 void Sequential::load_params(std::istream& is) {
   const auto ps = params();
+  std::uint32_t magic = 0;
+  if (!util::read_pod(is, magic)) {
+    throw ModelLoadError(ModelLoadError::Code::Truncated,
+                         "Sequential: empty checkpoint stream");
+  }
+  if (magic != kParamsMagic) {
+    throw ModelLoadError(ModelLoadError::Code::BadHeader,
+                         "Sequential: not a parameter checkpoint");
+  }
   std::uint64_t count = 0;
-  is.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!is || count != ps.size()) {
-    throw std::runtime_error("Sequential: checkpoint layer-count mismatch");
+  if (!util::read_pod(is, count)) {
+    throw ModelLoadError(ModelLoadError::Code::Truncated,
+                         "Sequential: truncated tensor count");
   }
-  for (Param* p : ps) {
-    std::uint64_t n = 0;
-    is.read(reinterpret_cast<char*>(&n), sizeof n);
-    if (!is || n != p->value.size()) {
-      throw std::runtime_error("Sequential: checkpoint size mismatch");
+  if (count != ps.size()) {
+    throw ModelLoadError(
+        ModelLoadError::Code::LayerCountMismatch,
+        "Sequential: checkpoint holds " + std::to_string(count) +
+            " tensors, model expects " + std::to_string(ps.size()));
+  }
+  // Stage everything, validating shape tensor-by-tensor; commit only after
+  // the whole stream checked out so a bad checkpoint cannot half-load.
+  std::vector<std::vector<float>> staged(ps.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    std::uint32_t rank = 0;
+    if (!util::read_pod(is, rank)) {
+      throw ModelLoadError(ModelLoadError::Code::Truncated,
+                           "Sequential: truncated tensor header");
     }
-    is.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(n * sizeof(float)));
-    if (!is) throw std::runtime_error("Sequential: truncated checkpoint");
+    std::vector<std::size_t> shape(rank);
+    for (std::uint32_t d = 0; d < rank; ++d) {
+      std::uint64_t dim = 0;
+      if (!util::read_pod(is, dim)) {
+        throw ModelLoadError(ModelLoadError::Code::Truncated,
+                             "Sequential: truncated tensor shape");
+      }
+      shape[d] = static_cast<std::size_t>(dim);
+    }
+    if (shape != ps[i]->value.shape()) {
+      throw ModelLoadError(
+          ModelLoadError::Code::ShapeMismatch,
+          "Sequential: tensor " + std::to_string(i) + " shape mismatch");
+    }
+    staged[i].resize(ps[i]->value.size());
+    if (!util::read_f32_span(is, staged[i].data(), staged[i].size())) {
+      throw ModelLoadError(ModelLoadError::Code::Truncated,
+                           "Sequential: truncated tensor data");
+    }
   }
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    std::copy(staged[i].begin(), staged[i].end(), ps[i]->value.data());
+  }
+}
+
+void Sequential::save_state(std::ostream& os) const {
+  for (const auto& l : layers_) l->save_state(os);
+}
+
+void Sequential::load_state(std::istream& is) {
+  for (auto& l : layers_) l->load_state(is);
 }
 
 }  // namespace autolearn::ml

@@ -3,11 +3,32 @@
 
 #include <iosfwd>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "ml/layer.hpp"
 
 namespace autolearn::ml {
+
+/// Typed load failure: the stream did not match the receiving model.
+/// load_params is transactional — on throw, the model is untouched (no
+/// silent partial misload).
+class ModelLoadError : public std::runtime_error {
+ public:
+  enum class Code {
+    BadHeader,           // missing/unknown magic
+    Truncated,           // stream ended mid-checkpoint
+    LayerCountMismatch,  // parameter-tensor count differs
+    ShapeMismatch,       // a tensor's shape differs from the receiver's
+  };
+
+  ModelLoadError(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  Code code() const { return code_; }
+
+ private:
+  Code code_;
+};
 
 class Sequential {
  public:
@@ -38,9 +59,18 @@ class Sequential {
   /// conv layers, which size themselves from their input).
   std::uint64_t flops_per_sample() const;
 
-  /// Writes / reads all parameter tensors in order (binary).
+  /// Writes / reads all parameter tensors in order (binary). The format is
+  /// self-describing (magic + per-tensor shapes); load_params validates
+  /// tensor count and every shape against this model and throws
+  /// ModelLoadError — after staging the whole stream, so a failed load
+  /// never leaves the model half-overwritten.
   void save_params(std::ostream& os);
   void load_params(std::istream& is);
+
+  /// Non-parameter training state (layer RNG streams): see Layer::
+  /// save_state. Paired with save_params by DrivingModel::save_full.
+  void save_state(std::ostream& os) const;
+  void load_state(std::istream& is);
 
  private:
   std::vector<LayerPtr> layers_;

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "ml/gemm.hpp"
+#include "util/binio.hpp"
 #include "util/logging.hpp"
 
 namespace autolearn::ml {
@@ -56,68 +57,156 @@ double steering_mae(DrivingModel& model, const std::vector<Sample>& data,
   return total / static_cast<double>(data.size());
 }
 
-TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
-                const std::vector<Sample>& val, const TrainOptions& options) {
+Trainer::Trainer(DrivingModel& model, const std::vector<Sample>& train,
+                 const std::vector<Sample>& val, const TrainOptions& options)
+    : model_(model),
+      train_(train),
+      val_(val),
+      opts_(options),
+      rng_(options.shuffle_seed),
+      order_(train.size()) {
   if (train.empty()) throw std::invalid_argument("fit: empty training set");
   if (options.batch_size == 0) throw std::invalid_argument("fit: batch 0");
+  std::iota(order_.begin(), order_.end(), 0);
+}
+
+void Trainer::preempt_tick() {
+  if (opts_.preempt && opts_.preempt->tick()) {
+    throw fault::PreemptedError(
+        opts_.preempt->ticks(),
+        "preempted while fitting " + model_.type_name());
+  }
+}
+
+void Trainer::checkpoint_now() {
+  if (!opts_.checkpoint_store || opts_.checkpoint_key.empty()) return;
+  ckpt::CheckpointInfo info;
+  info.epoch = epoch_;
+  info.step = global_step_;
+  info.seed = opts_.shuffle_seed;
+  if (!history_.empty()) {
+    info.metrics["train_loss"] = history_.back().train_loss;
+    info.metrics["val_loss"] = history_.back().val_loss;
+  }
+  ckpt::save_checkpoint(*opts_.checkpoint_store, opts_.checkpoint_key, *this,
+                        info);
+  ++checkpoints_saved_;
+  batches_since_ckpt_ = 0;
+}
+
+void Trainer::save_best_model(double val_loss) {
+  if (!opts_.save_best || !opts_.checkpoint_store ||
+      opts_.checkpoint_key.empty()) {
+    return;
+  }
+  std::ostringstream snapshot;
+  model_.save(snapshot);
+  ckpt::CheckpointInfo info;
+  info.epoch = epoch_;
+  info.step = global_step_;
+  info.seed = opts_.shuffle_seed;
+  info.note = "best-model";
+  info.metrics["val_loss"] = val_loss;
+  opts_.checkpoint_store->save(opts_.checkpoint_key + ".best",
+                               snapshot.str(), info);
+}
+
+TrainResult Trainer::fit() {
   const auto t0 = std::chrono::steady_clock::now();
   const KernelCounters kernels0 = kernel_counters();
-  const obs::SpanGuard fit_span(options.tracer, "ml.fit", "ml");
+  const obs::SpanGuard fit_span(opts_.tracer, "ml.fit", "ml");
 
-  util::Rng rng(options.shuffle_seed);
-  std::vector<std::size_t> order(train.size());
-  std::iota(order.begin(), order.end(), 0);
-
-  TrainResult result;
-  result.best_val_loss = std::numeric_limits<double>::max();
-  std::size_t since_best = 0;
-  std::string best_weights;  // serialized snapshot of the best epoch
-
-  for (std::size_t epoch = 0; epoch < options.epochs; ++epoch) {
-    const obs::SpanGuard epoch_span(options.tracer, "ml.epoch", "ml");
-    rng.shuffle(order);
-    double epoch_loss = 0;
-    std::size_t seen = 0;
-    for (std::size_t b = 0; b < train.size(); b += options.batch_size) {
-      const std::size_t e = std::min(train.size(), b + options.batch_size);
-      const auto batch = batch_view(train, order, b, e);
-      epoch_loss += model.train_batch(batch) * static_cast<double>(e - b);
-      seen += e - b;
+  if (opts_.checkpoint_store && !opts_.checkpoint_key.empty()) {
+    if (ckpt::restore_checkpoint(*opts_.checkpoint_store,
+                                 opts_.checkpoint_key, *this)) {
+      resumed_ = true;
+      resumed_epoch_ = epoch_;
+      if (opts_.verbose) {
+        AUTOLEARN_LOG(Info, "trainer")
+            << model_.type_name() << " resumed at epoch " << epoch_
+            << " index " << next_index_;
+      }
     }
+  }
+
+  bool stop_early = false;
+  while (epoch_ < opts_.epochs && !stop_early) {
+    const obs::SpanGuard epoch_span(opts_.tracer, "ml.epoch", "ml");
+    if (next_index_ == 0) {
+      // Fresh epoch. A mid-epoch restore keeps the drawn order and the
+      // partial accumulators from the checkpoint instead.
+      rng_.shuffle(order_);
+      epoch_loss_ = 0;
+      epoch_seen_ = 0;
+    }
+    while (next_index_ < train_.size()) {
+      preempt_tick();  // batch boundary
+      const std::size_t b = next_index_;
+      const std::size_t e = std::min(train_.size(), b + opts_.batch_size);
+      const auto batch = batch_view(train_, order_, b, e);
+      epoch_loss_ += model_.train_batch(batch) * static_cast<double>(e - b);
+      epoch_seen_ += e - b;
+      ++global_step_;
+      ++batches_run_;
+      preempt_tick();  // mid-batch: the GEMM ran, the index did not advance
+      next_index_ = e;
+      ++batches_since_ckpt_;
+      if (opts_.checkpoint_every_batches > 0 &&
+          batches_since_ckpt_ >= opts_.checkpoint_every_batches &&
+          next_index_ < train_.size()) {
+        checkpoint_now();
+      }
+    }
+    next_index_ = 0;
     EpochStats stats;
-    stats.train_loss = epoch_loss / static_cast<double>(seen);
-    stats.val_loss = val.empty() ? stats.train_loss : evaluate_loss(model, val);
-    result.history.push_back(stats);
-    result.samples_seen += seen;
-    ++result.epochs_run;
-    if (options.verbose) {
+    stats.train_loss = epoch_loss_ / static_cast<double>(epoch_seen_);
+    stats.val_loss =
+        val_.empty() ? stats.train_loss : evaluate_loss(model_, val_);
+    history_.push_back(stats);
+    samples_seen_ += epoch_seen_;
+    ++epochs_run_;
+    if (opts_.verbose) {
       AUTOLEARN_LOG(Info, "trainer")
-          << model.type_name() << " epoch " << epoch << " train "
+          << model_.type_name() << " epoch " << epoch_ << " train "
           << stats.train_loss << " val " << stats.val_loss;
     }
-    if (stats.val_loss < result.best_val_loss - 1e-9) {
-      result.best_val_loss = stats.val_loss;
-      since_best = 0;
-      if (options.restore_best) {
+    if (stats.val_loss < best_val_loss_ - 1e-9) {
+      best_val_loss_ = stats.val_loss;
+      since_best_ = 0;
+      if (opts_.restore_best) {
         std::ostringstream snapshot;
-        model.save(snapshot);
-        best_weights = snapshot.str();
+        model_.save(snapshot);
+        best_weights_ = snapshot.str();
       }
-    } else if (options.early_stop_patience > 0 &&
-               ++since_best >= options.early_stop_patience) {
-      break;
+      save_best_model(stats.val_loss);
+    } else if (opts_.early_stop_patience > 0 &&
+               ++since_best_ >= opts_.early_stop_patience) {
+      stop_early = true;
     }
+    ++epoch_;
+    checkpoint_now();  // epoch-boundary checkpoint (no-op without a store)
   }
-  if (options.restore_best && !best_weights.empty()) {
-    std::istringstream snapshot(best_weights);
-    model.load(snapshot);
+  if (opts_.restore_best && !best_weights_.empty()) {
+    std::istringstream snapshot(best_weights_);
+    model_.load(snapshot);
   }
+
+  TrainResult result;
+  result.history = history_;
+  result.best_val_loss = best_val_loss_;
+  result.epochs_run = epochs_run_;
+  result.samples_seen = samples_seen_;
+  result.resumed = resumed_;
+  result.resumed_epoch = resumed_epoch_;
+  result.checkpoints_saved = checkpoints_saved_;
+  result.batches_run = batches_run_;
   result.final_train_loss = result.history.back().train_loss;
-  result.forward_flops =
-      model.flops_per_sample() * static_cast<std::uint64_t>(result.samples_seen);
+  result.forward_flops = model_.flops_per_sample() *
+                         static_cast<std::uint64_t>(result.samples_seen);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  const TrainOptions& options = opts_;
   if (options.metrics) {
     options.metrics->counter("ml.train.fits").inc();
     options.metrics->counter("ml.train.epochs").inc(result.epochs_run);
@@ -140,6 +229,113 @@ TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
         .inc(kernels1.col2im_elems - kernels0.col2im_elems);
   }
   return result;
+}
+
+namespace {
+// "ALTR": trainer-state magic inside the checkpoint payload.
+constexpr std::uint32_t kTrainerMagic = 0x52544c41;
+
+[[noreturn]] void truncated(const char* what) {
+  throw ModelLoadError(ModelLoadError::Code::Truncated,
+                       std::string("Trainer: truncated ") + what);
+}
+}  // namespace
+
+void Trainer::save_state(std::ostream& os) {
+  util::write_pod(os, kTrainerMagic);
+  util::write_rng_state(os, rng_.state());
+  util::write_pod(os, static_cast<std::uint64_t>(order_.size()));
+  for (const std::size_t i : order_) {
+    util::write_pod(os, static_cast<std::uint64_t>(i));
+  }
+  util::write_pod(os, static_cast<std::uint64_t>(epoch_));
+  util::write_pod(os, static_cast<std::uint64_t>(next_index_));
+  util::write_pod(os, epoch_loss_);
+  util::write_pod(os, static_cast<std::uint64_t>(epoch_seen_));
+  util::write_pod(os, static_cast<std::uint64_t>(history_.size()));
+  for (const EpochStats& s : history_) {
+    util::write_pod(os, s.train_loss);
+    util::write_pod(os, s.val_loss);
+  }
+  util::write_pod(os, static_cast<std::uint64_t>(samples_seen_));
+  util::write_pod(os, static_cast<std::uint64_t>(epochs_run_));
+  util::write_pod(os, best_val_loss_);
+  util::write_pod(os, static_cast<std::uint64_t>(since_best_));
+  util::write_string(os, best_weights_);
+  util::write_pod(os, global_step_);
+  model_.save_full(os);
+}
+
+void Trainer::load_state(std::istream& is) {
+  std::uint32_t magic = 0;
+  if (!util::read_pod(is, magic)) truncated("header");
+  if (magic != kTrainerMagic) {
+    throw ModelLoadError(ModelLoadError::Code::BadHeader,
+                         "Trainer: not a trainer checkpoint");
+  }
+  util::RngState rng_state;
+  if (!util::read_rng_state(is, rng_state)) truncated("RNG state");
+  std::uint64_t order_count = 0;
+  if (!util::read_pod(is, order_count)) truncated("order size");
+  if (order_count != train_.size()) {
+    throw std::invalid_argument(
+        "Trainer: checkpoint was taken over a different dataset (" +
+        std::to_string(order_count) + " vs " +
+        std::to_string(train_.size()) + " samples)");
+  }
+  std::vector<std::size_t> order(order_count);
+  for (std::uint64_t i = 0; i < order_count; ++i) {
+    std::uint64_t v = 0;
+    if (!util::read_pod(is, v)) truncated("order");
+    order[i] = static_cast<std::size_t>(v);
+  }
+  auto read_size = [&is](const char* what) {
+    std::uint64_t v = 0;
+    if (!util::read_pod(is, v)) truncated(what);
+    return static_cast<std::size_t>(v);
+  };
+  const std::size_t epoch = read_size("epoch");
+  const std::size_t next_index = read_size("index");
+  double epoch_loss = 0;
+  if (!util::read_pod(is, epoch_loss)) truncated("loss accumulator");
+  const std::size_t epoch_seen = read_size("seen counter");
+  const std::size_t history_count = read_size("history size");
+  std::vector<EpochStats> history(history_count);
+  for (EpochStats& s : history) {
+    if (!util::read_pod(is, s.train_loss)) truncated("history");
+    if (!util::read_pod(is, s.val_loss)) truncated("history");
+  }
+  const std::size_t samples_seen = read_size("sample counter");
+  const std::size_t epochs_run = read_size("epoch counter");
+  double best_val_loss = 0;
+  if (!util::read_pod(is, best_val_loss)) truncated("best val loss");
+  const std::size_t since_best = read_size("patience counter");
+  std::string best_weights;
+  if (!util::read_string(is, best_weights)) truncated("best snapshot");
+  std::uint64_t global_step = 0;
+  if (!util::read_pod(is, global_step)) truncated("step counter");
+  // The model load is transactional on its own; commit the loop state only
+  // after everything (model included) deserialized cleanly.
+  model_.load_full(is);
+  rng_.set_state(rng_state);
+  order_ = std::move(order);
+  epoch_ = epoch;
+  next_index_ = next_index;
+  epoch_loss_ = epoch_loss;
+  epoch_seen_ = epoch_seen;
+  history_ = std::move(history);
+  samples_seen_ = samples_seen;
+  epochs_run_ = epochs_run;
+  best_val_loss_ = best_val_loss;
+  since_best_ = since_best;
+  best_weights_ = std::move(best_weights);
+  global_step_ = global_step;
+}
+
+TrainResult fit(DrivingModel& model, const std::vector<Sample>& train,
+                const std::vector<Sample>& val, const TrainOptions& options) {
+  Trainer trainer(model, train, val, options);
+  return trainer.fit();
 }
 
 }  // namespace autolearn::ml

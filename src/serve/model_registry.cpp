@@ -1,5 +1,6 @@
 #include "serve/model_registry.hpp"
 
+#include <sstream>
 #include <stdexcept>
 #include <utility>
 
@@ -43,6 +44,31 @@ std::uint64_t ModelRegistry::version() const {
 std::size_t ModelRegistry::swaps() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_version_ > 2 ? static_cast<std::size_t>(next_version_ - 2) : 0;
+}
+
+std::optional<std::uint64_t> ModelRegistry::checkpoint_current(
+    ckpt::CheckpointStore& store, const std::string& key,
+    const ml::ModelConfig& config) {
+  const auto snap = current();
+  if (!snap) return std::nullopt;
+  std::ostringstream bundle;
+  ml::save_model_bundle(bundle, *snap->model, config);
+  ckpt::CheckpointInfo info;
+  info.epoch = snap->version;
+  info.seed = config.seed;
+  info.note = std::string("model-bundle:") + snap->model->type_name();
+  return store.save(key, bundle.str(), info);
+}
+
+std::optional<std::uint64_t> ModelRegistry::warm_start(
+    ckpt::CheckpointStore& store, const std::string& key) {
+  auto loaded = store.load_latest(key);
+  if (!loaded) return std::nullopt;
+  std::istringstream bundle(loaded->payload);
+  ml::LoadedModelBundle restored = ml::load_model_bundle(bundle);
+  return publish(std::move(restored.model),
+                 "warm-start:gen-" +
+                     std::to_string(loaded->generation.generation));
 }
 
 }  // namespace autolearn::serve

@@ -11,8 +11,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
+#include "ckpt/checkpoint.hpp"
 #include "ml/driving_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -50,6 +52,21 @@ class ModelRegistry {
   std::uint64_t version() const;
   /// Hot-swaps performed: publishes beyond the first.
   std::size_t swaps() const;
+
+  /// Persists the current model (a self-describing type+config+full-state
+  /// bundle) as a new checkpoint generation under `key`. Returns the
+  /// generation, or nullopt before the first publish.
+  std::optional<std::uint64_t> checkpoint_current(
+      ckpt::CheckpointStore& store, const std::string& key,
+      const ml::ModelConfig& config);
+
+  /// Warm start: rebuilds the model from the newest *valid* checkpoint
+  /// generation of `key` (corrupt ones are quarantined and skipped by the
+  /// store) and publishes it tagged "warm-start:gen-N" — the fleet serves
+  /// its first request without retraining. Returns the published version,
+  /// or nullopt when no loadable checkpoint exists.
+  std::optional<std::uint64_t> warm_start(ckpt::CheckpointStore& store,
+                                          const std::string& key);
 
  private:
   mutable std::mutex mu_;

@@ -1,0 +1,77 @@
+// Raw little-endian POD stream helpers shared by the checkpoint codec and
+// the ml serialization paths. Reads report truncation by returning false
+// (callers turn that into their own typed errors); writes never fail
+// silently because the callers check the stream once per object.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autolearn::util {
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>, "write_pod: POD only");
+  os.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+/// Returns false on a short read (truncated stream).
+template <typename T>
+[[nodiscard]] bool read_pod(std::istream& is, T& value) {
+  static_assert(std::is_trivially_copyable_v<T>, "read_pod: POD only");
+  is.read(reinterpret_cast<char*>(&value), sizeof value);
+  return static_cast<bool>(is);
+}
+
+inline void write_string(std::ostream& os, const std::string& s) {
+  write_pod(os, static_cast<std::uint64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+[[nodiscard]] inline bool read_string(std::istream& is, std::string& s) {
+  std::uint64_t n = 0;
+  if (!read_pod(is, n)) return false;
+  s.resize(n);
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  return static_cast<bool>(is);
+}
+
+// RngState is serialized field-by-field (never as one POD blob) so the
+// stream carries no indeterminate struct padding.
+inline void write_rng_state(std::ostream& os, const RngState& st) {
+  for (const std::uint64_t word : st.s) write_pod(os, word);
+  write_pod(os, st.cached_normal);
+  write_pod(os, static_cast<std::uint8_t>(st.has_cached_normal));
+}
+
+[[nodiscard]] inline bool read_rng_state(std::istream& is, RngState& st) {
+  for (std::uint64_t& word : st.s) {
+    if (!read_pod(is, word)) return false;
+  }
+  if (!read_pod(is, st.cached_normal)) return false;
+  std::uint8_t flag = 0;
+  if (!read_pod(is, flag)) return false;
+  st.has_cached_normal = flag != 0;
+  return true;
+}
+
+inline void write_f32_span(std::ostream& os, const float* data,
+                           std::size_t n) {
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+[[nodiscard]] inline bool read_f32_span(std::istream& is, float* data,
+                                        std::size_t n) {
+  is.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  return static_cast<bool>(is);
+}
+
+}  // namespace autolearn::util

@@ -13,6 +13,15 @@
 
 namespace autolearn::util {
 
+/// Complete serializable Rng state (the xoshiro words plus the Box-Muller
+/// cache), so checkpointed components resume their random streams
+/// bit-for-bit. POD on purpose — checkpoints write it raw.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  double cached_normal = 0.0;
+  bool has_cached_normal = false;
+};
+
 /// xoshiro256** PRNG with convenience distributions.
 ///
 /// Not thread-safe: give each thread (or each simulated entity) its own
@@ -56,6 +65,10 @@ class Rng {
   /// Derives an independent generator: used to hand child components their
   /// own deterministic stream without sharing state.
   Rng split();
+
+  /// Checkpoint support: the full generator state, restorable exactly.
+  RngState state() const;
+  void set_state(const RngState& state);
 
   /// In-place Fisher-Yates shuffle of an index vector.
   template <typename T>

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/binio.hpp"
+
 namespace autolearn::workflow {
 
 const char* to_string(CellStatus s) {
@@ -64,12 +66,92 @@ bool Notebook::run_cell(std::size_t index) {
 }
 
 std::size_t Notebook::run_all() {
+  if (ckpt_store_) {
+    restored_cells_.clear();
+    ckpt::restore_checkpoint(*ckpt_store_, ckpt_key_, *this);
+  }
   std::size_t ok = 0;
+  bool prefix_intact = true;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (prefix_intact && i < restored_cells_.size() &&
+        restored_cells_[i].first == cells_[i].label) {
+      // This cell completed in a previous (preempted) run: replay its
+      // recorded output instead of re-executing the body.
+      cells_[i].status = CellStatus::Ok;
+      cells_[i].output = restored_cells_[i].second;
+      ++cells_skipped_;
+      ++ok;
+      if (tracer_) {
+        util::Json args = util::Json::object();
+        args.set("notebook", util::Json(title_));
+        args.set("cell", util::Json(cells_[i].label));
+        tracer_->instant("workflow.cell_skipped", "workflow",
+                         std::move(args));
+      }
+      if (metrics_) metrics_->counter("workflow.cells_skipped").inc();
+      continue;
+    }
+    prefix_intact = false;  // only a leading, label-matching run is trusted
     if (!run_cell(i)) break;
     ++ok;
+    if (ckpt_store_) checkpoint_progress();
   }
   return ok;
+}
+
+void Notebook::enable_checkpoints(ckpt::CheckpointStore& store,
+                                  std::string key) {
+  if (key.empty()) throw std::invalid_argument("notebook: empty ckpt key");
+  ckpt_store_ = &store;
+  ckpt_key_ = std::move(key);
+}
+
+void Notebook::checkpoint_progress() {
+  ckpt::CheckpointInfo info;
+  std::size_t done = 0;
+  while (done < cells_.size() && cells_[done].status == CellStatus::Ok) {
+    ++done;
+  }
+  info.step = done;
+  info.note = std::string(checkpoint_kind()) + ":" + title_;
+  ckpt::save_checkpoint(*ckpt_store_, ckpt_key_, *this, info);
+}
+
+void Notebook::save_state(std::ostream& os) {
+  // Only the leading run of Ok cells is durable: run_all executes in
+  // order, so a later Ok after a failure cannot be trusted as "done".
+  std::size_t done = 0;
+  while (done < cells_.size() && cells_[done].status == CellStatus::Ok) {
+    ++done;
+  }
+  util::write_string(os, title_);
+  util::write_pod(os, static_cast<std::uint64_t>(done));
+  for (std::size_t i = 0; i < done; ++i) {
+    util::write_string(os, cells_[i].label);
+    util::write_string(os, cells_[i].output);
+  }
+}
+
+void Notebook::load_state(std::istream& is) {
+  std::string title;
+  if (!util::read_string(is, title)) {
+    throw std::runtime_error("notebook: truncated checkpoint");
+  }
+  std::uint64_t done = 0;
+  if (!util::read_pod(is, done)) {
+    throw std::runtime_error("notebook: truncated checkpoint");
+  }
+  std::vector<std::pair<std::string, std::string>> cells;
+  cells.reserve(done);
+  for (std::uint64_t i = 0; i < done; ++i) {
+    std::pair<std::string, std::string> cell;
+    if (!util::read_string(is, cell.first) ||
+        !util::read_string(is, cell.second)) {
+      throw std::runtime_error("notebook: truncated checkpoint");
+    }
+    cells.push_back(std::move(cell));
+  }
+  restored_cells_ = std::move(cells);
 }
 
 void Notebook::clear_state() {
@@ -77,6 +159,8 @@ void Notebook::clear_state() {
     c.status = CellStatus::NotRun;
     c.output.clear();
   }
+  restored_cells_.clear();
+  cells_skipped_ = 0;
 }
 
 std::size_t Notebook::cells_ok() const {

@@ -12,8 +12,10 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -30,7 +32,7 @@ struct Cell {
   std::string output;
 };
 
-class Notebook {
+class Notebook : public ckpt::Checkpointable {
  public:
   explicit Notebook(std::string title);
 
@@ -47,8 +49,25 @@ class Notebook {
   bool run_cell(std::size_t index);
 
   /// Runs all cells in order, stopping at the first error. Returns the
-  /// number of cells that ran successfully.
+  /// number of cells that ran successfully (skipped-but-complete cells
+  /// count as successes).
+  ///
+  /// With checkpoints enabled, run_all first restores the newest valid
+  /// checkpoint and *skips* the leading cells it proves complete (matched
+  /// by label, outputs replayed from the checkpoint) — a preempted
+  /// notebook re-run repeats only the cells that had not finished. Every
+  /// successful cell commits a new checkpoint generation.
   std::size_t run_all();
+
+  /// Durable completion tracking through the checkpoint store under `key`.
+  void enable_checkpoints(ckpt::CheckpointStore& store, std::string key);
+
+  /// Cells skipped by run_all because a checkpoint already held them.
+  std::size_t cells_skipped() const { return cells_skipped_; }
+
+  const char* checkpoint_kind() const override { return "workflow.notebook"; }
+  void save_state(std::ostream& os) override;
+  void load_state(std::istream& is) override;
 
   /// Resets all cells to NotRun.
   void clear_state();
@@ -71,11 +90,18 @@ class Notebook {
   }
 
  private:
+  void checkpoint_progress();
+
   std::string title_;
   std::vector<Cell> cells_;
   std::function<void(const Cell&)> on_success_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  ckpt::CheckpointStore* ckpt_store_ = nullptr;
+  std::string ckpt_key_;
+  /// (label, output) of the completed-cell prefix from the last restore.
+  std::vector<std::pair<std::string, std::string>> restored_cells_;
+  std::size_t cells_skipped_ = 0;
 };
 
 }  // namespace autolearn::workflow

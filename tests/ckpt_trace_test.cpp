@@ -1,0 +1,213 @@
+// Golden-trace regression for the preempt-resume scenario
+// (ctest -L trace, also labelled ckpt).
+//
+// One fit is killed mid-epoch by a chaos-armed preemption token, then a
+// fresh trainer resumes it from the durable checkpoint store. The trace is
+// the behavioral fingerprint of the whole recovery path — checkpoint save
+// spans and commit instants, the kill instant, the restore span on resume,
+// and the epoch spans on both sides of the kill. Any drift in checkpoint
+// cadence, kill placement, or resume position moves an event and fails the
+// byte comparison.
+//
+// Regenerate after an *intended* behavioral change with:
+//   AUTOLEARN_REGEN_GOLDEN=1 ./ckpt_trace_test
+// and commit the updated tests/golden/ file with the change that moved it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "fault/chaos.hpp"
+#include "fault/preempt.hpp"
+#include "ml/trainer.hpp"
+#include "objectstore/objectstore.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/event_queue.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn {
+namespace {
+
+#ifndef AUTOLEARN_GOLDEN_DIR
+#error "ckpt_trace_test requires AUTOLEARN_GOLDEN_DIR"
+#endif
+
+ml::ModelConfig tiny_config() {
+  ml::ModelConfig cfg;
+  cfg.img_w = 32;
+  cfg.img_h = 24;
+  cfg.lr = 2e-3;
+  cfg.seed = 101;
+  return cfg;
+}
+
+std::vector<ml::Sample> synthetic_dataset(std::size_t n,
+                                          const ml::ModelConfig& cfg,
+                                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<ml::Sample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t col = static_cast<std::size_t>(
+        rng.uniform_int(2, static_cast<std::int64_t>(cfg.img_w) - 3));
+    camera::Image img(cfg.img_w, cfg.img_h, 0.1f);
+    for (std::size_t y = 0; y < cfg.img_h; ++y) {
+      for (std::size_t dx = 0; dx < 3; ++dx) img.at(col - 1 + dx, y) = 0.9f;
+    }
+    ml::Sample s;
+    for (std::size_t f = 0; f < cfg.seq_len; ++f) s.frames.push_back(img);
+    s.steering = static_cast<float>(
+        2.0 * static_cast<double>(col) / (cfg.img_w - 1) - 1.0);
+    s.throttle = 0.5f;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+struct PreemptOut {
+  std::string trace;
+  std::string metrics;
+  std::uint64_t planned_tick = 0;
+  ml::TrainResult resumed;
+  std::size_t quarantined = 0;
+};
+
+/// A 3-epoch linear fit with every-batch checkpoints is killed at a
+/// chaos-drawn tick, then resumed to completion by a fresh trainer.
+PreemptOut run_preempt_resume(std::uint64_t seed) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  util::EventQueue queue;
+  objectstore::ObjectStore os;
+  ckpt::CheckpointStore store(os);
+  store.instrument(&tracer, &metrics);
+  fault::ChaosEngine chaos(queue, seed);
+  chaos.attach_checkpoints(store);
+  chaos.instrument(&tracer, &metrics);
+
+  const ml::ModelConfig cfg = tiny_config();
+  const std::vector<ml::Sample> train = synthetic_dataset(12, cfg, 5);
+  const std::vector<ml::Sample> val = synthetic_dataset(4, cfg, 6);
+
+  ml::TrainOptions opt;
+  opt.epochs = 3;
+  opt.batch_size = 4;
+  opt.shuffle_seed = 21;
+  opt.tracer = &tracer;
+  opt.metrics = &metrics;
+  opt.checkpoint_store = &store;
+  opt.checkpoint_key = "fit";
+  opt.checkpoint_every_batches = 1;
+
+  PreemptOut out;
+  fault::PreemptionToken token;
+  fault::PreemptPlanOptions window;
+  window.min_tick = 5;
+  window.max_tick = 14;
+  out.planned_tick = chaos.arm_preemption(token, window);
+
+  {
+    ml::TrainOptions killed = opt;
+    killed.preempt = &token;
+    auto doomed = ml::make_model(ml::ModelType::Linear, cfg);
+    ml::Trainer trainer(*doomed, train, val, killed);
+    try {
+      trainer.fit();
+      throw std::logic_error("preemption never fired");
+    } catch (const fault::PreemptedError&) {
+    }
+  }
+
+  auto model = ml::make_model(ml::ModelType::Linear, cfg);
+  ml::Trainer trainer(*model, train, val, opt);
+  out.resumed = trainer.fit();
+  const std::size_t total_batches = 9;
+  const std::size_t recovered = total_batches - out.resumed.batches_run;
+  chaos.record_preempt_outcome(
+      static_cast<std::size_t>(out.planned_tick / 2) - recovered, recovered);
+
+  out.trace = tracer.dump();
+  out.metrics = metrics.to_json().dump();
+  out.quarantined = store.quarantined();
+  return out;
+}
+
+std::string golden_path() {
+  return std::string(AUTOLEARN_GOLDEN_DIR) + "/ckpt_preempt_resume.trace.json";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(GoldenCkptTrace, PreemptResumeMatchesSnapshot) {
+  const PreemptOut run = run_preempt_resume(17);
+  if (std::getenv("AUTOLEARN_REGEN_GOLDEN")) {
+    std::ofstream out(golden_path(), std::ios::binary);
+    out << run.trace;
+    GTEST_SKIP() << "regenerated " << golden_path();
+  }
+  EXPECT_EQ(run.trace, read_file(golden_path()))
+      << "Canonical preempt-resume trace drifted from tests/golden/. If "
+         "the behavioral change is intended, run AUTOLEARN_REGEN_GOLDEN=1 "
+         "./ckpt_trace_test and commit the new snapshot.";
+}
+
+TEST(GoldenCkptTrace, ScenarioCoversTheCheckpointSpanCatalog) {
+  const PreemptOut run = run_preempt_resume(17);
+  for (const char* needle :
+       {"ckpt.save", "ckpt.commit", "ckpt.restore", "chaos.train-preempt",
+        "ml.fit", "ml.epoch"}) {
+    EXPECT_NE(run.trace.find(needle), std::string::npos)
+        << "missing " << needle;
+  }
+  // The scenario must actually kill and recover.
+  EXPECT_TRUE(run.resumed.resumed);
+  EXPECT_EQ(run.resumed.epochs_run, 3u);
+  EXPECT_EQ(run.quarantined, 0u);
+  EXPECT_GT(run.resumed.checkpoints_saved, 0u);
+}
+
+TEST(CkptTraceDeterminism, SameSeedSameBytes) {
+  const PreemptOut a = run_preempt_resume(17);
+  const PreemptOut b = run_preempt_resume(17);
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(a.metrics, b.metrics);
+  EXPECT_EQ(a.planned_tick, b.planned_tick);
+
+  // A different chaos seed that draws a different kill tick must move the
+  // trace (a colliding draw would legitimately reproduce it, so scan).
+  for (std::uint64_t seed = 18; seed < 30; ++seed) {
+    const PreemptOut c = run_preempt_resume(seed);
+    if (c.planned_tick == a.planned_tick) continue;
+    EXPECT_NE(a.trace, c.trace);
+    return;
+  }
+  FAIL() << "12 seeds drew the same kill tick";
+}
+
+TEST(CkptTraceDeterminism, ExportIsValidChromeTraceEventFormat) {
+  const PreemptOut run = run_preempt_resume(17);
+  const util::Json parsed = util::Json::parse(run.trace);
+  const auto& events = parsed.at("traceEvents").as_array();
+  ASSERT_GT(events.size(), 10u);
+  for (const util::Json& e : events) {
+    ASSERT_TRUE(e.contains("name"));
+    ASSERT_TRUE(e.contains("ph"));
+    ASSERT_TRUE(e.contains("ts"));
+  }
+}
+
+}  // namespace
+}  // namespace autolearn

@@ -6,12 +6,14 @@
 #include <cmath>
 #include <sstream>
 
+#include "ckpt/checkpoint.hpp"
 #include "ml/driving_model.hpp"
 #include "ml/layers.hpp"
 #include "ml/loss.hpp"
 #include "ml/optimizer.hpp"
 #include "ml/sequential.hpp"
 #include "ml/trainer.hpp"
+#include "objectstore/objectstore.hpp"
 
 namespace autolearn::ml {
 namespace {
@@ -232,6 +234,85 @@ TEST(Sequential, LoadRejectsMismatchedCheckpoint) {
   EXPECT_THROW(b.load_params(buf), std::runtime_error);
 }
 
+TEST(Sequential, LoadReportsShapeMismatch) {
+  util::Rng rng(17);
+  Sequential a;
+  a.add<Dense>(4, 3, rng);
+  std::stringstream buf;
+  a.save_params(buf);
+  Sequential b;
+  b.add<Dense>(5, 3, rng);
+  try {
+    b.load_params(buf);
+    FAIL() << "mismatched shapes loaded";
+  } catch (const ModelLoadError& e) {
+    EXPECT_EQ(e.code(), ModelLoadError::Code::ShapeMismatch);
+  }
+}
+
+TEST(Sequential, LoadReportsLayerCountMismatch) {
+  util::Rng rng(18);
+  Sequential a;
+  a.add<Dense>(4, 3, rng);
+  a.add<Tanh>();
+  a.add<Dense>(3, 2, rng);
+  std::stringstream buf;
+  a.save_params(buf);
+  Sequential b;
+  b.add<Dense>(4, 3, rng);
+  try {
+    b.load_params(buf);
+    FAIL() << "wrong architecture loaded";
+  } catch (const ModelLoadError& e) {
+    EXPECT_EQ(e.code(), ModelLoadError::Code::LayerCountMismatch);
+  }
+}
+
+TEST(Sequential, TruncatedStreamLeavesTheTargetUntouched) {
+  util::Rng rng(19);
+  Sequential a;
+  a.add<Dense>(4, 3, rng);
+  a.add<Dense>(3, 2, rng);
+  std::stringstream buf;
+  a.save_params(buf);
+  const std::string bytes = buf.str();
+
+  util::Rng rng2(20);
+  Sequential b;
+  b.add<Dense>(4, 3, rng2);
+  b.add<Dense>(3, 2, rng2);
+  util::Rng probe_rng(21);
+  const Tensor x = Tensor::randn({2, 4}, probe_rng, 1.0);
+  const Tensor before = b.forward(x, false);
+
+  std::istringstream cut(bytes.substr(0, bytes.size() / 2));
+  try {
+    b.load_params(cut);
+    FAIL() << "truncated stream loaded";
+  } catch (const ModelLoadError& e) {
+    EXPECT_EQ(e.code(), ModelLoadError::Code::Truncated);
+  }
+  // The load is transactional: a failed validation must not have copied
+  // any tensor into the target network.
+  const Tensor after = b.forward(x, false);
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i], after[i]);
+  }
+}
+
+TEST(Sequential, LoadRejectsForeignBytes) {
+  util::Rng rng(22);
+  Sequential b;
+  b.add<Dense>(4, 3, rng);
+  std::istringstream junk("these are not network parameters");
+  try {
+    b.load_params(junk);
+    FAIL() << "junk loaded";
+  } catch (const ModelLoadError& e) {
+    EXPECT_EQ(e.code(), ModelLoadError::Code::BadHeader);
+  }
+}
+
 // --- the six driving models ----------------------------------------------------
 
 ModelConfig tiny_config() {
@@ -411,6 +492,50 @@ TEST(Trainer, RestoreBestRecoversBestEpochWeights) {
   const double final_val = evaluate_loss(*model, val);
   // The restored model evaluates at (approximately) the recorded best.
   EXPECT_NEAR(final_val, r.best_val_loss, 1e-6);
+}
+
+TEST(Trainer, SaveBestPersistsBestModelSeparatelyFromLatest) {
+  // Same oscillating regime as the restore_best test: validation improves
+  // early, then regresses, so <key>.best must hold an older (better) model
+  // than the final weights.
+  ModelConfig cfg = tiny_config();
+  cfg.lr = 0.02;
+  auto model = make_model(ModelType::Inferred, cfg);
+  const auto train = synthetic_dataset(120, cfg, 81);
+  const auto val = synthetic_dataset(40, cfg, 82);
+
+  objectstore::ObjectStore os;
+  ckpt::CheckpointStore store(os);
+  TrainOptions opt;
+  opt.epochs = 25;
+  opt.save_best = true;
+  opt.checkpoint_store = &store;
+  opt.checkpoint_key = "t";
+  const TrainResult r = fit(*model, train, val, opt);
+
+  // The run must actually regress after its best epoch, or this test
+  // proves nothing.
+  ASSERT_GT(r.history.back().val_loss, r.best_val_loss);
+
+  const auto best = store.load_latest("t.best");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->generation.info.note, "best-model");
+  EXPECT_NEAR(best->generation.info.metrics.at("val_loss"), r.best_val_loss,
+              1e-9);
+
+  // The persisted best is a loadable model whose val loss is the recorded
+  // best — not the regressed final weights.
+  auto reloaded = make_model(ModelType::Inferred, cfg);
+  std::istringstream is(best->payload);
+  reloaded->load(is);
+  EXPECT_NEAR(evaluate_loss(*reloaded, val), r.best_val_loss, 1e-6);
+  EXPECT_GT(evaluate_loss(*model, val), r.best_val_loss);
+
+  // And it is distinct from the latest full-trainer checkpoint.
+  const auto latest = store.load_latest("t");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_NE(latest->payload, best->payload);
+  EXPECT_EQ(latest->generation.info.note, "ml.trainer");
 }
 
 TEST(Trainer, EvaluateLossEmptyDataIsZero) {
