@@ -235,9 +235,14 @@ std::vector<FaultSpec> ChaosEngine::random_plan(
   if (options.horizon_s <= 0 || options.mean_duration_s <= 0) {
     throw std::invalid_argument("chaos: bad plan options");
   }
+  std::vector<std::string> hosts;
+  if (!options.partition_host.empty()) hosts.push_back(options.partition_host);
+  for (const std::string& h : options.partition_hosts) {
+    if (!h.empty()) hosts.push_back(h);
+  }
   std::vector<FaultSpec> plan;
   for (std::size_t i = 0; i < options.faults; ++i) {
-    const bool can_partition = !options.partition_host.empty();
+    const bool can_partition = !hosts.empty();
     const bool can_degrade = !options.link_from.empty();
     if (!can_partition && !can_degrade) break;
     FaultSpec spec;
@@ -248,7 +253,11 @@ std::vector<FaultSpec> ChaosEngine::random_plan(
         std::min(options.horizon_s, rng_.exponential(options.mean_duration_s));
     if (partition) {
       spec.kind = FaultKind::Partition;
-      spec.target = options.partition_host;
+      spec.target =
+          hosts.size() == 1
+              ? hosts.front()
+              : hosts[static_cast<std::size_t>(rng_.uniform_int(
+                    0, static_cast<std::int64_t>(hosts.size()) - 1))];
     } else {
       spec.kind = FaultKind::LinkDegrade;
       spec.target = options.link_from;

@@ -50,6 +50,10 @@ struct RandomPlanOptions {
   std::size_t faults = 4;
   double mean_duration_s = 5.0;
   std::string partition_host;  // empty: no partitions generated
+  /// Additional partition candidates; each generated partition picks
+  /// uniformly among partition_host + partition_hosts, so a geo-sharded
+  /// fleet sees chaos hit different sites across one plan.
+  std::vector<std::string> partition_hosts;
   std::string link_from;       // empty: no link degradation generated
   std::string link_to;
   double latency_mult = 5.0;

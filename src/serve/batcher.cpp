@@ -1,17 +1,18 @@
 #include "serve/batcher.hpp"
 
 #include <limits>
-#include <stdexcept>
 #include <utility>
+
+#include "serve/errors.hpp"
 
 namespace autolearn::serve {
 
 void BatcherConfig::validate() const {
   if (max_batch == 0) {
-    throw std::invalid_argument("batcher: max_batch must be >= 1");
+    throw ConfigError("batcher.max_batch", "must be >= 1");
   }
   if (max_delay_s < 0.0) {
-    throw std::invalid_argument("batcher: max_delay_s must be >= 0");
+    throw ConfigError("batcher.max_delay_s", "must be >= 0");
   }
 }
 
@@ -39,6 +40,16 @@ std::vector<ServeRequest> DynamicBatcher::take() {
   std::vector<ServeRequest> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return out;
+}
+
+std::vector<ServeRequest> DynamicBatcher::drain() {
+  std::vector<ServeRequest> out;
+  out.reserve(queue_.size());
+  while (!queue_.empty()) {
     out.push_back(std::move(queue_.front()));
     queue_.pop_front();
   }

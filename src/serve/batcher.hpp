@@ -43,6 +43,10 @@ class DynamicBatcher {
   /// Removes and returns up to max_batch oldest requests (FIFO order).
   std::vector<ServeRequest> take();
 
+  /// Removes and returns EVERYTHING pending (FIFO order), ignoring the
+  /// cap — the failover path uses this to reroute a dead shard's queue.
+  std::vector<ServeRequest> drain();
+
   const BatcherConfig& config() const { return config_; }
 
  private:

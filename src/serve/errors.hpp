@@ -1,0 +1,30 @@
+// Typed configuration errors for the serving tier.
+//
+// Every serve-side options struct (FleetOptions, BatcherConfig,
+// HealthOptions, CanaryOptions, ShardRouterConfig) rejects degenerate
+// values with a ConfigError naming the offending field, so callers can
+// react programmatically instead of string-matching a generic what().
+// ConfigError derives from std::invalid_argument, so pre-existing
+// catch sites keep working unchanged.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace autolearn::serve {
+
+class ConfigError : public std::invalid_argument {
+ public:
+  ConfigError(std::string field, const std::string& why)
+      : std::invalid_argument("serve config: " + field + ": " + why),
+        field_(std::move(field)) {}
+
+  /// Dotted path of the rejected option, e.g. "fleet.cars" or
+  /// "batcher.max_batch".
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
+
+}  // namespace autolearn::serve

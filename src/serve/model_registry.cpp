@@ -26,6 +26,7 @@ std::uint64_t ModelRegistry::publish(std::shared_ptr<ml::DrivingModel> model,
     args.set("version", util::Json(current->version));
     args.set("tag", util::Json(current->tag));
     args.set("model", util::Json(std::string(current->model->type_name())));
+    if (!label_.empty()) args.set("registry", util::Json(label_));
     tracer_->instant("serve.model_swap", "serve", std::move(args));
   }
   return current->version;

@@ -40,6 +40,12 @@ class ModelRegistry {
     metrics_ = metrics;
   }
 
+  /// Attribution label for sharded fleets (e.g. "shard-2"); included in
+  /// swap instants when non-empty so per-replica publishes stay tellable
+  /// apart in one trace.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
   /// Atomically replaces the current model; returns the new version.
   std::uint64_t publish(std::shared_ptr<ml::DrivingModel> model,
                         std::string tag = "");
@@ -72,6 +78,7 @@ class ModelRegistry {
   mutable std::mutex mu_;
   std::shared_ptr<const ModelSnapshot> snapshot_;
   std::uint64_t next_version_ = 1;
+  std::string label_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

@@ -82,6 +82,34 @@ util::Json ServeReport::to_json() const {
   out.set("throughput_rps", throughput_rps);
   out.set("mean_batch", mean_batch());
   out.set("max_batch", max_batch());
+  out.set("shards", shards);
+  out.set("shard_downs", shard_downs);
+  out.set("shard_ups", shard_ups);
+  out.set("rebalanced", rebalanced);
+  // Conservation invariant, spelled out so BENCH consumers can assert
+  // "zero failed requests" without re-deriving it.
+  out.set("failed", requests - completed - shed);
+  util::Json shed_cars = util::Json::array();
+  for (std::size_t s : shed_by_car) shed_cars.push_back(util::Json(s));
+  out.set("shed_by_car", std::move(shed_cars));
+  util::Json failovers = util::Json::array();
+  for (std::size_t s : failover_by_shard) failovers.push_back(util::Json(s));
+  out.set("failover_by_shard", std::move(failovers));
+  util::Json shard_rows = util::Json::array();
+  for (const ShardStats& s : shard_stats) {
+    util::Json row = util::Json::object();
+    row.set("site", util::Json(s.site));
+    row.set("requests", util::Json(s.requests));
+    row.set("completed", util::Json(s.completed));
+    row.set("batches", util::Json(s.batches));
+    row.set("shed", util::Json(s.shed));
+    row.set("denied", util::Json(s.denied));
+    row.set("failed_over", util::Json(s.failed_over));
+    row.set("rerouted_in", util::Json(s.rerouted_in));
+    row.set("downs", util::Json(s.downs));
+    shard_rows.push_back(std::move(row));
+  }
+  out.set("shard_stats", std::move(shard_rows));
   util::Json sizes = util::Json::array();
   for (std::size_t s : batch_sizes) sizes.push_back(util::Json(s));
   out.set("batch_sizes", std::move(sizes));
@@ -112,6 +140,10 @@ std::string ServeReport::summary() const {
      << shed << " shed, " << denied << " denied; " << throughput_rps
      << " req/s, queued p50 " << queued_quantile_s(0.50) << " s, p99 "
      << queued_quantile_s(0.99) << " s";
+  if (shards > 1) {
+    os << "; " << shards << " shards, " << shard_downs << " down(s), "
+       << rebalanced << " rerouted";
+  }
   return os.str();
 }
 

@@ -16,6 +16,20 @@
 
 namespace autolearn::serve {
 
+/// Per-shard slice of a fleet run; attribution for degradation under
+/// chaos ("which site's loss cost what").
+struct ShardStats {
+  std::string site;              // testbed topology host the worker is on
+  std::size_t requests = 0;      // arrivals routed to this shard
+  std::size_t completed = 0;     // served by this shard's batcher
+  std::size_t batches = 0;
+  std::size_t shed = 0;          // admission-control sheds at this shard
+  std::size_t denied = 0;        // requests denied by this shard's breaker
+  std::size_t failed_over = 0;   // queued requests rerouted AWAY on death
+  std::size_t rerouted_in = 0;   // failover requests absorbed FROM others
+  std::size_t downs = 0;         // health-monitor death verdicts
+};
+
 struct ServeReport {
   std::size_t requests = 0;         // arrivals offered to the service
   std::size_t completed = 0;        // served through the dynamic batcher
@@ -27,6 +41,19 @@ struct ServeReport {
   std::size_t failover_batches = 0;  // cloud probe failed, edge took the batch
   double duration_s = 0.0;           // makespan: first arrival to last response
   double throughput_rps = 0.0;       // completed / duration_s
+
+  // --- sharded-fleet attribution -----------------------------------------
+  std::size_t shards = 1;
+  std::size_t shard_downs = 0;   // shard death verdicts across the run
+  std::size_t shard_ups = 0;     // recoveries (re-admissions) across the run
+  std::size_t rebalanced = 0;    // queued requests rerouted off dead shards
+  /// Per-car shed counts (size = cars): who paid for saturation.
+  std::vector<std::size_t> shed_by_car;
+  /// Per-shard count of queued requests rerouted away when that shard
+  /// died (size = shards): which site's loss forced how much churn.
+  std::vector<std::size_t> failover_by_shard;
+  /// Per-shard aggregates (size = shards).
+  std::vector<ShardStats> shard_stats;
 
   /// Batch boundaries in dispatch order — the determinism fingerprint.
   std::vector<std::size_t> batch_sizes;

@@ -19,11 +19,16 @@ enum class Tier { Edge, Cloud };
 
 const char* to_string(Tier t);
 
+/// Sentinel shard index for requests no shard worker owned (shed while
+/// the whole fleet was down).
+inline constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
 /// One car's inference request, timestamped on the simulated clock.
 struct ServeRequest {
   std::uint64_t id = 0;
   std::size_t car = 0;
   double t_arrive = 0.0;
+  bool rerouted = false;  // moved off a dead shard by the failover path
   ml::Sample sample;
 };
 
@@ -33,7 +38,9 @@ struct ServeRequest {
 struct ServeRecord {
   std::uint64_t id = 0;
   std::size_t car = 0;
+  std::size_t shard = 0;        // worker that answered (kNoShard when none)
   bool shed = false;            // bounced by admission control
+  bool rerouted = false;        // answered by a failover target shard
   Tier tier = Tier::Edge;
   std::uint64_t model_version = 0;
   std::size_t batch = 1;        // size of the executed batch

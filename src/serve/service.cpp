@@ -5,56 +5,104 @@
 #include <utility>
 
 #include "gpu/perf_model.hpp"
+#include "serve/errors.hpp"
+#include "testbed/topology.hpp"
 
 namespace autolearn::serve {
 
 void FleetOptions::validate() const {
-  if (cars == 0) throw std::invalid_argument("fleet: cars must be >= 1");
+  if (cars == 0) throw ConfigError("fleet.cars", "must be >= 1");
   if (duration_s <= 0.0) {
-    throw std::invalid_argument("fleet: duration_s must be > 0");
+    throw ConfigError("fleet.duration_s", "must be > 0");
   }
   if (mean_interarrival_s <= 0.0) {
-    throw std::invalid_argument("fleet: mean_interarrival_s must be > 0");
+    throw ConfigError("fleet.mean_interarrival_s", "must be > 0");
   }
   if (queue_budget == 0) {
-    throw std::invalid_argument("fleet: queue_budget must be >= 1");
+    throw ConfigError("fleet.queue_budget", "must be >= 1");
   }
   if (img_w == 0 || img_h == 0) {
-    throw std::invalid_argument("fleet: zero image dimension");
+    throw ConfigError("fleet.img", "zero image dimension");
   }
+  if (shards == 0) throw ConfigError("fleet.shards", "must be >= 1");
+  if (ring_replicas == 0) {
+    throw ConfigError("fleet.ring_replicas", "must be >= 1");
+  }
+  for (const std::string& site : sites) {
+    if (site.empty()) throw ConfigError("fleet.sites", "empty site name");
+  }
+  health.validate();
   batcher.validate();
 }
 
 FleetService::FleetService(util::EventQueue& queue, ModelRegistry& registry,
                            FleetOptions options)
-    : queue_(queue),
-      registry_(registry),
-      options_(std::move(options)),
-      batcher_(options_.batcher),
-      breaker_(options_.continuum.breaker),
-      rng_(options_.seed) {
+    : queue_(queue), options_(std::move(options)) {
   options_.validate();
+  // Unreplicated mode: every shard reads the same registry.
+  init(std::vector<ModelRegistry*>(options_.shards, &registry));
+}
+
+FleetService::FleetService(util::EventQueue& queue,
+                           ReplicatedRegistry& registry, FleetOptions options)
+    : queue_(queue), options_(std::move(options)) {
+  options_.validate();
+  if (registry.shards() != options_.shards) {
+    throw ConfigError("fleet.shards",
+                      "replicated registry has " +
+                          std::to_string(registry.shards()) +
+                          " replicas, options ask for " +
+                          std::to_string(options_.shards));
+  }
+  std::vector<ModelRegistry*> registries;
+  registries.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    registries.push_back(&registry.shard(i));
+  }
+  init(std::move(registries));
+}
+
+void FleetService::init(std::vector<ModelRegistry*> registries) {
+  ShardRouterConfig rcfg;
+  rcfg.shards = options_.shards;
+  rcfg.replicas = options_.ring_replicas;
+  rcfg.salt = hash_mix(options_.seed);
+  router_ = ShardRouter(rcfg);
+
+  rng_ = util::Rng(options_.seed);
   car_rng_.reserve(options_.cars);
   for (std::size_t i = 0; i < options_.cars; ++i) {
     car_rng_.push_back(rng_.split());
   }
-  jitter_rng_ = rng_.split();
 
+  const std::vector<std::string> default_sites =
+      options_.sites.empty() ? testbed::shard_sites(options_.shards)
+                             : options_.sites;
   obs::Tracer* tracer = options_.continuum.tracer;
   obs::MetricsRegistry* metrics = options_.continuum.metrics;
-  if (tracer || metrics) {
-    breaker_.set_on_transition([this, tracer, metrics](
-                                   fault::CircuitBreaker::State from,
-                                   fault::CircuitBreaker::State to,
-                                   double now) {
+
+  shards_.resize(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    Shard& shard = shards_[s];
+    shard.site = default_sites[s % default_sites.size()];
+    shard.registry = registries[s];
+    shard.batcher = std::make_unique<DynamicBatcher>(options_.batcher);
+    shard.breaker =
+        std::make_unique<fault::CircuitBreaker>(options_.continuum.breaker);
+    shard.jitter_rng = rng_.split();
+    shard.breaker->set_on_transition([this, s, tracer, metrics](
+                                         fault::CircuitBreaker::State from,
+                                         fault::CircuitBreaker::State to,
+                                         double now) {
       if (to == fault::CircuitBreaker::State::Closed) {
-        awaiting_recovery_ = true;
+        shards_[s].awaiting_recovery = true;
       }
       if (tracer) {
         util::Json args = util::Json::object();
         args.set("from", util::Json(fault::to_string(from)));
         args.set("to", util::Json(fault::to_string(to)));
         args.set("t", util::Json(now));
+        args.set("shard", util::Json(s));
         tracer->instant("fault.breaker", "fault", std::move(args));
       }
       if (metrics) {
@@ -64,49 +112,84 @@ FleetService::FleetService(util::EventQueue& queue, ModelRegistry& registry,
             .inc();
       }
     });
-  } else {
-    breaker_.set_on_transition(
-        [this](fault::CircuitBreaker::State, fault::CircuitBreaker::State to,
-               double) {
-          if (to == fault::CircuitBreaker::State::Closed) {
-            awaiting_recovery_ = true;
-          }
-        });
   }
+
+  if (options_.site_probe) {
+    health_ = std::make_unique<HealthMonitor>(queue_, options_.health);
+    for (const Shard& shard : shards_) health_->add_shard(shard.site);
+    health_->set_probe(options_.site_probe);
+    health_->set_on_down([this](std::size_t s) { on_shard_down(s); });
+    health_->set_on_up([this](std::size_t s) { on_shard_up(s); });
+    health_->instrument(tracer, metrics);
+  }
+
+  report_.shards = options_.shards;
+  report_.shed_by_car.assign(options_.cars, 0);
+  report_.failover_by_shard.assign(options_.shards, 0);
+  report_.shard_stats.resize(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    report_.shard_stats[s].site = shards_[s].site;
+  }
+}
+
+const fault::CircuitBreaker& FleetService::breaker(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("FleetService::breaker: bad shard index");
+  }
+  return *shards_[shard].breaker;
 }
 
 ServeReport FleetService::run() {
   if (ran_) throw std::logic_error("FleetService::run: call once");
   ran_ = true;
-  if (registry_.empty()) {
-    throw std::logic_error("FleetService::run: no model published");
+  for (const Shard& shard : shards_) {
+    if (shard.registry->empty()) {
+      throw std::logic_error("FleetService::run: no model published");
+    }
   }
 
+  if (health_) health_->start(options_.duration_s);
   for (std::size_t car = 0; car < options_.cars; ++car) {
     schedule_arrival(car);
   }
   queue_.run_until(options_.duration_s);
 
-  // Arrival window closed: force-flush whatever the batcher still holds
+  // Arrival window closed: force-flush whatever the batchers still hold
   // (partial batches included) and drain in-flight work.
   draining_ = true;
-  try_dispatch();
+  for (std::size_t s = 0; s < shards_.size(); ++s) try_dispatch(s);
   queue_.run();
 
   const double makespan = queue_.now();
   report_.duration_s = makespan;
   report_.throughput_rps =
       makespan > 0.0 ? static_cast<double>(report_.completed) / makespan : 0.0;
+  std::size_t cloud_requests = 0;
+  std::size_t denied_batches = 0;
+  std::size_t failovers = 0;
+  double degraded_s = 0.0;
+  double recovery_s = 0.0;
+  for (const Shard& shard : shards_) {
+    cloud_requests += shard.cloud_requests;
+    denied_batches += shard.denied_batches;
+    failovers += shard.breaker->times_opened();
+    degraded_s += shard.breaker->degraded_s(makespan);
+    recovery_s += shard.recovery_latency_s;
+  }
   report_.degradation.cloud_usage =
       report_.records.empty()
           ? 0.0
-          : static_cast<double>(cloud_requests_) /
+          : static_cast<double>(cloud_requests) /
                 static_cast<double>(report_.records.size());
-  report_.degradation.failovers = breaker_.times_opened();
-  report_.degradation.denied_calls = denied_batches_;
-  report_.degradation.degraded_time_s = breaker_.degraded_s(makespan);
-  report_.degradation.recovery_latency_s = recovery_latency_s_;
-  set_queue_gauge();
+  report_.degradation.failovers = failovers;
+  report_.degradation.denied_calls = denied_batches;
+  report_.degradation.degraded_time_s = degraded_s;
+  report_.degradation.recovery_latency_s = recovery_s;
+  if (health_) {
+    report_.shard_downs = health_->downs();
+    report_.shard_ups = health_->ups();
+  }
+  set_queue_gauge(0);
   return report_;
 }
 
@@ -119,30 +202,52 @@ void FleetService::schedule_arrival(std::size_t car) {
 
 void FleetService::on_arrival(std::size_t car) {
   const double now = queue_.now();
-  const auto snapshot = registry_.current();
+  // Any registry works for sampling geometry; route first so the sample
+  // is drawn against the owning shard's served model.
+  ++report_.requests;
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  if (metrics) metrics->counter("serve.requests").inc();
+
+  if (!router_.any_alive()) {
+    // Whole fleet dark (every site partitioned): the car's own edge tier
+    // answers — degraded, never an error.
+    ServeRequest request;
+    request.id = next_id_++;
+    request.car = car;
+    request.t_arrive = now;
+    request.sample = make_sample(car_rng_[car], *shards_[0].registry
+                                                     ->current()
+                                                     ->model);
+    shed_request(std::move(request), kNoShard);
+    schedule_arrival(car);
+    return;
+  }
+
+  const std::size_t s = router_.shard_for(car);
+  Shard& shard = shards_[s];
+  ++report_.shard_stats[s].requests;
+  const auto snapshot = shard.registry->current();
   ServeRequest request;
   request.id = next_id_++;
   request.car = car;
   request.t_arrive = now;
   request.sample = make_sample(car_rng_[car], *snapshot->model);
 
-  ++report_.requests;
-  obs::MetricsRegistry* metrics = options_.continuum.metrics;
-  if (metrics) metrics->counter("serve.requests").inc();
-
-  if (batcher_.pending() >= options_.queue_budget) {
-    shed_request(std::move(request));
+  if (shard.batcher->pending() >= options_.queue_budget) {
+    shed_request(std::move(request), s);
   } else {
-    batcher_.push(std::move(request));
-    set_queue_gauge();
-    try_dispatch();
+    shard.batcher->push(std::move(request));
+    set_queue_gauge(s);
+    try_dispatch(s);
   }
   schedule_arrival(car);
 }
 
-void FleetService::shed_request(ServeRequest request) {
+void FleetService::shed_request(ServeRequest request, std::size_t shard) {
   const double now = queue_.now();
-  const auto snapshot = registry_.current();
+  ModelRegistry* registry =
+      shard == kNoShard ? shards_[0].registry : shards_[shard].registry;
+  const auto snapshot = registry->current();
   ml::Prediction prediction;
   snapshot->model->predict_batch(&request.sample, 1, &prediction);
 
@@ -155,7 +260,9 @@ void FleetService::shed_request(ServeRequest request) {
   ServeRecord record;
   record.id = request.id;
   record.car = request.car;
+  record.shard = shard;
   record.shed = true;
+  record.rerouted = request.rerouted;
   record.tier = Tier::Edge;
   record.model_version = snapshot->version;
   record.batch = 1;
@@ -167,9 +274,11 @@ void FleetService::shed_request(ServeRequest request) {
   obs::MetricsRegistry* metrics = options_.continuum.metrics;
   if (metrics) metrics->counter("serve.shed").inc();
   if (obs::Tracer* tracer = options_.continuum.tracer) {
+    const std::size_t depth =
+        shard == kNoShard ? 0 : shards_[shard].batcher->pending();
     util::Json args = util::Json::object();
     args.set("car", util::Json(record.car));
-    args.set("queue_depth", util::Json(batcher_.pending()));
+    args.set("queue_depth", util::Json(depth));
     tracer->instant("serve.shed", "serve", std::move(args));
     util::Json span = util::Json::object();
     span.set("car", util::Json(record.car));
@@ -184,30 +293,33 @@ void FleetService::shed_request(ServeRequest request) {
   queue_.schedule_at(record.t_done, [this, record] { deliver(record); });
 }
 
-void FleetService::try_dispatch() {
-  while (!worker_busy_ && !batcher_.empty() &&
-         (draining_ || batcher_.ready(queue_.now()))) {
-    dispatch_batch();
+void FleetService::try_dispatch(std::size_t s) {
+  Shard& shard = shards_[s];
+  while (!shard.busy && !shard.batcher->empty() &&
+         (draining_ || shard.batcher->ready(queue_.now()))) {
+    dispatch_batch(s);
   }
-  if (!worker_busy_ && !draining_ && !batcher_.empty()) arm_deadline();
+  if (!shard.busy && !draining_ && !shard.batcher->empty()) arm_deadline(s);
 }
 
-void FleetService::arm_deadline() {
-  if (deadline_armed_) return;
-  deadline_armed_ = true;
-  const double t = std::max(queue_.now(), batcher_.deadline());
-  queue_.schedule_at(t, [this] {
-    deadline_armed_ = false;
-    try_dispatch();
+void FleetService::arm_deadline(std::size_t s) {
+  Shard& shard = shards_[s];
+  if (shard.deadline_armed) return;
+  shard.deadline_armed = true;
+  const double t = std::max(queue_.now(), shard.batcher->deadline());
+  queue_.schedule_at(t, [this, s] {
+    shards_[s].deadline_armed = false;
+    try_dispatch(s);
   });
 }
 
-void FleetService::dispatch_batch() {
+void FleetService::dispatch_batch(std::size_t s) {
+  Shard& shard = shards_[s];
   const double now = queue_.now();
-  std::vector<ServeRequest> batch = batcher_.take();
-  set_queue_gauge();
+  std::vector<ServeRequest> batch = shard.batcher->take();
+  set_queue_gauge(s);
   const std::size_t n = batch.size();
-  const auto snapshot = registry_.current();
+  const auto snapshot = shard.registry->current();
 
   // One batched forward through the GEMM backbone — this is the whole
   // point of the batcher. Run it before pricing: conv layers size
@@ -220,7 +332,7 @@ void FleetService::dispatch_batch() {
   snapshot->model->predict_batch(samples.data(), n, predictions.data());
 
   const std::uint64_t flops = scaled_flops(*snapshot->model);
-  const Tier tier = choose_tier(now, n, flops);
+  const Tier tier = choose_tier(s, now, n, flops);
   const gpu::DeviceSpec& spec =
       gpu::device(tier == Tier::Cloud ? options_.continuum.cloud_device
                                       : options_.continuum.edge_device);
@@ -231,17 +343,18 @@ void FleetService::dispatch_batch() {
   if (tier == Tier::Cloud) {
     rtt_s = options_.continuum.network_rtt_s;
     if (options_.continuum.rtt_jitter_s > 0.0) {
-      rtt_s += jitter_rng_.normal(0.0, options_.continuum.rtt_jitter_s);
+      rtt_s += shard.jitter_rng.normal(0.0, options_.continuum.rtt_jitter_s);
     }
     rtt_s = std::max(0.0, rtt_s);
   }
   const double t_done = t_exec_done + rtt_s;
 
   ++report_.batches;
+  ++report_.shard_stats[s].batches;
   report_.batch_sizes.push_back(n);
   if (tier == Tier::Cloud) {
     ++report_.cloud_batches;
-    cloud_requests_ += n;
+    shard.cloud_requests += n;
   } else {
     ++report_.edge_batches;
   }
@@ -250,6 +363,7 @@ void FleetService::dispatch_batch() {
   obs::Tracer* tracer = options_.continuum.tracer;
   if (metrics) {
     metrics->counter("serve.batches").inc();
+    metrics->counter("serve.shard." + std::to_string(s) + ".batches").inc();
     metrics->histogram("serve.batch_size", {1, 2, 4, 8, 16, 32, 64})
         .observe(static_cast<double>(n));
     metrics->histogram("serve.batch_exec_s").observe(exec_s);
@@ -260,6 +374,7 @@ void FleetService::dispatch_batch() {
     args.set("tier", util::Json(to_string(tier)));
     args.set("version", util::Json(snapshot->version));
     args.set("exec_s", util::Json(exec_s));
+    args.set("shard", util::Json(s));
     tracer->complete("serve.batch", "serve", now, t_exec_done,
                      std::move(args));
   }
@@ -269,7 +384,9 @@ void FleetService::dispatch_batch() {
     ServeRecord record;
     record.id = r.id;
     record.car = r.car;
+    record.shard = s;
     record.shed = false;
+    record.rerouted = r.rerouted;
     record.tier = tier;
     record.model_version = snapshot->version;
     record.batch = n;
@@ -290,21 +407,23 @@ void FleetService::dispatch_batch() {
       span.set("queued_s", util::Json(queued_s));
       span.set("exec_s", util::Json(exec_s));
       span.set("rtt_s", util::Json(rtt_s));
+      span.set("shard", util::Json(s));
       tracer->complete("serve.request", "serve", record.t_arrive,
                        record.t_done, std::move(span));
     }
     queue_.schedule_at(t_done, [this, record] { deliver(record); });
   }
 
-  worker_busy_ = true;
-  queue_.schedule_at(t_exec_done, [this] {
-    worker_busy_ = false;
-    try_dispatch();
+  shard.busy = true;
+  queue_.schedule_at(t_exec_done, [this, s] {
+    shards_[s].busy = false;
+    try_dispatch(s);
   });
 }
 
-Tier FleetService::choose_tier(double now, std::size_t batch,
+Tier FleetService::choose_tier(std::size_t s, double now, std::size_t batch,
                                std::uint64_t flops) {
+  Shard& shard = shards_[s];
   bool want_cloud = false;
   switch (options_.placement) {
     case core::Placement::OnDevice:
@@ -329,43 +448,116 @@ Tier FleetService::choose_tier(double now, std::size_t batch,
   if (!want_cloud) return Tier::Edge;
 
   obs::MetricsRegistry* metrics = options_.continuum.metrics;
-  if (!breaker_.allow(now)) {
-    ++denied_batches_;
+  if (!shard.breaker->allow(now)) {
+    ++shard.denied_batches;
     report_.denied += batch;
+    report_.shard_stats[s].denied += batch;
     if (metrics) metrics->counter("serve.denied").inc(batch);
     return Tier::Edge;
   }
-  const bool reachable = options_.continuum.cloud_probe
-                             ? options_.continuum.cloud_probe(now)
-                             : true;
-  if (!reachable) {
-    breaker_.record_failure(now);
+  if (!site_reachable(s, now)) {
+    shard.breaker->record_failure(now);
     ++report_.failover_batches;
     if (metrics) metrics->counter("serve.failovers").inc();
     return Tier::Edge;
   }
-  breaker_.record_success(now);
-  if (awaiting_recovery_ && breaker_.last_closed_at() >= 0.0) {
-    recovery_latency_s_ = now - breaker_.last_closed_at();
-    awaiting_recovery_ = false;
+  shard.breaker->record_success(now);
+  if (shard.awaiting_recovery && shard.breaker->last_closed_at() >= 0.0) {
+    shard.recovery_latency_s = now - shard.breaker->last_closed_at();
+    shard.awaiting_recovery = false;
   }
   return Tier::Cloud;
+}
+
+bool FleetService::site_reachable(std::size_t s, double now) const {
+  if (options_.site_probe) return options_.site_probe(shards_[s].site, now);
+  if (options_.continuum.cloud_probe) {
+    return options_.continuum.cloud_probe(now);
+  }
+  return true;
+}
+
+void FleetService::on_shard_down(std::size_t s) {
+  router_.set_alive(s, false);
+  ++report_.shard_stats[s].downs;
+
+  // Reroute the dead shard's queue to the survivors. Consistent hashing
+  // bounds the churn: only this shard's cars move, everyone else keeps
+  // their worker. An executing batch completes — its responses are
+  // already in flight back to the cars.
+  std::vector<ServeRequest> orphans = shards_[s].batcher->drain();
+  set_queue_gauge(s);
+  if (orphans.empty()) return;
+
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  obs::Tracer* tracer = options_.continuum.tracer;
+  if (metrics) {
+    metrics->counter("serve.failover.rerouted").inc(orphans.size());
+  }
+  if (tracer) {
+    util::Json args = util::Json::object();
+    args.set("shard", util::Json(s));
+    args.set("site", util::Json(shards_[s].site));
+    args.set("rerouted", util::Json(orphans.size()));
+    tracer->instant("serve.failover", "serve", std::move(args));
+  }
+
+  report_.rebalanced += orphans.size();
+  report_.failover_by_shard[s] += orphans.size();
+  report_.shard_stats[s].failed_over += orphans.size();
+
+  std::vector<bool> touched(shards_.size(), false);
+  for (ServeRequest& r : orphans) {
+    r.rerouted = true;
+    if (!router_.any_alive()) {
+      shed_request(std::move(r), kNoShard);
+      continue;
+    }
+    const std::size_t target = router_.shard_for(r.car);
+    if (shards_[target].batcher->pending() >= options_.queue_budget) {
+      shed_request(std::move(r), target);
+    } else {
+      shards_[target].batcher->push(std::move(r));
+      ++report_.shard_stats[target].rerouted_in;
+      touched[target] = true;
+    }
+  }
+  for (std::size_t t = 0; t < shards_.size(); ++t) {
+    if (touched[t]) {
+      set_queue_gauge(t);
+      try_dispatch(t);
+    }
+  }
+}
+
+void FleetService::on_shard_up(std::size_t s) {
+  // Re-admit the shard: exactly its original cars route back to it on
+  // their next arrival (consistent hashing again bounds the churn).
+  router_.set_alive(s, true);
 }
 
 void FleetService::deliver(ServeRecord record) {
   if (record.shed) {
     ++report_.shed;
+    ++report_.shed_by_car[record.car];
+    if (record.shard != kNoShard) ++report_.shard_stats[record.shard].shed;
   } else {
     ++report_.completed;
+    ++report_.shard_stats[record.shard].completed;
   }
   ++report_.requests_by_version[record.model_version];
   report_.records.push_back(std::move(record));
 }
 
-void FleetService::set_queue_gauge() {
-  if (obs::MetricsRegistry* metrics = options_.continuum.metrics) {
-    metrics->gauge("serve.queue_depth")
-        .set(static_cast<double>(batcher_.pending()));
+void FleetService::set_queue_gauge(std::size_t s) {
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  if (!metrics) return;
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.batcher->pending();
+  metrics->gauge("serve.queue_depth").set(static_cast<double>(total));
+  if (options_.shards > 1) {
+    metrics->gauge("serve.shard." + std::to_string(s) + ".queue_depth")
+        .set(static_cast<double>(shards_[s].batcher->pending()));
   }
 }
 

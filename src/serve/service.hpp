@@ -1,33 +1,52 @@
-// Fleet inference service on the simulated clock.
+// Geo-sharded fleet inference service on the simulated clock.
 //
-// N cars emit observations with exponential interarrival times into a
-// shared service queue; a dynamic batcher forms batches (flush on cap or
-// age-out) and a placement-aware worker executes each batch as ONE
+// N cars emit observations with exponential interarrival times; a
+// consistent-hash ShardRouter assigns each car to one of `shards` shard
+// workers, each pinned to a testbed:: topology site and running its own
+// DynamicBatcher behind its own fault::CircuitBreaker. Each worker forms
+// batches (flush on cap or age-out) and executes each batch as ONE
 // predict_batch call through the GEMM backbone, priced by the
 // gpu::perf_model batched latency. Placement semantics mirror
 // core::Continuum:
 //
 //   OnDevice  every batch runs on the edge device spec
-//   Cloud     batches ship to the cloud device; responses pay RTT+jitter;
-//             the circuit breaker guards the cloud — denied or
+//   Cloud     batches ship to the shard's site; responses pay RTT+jitter;
+//             the shard's breaker guards the site — denied or
 //             probe-failed batches fail over to the edge spec
 //   Hybrid    per-batch cost gate: the cheaper of edge vs RTT+cloud wins
 //             (cloud still behind the breaker)
 //
-// Admission control: when the queue already holds queue_budget requests a
-// new arrival is shed — the car's own edge tier answers it per-sample
-// (graceful degradation, never an error). Everything runs on one
-// util::EventQueue with per-car Rng splits, so a seed pins the arrival
-// schedule, the batch boundaries, and the whole ServeReport bit-for-bit.
+// Failure tolerance: a HealthMonitor heartbeats every shard's site on the
+// virtual clock (wire `site_probe` to a chaos-partitioned net::Network).
+// A shard whose site stays unreachable past the health timeout is
+// declared dead: its queued requests are rerouted to surviving shards
+// (bounded churn — consistent hashing moves only the dead shard's cars)
+// and its future arrivals route around it; when the site heals, exactly
+// those cars return. A batch already executing when its shard dies
+// completes (its responses are modeled as already in flight).
+//
+// Admission control: when a car's shard already holds queue_budget
+// requests — or no shard is alive at all — the arrival is shed and the
+// car's own edge tier answers it per-sample (graceful degradation, never
+// an error). Everything runs on one util::EventQueue with per-car and
+// per-shard Rng splits, so a seed pins the arrival schedule, the batch
+// boundaries, the failover timeline, and the whole ServeReport
+// bit-for-bit — including runs with chaos-injected site partitions.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/continuum.hpp"
 #include "serve/batcher.hpp"
+#include "serve/health.hpp"
 #include "serve/model_registry.hpp"
+#include "serve/replication.hpp"
 #include "serve/report.hpp"
+#include "serve/shard_router.hpp"
 #include "util/event_queue.hpp"
 #include "util/rng.hpp"
 
@@ -43,8 +62,8 @@ struct FleetOptions {
   /// and the tracer/metrics sinks all come from here — the serving tier
   /// reuses the continuum's cost model wholesale.
   core::ContinuumOptions continuum;
-  /// Admission control: arrivals beyond this many pending requests are
-  /// shed to per-sample edge execution.
+  /// Admission control, per shard: arrivals finding this many requests
+  /// pending at their shard are shed to per-sample edge execution.
   std::size_t queue_budget = 64;
   /// Observation geometry for synthetic fleet frames; must match the
   /// served model's input (ml::ModelConfig defaults).
@@ -52,54 +71,103 @@ struct FleetOptions {
   std::size_t img_h = 24;
   std::uint64_t seed = 1;
 
+  // --- sharding ------------------------------------------------------------
+  /// Shard workers the fleet is spread over (1 = the pre-sharding
+  /// single-worker service, bit-for-bit).
+  std::size_t shards = 1;
+  /// testbed:: topology site each shard is pinned to, cycled when shorter
+  /// than `shards`. Empty: testbed::shard_sites() (the two principal
+  /// Chameleon sites, alternating).
+  std::vector<std::string> sites;
+  /// Virtual ring points per shard (consistent-hash smoothing).
+  std::size_t ring_replicas = 64;
+  /// Heartbeat cadence and death timeout for the health monitor. The
+  /// monitor only runs when `site_probe` is set — with no probe there is
+  /// nothing that can fail.
+  HealthOptions health;
+  /// Reachability of a shard's pinned site at virtual time `now`; wire to
+  /// a chaos-partitioned network, e.g.
+  ///   opt.site_probe = [&net](const std::string& site, double) {
+  ///     return net.route(testbed::kCampusGateway, site).has_value();
+  ///   };
+  /// Drives BOTH the per-batch breaker probe and the health monitor's
+  /// heartbeats. Unset: fall back to continuum.cloud_probe (all sites
+  /// share one cloud), else always reachable.
+  std::function<bool(const std::string& site, double now)> site_probe;
+
   void validate() const;
 };
 
 class FleetService {
  public:
-  /// The service borrows the queue (so tests can co-schedule hot-swaps or
-  /// chaos on the same clock) and reads the registry at every dispatch.
+  /// Single-registry mode: every shard worker reads `registry` (shared,
+  /// unreplicated — canary rollouts need the replicated constructor).
+  /// The service borrows the queue so tests can co-schedule hot-swaps or
+  /// chaos on the same clock.
   FleetService(util::EventQueue& queue, ModelRegistry& registry,
+               FleetOptions options);
+
+  /// Replicated mode: shard i reads `registry.shard(i)`; the registry
+  /// must have exactly options.shards replicas. This is the path canary
+  /// rollouts and rollbacks run through.
+  FleetService(util::EventQueue& queue, ReplicatedRegistry& registry,
                FleetOptions options);
 
   /// Runs the full scenario: arrivals for duration_s, then drains the
   /// queue (partial batches force-flush). Call once.
   ServeReport run();
 
-  const fault::CircuitBreaker& breaker() const { return breaker_; }
+  /// Shard 0's breaker (single-shard compatibility accessor).
+  const fault::CircuitBreaker& breaker() const { return breaker(0); }
+  const fault::CircuitBreaker& breaker(std::size_t shard) const;
+  const ShardRouter& router() const { return router_; }
+  /// Null when no site_probe was configured.
+  const HealthMonitor* health() const { return health_.get(); }
 
  private:
+  struct Shard {
+    std::string site;
+    ModelRegistry* registry = nullptr;
+    std::unique_ptr<DynamicBatcher> batcher;
+    std::unique_ptr<fault::CircuitBreaker> breaker;
+    util::Rng jitter_rng{0};
+    bool busy = false;
+    bool deadline_armed = false;
+    bool awaiting_recovery = false;
+    std::size_t denied_batches = 0;
+    std::size_t cloud_requests = 0;
+    double recovery_latency_s = 0.0;
+  };
+
+  void init(std::vector<ModelRegistry*> registries);
   void schedule_arrival(std::size_t car);
   void on_arrival(std::size_t car);
-  void shed_request(ServeRequest request);
-  void try_dispatch();
-  void arm_deadline();
-  void dispatch_batch();
-  Tier choose_tier(double now, std::size_t batch, std::uint64_t flops);
+  void shed_request(ServeRequest request, std::size_t shard);
+  void try_dispatch(std::size_t shard);
+  void arm_deadline(std::size_t shard);
+  void dispatch_batch(std::size_t shard);
+  Tier choose_tier(std::size_t shard, double now, std::size_t batch,
+                   std::uint64_t flops);
+  bool site_reachable(std::size_t shard, double now) const;
+  void on_shard_down(std::size_t shard);
+  void on_shard_up(std::size_t shard);
   void deliver(ServeRecord record);
-  void set_queue_gauge();
+  void set_queue_gauge(std::size_t shard);
   ml::Sample make_sample(util::Rng& rng,
                          const ml::DrivingModel& model) const;
   std::uint64_t scaled_flops(const ml::DrivingModel& model) const;
 
   util::EventQueue& queue_;
-  ModelRegistry& registry_;
   FleetOptions options_;
-  DynamicBatcher batcher_;
-  fault::CircuitBreaker breaker_;
+  ShardRouter router_;
+  std::vector<Shard> shards_;
+  std::unique_ptr<HealthMonitor> health_;
   util::Rng rng_;
   std::vector<util::Rng> car_rng_;
-  util::Rng jitter_rng_{0};
 
   std::uint64_t next_id_ = 1;
-  bool worker_busy_ = false;
-  bool deadline_armed_ = false;
   bool draining_ = false;
   bool ran_ = false;
-  bool awaiting_recovery_ = false;
-  std::size_t denied_batches_ = 0;
-  std::size_t cloud_requests_ = 0;
-  double recovery_latency_s_ = 0.0;
 
   ServeReport report_;
 };

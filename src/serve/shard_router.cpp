@@ -1,0 +1,88 @@
+#include "serve/shard_router.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "serve/errors.hpp"
+
+namespace autolearn::serve {
+
+void ShardRouterConfig::validate() const {
+  if (shards == 0) {
+    throw ConfigError("router.shards", "must be >= 1");
+  }
+  if (replicas == 0) {
+    throw ConfigError("router.replicas", "must be >= 1");
+  }
+}
+
+std::uint64_t hash_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ShardRouter::ShardRouter(ShardRouterConfig config) : config_(config) {
+  config_.validate();
+  ring_.reserve(config_.shards * config_.replicas);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    const std::uint64_t shard_seed = hash_mix(config_.salt ^ (s + 1));
+    for (std::size_t r = 0; r < config_.replicas; ++r) {
+      ring_.push_back({hash_mix(shard_seed ^ (r + 1)), s});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.shard < b.shard;  // collision tie-break, still deterministic
+  });
+  alive_.assign(config_.shards, true);
+  alive_count_ = config_.shards;
+}
+
+bool ShardRouter::alive(std::size_t shard) const {
+  if (shard >= config_.shards) {
+    throw std::out_of_range("ShardRouter::alive: bad shard index");
+  }
+  return alive_[shard];
+}
+
+void ShardRouter::set_alive(std::size_t shard, bool alive) {
+  if (shard >= config_.shards) {
+    throw std::out_of_range("ShardRouter::set_alive: bad shard index");
+  }
+  if (alive_[shard] == alive) return;
+  alive_[shard] = alive;
+  alive_count_ += alive ? 1 : std::size_t(-1);
+}
+
+std::size_t ShardRouter::shard_for(std::uint64_t key) const {
+  if (alive_count_ == 0) {
+    throw std::logic_error("ShardRouter::shard_for: no live shard");
+  }
+  const std::uint64_t h = hash_mix(key ^ config_.salt);
+  // First ring point at or after h, then walk clockwise to a live shard.
+  std::size_t idx =
+      static_cast<std::size_t>(
+          std::lower_bound(ring_.begin(), ring_.end(), h,
+                           [](const Point& p, std::uint64_t v) {
+                             return p.hash < v;
+                           }) -
+          ring_.begin());
+  for (std::size_t step = 0; step < ring_.size(); ++step) {
+    const Point& p = ring_[(idx + step) % ring_.size()];
+    if (alive_[p.shard]) return p.shard;
+  }
+  throw std::logic_error("ShardRouter::shard_for: ring walk found no shard");
+}
+
+std::vector<std::size_t> ShardRouter::mapping(std::uint64_t n) const {
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t key = 0; key < n; ++key) {
+    out.push_back(shard_for(key));
+  }
+  return out;
+}
+
+}  // namespace autolearn::serve

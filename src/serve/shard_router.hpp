@@ -1,0 +1,72 @@
+// Consistent-hash router assigning cars to shard workers.
+//
+// The fleet's cars are spread over N shard workers with a classic
+// consistent-hash ring: each shard contributes `replicas` virtual points
+// hashed onto a 64-bit ring, and a car maps to the first live point at or
+// after its own hash (wrapping). The payoff is bounded rebalance churn:
+// when a shard dies, ONLY the cars that mapped to its points move (to the
+// next live point clockwise); every other car keeps its shard, and when
+// the shard heals exactly those cars move back. The hash is a fixed
+// SplitMix64 finalizer — not std::hash — so the mapping is part of the
+// seed contract and identical across platforms and runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace autolearn::serve {
+
+struct ShardRouterConfig {
+  std::size_t shards = 1;
+  /// Virtual points per shard. More points smooth the car distribution
+  /// (at 64 the max/min shard load ratio stays under ~1.5 for fleets of
+  /// hundreds of cars); fewer make the ring cheaper to search.
+  std::size_t replicas = 64;
+  /// Salt folded into every hash; lets two routers over the same shard
+  /// count draw independent rings.
+  std::uint64_t salt = 0x9e3779b97f4a7c15ULL;
+
+  void validate() const;
+};
+
+/// Deterministic 64-bit mix (SplitMix64 finalizer). Exposed because the
+/// router's tests and the ring's documentation both reference it.
+std::uint64_t hash_mix(std::uint64_t x);
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterConfig config = {});
+
+  std::size_t shards() const { return config_.shards; }
+  std::size_t alive_count() const { return alive_count_; }
+  bool any_alive() const { return alive_count_ > 0; }
+  bool alive(std::size_t shard) const;
+
+  /// Marks a shard dead (its keys spill to the next live ring points) or
+  /// live again (exactly those keys return). Idempotent.
+  void set_alive(std::size_t shard, bool alive);
+
+  /// Owning live shard for a key (car id). Throws std::logic_error when
+  /// no shard is alive — callers gate on any_alive() and shed instead.
+  std::size_t shard_for(std::uint64_t key) const;
+
+  /// Current key -> shard mapping for keys [0, n). Churn between two
+  /// mappings is what the failover tests bound.
+  std::vector<std::size_t> mapping(std::uint64_t n) const;
+
+  const ShardRouterConfig& config() const { return config_; }
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t shard;
+  };
+
+  ShardRouterConfig config_;
+  std::vector<Point> ring_;  // sorted by hash
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+};
+
+}  // namespace autolearn::serve

@@ -24,4 +24,13 @@ net::Network chameleon_network(const TopologyOptions& options) {
   return n;
 }
 
+std::vector<std::string> shard_sites(std::size_t shards) {
+  std::vector<std::string> sites;
+  sites.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    sites.push_back(s % 2 == 0 ? kSiteUC : kSiteTACC);
+  }
+  return sites;
+}
+
 }  // namespace autolearn::testbed

@@ -27,4 +27,10 @@ inline const char* kSiteTACC = "chi-tacc";
 /// Builds the car <-> campus <-> CHI@UC <-> (FABRIC) <-> CHI@TACC graph.
 net::Network chameleon_network(const TopologyOptions& options = {});
 
+/// Site assignment for `shards` fleet shard workers: the two principal
+/// Chameleon sites, alternating (shard 0 on CHI@UC, shard 1 on CHI@TACC,
+/// shard 2 on CHI@UC, ...). Losing one site takes out half the shards,
+/// which is the failure mode the geo-sharded serving tests exercise.
+std::vector<std::string> shard_sites(std::size_t shards);
+
 }  // namespace autolearn::testbed

@@ -11,6 +11,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/batcher.hpp"
+#include "serve/errors.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/service.hpp"
 #include "util/event_queue.hpp"
@@ -330,6 +331,80 @@ TEST(FleetService, ValidatesOptionsAndLifecycle) {
   FleetService once(queue2, registry, small_cloud_fleet());
   once.run();
   EXPECT_THROW(once.run(), std::logic_error);
+}
+
+TEST(FleetService, ConfigErrorsNameTheOffendingField) {
+  util::EventQueue queue;
+  ModelRegistry registry;
+  const auto field_of = [&](FleetOptions opt) -> std::string {
+    try {
+      FleetService service(queue, registry, opt);
+    } catch (const ConfigError& e) {
+      return e.field();
+    }
+    return "<no throw>";
+  };
+  FleetOptions opt = small_cloud_fleet();
+  opt.cars = 0;
+  EXPECT_EQ(field_of(opt), "fleet.cars");
+  opt = small_cloud_fleet();
+  opt.duration_s = 0.0;
+  EXPECT_EQ(field_of(opt), "fleet.duration_s");
+  opt = small_cloud_fleet();
+  opt.mean_interarrival_s = -1.0;
+  EXPECT_EQ(field_of(opt), "fleet.mean_interarrival_s");
+  opt = small_cloud_fleet();
+  opt.shards = 0;
+  EXPECT_EQ(field_of(opt), "fleet.shards");
+  opt = small_cloud_fleet();
+  opt.ring_replicas = 0;
+  EXPECT_EQ(field_of(opt), "fleet.ring_replicas");
+  opt = small_cloud_fleet();
+  opt.sites = {"chi-uc", ""};
+  EXPECT_EQ(field_of(opt), "fleet.sites");
+  opt = small_cloud_fleet();
+  opt.health.timeout_s = 0.0;
+  EXPECT_EQ(field_of(opt), "health.timeout_s");
+  opt = small_cloud_fleet();
+  opt.batcher.max_batch = 0;
+  EXPECT_EQ(field_of(opt), "batcher.max_batch");
+  // The typed error still reads as the message the old tests pinned.
+  try {
+    opt = small_cloud_fleet();
+    opt.queue_budget = 0;
+    FleetService service(queue, registry, opt);
+    FAIL() << "must throw";
+  } catch (const ConfigError& e) {
+    EXPECT_STREQ(e.what(), "serve config: fleet.queue_budget: must be >= 1");
+  }
+}
+
+TEST(ModelRegistry, PublishRacingAnInFlightBatchStaysOnItsPinnedSnapshot) {
+  // A batch snapshots the registry at formation time; a publish() landing
+  // while that batch is in flight must not change what the batch computes.
+  ModelRegistry reg;
+  reg.publish(make_shared_model(ml::ModelType::Linear, 42), "v1");
+  const auto pinned = reg.current();  // batch formation
+  ml::Sample obs;
+  obs.frames.emplace_back(32, 24, 0.5f);
+  ml::Prediction before;
+  pinned->model->predict_batch(&obs, 1, &before);
+
+  reg.publish(make_shared_model(ml::ModelType::Linear, 1234),
+              "race");  // racing publish
+
+  ml::Prediction after;
+  pinned->model->predict_batch(&obs, 1, &after);
+  EXPECT_EQ(pinned->version, 1u);
+  EXPECT_EQ(pinned->tag, "v1");
+  EXPECT_DOUBLE_EQ(after.steering, before.steering);
+  EXPECT_DOUBLE_EQ(after.throttle, before.throttle);
+
+  // The next batch to form sees the new version.
+  EXPECT_EQ(reg.current()->version, 2u);
+  ml::Prediction swapped;
+  reg.current()->model->predict_batch(&obs, 1, &swapped);
+  EXPECT_NE(swapped.steering, before.steering);
 }
 
 }  // namespace
