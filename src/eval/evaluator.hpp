@@ -43,6 +43,10 @@ struct EvalOptions {
   const gpu::DeviceSpec* infer_device = nullptr;
   std::uint64_t infer_flops = 0;
   std::size_t infer_batch = 1;
+  /// Precision the priced model runs at: Int8 engages the device's
+  /// integer-path speedup (cloud-fp32 vs edge-int8 sweeps set this from
+  /// ml::DrivingModel::precision()).
+  gpu::Precision infer_precision = gpu::Precision::Fp32;
   double off_track_grace = 0.10;     // meters beyond the lane edge tolerated
   std::uint64_t seed = 5;
   /// Telemetry tap: called with the true car state before each control

@@ -10,17 +10,22 @@ const std::vector<DeviceSpec>& catalogue() {
   // peak fp32 TFLOPS from vendor spec sheets; utilization/overheads chosen
   // so small-model training is launch-bound (as observed in practice) and
   // the device ordering matches the hardware generations.
+  // int8_speedup: devices with an integer dot-product path (dp4a on
+  // Pascal-successors' successors — Volta/Turing/Ampere — and CDNA) get
+  // ~4x over fp32 on small GEMMs; P100/M40/K80 predate dp4a and stay at
+  // 1.0; the Pi 4's NEON gets ~2.5x from 8-bit widening multiplies
+  // (consistent with the AVX2 qgemm-vs-sgemm ratio in BENCH_quant.json).
   static const std::vector<DeviceSpec> devices = {
-      {"A100", 19.5, 0.42, 8.0, 45.0, 2020},
-      {"V100", 15.7, 0.38, 10.0, 55.0, 2017},
-      {"v100NVLINK", 15.7, 0.38, 9.0, 55.0, 2017},
-      {"RTX6000", 16.3, 0.33, 12.0, 60.0, 2018},
-      {"P100", 9.3, 0.32, 14.0, 70.0, 2016},
-      {"M40", 6.8, 0.28, 18.0, 90.0, 2015},
-      {"K80", 4.1, 0.25, 25.0, 120.0, 2014},
-      {"MI100", 23.1, 0.30, 11.0, 60.0, 2020},
+      {"A100", 19.5, 0.42, 8.0, 45.0, 4.0, 2020},
+      {"V100", 15.7, 0.38, 10.0, 55.0, 4.0, 2017},
+      {"v100NVLINK", 15.7, 0.38, 9.0, 55.0, 4.0, 2017},
+      {"RTX6000", 16.3, 0.33, 12.0, 60.0, 4.0, 2018},
+      {"P100", 9.3, 0.32, 14.0, 70.0, 1.0, 2016},
+      {"M40", 6.8, 0.28, 18.0, 90.0, 1.0, 2015},
+      {"K80", 4.1, 0.25, 25.0, 120.0, 1.0, 2014},
+      {"MI100", 23.1, 0.30, 11.0, 60.0, 4.0, 2020},
       // Edge: Raspberry Pi 4 CPU doing NEON fp32 inference.
-      {"RaspberryPi4", 0.0135, 0.50, 0.0, 350.0, 2019},
+      {"RaspberryPi4", 0.0135, 0.50, 0.0, 350.0, 2.5, 2019},
   };
   return devices;
 }
@@ -82,13 +87,19 @@ double inference_latency_s(const DeviceSpec& spec,
 
 double inference_latency_s(const DeviceSpec& spec, std::uint64_t model_flops,
                            std::size_t batch) {
+  return inference_latency_s(spec, model_flops, batch, Precision::Fp32);
+}
+
+double inference_latency_s(const DeviceSpec& spec, std::uint64_t model_flops,
+                           std::size_t batch, Precision precision) {
   if (batch == 0) throw std::invalid_argument("gpu: inference batch 0");
-  // Written so batch = 1 is bitwise-identical to the historical
+  // Written so batch = 1 at Fp32 is bitwise-identical to the historical
   // single-sample formula (overhead + flops / effective): the flops term
-  // scales by the batch, the launch overhead does not.
+  // scales by the batch, the launch overhead does not. (At Fp32 the
+  // precision factor is an exact multiply by 1.0.)
   return spec.infer_overhead_us * 1e-6 +
          static_cast<double>(batch) * static_cast<double>(model_flops) /
-             spec.effective_flops();
+             spec.effective_flops(precision);
 }
 
 }  // namespace autolearn::gpu

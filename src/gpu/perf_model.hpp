@@ -23,17 +23,31 @@
 
 namespace autolearn::gpu {
 
+/// Arithmetic precision an inference workload runs at. Int8 engages the
+/// device's integer dot-product path (dp4a / NEON sdot) where one exists;
+/// devices without such a path keep int8_speedup = 1.
+enum class Precision { Fp32, Int8 };
+
 struct DeviceSpec {
   std::string name;
   double peak_fp32_tflops = 0.0;   // per device
   double utilization = 0.35;       // achievable fraction on small models
   double batch_overhead_us = 0.0;  // per-batch launch/sync cost
   double infer_overhead_us = 0.0;  // per-inference-call cost
+  double int8_speedup = 1.0;       // int8 throughput ratio vs fp32
   int year = 0;                    // release year (for documentation)
 
   /// Effective training throughput of one device, FLOP/s.
   double effective_flops() const {
     return peak_fp32_tflops * 1e12 * utilization;
+  }
+
+  /// Effective inference throughput at the given precision, (equivalent
+  /// fp32) FLOP/s: int8 ops are counted as flops and run int8_speedup x
+  /// faster, matching how the kernel counters report qgemm work.
+  double effective_flops(Precision precision) const {
+    return effective_flops() *
+           (precision == Precision::Int8 ? int8_speedup : 1.0);
   }
 };
 
@@ -69,8 +83,16 @@ double inference_latency_s(const DeviceSpec& spec, std::uint64_t model_flops);
 /// Batched inference latency: one per-call overhead amortized across the
 /// whole batch, compute scaled by the batch size. This is the cost model
 /// the fleet serving tier and the dynamic batcher are sized against; the
-/// single-sample signature above is its batch-of-1 wrapper.
+/// single-sample signature above is its batch-of-1 wrapper. Both forward
+/// to the precision-aware variant at Fp32 (bitwise-identically).
 double inference_latency_s(const DeviceSpec& spec, std::uint64_t model_flops,
                            std::size_t batch);
+
+/// Precision-aware batched inference latency: int8 workloads divide the
+/// compute term by the device's int8_speedup, so an edge tier running the
+/// quantized path is no longer priced as if it did fp32 math. The launch
+/// overhead is precision-independent.
+double inference_latency_s(const DeviceSpec& spec, std::uint64_t model_flops,
+                           std::size_t batch, Precision precision);
 
 }  // namespace autolearn::gpu

@@ -30,6 +30,11 @@ class Conv2D : public Layer {
     return (in - kernel) / stride + 1;
   }
 
+  std::size_t in_channels() const { return ic_; }
+  std::size_t out_channels() const { return oc_; }
+  std::size_t kernel() const { return k_; }
+  std::size_t stride() const { return stride_; }
+
  private:
   std::size_t ic_, oc_, k_, stride_;
   Param w_, b_;
@@ -66,6 +71,13 @@ class Conv3D : public Layer {
   std::vector<Param*> params() override { return {&w_, &b_}; }
   std::string name() const override { return "conv3d"; }
   std::uint64_t flops_per_sample() const override { return flops_; }
+
+  std::size_t in_channels() const { return ic_; }
+  std::size_t out_channels() const { return oc_; }
+  std::size_t kernel_d() const { return kd_; }
+  std::size_t kernel() const { return k_; }
+  std::size_t stride_d() const { return stride_d_; }
+  std::size_t stride() const { return stride_; }
 
  private:
   std::size_t ic_, oc_, kd_, k_, stride_d_, stride_;

@@ -12,6 +12,10 @@
 
 namespace autolearn::ml {
 
+const char* to_string(Precision precision) {
+  return precision == Precision::Int8 ? "int8" : "fp32";
+}
+
 const char* to_string(ModelType type) {
   switch (type) {
     case ModelType::Linear: return "linear";
@@ -177,6 +181,7 @@ class NetModel : public DrivingModel {
   std::uint64_t flops_per_sample() const override {
     return net_.flops_per_sample();
   }
+  std::vector<Sequential*> mutable_nets() override { return nets(); }
   void save(std::ostream& os) override {
     for (Sequential* s : nets()) s->save_params(os);
   }

@@ -42,6 +42,12 @@ struct Prediction {
 
 enum class ModelType { Linear, Categorical, Inferred, Memory, Rnn, Conv3d };
 
+/// Numeric precision of a model's forward path. Quantized wrappers
+/// (ml::QuantizedModel) report Int8 so eval and the serving tiers price
+/// latency with the matching device throughput.
+enum class Precision { Fp32, Int8 };
+
+const char* to_string(Precision precision);
 const char* to_string(ModelType type);
 ModelType model_type_from_string(const std::string& name);
 /// All six types in the paper's listing order.
@@ -102,6 +108,15 @@ class DrivingModel {
 
   virtual void save(std::ostream& os) = 0;
   virtual void load(std::istream& is) = 0;
+
+  /// Forward-path precision; Fp32 unless wrapped by a quantized variant.
+  virtual Precision precision() const { return Precision::Fp32; }
+
+  /// The Sequential stacks predict_batch runs, exposed for post-training
+  /// transforms: ml::quantize_model swaps Dense/Conv layers for int8
+  /// twins in place. The zoo models return their nets; external
+  /// subclasses keep the empty default and simply cannot be quantized.
+  virtual std::vector<Sequential*> mutable_nets() { return {}; }
 
   /// Full training-state snapshot: parameters PLUS optimizer slots, layer
   /// RNG streams and the model's own init/dropout RNG. A fit resumed from

@@ -34,6 +34,8 @@ std::atomic<std::uint64_t> g_gemm_calls{0};
 std::atomic<std::uint64_t> g_gemm_flops{0};
 std::atomic<std::uint64_t> g_im2col_elems{0};
 std::atomic<std::uint64_t> g_col2im_elems{0};
+std::atomic<std::uint64_t> g_qgemm_calls{0};
+std::atomic<std::uint64_t> g_qgemm_ops{0};
 
 // Packing scratch is per worker thread and only ever grows, so steady
 // state does no allocation.
@@ -322,7 +324,16 @@ KernelCounters kernel_counters() {
   k.gemm_flops = g_gemm_flops.load(std::memory_order_relaxed);
   k.im2col_elems = g_im2col_elems.load(std::memory_order_relaxed);
   k.col2im_elems = g_col2im_elems.load(std::memory_order_relaxed);
+  k.qgemm_calls = g_qgemm_calls.load(std::memory_order_relaxed);
+  k.qgemm_ops = g_qgemm_ops.load(std::memory_order_relaxed);
   return k;
 }
+
+namespace detail {
+void record_qgemm(std::uint64_t ops) {
+  g_qgemm_calls.fetch_add(1, std::memory_order_relaxed);
+  g_qgemm_ops.fetch_add(ops, std::memory_order_relaxed);
+}
+}  // namespace detail
 
 }  // namespace autolearn::ml

@@ -88,9 +88,17 @@ struct KernelCounters {
   std::uint64_t gemm_flops = 0;     // 2*m*n*k per call
   std::uint64_t im2col_elems = 0;   // patch-matrix elements written
   std::uint64_t col2im_elems = 0;   // patch-matrix elements accumulated
+  std::uint64_t qgemm_calls = 0;    // int8 GEMM calls (quant.hpp)
+  std::uint64_t qgemm_ops = 0;      // 2*m*n*k integer MACs per qgemm call
 };
 
 /// Snapshot of the totals accumulated so far in this process.
 KernelCounters kernel_counters();
+
+namespace detail {
+/// Internal: the int8 kernels (quant.cpp) publish into the shared
+/// counters so eval/obs see one workload ledger.
+void record_qgemm(std::uint64_t ops);
+}  // namespace detail
 
 }  // namespace autolearn::ml

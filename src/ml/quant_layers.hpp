@@ -1,0 +1,101 @@
+// Inference-only int8 twins of Dense / Conv2D / Conv3D. quantize_model()
+// builds them from a calibrated fp32 model and swaps them into the same
+// Sequential slots, so predict/predict_batch run unchanged while every
+// GEMM goes through the packed int8 kernels (quant.hpp).
+//
+// Each layer keeps the original fp32 parameters as its Param set: the
+// tensor count and shapes seen by Sequential::save_params are identical
+// to the fp32 layer it replaced, so a quantized model serializes like its
+// source. backward() throws — quantized models are frozen artifacts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/gemm.hpp"
+#include "ml/layer.hpp"
+#include "ml/quant.hpp"
+
+namespace autolearn::ml {
+
+/// y = x W^T + b with W per-channel int8 and x quantized by the
+/// calibrated `xq`. w is the trained fp32 weight [out, in], b [out].
+class QuantDense : public Layer {
+ public:
+  QuantDense(const Tensor& w, const Tensor& b, ActQuant xq);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+  std::string name() const override { return "qdense"; }
+  std::uint64_t flops_per_sample() const override { return 2ull * in_ * out_; }
+
+  const QuantizedWeights& quantized() const { return qw_; }
+  const ActQuant& input_quant() const { return xq_; }
+
+ private:
+  std::size_t in_, out_;
+  Param w_, b_;
+  QuantizedWeights qw_;
+  ActQuant xq_;
+  // Grow-only forward scratch: transposed quantized input [in, N] and
+  // transposed GEMM output [out, N].
+  std::vector<std::uint8_t> qx_;
+  std::vector<float> yt_;
+};
+
+/// Conv2D forward via the shared im2col lowering, with the patch matrix
+/// quantized and multiplied by packed int8 weights.
+class QuantConv2D : public Layer {
+ public:
+  QuantConv2D(std::size_t in_channels, std::size_t out_channels,
+              std::size_t kernel, std::size_t stride, const Tensor& w,
+              const Tensor& b, ActQuant xq);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+  std::string name() const override { return "qconv2d"; }
+  std::uint64_t flops_per_sample() const override { return flops_; }
+
+  const QuantizedWeights& quantized() const { return qw_; }
+  const ActQuant& input_quant() const { return xq_; }
+
+ private:
+  std::size_t ic_, oc_, k_, stride_;
+  Param w_, b_;
+  QuantizedWeights qw_;
+  ActQuant xq_;
+  ScratchArena scratch_;               // float col + batched output
+  std::vector<std::uint8_t> qcol_;     // quantized patch matrix
+  mutable std::uint64_t flops_ = 0;
+};
+
+/// Conv3D counterpart (vol2col lowering).
+class QuantConv3D : public Layer {
+ public:
+  QuantConv3D(std::size_t in_channels, std::size_t out_channels,
+              std::size_t kernel_d, std::size_t kernel, std::size_t stride_d,
+              std::size_t stride, const Tensor& w, const Tensor& b,
+              ActQuant xq);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&w_, &b_}; }
+  std::string name() const override { return "qconv3d"; }
+  std::uint64_t flops_per_sample() const override { return flops_; }
+
+  const QuantizedWeights& quantized() const { return qw_; }
+  const ActQuant& input_quant() const { return xq_; }
+
+ private:
+  std::size_t ic_, oc_, kd_, k_, stride_d_, stride_;
+  Param w_, b_;
+  QuantizedWeights qw_;
+  ActQuant xq_;
+  ScratchArena scratch_;
+  std::vector<std::uint8_t> qcol_;
+  mutable std::uint64_t flops_ = 0;
+};
+
+}  // namespace autolearn::ml

@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "ml/layer.hpp"
@@ -51,6 +52,17 @@ class Sequential {
   std::vector<Param*> params();
   std::size_t num_layers() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  /// Replaces layer i and returns the previous layer — the hook
+  /// post-training transforms (ml::quantize_model) use to swap trained
+  /// layers for inference twins in place. The slot may hold null
+  /// transiently between paired swap calls while a replacement is being
+  /// built from the old layer, but the Sequential must not run until a
+  /// real layer is back.
+  LayerPtr swap_layer(std::size_t i, LayerPtr layer) {
+    std::swap(layers_.at(i), layer);
+    return layer;
+  }
 
   /// Total trainable scalar count.
   std::size_t num_parameters();

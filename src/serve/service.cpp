@@ -9,6 +9,16 @@
 #include "testbed/topology.hpp"
 
 namespace autolearn::serve {
+namespace {
+
+/// Latency pricing must follow the published model's arithmetic: an int8
+/// variant in the registry is billed at the device's int8 throughput.
+gpu::Precision pricing_precision(const ml::DrivingModel& model) {
+  return model.precision() == ml::Precision::Int8 ? gpu::Precision::Int8
+                                                  : gpu::Precision::Fp32;
+}
+
+}  // namespace
 
 void FleetOptions::validate() const {
   if (cars == 0) throw ConfigError("fleet.cars", "must be >= 1");
@@ -255,7 +265,8 @@ void FleetService::shed_request(ServeRequest request, std::size_t shard) {
   // latency amortization, never a dropped command.
   const gpu::DeviceSpec& edge = gpu::device(options_.continuum.edge_device);
   const double exec_s =
-      gpu::inference_latency_s(edge, scaled_flops(*snapshot->model), 1);
+      gpu::inference_latency_s(edge, scaled_flops(*snapshot->model), 1,
+                               pricing_precision(*snapshot->model));
 
   ServeRecord record;
   record.id = request.id;
@@ -332,11 +343,12 @@ void FleetService::dispatch_batch(std::size_t s) {
   snapshot->model->predict_batch(samples.data(), n, predictions.data());
 
   const std::uint64_t flops = scaled_flops(*snapshot->model);
-  const Tier tier = choose_tier(s, now, n, flops);
+  const gpu::Precision precision = pricing_precision(*snapshot->model);
+  const Tier tier = choose_tier(s, now, n, flops, precision);
   const gpu::DeviceSpec& spec =
       gpu::device(tier == Tier::Cloud ? options_.continuum.cloud_device
                                       : options_.continuum.edge_device);
-  const double exec_s = gpu::inference_latency_s(spec, flops, n);
+  const double exec_s = gpu::inference_latency_s(spec, flops, n, precision);
   const double t_exec_done = now + exec_s;
 
   double rtt_s = 0.0;
@@ -422,7 +434,8 @@ void FleetService::dispatch_batch(std::size_t s) {
 }
 
 Tier FleetService::choose_tier(std::size_t s, double now, std::size_t batch,
-                               std::uint64_t flops) {
+                               std::uint64_t flops,
+                               gpu::Precision precision) {
   Shard& shard = shards_[s];
   bool want_cloud = false;
   switch (options_.placement) {
@@ -436,11 +449,12 @@ Tier FleetService::choose_tier(std::size_t s, double now, std::size_t batch,
       // Per-batch cost gate on the same perf model the continuum uses:
       // ship only when RTT + cloud compute beats local compute.
       const double edge_s = gpu::inference_latency_s(
-          gpu::device(options_.continuum.edge_device), flops, batch);
+          gpu::device(options_.continuum.edge_device), flops, batch,
+          precision);
       const double cloud_s =
           options_.continuum.network_rtt_s +
           gpu::inference_latency_s(gpu::device(options_.continuum.cloud_device),
-                                   flops, batch);
+                                   flops, batch, precision);
       want_cloud = cloud_s < edge_s;
       break;
     }

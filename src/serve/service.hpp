@@ -147,7 +147,7 @@ class FleetService {
   void arm_deadline(std::size_t shard);
   void dispatch_batch(std::size_t shard);
   Tier choose_tier(std::size_t shard, double now, std::size_t batch,
-                   std::uint64_t flops);
+                   std::uint64_t flops, gpu::Precision precision);
   bool site_reachable(std::size_t shard, double now) const;
   void on_shard_down(std::size_t shard);
   void on_shard_up(std::size_t shard);
