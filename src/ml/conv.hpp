@@ -35,6 +35,14 @@ class Conv2D : public Layer {
   std::size_t kernel() const { return k_; }
   std::size_t stride() const { return stride_; }
 
+  /// Plan-compile hook (ml/plan.hpp): sets the per-sample FLOP estimate
+  /// from the input geometry without running a forward. The compiled path
+  /// never calls forward, but serve pricing reads flops_per_sample.
+  void prime_flops(std::size_t h, std::size_t w) const {
+    flops_ = 2ull * oc_ * out_dim(h, k_, stride_) * out_dim(w, k_, stride_) *
+             ic_ * k_ * k_;
+  }
+
  private:
   std::size_t ic_, oc_, k_, stride_;
   Param w_, b_;
@@ -78,6 +86,13 @@ class Conv3D : public Layer {
   std::size_t kernel() const { return k_; }
   std::size_t stride_d() const { return stride_d_; }
   std::size_t stride() const { return stride_; }
+
+  /// Plan-compile hook; see Conv2D::prime_flops.
+  void prime_flops(std::size_t d, std::size_t h, std::size_t w) const {
+    flops_ = 2ull * oc_ * Conv2D::out_dim(d, kd_, stride_d_) *
+             Conv2D::out_dim(h, k_, stride_) * Conv2D::out_dim(w, k_, stride_) *
+             ic_ * kd_ * k_ * k_;
+  }
 
  private:
   std::size_t ic_, oc_, kd_, k_, stride_d_, stride_;

@@ -8,6 +8,7 @@
 #include "ml/layers.hpp"
 #include "ml/loss.hpp"
 #include "ml/lstm.hpp"
+#include "ml/plan.hpp"
 #include "util/binio.hpp"
 
 namespace autolearn::ml {
@@ -112,6 +113,88 @@ Tensor frames_tensor_3d(const std::vector<const Sample*>& batch,
   return x;
 }
 
+// Raw-pointer staging twins of the frames_tensor helpers above: identical
+// validation and copy order, but writing into a CompiledNet's arena input
+// slot instead of a freshly allocated Tensor. The plan hot path must not
+// allocate, and the bitwise oracle requires identical exception behavior.
+
+void stage_frames(const Sample* obs, std::size_t n, std::size_t img_h,
+                  std::size_t img_w, float* x) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = obs[i];
+    if (s.frames.empty()) throw std::invalid_argument("sample: no frames");
+    const camera::Image& img = s.frames.back();
+    if (img.height() != img_h || img.width() != img_w) {
+      throw std::invalid_argument("sample: frame size mismatch");
+    }
+    std::copy(img.pixels().begin(), img.pixels().end(),
+              x + i * img_h * img_w);
+  }
+}
+
+void stage_frames_seq(const Sample* obs, std::size_t n, std::size_t t,
+                      std::size_t img_h, std::size_t img_w, float* x) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = obs[i];
+    if (s.frames.size() < t) {
+      throw std::invalid_argument("sample: too few frames for sequence");
+    }
+    for (std::size_t j = 0; j < t; ++j) {
+      const camera::Image& img = s.frames[s.frames.size() - t + j];
+      if (img.height() != img_h || img.width() != img_w) {
+        throw std::invalid_argument("sample: frame size mismatch");
+      }
+      std::copy(img.pixels().begin(), img.pixels().end(),
+                x + (i * t + j) * img_h * img_w);
+    }
+  }
+}
+
+void stage_frames_3d(const Sample* obs, std::size_t n, std::size_t t,
+                     std::size_t img_h, std::size_t img_w, float* x) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const Sample& s = obs[i];
+    if (s.frames.size() < t) {
+      throw std::invalid_argument("sample: too few frames for 3d stack");
+    }
+    for (std::size_t j = 0; j < t; ++j) {
+      const camera::Image& img = s.frames[s.frames.size() - t + j];
+      std::copy(img.pixels().begin(), img.pixels().end(),
+                x + (i * t + j) * img_h * img_w);
+    }
+  }
+}
+
+/// Standard [steering, throttle] regression decode, identical clamps to
+/// the interpreted paths.
+void decode_regression(const float* y, std::size_t n, Prediction* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = Prediction{std::clamp<double>(y[i * 2 + 0], -1, 1),
+                        std::clamp<double>(y[i * 2 + 1], 0, 1)};
+  }
+}
+
+/// softmax_row (ml/loss.cpp) replicated onto preallocated scratch: float
+/// max, float exp values, double denominator accumulation, float(v/denom)
+/// — the exact same arithmetic, so the argmax picks the same bin even in
+/// near-tie cases.
+void softmax_into(const float* row, std::size_t begin, std::size_t end,
+                  float* out) {
+  const std::size_t classes = end - begin;
+  float maxv = row[begin];
+  for (std::size_t c = 1; c < classes; ++c) {
+    maxv = std::max(maxv, row[begin + c]);
+  }
+  double denom = 0;
+  for (std::size_t c = 0; c < classes; ++c) {
+    out[c] = std::exp(row[begin + c] - maxv);
+    denom += out[c];
+  }
+  for (std::size_t c = 0; c < classes; ++c) {
+    out[c] = static_cast<float>(out[c] / denom);
+  }
+}
+
 Tensor targets_tensor(const std::vector<const Sample*>& batch) {
   Tensor y({batch.size(), 2});
   for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -187,6 +270,7 @@ class NetModel : public DrivingModel {
   }
   void load(std::istream& is) override {
     for (Sequential* s : nets()) s->load_params(is);
+    reattach_plan();
   }
   void save_full(std::ostream& os) override {
     for (Sequential* s : nets()) s->save_params(os);
@@ -204,9 +288,45 @@ class NetModel : public DrivingModel {
                            "DrivingModel: truncated RNG state");
     }
     rng_.set_state(st);
+    reattach_plan();
   }
 
+  /// Compiles every net through the model's build_plan hook. Idempotent
+  /// for an unchanged cap — replicated registries publish one shared
+  /// model to many replicas and must not recompile per replica.
+  bool attach_plan(std::size_t max_batch) final {
+    if (plan_ && plan_->max_batch() == max_batch) return true;
+    plan_.reset();
+    auto plan = std::make_unique<CompiledModel>(max_batch);
+    build_plan(*plan, max_batch);
+    plan_ = std::move(plan);
+    return true;
+  }
+  void detach_plan() final { plan_.reset(); }
+  CompiledModel* plan() final { return plan_.get(); }
+
  protected:
+  /// Adds this model's nets to the plan (and sizes any decode scratch).
+  /// The CompiledNet pointers the model keeps from add_net stay valid for
+  /// the plan's lifetime and are only dereferenced under a plan_ check.
+  virtual void build_plan(CompiledModel& plan, std::size_t max_batch) = 0;
+
+  /// True when a batch of n should take the compiled path.
+  bool use_plan(std::size_t n) const {
+    return plan_ != nullptr && n <= plan_->max_batch();
+  }
+
+  /// Parameter loads re-seat tensor storage, which invalidates the
+  /// parameter pointers a plan resolved at compile time — rebuild.
+  void reattach_plan() {
+    if (!plan_) return;
+    const std::size_t max_batch = plan_->max_batch();
+    plan_.reset();
+    attach_plan(max_batch);
+  }
+
+  std::unique_ptr<CompiledModel> plan_;
+
   /// Every Sequential the model owns, in parameter order. The memory/rnn
   /// models add their head here, which hoists all (de)serialization and
   /// parameter counting into NetModel.
@@ -236,6 +356,12 @@ class LinearModel : public NetModel {
   void predict_batch(const Sample* obs, std::size_t n,
                      Prediction* out) override {
     if (n == 0) return;
+    if (use_plan(n)) {
+      stage_frames(obs, n, cfg_.img_h, cfg_.img_w, net_plan_->input());
+      decode_regression(net_plan_->run(n), n, out);
+      plan_->record_exec(n);
+      return;
+    }
     const Tensor y = net_.forward(
         frames_tensor(batch_ptrs(obs, n), cfg_.img_h, cfg_.img_w),
         /*train=*/false);
@@ -259,6 +385,14 @@ class LinearModel : public NetModel {
     const Tensor pred = net_.forward(x, /*train=*/false);
     return mse_loss(pred, targets_tensor(batch)).first;
   }
+
+ protected:
+  void build_plan(CompiledModel& plan, std::size_t max_batch) override {
+    net_plan_ = &plan.add_net(net_, {1, cfg_.img_h, cfg_.img_w}, max_batch);
+  }
+
+ private:
+  CompiledNet* net_plan_ = nullptr;
 };
 
 // --- categorical -------------------------------------------------------------
@@ -279,6 +413,26 @@ class CategoricalModel : public NetModel {
   void predict_batch(const Sample* obs, std::size_t n,
                      Prediction* out) override {
     if (n == 0) return;
+    if (use_plan(n)) {
+      stage_frames(obs, n, cfg_.img_h, cfg_.img_w, net_plan_->input());
+      const float* logits = net_plan_->run(n);
+      const std::size_t stride = cfg_.steering_bins + cfg_.throttle_bins;
+      for (std::size_t i = 0; i < n; ++i) {
+        const float* row = logits + i * stride;
+        softmax_into(row, 0, cfg_.steering_bins, plan_ps_.data());
+        softmax_into(row, cfg_.steering_bins, stride, plan_pt_.data());
+        const std::size_t sb = static_cast<std::size_t>(
+            std::max_element(plan_ps_.begin(), plan_ps_.end()) -
+            plan_ps_.begin());
+        const std::size_t tb = static_cast<std::size_t>(
+            std::max_element(plan_pt_.begin(), plan_pt_.end()) -
+            plan_pt_.begin());
+        out[i] = Prediction{from_bin(sb, -1, 1, cfg_.steering_bins),
+                            from_bin(tb, 0, 1, cfg_.throttle_bins)};
+      }
+      plan_->record_exec(n);
+      return;
+    }
     const Tensor logits = net_.forward(
         frames_tensor(batch_ptrs(obs, n), cfg_.img_h, cfg_.img_w),
         /*train=*/false);
@@ -312,7 +466,17 @@ class CategoricalModel : public NetModel {
     return heads_loss(logits, batch, grad);
   }
 
+ protected:
+  void build_plan(CompiledModel& plan, std::size_t max_batch) override {
+    net_plan_ = &plan.add_net(net_, {1, cfg_.img_h, cfg_.img_w}, max_batch);
+    plan_ps_.assign(cfg_.steering_bins, 0.0f);
+    plan_pt_.assign(cfg_.throttle_bins, 0.0f);
+  }
+
  private:
+  CompiledNet* net_plan_ = nullptr;
+  std::vector<float> plan_ps_, plan_pt_;  // per-head softmax scratch
+
   double heads_loss(const Tensor& logits,
                     const std::vector<const Sample*>& batch, Tensor& grad) {
     std::vector<std::size_t> steer_targets, throttle_targets;
@@ -355,18 +519,20 @@ class InferredModel : public NetModel {
   void predict_batch(const Sample* obs, std::size_t n,
                      Prediction* out) override {
     if (n == 0) return;
+    if (use_plan(n)) {
+      stage_frames(obs, n, cfg_.img_h, cfg_.img_w, net_plan_->input());
+      const float* y = net_plan_->run(n);  // one steering column
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = decode_steer(y[i]);
+      }
+      plan_->record_exec(n);
+      return;
+    }
     const Tensor y = net_.forward(
         frames_tensor(batch_ptrs(obs, n), cfg_.img_h, cfg_.img_w),
         /*train=*/false);
     for (std::size_t i = 0; i < n; ++i) {
-      const double steer = std::clamp<double>(y.at(i, 0), -1, 1);
-      // Throttle policy: full speed with the wheel straight, easing off as
-      // the commanded steering grows.
-      const double throttle = std::clamp(
-          cfg_.inferred_throttle_base +
-              cfg_.inferred_throttle_gain * (1.0 - std::abs(steer)),
-          0.0, 1.0);
-      out[i] = Prediction{steer, throttle};
+      out[i] = decode_steer(y.at(i, 0));
     }
   }
 
@@ -385,7 +551,25 @@ class InferredModel : public NetModel {
     return mse_loss(pred, steer_targets(batch)).first;
   }
 
+ protected:
+  void build_plan(CompiledModel& plan, std::size_t max_batch) override {
+    net_plan_ = &plan.add_net(net_, {1, cfg_.img_h, cfg_.img_w}, max_batch);
+  }
+
  private:
+  CompiledNet* net_plan_ = nullptr;
+
+  Prediction decode_steer(float raw) const {
+    const double steer = std::clamp<double>(raw, -1, 1);
+    // Throttle policy: full speed with the wheel straight, easing off as
+    // the commanded steering grows.
+    const double throttle = std::clamp(
+        cfg_.inferred_throttle_base +
+            cfg_.inferred_throttle_gain * (1.0 - std::abs(steer)),
+        0.0, 1.0);
+    return Prediction{steer, throttle};
+  }
+
   static Tensor steer_targets(const std::vector<const Sample*>& batch) {
     Tensor y({batch.size(), 1});
     for (std::size_t i = 0; i < batch.size(); ++i) {
@@ -414,6 +598,27 @@ class MemoryModel : public NetModel {
   void predict_batch(const Sample* obs, std::size_t n,
                      Prediction* out) override {
     if (n == 0) return;
+    if (use_plan(n)) {
+      stage_frames(obs, n, cfg_.img_h, cfg_.img_w, enc_plan_->input());
+      const float* feats = enc_plan_->run(n);
+      float* concat = head_plan_->input();
+      const std::size_t row = features_ + hist_;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::copy(feats + i * features_, feats + (i + 1) * features_,
+                  concat + i * row);
+        const Sample& s = obs[i];
+        if (s.history.size() < hist_) {
+          throw std::invalid_argument("memory model: history too short");
+        }
+        for (std::size_t k = 0; k < hist_; ++k) {
+          concat[i * row + features_ + k] =
+              s.history[s.history.size() - hist_ + k];
+        }
+      }
+      decode_regression(head_plan_->run(n), n, out);
+      plan_->record_exec(n);
+      return;
+    }
     const Tensor y = forward(batch_ptrs(obs, n), /*train=*/false);
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = Prediction{std::clamp<double>(y.at(i, 0), -1, 1),
@@ -453,7 +658,15 @@ class MemoryModel : public NetModel {
  protected:
   std::vector<Sequential*> nets() override { return {&net_, &head_}; }
 
+  void build_plan(CompiledModel& plan, std::size_t max_batch) override {
+    enc_plan_ = &plan.add_net(net_, {1, cfg_.img_h, cfg_.img_w}, max_batch);
+    head_plan_ = &plan.add_net(head_, {features_ + hist_}, max_batch);
+  }
+
  private:
+  CompiledNet* enc_plan_ = nullptr;
+  CompiledNet* head_plan_ = nullptr;
+
   Tensor forward(const std::vector<const Sample*>& batch, bool train) {
     const Tensor feats =
         net_.forward(frames_tensor(batch, cfg_.img_h, cfg_.img_w), train);
@@ -496,6 +709,17 @@ class RnnModel : public NetModel {
   void predict_batch(const Sample* obs, std::size_t n,
                      Prediction* out) override {
     if (n == 0) return;
+    if (use_plan(n)) {
+      stage_frames_seq(obs, n, cfg_.seq_len, cfg_.img_h, cfg_.img_w,
+                       enc_plan_->input());
+      // Encoder output [n*T, F] is [n, T, F] in memory: the head consumes
+      // it in place through the external-input overload (the interpreted
+      // path's reshape is likewise copy-free).
+      const float* feats = enc_plan_->run(n * cfg_.seq_len);
+      decode_regression(head_plan_->run(feats, n), n, out);
+      plan_->record_exec(n);
+      return;
+    }
     const Tensor y = forward(batch_ptrs(obs, n), /*train=*/false);
     for (std::size_t i = 0; i < n; ++i) {
       out[i] = Prediction{std::clamp<double>(y.at(i, 0), -1, 1),
@@ -527,7 +751,19 @@ class RnnModel : public NetModel {
  protected:
   std::vector<Sequential*> nets() override { return {&net_, &head_}; }
 
+  void build_plan(CompiledModel& plan, std::size_t max_batch) override {
+    // Time is folded into the encoder's batch axis, so its row cap is
+    // max_batch * seq_len; the LSTM head runs at max_batch rows.
+    enc_plan_ = &plan.add_net(net_, {1, cfg_.img_h, cfg_.img_w},
+                              max_batch * cfg_.seq_len);
+    head_plan_ =
+        &plan.add_net(head_, {cfg_.seq_len, features_}, max_batch);
+  }
+
  private:
+  CompiledNet* enc_plan_ = nullptr;
+  CompiledNet* head_plan_ = nullptr;
+
   Tensor forward(const std::vector<const Sample*>& batch, bool train) {
     const Tensor x =
         frames_tensor_seq(batch, cfg_.seq_len, cfg_.img_h, cfg_.img_w);
@@ -568,6 +804,13 @@ class Conv3dModel : public NetModel {
   void predict_batch(const Sample* obs, std::size_t n,
                      Prediction* out) override {
     if (n == 0) return;
+    if (use_plan(n)) {
+      stage_frames_3d(obs, n, cfg_.seq_len, cfg_.img_h, cfg_.img_w,
+                      net_plan_->input());
+      decode_regression(net_plan_->run(n), n, out);
+      plan_->record_exec(n);
+      return;
+    }
     const Tensor y = net_.forward(
         frames_tensor_3d(batch_ptrs(obs, n), cfg_.seq_len, cfg_.img_h,
                          cfg_.img_w),
@@ -594,6 +837,15 @@ class Conv3dModel : public NetModel {
     const Tensor pred = net_.forward(x, /*train=*/false);
     return mse_loss(pred, targets_tensor(batch)).first;
   }
+
+ protected:
+  void build_plan(CompiledModel& plan, std::size_t max_batch) override {
+    net_plan_ = &plan.add_net(
+        net_, {1, cfg_.seq_len, cfg_.img_h, cfg_.img_w}, max_batch);
+  }
+
+ private:
+  CompiledNet* net_plan_ = nullptr;
 };
 
 }  // namespace

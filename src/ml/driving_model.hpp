@@ -27,6 +27,8 @@
 
 namespace autolearn::ml {
 
+class CompiledModel;  // ml/plan.hpp
+
 /// One labeled observation. For on-line inference the labels are ignored.
 struct Sample {
   std::vector<camera::Image> frames;  // oldest first; >= model seq_len
@@ -111,6 +113,19 @@ class DrivingModel {
 
   /// Forward-path precision; Fp32 unless wrapped by a quantized variant.
   virtual Precision precision() const { return Precision::Fp32; }
+
+  /// Compiles the forward path into a static-arena step program
+  /// (ml/plan.hpp) specialized for batches up to `max_batch`.
+  /// predict_batch then routes batches with n <= max_batch through the
+  /// plan — bit-identically to the interpreted path — and falls back to
+  /// the layer walk for larger ones. Idempotent when a plan with the same
+  /// cap is already attached; re-attaching after load() happens
+  /// automatically. Returns false when the model has no compiled path
+  /// (external subclasses); throws PlanError when compilation fails.
+  virtual bool attach_plan(std::size_t /*max_batch*/) { return false; }
+  virtual void detach_plan() {}
+  /// The attached plan, or nullptr.
+  virtual CompiledModel* plan() { return nullptr; }
 
   /// The Sequential stacks predict_batch runs, exposed for post-training
   /// transforms: ml::quantize_model swaps Dense/Conv layers for int8

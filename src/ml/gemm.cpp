@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 
 #if defined(__GLIBC__)
@@ -137,24 +138,6 @@ MicroKernelFn pick_micro_kernel() {
 
 const MicroKernelFn micro_kernel = pick_micro_kernel();
 
-/// The largest per-batch tensors (im2col panels, activation temporaries)
-/// sit just above glibc's default 128 KiB mmap threshold. An mmap'd block
-/// is munmap'd on free, so the next batch's identically-sized allocation
-/// gets a fresh zero-filled mapping and every pass over it pays demand
-/// paging — measured at ~20x the cost of streaming a recycled heap block.
-/// glibc's dynamic threshold never escapes this: it ratchets to exactly
-/// the freed size, so the largest recurring tensor stays mmap'd forever.
-/// Raising the threshold once keeps these blocks on the heap, where freed
-/// chunks are reused warm. No effect on numerical results.
-bool tune_allocator() noexcept {
-#if defined(__GLIBC__)
-  mallopt(M_MMAP_THRESHOLD, 64 << 20);
-#endif
-  return true;
-}
-
-const bool allocator_tuned = tune_allocator();
-
 /// One C tile [i0:i0+mt, j0:j0+nt], full reduction over k in fixed KC
 /// order. Runs entirely on the calling thread.
 void gemm_tile(bool trans_a, bool trans_b, std::size_t i0, std::size_t mt,
@@ -202,6 +185,33 @@ void gemm_tile(bool trans_a, bool trans_b, std::size_t i0, std::size_t mt,
 
 }  // namespace
 
+void tune_interpreted_allocator() {
+  // The interpreted layer-by-layer forward/backward (training, and any
+  // model without an attached plan) allocates fresh per-batch tensors
+  // whose sizes sit just above glibc's default 128 KiB mmap threshold. An
+  // mmap'd block is munmap'd on free, so the next batch's identically-
+  // sized allocation gets a fresh zero-filled mapping and every pass over
+  // it pays demand paging — measured at ~20x the cost of streaming a
+  // recycled heap block (glibc's dynamic threshold ratchets to exactly
+  // the freed size, so the largest recurring tensor stays mmap'd
+  // forever). Raising the threshold keeps these blocks on the heap where
+  // freed chunks are reused warm. The compiled-plan path (ml/plan.hpp)
+  // needs none of this — it runs out of a preallocated arena — so the
+  // tuning is applied lazily from the interpreted entry points (ml::fit)
+  // instead of at static init. AUTOLEARN_MMAP_TUNE=0 disables it for A/B
+  // measurements. No effect on numerical results.
+  static const bool tuned = [] {
+#if defined(__GLIBC__)
+    const char* env = std::getenv("AUTOLEARN_MMAP_TUNE");
+    if (env == nullptr || std::strcmp(env, "0") != 0) {
+      mallopt(M_MMAP_THRESHOLD, 64 << 20);
+    }
+#endif
+    return true;
+  }();
+  (void)tuned;
+}
+
 void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
            std::size_t k, float alpha, const float* a, std::size_t lda,
            const float* b, std::size_t ldb, float beta, float* c,
@@ -224,18 +234,42 @@ void sgemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
   const std::size_t m_tiles = (m + MC - 1) / MC;
   const std::size_t n_tiles = (n + NC - 1) / NC;
   const std::size_t tiles = m_tiles * n_tiles;
-  auto run_tile = [&](std::size_t t) {
-    const std::size_t i0 = (t / n_tiles) * MC;
-    const std::size_t j0 = (t % n_tiles) * NC;
-    gemm_tile(trans_a, trans_b, i0, std::min(MC, m - i0), j0,
-              std::min(NC, n - j0), k, alpha, a, lda, b, ldb, beta, c, ldc);
+  // The parallel dispatch goes through the allocation-free raw chunk
+  // primitive (function pointer + context, no std::function) so a GEMM
+  // inside a compiled plan performs zero heap allocation. Tile -> C
+  // region is a pure function of the tile index, so the chunking (and the
+  // execution order) cannot affect results.
+  struct TileCtx {
+    bool trans_a, trans_b;
+    std::size_t m, n, k;
+    float alpha;
+    const float* a;
+    std::size_t lda;
+    const float* b;
+    std::size_t ldb;
+    float beta;
+    float* c;
+    std::size_t ldc, n_tiles;
+  };
+  TileCtx ctx{trans_a, trans_b, m,   n, k,   alpha, a,
+              lda,     b,       ldb, beta, c, ldc,   n_tiles};
+  const auto run_tiles = +[](void* p, std::size_t t0, std::size_t t1) {
+    const TileCtx& ctx = *static_cast<const TileCtx*>(p);
+    for (std::size_t t = t0; t < t1; ++t) {
+      const std::size_t i0 = (t / ctx.n_tiles) * MC;
+      const std::size_t j0 = (t % ctx.n_tiles) * NC;
+      gemm_tile(ctx.trans_a, ctx.trans_b, i0, std::min(MC, ctx.m - i0), j0,
+                std::min(NC, ctx.n - j0), ctx.k, ctx.alpha, ctx.a, ctx.lda,
+                ctx.b, ctx.ldb, ctx.beta, ctx.c, ctx.ldc);
+    }
   };
   // Small problems are not worth a pool dispatch regardless of tiling.
   const bool tiny = 2ull * m * n * k < (1ull << 16);
   if (!parallel || tiles == 1 || tiny) {
-    for (std::size_t t = 0; t < tiles; ++t) run_tile(t);
+    run_tiles(&ctx, 0, tiles);
   } else {
-    util::ThreadPool::shared().parallel_for(0, tiles, run_tile);
+    util::ThreadPool::shared().parallel_for_chunks_raw(0, tiles, run_tiles,
+                                                       &ctx);
   }
 }
 

@@ -23,6 +23,12 @@ class LSTM : public Layer {
   std::uint64_t flops_per_sample() const override { return flops_; }
 
   std::size_t hidden_size() const { return h_; }
+  std::size_t input_size() const { return d_; }
+
+  /// Plan-compile hook; see Conv2D::prime_flops.
+  void prime_flops(std::size_t t_len) const {
+    flops_ = 2ull * t_len * 4 * h_ * (d_ + h_);
+  }
 
  private:
   std::size_t d_, h_;

@@ -1,0 +1,136 @@
+// Graph-compiled forward path with a static arena memory plan.
+//
+// The interpreted predict path walks a Sequential layer by layer, with
+// every layer allocating its output Tensor (and often scratch) per batch.
+// CompiledNet does that walk ONCE: compile() lowers the layer list into a
+// flat step program (im2col + GEMM + fused bias/ReLU epilogues for the
+// conv stacks, gate GEMMs onto preallocated scratch for the LSTM, packed
+// int8 steps for the quantized twins), runs a liveness analysis over every
+// intermediate buffer, and first-fit assigns them into ONE float arena
+// sized for a fixed batch cap. Steady-state execution then performs zero
+// heap allocations: staging, GEMMs and epilogues all run inside the arena
+// through the ThreadPool's raw (allocation-free) dispatch.
+//
+// Bitwise contract: a compiled step issues the exact kernel call sequence
+// (same sgemm/qgemm shapes, flags and leading dimensions, same epilogue
+// arithmetic, same reduction orders) as the interpreted layer it replaced,
+// so outputs are bit-identical to Sequential::forward for every batch
+// size up to the cap. ctest -L plan holds this as an oracle across the
+// whole model zoo, fp32 and int8.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ml/sequential.hpp"
+
+namespace autolearn::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace autolearn::obs
+
+namespace autolearn::ml {
+
+/// Typed compile/execute failure. Mirrors ModelLoadError: callers switch
+/// on code(); what() carries the human-readable detail.
+class PlanError : public std::runtime_error {
+ public:
+  enum class Code {
+    EmptyModel,        // Sequential with no layers
+    NullLayer,         // a slot transiently holds null (mid-swap)
+    UnsupportedLayer,  // layer type the compiler has no step for
+    BadShape,          // input sample shape inconsistent with the layers
+    BadBatch,          // max rows == 0, or run() rows out of [1, max]
+  };
+
+  PlanError(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  Code code() const { return code_; }
+
+ private:
+  Code code_;
+};
+
+/// Compile-time accounting, exposed for tests ("sharing beats the naive
+/// sum") and the serve gauges.
+struct PlanStats {
+  std::size_t steps = 0;              // executable steps (no-ops dropped)
+  std::size_t values = 0;             // liveness-tracked buffers
+  std::size_t arena_floats = 0;       // arena size after slot sharing
+  std::size_t naive_floats = 0;       // sum of value sizes (no sharing)
+  std::size_t fused_activations = 0;  // ReLUs folded into producers
+};
+
+/// One Sequential compiled for a fixed row cap. Rows are the net's batch
+/// dimension — the RNN encoder compiles with max_rows = batch * seq_len
+/// since time is folded into the batch axis there.
+class CompiledNet {
+ public:
+  /// Compiles immediately; throws PlanError on empty nets, null slots,
+  /// unsupported layers or shape mismatches. `in_sample_shape` is the
+  /// per-row shape (no batch dim), e.g. {1, 24, 32} for a conv encoder.
+  CompiledNet(Sequential& net, const std::vector<std::size_t>& in_sample_shape,
+              std::size_t max_rows);
+  ~CompiledNet();
+  CompiledNet(const CompiledNet&) = delete;
+  CompiledNet& operator=(const CompiledNet&) = delete;
+
+  /// Staging buffer for the input, [max_rows, in_row_elems] row-major
+  /// inside the arena. Callers write the batch here, then run(rows).
+  float* input();
+  std::size_t in_row_elems() const;
+  std::size_t out_row_elems() const;
+  std::size_t max_rows() const;
+
+  /// Executes the step program on the staged input; returns the output,
+  /// [rows, out_row_elems] row-major, valid until the next run. Throws
+  /// PlanError{BadBatch} when rows is 0 or exceeds the cap. Performs no
+  /// heap allocation (after kernel warm-up) — see docs/performance.md.
+  const float* run(std::size_t rows);
+  /// Same, reading the input from `x` instead of the staging buffer (used
+  /// by the RNN head, which consumes the encoder's output in place).
+  const float* run(const float* x, std::size_t rows);
+
+  const PlanStats& stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// A model's full compiled forward: one CompiledNet per Sequential it
+/// owns, plus the batch cap the plan was specialized for and optional
+/// metrics plumbing. Built by DrivingModel::attach_plan.
+class CompiledModel {
+ public:
+  explicit CompiledModel(std::size_t max_batch);
+  ~CompiledModel();
+  CompiledModel(const CompiledModel&) = delete;
+  CompiledModel& operator=(const CompiledModel&) = delete;
+
+  CompiledNet& add_net(Sequential& net,
+                       const std::vector<std::size_t>& in_sample_shape,
+                       std::size_t max_rows);
+
+  std::size_t max_batch() const { return max_batch_; }
+  /// Aggregate over every net.
+  PlanStats stats() const;
+
+  /// Resolves metric handles once so record_exec never does a name lookup
+  /// (the registry's string lookup allocates; the hot path must not).
+  /// nullptr detaches.
+  void instrument(obs::MetricsRegistry* metrics);
+  /// Hot-path accounting: one batch of `rows` served through the plan.
+  void record_exec(std::size_t rows);
+
+ private:
+  std::size_t max_batch_;
+  std::vector<std::unique_ptr<CompiledNet>> nets_;
+  obs::Counter* exec_batches_ = nullptr;
+  obs::Counter* exec_rows_ = nullptr;
+};
+
+}  // namespace autolearn::ml

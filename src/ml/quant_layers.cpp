@@ -118,6 +118,11 @@ Tensor QuantConv2D::backward(const Tensor& /*grad_out*/) {
   frozen("QuantConv2D");
 }
 
+void QuantConv2D::prime_flops(std::size_t h, std::size_t w) const {
+  flops_ = 2ull * oc_ * Conv2D::out_dim(h, k_, stride_) *
+           Conv2D::out_dim(w, k_, stride_) * ic_ * k_ * k_;
+}
+
 QuantConv3D::QuantConv3D(std::size_t in_channels, std::size_t out_channels,
                          std::size_t kernel_d, std::size_t kernel,
                          std::size_t stride_d, std::size_t stride,
@@ -179,6 +184,13 @@ Tensor QuantConv3D::forward(const Tensor& x, bool /*train*/) {
 
 Tensor QuantConv3D::backward(const Tensor& /*grad_out*/) {
   frozen("QuantConv3D");
+}
+
+void QuantConv3D::prime_flops(std::size_t d, std::size_t h,
+                              std::size_t w) const {
+  flops_ = 2ull * oc_ * Conv2D::out_dim(d, kd_, stride_d_) *
+           Conv2D::out_dim(h, k_, stride_) * Conv2D::out_dim(w, k_, stride_) *
+           ic_ * kd_ * k_ * k_;
 }
 
 }  // namespace autolearn::ml

@@ -32,6 +32,8 @@ class QuantDense : public Layer {
 
   const QuantizedWeights& quantized() const { return qw_; }
   const ActQuant& input_quant() const { return xq_; }
+  std::size_t in_features() const { return in_; }
+  std::size_t out_features() const { return out_; }
 
  private:
   std::size_t in_, out_;
@@ -60,6 +62,13 @@ class QuantConv2D : public Layer {
 
   const QuantizedWeights& quantized() const { return qw_; }
   const ActQuant& input_quant() const { return xq_; }
+  std::size_t in_channels() const { return ic_; }
+  std::size_t out_channels() const { return oc_; }
+  std::size_t kernel() const { return k_; }
+  std::size_t stride() const { return stride_; }
+
+  /// Plan-compile hook; see Conv2D::prime_flops.
+  void prime_flops(std::size_t h, std::size_t w) const;
 
  private:
   std::size_t ic_, oc_, k_, stride_;
@@ -87,6 +96,15 @@ class QuantConv3D : public Layer {
 
   const QuantizedWeights& quantized() const { return qw_; }
   const ActQuant& input_quant() const { return xq_; }
+  std::size_t in_channels() const { return ic_; }
+  std::size_t out_channels() const { return oc_; }
+  std::size_t kernel_d() const { return kd_; }
+  std::size_t kernel() const { return k_; }
+  std::size_t stride_d() const { return stride_d_; }
+  std::size_t stride() const { return stride_; }
+
+  /// Plan-compile hook; see Conv2D::prime_flops.
+  void prime_flops(std::size_t d, std::size_t h, std::size_t w) const;
 
  private:
   std::size_t ic_, oc_, kd_, k_, stride_d_, stride_;

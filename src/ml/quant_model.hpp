@@ -59,6 +59,14 @@ class QuantizedModel : public DrivingModel {
   void save(std::ostream& os) override { inner_->save(os); }
   void load(std::istream& is) override;
 
+  /// Plan compilation delegates to the layer-swapped inner model: the
+  /// int8 twins compile into packed-qgemm steps in the same arena program.
+  bool attach_plan(std::size_t max_batch) override {
+    return inner_->attach_plan(max_batch);
+  }
+  void detach_plan() override { inner_->detach_plan(); }
+  CompiledModel* plan() override { return inner_->plan(); }
+
   /// The layer-swapped model, exposed for introspection in tests.
   DrivingModel& inner() { return *inner_; }
 

@@ -52,6 +52,10 @@ class Sequential {
   std::vector<Param*> params();
   std::size_t num_layers() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_.at(i); }
+  /// False while slot i transiently holds null mid-swap (see swap_layer).
+  /// Plan compilation (ml/plan.hpp) checks this instead of crashing on a
+  /// null dereference in layer().
+  bool has_layer(std::size_t i) const { return layers_.at(i) != nullptr; }
 
   /// Replaces layer i and returns the previous layer — the hook
   /// post-training transforms (ml::quantize_model) use to swap trained

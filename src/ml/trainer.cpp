@@ -112,6 +112,7 @@ void Trainer::save_best_model(double val_loss) {
 }
 
 TrainResult Trainer::fit() {
+  tune_interpreted_allocator();
   const auto t0 = std::chrono::steady_clock::now();
   const KernelCounters kernels0 = kernel_counters();
   const obs::SpanGuard fit_span(opts_.tracer, "ml.fit", "ml");

@@ -56,6 +56,10 @@ void ReplicatedRegistry::instrument(obs::Tracer* tracer,
   for (auto& r : replicas_) r->instrument(tracer, metrics);
 }
 
+void ReplicatedRegistry::set_plan_batch(std::size_t max_batch) {
+  for (auto& r : replicas_) r->set_plan_batch(max_batch);
+}
+
 std::uint64_t ReplicatedRegistry::publish_all(
     std::shared_ptr<ml::DrivingModel> model, std::string tag) {
   std::uint64_t version = 0;

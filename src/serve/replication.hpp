@@ -72,6 +72,11 @@ class ReplicatedRegistry {
   /// the label "shard-i".
   void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  /// Forwards set_plan_batch to every replica. publish_all shares ONE
+  /// model across replicas, so the first replica compiles it and the rest
+  /// see a matching plan already attached (idempotent no-op).
+  void set_plan_batch(std::size_t max_batch);
+
   /// Publishes to every replica (bootstrap / ungated hot-swap). Returns
   /// the version the replicas agreed on; throws std::logic_error if the
   /// replicas have diverged (different next version).

@@ -124,6 +124,21 @@ void FleetService::init(std::vector<ModelRegistry*> registries) {
     });
   }
 
+  if (options_.compile_plans) {
+    // Unreplicated mode aliases one registry across every shard — enable
+    // plans once per distinct registry. Models published later compile at
+    // publish() time; an already-published model compiles right here.
+    std::vector<ModelRegistry*> distinct;
+    for (ModelRegistry* r : registries) {
+      if (std::find(distinct.begin(), distinct.end(), r) == distinct.end()) {
+        distinct.push_back(r);
+      }
+    }
+    for (ModelRegistry* r : distinct) {
+      r->set_plan_batch(options_.batcher.max_batch);
+    }
+  }
+
   if (options_.site_probe) {
     health_ = std::make_unique<HealthMonitor>(queue_, options_.health);
     for (const Shard& shard : shards_) health_->add_shard(shard.site);

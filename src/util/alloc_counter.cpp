@@ -1,0 +1,22 @@
+#include "util/alloc_counter.hpp"
+
+#include <atomic>
+
+namespace autolearn::util {
+namespace {
+
+// Relaxed is enough: tests read the counter on the same thread that ran
+// the code under test, and cross-thread counts only need eventual totals.
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+std::uint64_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+void note_allocation() {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace autolearn::util

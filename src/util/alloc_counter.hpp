@@ -1,0 +1,36 @@
+// Heap-allocation accounting for zero-allocation assertions.
+//
+// The counter itself lives here (always compiled, near-zero cost: one
+// relaxed atomic add per observed allocation), but it only ticks when a
+// translation unit that overrides the global operator new/delete set
+// forwards to note_allocation(). The test tree links exactly one such TU
+// (tests/alloc_hooks.cpp) into the binaries that assert allocation-free
+// steady states — production binaries keep the stock allocator untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace autolearn::util {
+
+/// Total operator-new calls observed so far in this process (0 unless the
+/// alloc hooks TU is linked in). Monotonic; never reset.
+std::uint64_t allocation_count();
+
+/// Called by the test-only operator new overrides.
+void note_allocation();
+
+/// Delta-measurement helper:
+///   AllocCounterScope scope;
+///   ... code under test ...
+///   EXPECT_EQ(scope.delta(), 0u);
+class AllocCounterScope {
+ public:
+  AllocCounterScope() : start_(allocation_count()) {}
+  std::uint64_t delta() const { return allocation_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace autolearn::util

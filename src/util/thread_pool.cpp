@@ -42,7 +42,14 @@ void ThreadPool::worker_loop() {
     std::packaged_task<void()> task;
     {
       std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      cv_.wait(lock, [this] {
+        return stop_ || !tasks_.empty() ||
+               (raw_fn_ != nullptr && raw_next_ < raw_parts_);
+      });
+      if (raw_fn_ != nullptr && raw_next_ < raw_parts_) {
+        run_raw_chunks(lock);
+        continue;
+      }
       if (tasks_.empty()) {
         if (stop_) return;
         continue;
@@ -52,6 +59,68 @@ void ThreadPool::worker_loop() {
     }
     task();  // packaged_task captures exceptions into the future
   }
+}
+
+void ThreadPool::run_raw_chunks(std::unique_lock<std::mutex>& lock) {
+  // The region description is copied out before unlocking: the caller
+  // clears the raw_* fields once raw_done_ reaches raw_parts_, which can
+  // happen while this thread still runs its last chunk.
+  const RawChunkFn fn = raw_fn_;
+  void* const ctx = raw_ctx_;
+  const std::size_t begin = raw_begin_, end = raw_end_, chunk = raw_chunk_;
+  while (raw_fn_ == fn && raw_next_ < raw_parts_) {
+    const std::size_t i = raw_next_++;
+    const std::size_t b = begin + i * chunk;
+    const std::size_t e = std::min(end, b + chunk);
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      fn(ctx, b, e);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !raw_error_) raw_error_ = err;
+    if (++raw_done_ == raw_parts_) raw_done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for_chunks_raw(std::size_t begin, std::size_t end,
+                                         RawChunkFn fn, void* ctx,
+                                         std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  // Same inline fast path as parallel_for_chunks: tiny ranges and
+  // single-worker pools never touch the region machinery.
+  if (n <= grain || workers_.size() <= 1) {
+    fn(ctx, begin, end);
+    return;
+  }
+  // One region at a time; competing callers queue here (no allocation —
+  // mutex waits are intrusive).
+  std::scoped_lock owner(raw_owner_mu_);
+  std::exception_ptr err;
+  {
+    std::unique_lock lock(mu_);
+    raw_fn_ = fn;
+    raw_ctx_ = ctx;
+    raw_begin_ = begin;
+    raw_end_ = end;
+    raw_parts_ = std::min(n, workers_.size() + 1);
+    raw_chunk_ = (n + raw_parts_ - 1) / raw_parts_;
+    raw_next_ = 0;
+    raw_done_ = 0;
+    raw_error_ = nullptr;
+    cv_.notify_all();
+    // The caller contributes work instead of just blocking.
+    run_raw_chunks(lock);
+    raw_done_cv_.wait(lock, [this] { return raw_done_ == raw_parts_; });
+    raw_fn_ = nullptr;
+    raw_ctx_ = nullptr;
+    err = raw_error_;
+    raw_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

@@ -53,6 +53,23 @@ class ThreadPool {
       const std::function<void(std::size_t, std::size_t)>& fn,
       std::size_t grain = 1);
 
+  /// Raw chunk body: fn(ctx, chunk_begin, chunk_end).
+  using RawChunkFn = void (*)(void* ctx, std::size_t begin, std::size_t end);
+
+  /// Allocation-free parallel_for_chunks: the region is described by a
+  /// plain function pointer + context instead of a std::function, and
+  /// workers claim chunks from fixed pool-resident state, so a steady-state
+  /// call performs zero heap allocation (the compiled-plan execution path
+  /// depends on this — see ml/plan.hpp). Chunking matches
+  /// parallel_for_chunks exactly: contiguous chunks, workers + 1 parts,
+  /// tiny ranges and single-worker pools run inline on the caller.
+  /// Exceptions from fn propagate to the caller (first observed).
+  /// Concurrent raw regions from different threads serialize against each
+  /// other; do not start one from inside a pool task.
+  void parallel_for_chunks_raw(std::size_t begin, std::size_t end,
+                               RawChunkFn fn, void* ctx,
+                               std::size_t grain = 1);
+
   /// Process-wide shared pool, created on first use with default size.
   /// Use for library internals so each training run does not spawn its
   /// own set of workers. The AUTOLEARN_THREADS environment variable, when
@@ -80,12 +97,28 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Claims and runs raw-region chunks until none remain. Caller must hold
+  /// `lock` (on mu_); the lock is released while a chunk body runs.
+  void run_raw_chunks(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;
+
+  // Active raw region (guarded by mu_; raw_owner_mu_ serializes regions).
+  std::mutex raw_owner_mu_;
+  std::condition_variable raw_done_cv_;
+  RawChunkFn raw_fn_ = nullptr;
+  void* raw_ctx_ = nullptr;
+  std::size_t raw_begin_ = 0;
+  std::size_t raw_end_ = 0;
+  std::size_t raw_chunk_ = 0;
+  std::size_t raw_parts_ = 0;
+  std::size_t raw_next_ = 0;
+  std::size_t raw_done_ = 0;
+  std::exception_ptr raw_error_;
 };
 
 }  // namespace autolearn::util

@@ -1,0 +1,254 @@
+// Plan-vs-interpreted oracle for the graph-compiled forward path: for
+// every model in the six-type zoo, fp32 AND int8, the compiled arena
+// program must reproduce the interpreted per-layer forward BITWISE at
+// batch 1, at a ragged tail size, and at the full batch cap. Plus the
+// typed compile-failure contract (PlanError, never a crash) and the
+// arena-sharing accounting. Selected by `ctest -L plan`.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "camera/image.hpp"
+#include "ml/conv.hpp"
+#include "ml/driving_model.hpp"
+#include "ml/layers.hpp"
+#include "ml/plan.hpp"
+#include "ml/quant_model.hpp"
+#include "ml/sequential.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::ml {
+namespace {
+
+constexpr std::size_t kMaxBatch = 8;
+
+std::vector<Sample> make_samples(const ModelConfig& cfg, std::size_t n,
+                                 std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Sample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Sample s;
+    for (std::size_t f = 0; f < cfg.seq_len; ++f) {
+      camera::Image img(cfg.img_w, cfg.img_h);
+      for (float& px : img.pixels()) {
+        px = static_cast<float>(rng.uniform(0.0, 1.0));
+      }
+      s.frames.push_back(std::move(img));
+    }
+    for (std::size_t h = 0; h < cfg.history_len; ++h) {
+      s.history.push_back(static_cast<float>(rng.uniform(-1.0, 1.0)));
+      s.history.push_back(static_cast<float>(rng.uniform(0.0, 1.0)));
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Interpreted reference first (no plan attached), then the compiled path
+/// on the same model: outputs must agree bit for bit.
+void expect_plan_matches_interpreted(DrivingModel& model,
+                                     const std::vector<Sample>& samples,
+                                     std::size_t n) {
+  ASSERT_LE(n, samples.size());
+  model.detach_plan();
+  std::vector<Prediction> ref(n);
+  model.predict_batch(samples.data(), n, ref.data());
+  ASSERT_TRUE(model.attach_plan(kMaxBatch));
+  ASSERT_NE(model.plan(), nullptr);
+  std::vector<Prediction> got(n);
+  model.predict_batch(samples.data(), n, got.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ref[i].steering, got[i].steering) << "row " << i << " n=" << n;
+    EXPECT_EQ(ref[i].throttle, got[i].throttle) << "row " << i << " n=" << n;
+  }
+}
+
+class PlanOracle : public ::testing::TestWithParam<ModelType> {};
+
+TEST_P(PlanOracle, Fp32BitwiseAtAllBatchSizes) {
+  ModelConfig cfg;
+  const auto model = make_model(GetParam(), cfg);
+  const auto samples = make_samples(cfg, kMaxBatch, 17);
+  expect_plan_matches_interpreted(*model, samples, 1);
+  expect_plan_matches_interpreted(*model, samples, 5);  // ragged tail
+  expect_plan_matches_interpreted(*model, samples, kMaxBatch);
+}
+
+TEST_P(PlanOracle, Int8BitwiseAtAllBatchSizes) {
+  ModelConfig cfg;
+  const auto fp32 = make_model(GetParam(), cfg);
+  const auto calibration = make_samples(cfg, 4, 29);
+  const auto model = quantize_model(*fp32, cfg, calibration);
+  ASSERT_EQ(model->precision(), Precision::Int8);
+  const auto samples = make_samples(cfg, kMaxBatch, 17);
+  expect_plan_matches_interpreted(*model, samples, 1);
+  expect_plan_matches_interpreted(*model, samples, 5);
+  expect_plan_matches_interpreted(*model, samples, kMaxBatch);
+}
+
+TEST_P(PlanOracle, RepeatedRunsAreDeterministic) {
+  ModelConfig cfg;
+  const auto model = make_model(GetParam(), cfg);
+  ASSERT_TRUE(model->attach_plan(kMaxBatch));
+  const auto samples = make_samples(cfg, kMaxBatch, 41);
+  std::vector<Prediction> first(kMaxBatch), second(kMaxBatch);
+  model->predict_batch(samples.data(), kMaxBatch, first.data());
+  model->predict_batch(samples.data(), kMaxBatch, second.data());
+  for (std::size_t i = 0; i < kMaxBatch; ++i) {
+    EXPECT_EQ(first[i].steering, second[i].steering) << "row " << i;
+    EXPECT_EQ(first[i].throttle, second[i].throttle) << "row " << i;
+  }
+}
+
+TEST_P(PlanOracle, OverCapBatchFallsBackToInterpreted) {
+  ModelConfig cfg;
+  const auto model = make_model(GetParam(), cfg);
+  const std::size_t n = kMaxBatch + 3;
+  const auto samples = make_samples(cfg, n, 53);
+  std::vector<Prediction> ref(n);
+  model->predict_batch(samples.data(), n, ref.data());
+  ASSERT_TRUE(model->attach_plan(kMaxBatch));
+  std::vector<Prediction> got(n);
+  model->predict_batch(samples.data(), n, got.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ref[i].steering, got[i].steering) << "row " << i;
+    EXPECT_EQ(ref[i].throttle, got[i].throttle) << "row " << i;
+  }
+}
+
+TEST_P(PlanOracle, AttachIsIdempotentForMatchingCap) {
+  ModelConfig cfg;
+  const auto model = make_model(GetParam(), cfg);
+  ASSERT_TRUE(model->attach_plan(kMaxBatch));
+  CompiledModel* first = model->plan();
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(model->attach_plan(kMaxBatch));
+  EXPECT_EQ(model->plan(), first);  // no recompile, same plan object
+  // A different cap DOES recompile.
+  ASSERT_TRUE(model->attach_plan(kMaxBatch * 2));
+  ASSERT_NE(model->plan(), nullptr);
+  EXPECT_EQ(model->plan()->max_batch(), kMaxBatch * 2);
+}
+
+TEST_P(PlanOracle, ArenaSharingBeatsNaiveSum) {
+  ModelConfig cfg;
+  const auto model = make_model(GetParam(), cfg);
+  ASSERT_TRUE(model->attach_plan(kMaxBatch));
+  const PlanStats stats = model->plan()->stats();
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_GT(stats.arena_floats, 0u);
+  // Liveness-based slot sharing must never do worse than giving every
+  // intermediate its own buffer.
+  EXPECT_LE(stats.arena_floats, stats.naive_floats);
+}
+
+TEST_P(PlanOracle, SaveLoadReattachKeepsBitwiseIdentity) {
+  ModelConfig cfg;
+  const auto model = make_model(GetParam(), cfg);
+  const auto samples = make_samples(cfg, kMaxBatch, 61);
+  // Capture interpreted reference AFTER a save/load round-trip on a twin:
+  // the plan holds raw parameter pointers, so load() must recompile.
+  std::ostringstream saved;
+  model->save(saved);
+  ASSERT_TRUE(model->attach_plan(kMaxBatch));
+  std::istringstream restore(saved.str());
+  model->load(restore);  // must reattach the plan against the new params
+  ASSERT_NE(model->plan(), nullptr);
+  EXPECT_EQ(model->plan()->max_batch(), kMaxBatch);
+  const auto twin = make_model(GetParam(), cfg);
+  std::istringstream restore2(saved.str());
+  twin->load(restore2);
+  std::vector<Prediction> ref(kMaxBatch), got(kMaxBatch);
+  twin->predict_batch(samples.data(), kMaxBatch, ref.data());
+  model->predict_batch(samples.data(), kMaxBatch, got.data());
+  for (std::size_t i = 0; i < kMaxBatch; ++i) {
+    EXPECT_EQ(ref[i].steering, got[i].steering) << "row " << i;
+    EXPECT_EQ(ref[i].throttle, got[i].throttle) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllZooModels, PlanOracle,
+                         ::testing::ValuesIn(all_model_types()),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+// --- typed compile/execute failures -------------------------------------
+
+TEST(PlanErrors, EmptyModelThrowsTyped) {
+  Sequential net;
+  try {
+    CompiledNet plan(net, {4}, 8);
+    FAIL() << "expected PlanError";
+  } catch (const PlanError& e) {
+    EXPECT_EQ(e.code(), PlanError::Code::EmptyModel);
+  }
+}
+
+TEST(PlanErrors, NullLayerSlotThrowsTypedNotCrash) {
+  util::Rng rng(7);
+  Sequential net;
+  net.add<Dense>(4, 2, rng);
+  // Mid-swap state: the slot transiently holds null.
+  auto old = net.swap_layer(0, nullptr);
+  try {
+    CompiledNet plan(net, {4}, 8);
+    FAIL() << "expected PlanError";
+  } catch (const PlanError& e) {
+    EXPECT_EQ(e.code(), PlanError::Code::NullLayer);
+  }
+  net.swap_layer(0, std::move(old));  // restore; compile now succeeds
+  CompiledNet plan(net, {4}, 8);
+  EXPECT_EQ(plan.out_row_elems(), 2u);
+}
+
+TEST(PlanErrors, UnsupportedLayerNamesTheLayer) {
+  Sequential net;
+  net.add<MaxPool2D>();
+  try {
+    CompiledNet plan(net, {1, 8, 8}, 4);
+    FAIL() << "expected PlanError";
+  } catch (const PlanError& e) {
+    EXPECT_EQ(e.code(), PlanError::Code::UnsupportedLayer);
+    EXPECT_NE(std::string(e.what()).find("maxpool2d"), std::string::npos);
+  }
+}
+
+TEST(PlanErrors, BadBatchOnZeroCapAndOutOfRangeRows) {
+  EXPECT_THROW(CompiledModel model(0), PlanError);
+  util::Rng rng(7);
+  Sequential net;
+  net.add<Dense>(4, 2, rng);
+  CompiledNet plan(net, {4}, 8);
+  EXPECT_THROW(plan.run(0), PlanError);
+  EXPECT_THROW(plan.run(9), PlanError);
+}
+
+TEST(PlanErrors, DirectNetBitwiseMatchesSequentialForward) {
+  util::Rng rng(11);
+  Sequential net;
+  net.add<Dense>(6, 8, rng);
+  net.add<ReLU>();
+  net.add<Dense>(8, 2, rng);
+  net.add<Tanh>();
+  CompiledNet plan(net, {6}, 4);
+  util::Rng data_rng(13);
+  Tensor x({3, 6});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(data_rng.uniform(-1.0, 1.0));
+  }
+  const Tensor ref = net.forward(x, /*train=*/false);
+  std::copy(x.data(), x.data() + x.size(), plan.input());
+  const float* got = plan.run(3);
+  ASSERT_EQ(ref.size(), 3u * plan.out_row_elems());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(ref[i], got[i]) << "elem " << i;
+  }
+}
+
+}  // namespace
+}  // namespace autolearn::ml
