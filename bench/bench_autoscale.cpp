@@ -1,0 +1,224 @@
+// Metrics-driven autoscaler benchmark: what elastic sharding buys and
+// what it refuses to do.
+//
+// Two measurements, both simulated on the virtual clock (deterministic:
+// same seed, same JSON):
+//   1. steady — a fleet riding comfortably inside the autoscaler's target
+//      bands for the whole run: the control loop must issue ZERO scale
+//      events (hysteresis holds against Poisson arrival noise).
+//   2. spike — the same fleet under a 4x offered-load spike mid-run,
+//      once with the scaler disabled (the single shard saturates and
+//      sheds) and once enabled (the scaler grows the ring, absorbs the
+//      spike, and the post-spike p99 queue latency returns to the
+//      steady-state band). The run must finish with ZERO failed
+//      requests and materially less shed than the fixed fleet.
+//
+// Writes BENCH_autoscale.json (override with --out=PATH). `--smoke`
+// shrinks the workload so the binary doubles as a ctest smoke test
+// (`ctest -L scale`).
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/driving_model.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/service.hpp"
+#include "util/event_queue.hpp"
+#include "util/json.hpp"
+
+namespace autolearn::bench {
+namespace {
+
+struct ScaleConfig {
+  double duration_s = 4.0;
+  bool scaler = true;
+  bool spike = false;       // 4x offered load for the middle half
+  double spike_factor = 4.0;
+};
+
+serve::FleetOptions fleet_options(const ScaleConfig& cfg) {
+  serve::FleetOptions opt;
+  opt.cars = 16;
+  opt.shards = 1;
+  opt.duration_s = cfg.duration_s;
+  opt.mean_interarrival_s = 0.02;
+  opt.batcher.max_batch = 8;
+  opt.batcher.max_delay_s = 0.01;
+  opt.placement = core::Placement::OnDevice;
+  // Price the model so ONE shard rides comfortably at the base load but
+  // saturates under the 4x spike — the scaler has real work to do.
+  opt.continuum.flops_scale = 30.0;
+  opt.queue_budget = 24;
+  opt.seed = 11;
+  opt.autoscaler.enabled = cfg.scaler;
+  opt.autoscaler.sample_interval_s = 0.02;
+  // The batcher legitimately holds up to max_batch (8/24 = 0.33 of the
+  // budget) while a batch forms, so the high band sits ABOVE that natural
+  // occupancy: steady load must produce zero scale events.
+  opt.autoscaler.queue_high = 0.50;
+  opt.autoscaler.queue_low = 0.20;
+  opt.autoscaler.breach_samples = 2;
+  opt.autoscaler.idle_samples = 10;
+  opt.autoscaler.cooldown_s = 0.1;
+  opt.autoscaler.min_shards = 1;
+  opt.autoscaler.max_shards = 4;
+  if (cfg.spike) {
+    opt.load_spikes.push_back(
+        {0.25 * cfg.duration_s, 0.40 * cfg.duration_s, cfg.spike_factor});
+  }
+  return opt;
+}
+
+serve::ServeReport run_fleet(const ScaleConfig& cfg) {
+  util::EventQueue queue;
+  serve::ModelRegistry registry;
+  registry.publish(std::shared_ptr<ml::DrivingModel>(
+                       ml::make_model(ml::ModelType::Linear)),
+                   "bench");
+  serve::FleetService service(queue, registry, fleet_options(cfg));
+  return service.run();
+}
+
+/// p99 of batcher queueing delay over completed requests dispatched in
+/// [from, to) — isolates the spike window from the recovered tail.
+double windowed_p99(const serve::ServeReport& r, double from, double to) {
+  std::vector<double> waits;
+  for (const auto& rec : r.records) {
+    if (rec.shed || rec.t_dispatch < from || rec.t_dispatch >= to) continue;
+    waits.push_back(rec.queued_s());
+  }
+  if (waits.empty()) return 0.0;
+  std::sort(waits.begin(), waits.end());
+  const double pos = 0.99 * static_cast<double>(waits.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, waits.size() - 1);
+  return waits[lo] + (pos - static_cast<double>(lo)) * (waits[hi] - waits[lo]);
+}
+
+util::Json report_row(const serve::ServeReport& r) {
+  util::Json row = util::Json::object();
+  row.set("requests", r.requests);
+  row.set("completed", r.completed);
+  row.set("shed", r.shed);
+  row.set("failed", r.requests - r.completed - r.shed);
+  row.set("throughput_rps", r.throughput_rps);
+  row.set("queued_p50_s", r.queued_quantile_s(0.50));
+  row.set("queued_p99_s", r.queued_quantile_s(0.99));
+  row.set("initial_shards", r.initial_shards);
+  row.set("peak_shards", r.shards);
+  row.set("final_shards", r.final_shards);
+  row.set("scale_ups", r.scale_ups);
+  row.set("scale_downs", r.scale_downs);
+  util::Json events = util::Json::array();
+  for (const auto& e : r.scale_events) {
+    util::Json ev = util::Json::object();
+    ev.set("t", e.t);
+    ev.set("up", e.up);
+    ev.set("from", e.from_shards);
+    ev.set("to", e.to_shards);
+    ev.set("moved_cars", e.moved_cars);
+    ev.set("drained", e.drained);
+    ev.set("reason", e.reason);
+    events.push_back(std::move(ev));
+  }
+  row.set("scale_events", std::move(events));
+  return row;
+}
+
+int run(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_autoscale.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else {
+      std::cerr << "usage: bench_autoscale [--smoke] [--out=PATH]\n";
+      return 1;
+    }
+  }
+  std::cout << "bench_autoscale" << (smoke ? " (smoke mode)" : "") << "\n";
+  const double duration = smoke ? 1.0 : 4.0;
+
+  util::Json doc = util::Json::object();
+  doc.set("bench", "autoscale");
+  doc.set("smoke", smoke);
+  std::size_t total_requests = 0;
+
+  // --- 1: steady load inside the bands — the scaler must sit still --------
+  ScaleConfig steady_cfg;
+  steady_cfg.duration_s = duration;
+  const serve::ServeReport steady = run_fleet(steady_cfg);
+  total_requests += steady.requests;
+  std::cout << "steady: " << steady.scale_events.size()
+            << " scale event(s) over " << duration << " s, queued p99 "
+            << steady.queued_quantile_s(0.99) << " s\n";
+  doc.set("steady", report_row(steady));
+
+  // --- 2: 4x spike, fixed fleet vs autoscaled ------------------------------
+  ScaleConfig fixed_cfg;
+  fixed_cfg.duration_s = duration;
+  fixed_cfg.spike = true;
+  fixed_cfg.scaler = false;
+  ScaleConfig scaled_cfg = fixed_cfg;
+  scaled_cfg.scaler = true;
+  const serve::ServeReport fixed = run_fleet(fixed_cfg);
+  const serve::ServeReport scaled = run_fleet(scaled_cfg);
+  total_requests += fixed.requests + scaled.requests;
+
+  const double spike_at = 0.25 * duration;
+  const double spike_end = spike_at + 0.40 * duration;
+  const double p99_during = windowed_p99(scaled, spike_at, spike_end);
+  const double p99_after = windowed_p99(scaled, spike_end + 0.2 * duration,
+                                        duration + 1.0);
+  const double p99_base = windowed_p99(scaled, 0.0, spike_at);
+
+  util::Json spike_doc = util::Json::object();
+  spike_doc.set("fixed", report_row(fixed));
+  spike_doc.set("scaled", report_row(scaled));
+  spike_doc.set("scaled_p99_before_s", p99_base);
+  spike_doc.set("scaled_p99_during_s", p99_during);
+  spike_doc.set("scaled_p99_after_s", p99_after);
+  spike_doc.set("shed_ratio_fixed_over_scaled",
+                scaled.shed > 0
+                    ? static_cast<double>(fixed.shed) /
+                          static_cast<double>(scaled.shed)
+                    : static_cast<double>(fixed.shed));
+  std::cout << "4x spike, fixed 1-shard fleet: " << fixed.shed << " shed, "
+            << (fixed.requests - fixed.completed - fixed.shed)
+            << " failed, queued p99 " << fixed.queued_quantile_s(0.99)
+            << " s\n";
+  std::cout << "4x spike, autoscaled:          " << scaled.shed << " shed, "
+            << (scaled.requests - scaled.completed - scaled.shed)
+            << " failed, " << scaled.scale_ups << " up / "
+            << scaled.scale_downs << " down, peak " << scaled.shards
+            << " shards\n";
+  for (const auto& e : scaled.scale_events)
+    std::cout << "  t=" << e.t << " " << (e.up ? "up" : "down") << " "
+              << e.from_shards << "->" << e.to_shards << " (moved "
+              << e.moved_cars << ", drained " << e.drained << "): "
+              << e.reason << "\n";
+  std::cout << "  p99 before/during/after spike: " << p99_base << " / "
+            << p99_during << " / " << p99_after << " s\n";
+  doc.set("spike", std::move(spike_doc));
+  doc.set("total_requests", total_requests);
+
+  std::ofstream f(out_path);
+  if (!f) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  f << doc.dump(2) << "\n";
+  std::cout << "wrote " << out_path << " (" << total_requests
+            << " simulated requests)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace autolearn::bench
+
+int main(int argc, char** argv) { return autolearn::bench::run(argc, argv); }

@@ -26,6 +26,9 @@ void ChaosEngine::attach_leases(testbed::LeaseManager& leases) {
 void ChaosEngine::attach_checkpoints(ckpt::CheckpointStore& checkpoints) {
   checkpoints_ = &checkpoints;
 }
+void ChaosEngine::attach_load(std::function<void(double)> hook) {
+  load_hook_ = std::move(hook);
+}
 
 void ChaosEngine::instrument(obs::Tracer* tracer,
                              obs::MetricsRegistry* metrics) {
@@ -85,6 +88,14 @@ void ChaosEngine::inject(const FaultSpec& spec) {
     case FaultKind::CheckpointTruncate:
       if (!checkpoints_) {
         throw std::logic_error("chaos: no checkpoint store attached");
+      }
+      break;
+    case FaultKind::LoadSpike:
+      if (!load_hook_) {
+        throw std::logic_error("chaos: no load source attached");
+      }
+      if (spec.load_mult <= 0) {
+        throw std::invalid_argument("chaos: load_mult must be > 0");
       }
       break;
     case FaultKind::TrainPreempt:
@@ -172,6 +183,14 @@ void ChaosEngine::apply(const FaultSpec& spec) {
              false, detail.str());
       break;
     }
+    case FaultKind::LoadSpike: {
+      load_hook_(spec.load_mult);
+      std::ostringstream detail;
+      detail << "offered load x" << spec.load_mult;
+      record(spec.kind, spec.target.empty() ? "fleet" : spec.target, false,
+             detail.str());
+      break;
+    }
     case FaultKind::TrainPreempt:
       break;  // unreachable: rejected at inject()
   }
@@ -191,6 +210,11 @@ void ChaosEngine::revert(const FaultSpec& spec) {
     case FaultKind::DeviceCrash:
       registry_->revive_device(spec.target);
       record(spec.kind, spec.target, true, "daemon back");
+      break;
+    case FaultKind::LoadSpike:
+      load_hook_(1.0);
+      record(spec.kind, spec.target.empty() ? "fleet" : spec.target, true,
+             "offered load restored");
       break;
     case FaultKind::ContainerKill:
     case FaultKind::LeasePreempt:

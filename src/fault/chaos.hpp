@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,9 @@ struct FaultSpec {
   std::uint64_t id = 0;  // container id (ContainerKill) / lease id (optional)
   // CheckpointTruncate: fraction of the next upload's bytes that survive.
   double truncate_frac = 0.5;
+  // LoadSpike: offered-load multiplier while the fault is active; the
+  // recovery half restores the multiplier to 1.
+  double load_mult = 4.0;
 };
 
 /// Knobs for random_plan(): a horizon, a fault budget, and the blast
@@ -80,6 +84,10 @@ class ChaosEngine {
   void attach_containers(edge::ContainerService& containers);
   void attach_leases(testbed::LeaseManager& leases);
   void attach_checkpoints(ckpt::CheckpointStore& checkpoints);
+  /// Wires a load source (e.g. serve::FleetService::set_load_factor) for
+  /// FaultKind::LoadSpike: apply calls hook(spec.load_mult), the recovery
+  /// half calls hook(1.0).
+  void attach_load(std::function<void(double)> hook);
 
   /// Schedules one fault (and its recovery when duration > 0).
   void inject(const FaultSpec& spec);
@@ -125,6 +133,7 @@ class ChaosEngine {
   edge::ContainerService* containers_ = nullptr;
   testbed::LeaseManager* leases_ = nullptr;
   ckpt::CheckpointStore* checkpoints_ = nullptr;
+  std::function<void(double)> load_hook_;
   ChaosReport report_;
 };
 

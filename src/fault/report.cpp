@@ -14,6 +14,7 @@ const char* to_string(FaultKind k) {
     case FaultKind::TransferFlap: return "transfer-flap";
     case FaultKind::TrainPreempt: return "train-preempt";
     case FaultKind::CheckpointTruncate: return "checkpoint-truncate";
+    case FaultKind::LoadSpike: return "load-spike";
   }
   return "?";
 }

@@ -20,7 +20,8 @@ enum class FaultKind {
   LeasePreempt,       // a testbed lease ends early
   TransferFlap,       // transient full-loss window on a link (drops transfers)
   TrainPreempt,       // SIGKILL of a training loop mid-fit (PreemptionToken)
-  CheckpointTruncate  // torn checkpoint upload the object store accepted
+  CheckpointTruncate, // torn checkpoint upload the object store accepted
+  LoadSpike           // offered-load multiplier on an attached load source
 };
 
 const char* to_string(FaultKind k);

@@ -7,13 +7,19 @@
 
 namespace autolearn::serve {
 
-void BatcherConfig::validate() const {
+void BatcherConfig::check(ConfigIssues& out) const {
   if (max_batch == 0) {
-    throw ConfigError("batcher.max_batch", "must be >= 1");
+    out.emplace_back("batcher.max_batch", "must be >= 1");
   }
   if (max_delay_s < 0.0) {
-    throw ConfigError("batcher.max_delay_s", "must be >= 0");
+    out.emplace_back("batcher.max_delay_s", "must be >= 0");
   }
+}
+
+void BatcherConfig::validate() const {
+  ConfigIssues issues;
+  check(issues);
+  if (!issues.empty()) throw issues.front();
 }
 
 DynamicBatcher::DynamicBatcher(BatcherConfig config)

@@ -11,14 +11,20 @@
 #include <deque>
 #include <vector>
 
+#include "serve/errors.hpp"
 #include "serve/request.hpp"
 
 namespace autolearn::serve {
 
 struct BatcherConfig {
-  std::size_t max_batch = 16;   // flush when this many are pending
-  double max_delay_s = 0.02;    // flush when the oldest has waited this long
+  /// Flush when this many requests are pending.
+  std::size_t max_batch = 16;
+  /// Flush when the oldest pending request has waited this long.
+  double max_delay_s = 0.02;
 
+  /// Appends every violation (prefix "batcher.") without throwing.
+  void check(ConfigIssues& out) const;
+  /// Throw-on-first shim over check().
   void validate() const;
 };
 

@@ -1,0 +1,17 @@
+#include "serve/config.hpp"
+
+namespace autolearn::serve {
+
+ConfigIssues ServeConfig::issues() const {
+  ConfigIssues out;
+  fleet.check(out);  // includes batcher, health, autoscaler, load spikes
+  canary.check(out);
+  return out;
+}
+
+void ServeConfig::validate() const {
+  ConfigIssues found = issues();
+  if (!found.empty()) throw ConfigErrorList(std::move(found));
+}
+
+}  // namespace autolearn::serve

@@ -1,15 +1,23 @@
 // Typed configuration errors for the serving tier.
 //
 // Every serve-side options struct (FleetOptions, BatcherConfig,
-// HealthOptions, CanaryOptions, ShardRouterConfig) rejects degenerate
-// values with a ConfigError naming the offending field, so callers can
-// react programmatically instead of string-matching a generic what().
-// ConfigError derives from std::invalid_argument, so pre-existing
-// catch sites keep working unchanged.
+// HealthOptions, CanaryOptions, ShardRouterConfig, AutoScalerOptions)
+// rejects degenerate values with a ConfigError naming the offending
+// field, so callers can react programmatically instead of
+// string-matching a generic what(). ConfigError derives from
+// std::invalid_argument, so pre-existing catch sites keep working
+// unchanged.
+//
+// The aggregate ServeConfig::validate() collects EVERY violation before
+// throwing, as a ConfigErrorList whose errors() each carry their own
+// field() path — one pass over a config file reports all the typos, not
+// just the first. Per-struct validate() keeps the old throw-on-first
+// contract as a shim over the same check() collectors.
 #pragma once
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace autolearn::serve {
 
@@ -20,11 +28,44 @@ class ConfigError : public std::invalid_argument {
         field_(std::move(field)) {}
 
   /// Dotted path of the rejected option, e.g. "fleet.cars" or
-  /// "batcher.max_batch".
+  /// "autoscaler.cooldown_s".
   const std::string& field() const { return field_; }
 
  private:
   std::string field_;
 };
+
+/// Every violation a ServeConfig::validate() pass found, in declaration
+/// order. what() lists all the offending field paths on one line.
+class ConfigErrorList : public std::invalid_argument {
+ public:
+  explicit ConfigErrorList(std::vector<ConfigError> errors)
+      : std::invalid_argument(join(errors)), errors_(std::move(errors)) {}
+
+  const std::vector<ConfigError>& errors() const { return errors_; }
+  std::size_t size() const { return errors_.size(); }
+
+  /// True when some violation names `field` (exact dotted-path match).
+  bool has(const std::string& field) const {
+    for (const ConfigError& e : errors_) {
+      if (e.field() == field) return true;
+    }
+    return false;
+  }
+
+ private:
+  static std::string join(const std::vector<ConfigError>& errors) {
+    std::string out = "serve config: " + std::to_string(errors.size()) +
+                      " violation(s):";
+    for (const ConfigError& e : errors) out += " [" + e.field() + "]";
+    return out;
+  }
+
+  std::vector<ConfigError> errors_;
+};
+
+/// Collector the per-struct check() methods append into; validate()
+/// shims throw the first entry to preserve the original behavior.
+using ConfigIssues = std::vector<ConfigError>;
 
 }  // namespace autolearn::serve

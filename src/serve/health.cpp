@@ -3,17 +3,21 @@
 #include <stdexcept>
 #include <utility>
 
-#include "serve/errors.hpp"
-
 namespace autolearn::serve {
 
-void HealthOptions::validate() const {
+void HealthOptions::check(ConfigIssues& out) const {
   if (check_interval_s <= 0.0) {
-    throw ConfigError("health.check_interval_s", "must be > 0");
+    out.emplace_back("health.check_interval_s", "must be > 0");
   }
   if (timeout_s <= 0.0) {
-    throw ConfigError("health.timeout_s", "must be > 0");
+    out.emplace_back("health.timeout_s", "must be > 0");
   }
+}
+
+void HealthOptions::validate() const {
+  ConfigIssues issues;
+  check(issues);
+  if (!issues.empty()) throw issues.front();
 }
 
 HealthMonitor::HealthMonitor(util::EventQueue& queue, HealthOptions options)
@@ -22,13 +26,35 @@ HealthMonitor::HealthMonitor(util::EventQueue& queue, HealthOptions options)
 }
 
 std::size_t HealthMonitor::add_shard(std::string site) {
-  if (started_) {
-    throw std::logic_error("HealthMonitor::add_shard: already started");
-  }
   Entry e;
   e.site = std::move(site);
+  e.last_ok = queue_.now();
   shards_.push_back(std::move(e));
   return shards_.size() - 1;
+}
+
+void HealthMonitor::retire(std::size_t shard) {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("HealthMonitor::retire: bad shard index");
+  }
+  shards_[shard].retired = true;
+}
+
+void HealthMonitor::readmit(std::size_t shard, bool alive_now) {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("HealthMonitor::readmit: bad shard index");
+  }
+  Entry& e = shards_[shard];
+  e.retired = false;
+  e.alive = alive_now;
+  e.last_ok = queue_.now();
+}
+
+bool HealthMonitor::retired(std::size_t shard) const {
+  if (shard >= shards_.size()) {
+    throw std::out_of_range("HealthMonitor::retired: bad shard index");
+  }
+  return shards_[shard].retired;
 }
 
 void HealthMonitor::start(double horizon_s) {
@@ -61,6 +87,7 @@ void HealthMonitor::sweep() {
   const double now = queue_.now();
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Entry& e = shards_[s];
+    if (e.retired) continue;
     const bool reachable = probe_ ? probe_(e.site, now) : true;
     if (reachable) {
       e.last_ok = now;

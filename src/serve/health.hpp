@@ -11,6 +11,14 @@
 // detect-and-recover timeline is a deterministic function of the fault
 // plan. Sweeping stops at the horizon handed to start() so a draining
 // simulation still terminates.
+//
+// The autoscaler grows and shrinks the shard table mid-run: add_shard()
+// is allowed after start() (the newcomer's heartbeat clock begins at
+// admission), retire() drops a shard from future sweeps without
+// disturbing the indices of its neighbors, and readmit() re-activates a
+// previously retired index with a fresh heartbeat clock and an explicit
+// initial liveness — a shard readmitted onto a still-partitioned site
+// starts dead rather than attracting traffic for a sweep interval.
 #pragma once
 
 #include <cstddef>
@@ -20,14 +28,20 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/errors.hpp"
 #include "util/event_queue.hpp"
 
 namespace autolearn::serve {
 
 struct HealthOptions {
-  double check_interval_s = 0.02;  // heartbeat sweep cadence
-  double timeout_s = 0.05;         // unreachable this long -> Down
+  /// Heartbeat sweep cadence.
+  double check_interval_s = 0.02;
+  /// Unreachable this long -> Down.
+  double timeout_s = 0.05;
 
+  /// Appends every violation (prefix "health.") without throwing.
+  void check(ConfigIssues& out) const;
+  /// Throw-on-first shim over check().
   void validate() const;
 };
 
@@ -39,8 +53,20 @@ class HealthMonitor {
   HealthMonitor(util::EventQueue& queue, HealthOptions options);
 
   /// Registers a shard pinned to `site`; indices are assigned in call
-  /// order and must match the service's shard indices.
+  /// order and must match the service's shard indices. Allowed after
+  /// start(): a scaled-in shard's heartbeat clock begins at admission.
   std::size_t add_shard(std::string site);
+
+  /// Drops `shard` from future sweeps (no more verdicts for it); its
+  /// index stays reserved so neighbors keep theirs. Idempotent.
+  void retire(std::size_t shard);
+
+  /// Re-activates a retired index with a fresh heartbeat clock.
+  /// `alive_now` is the shard's starting verdict — pass the probe's
+  /// answer at admission so a still-dark site never starts Up.
+  void readmit(std::size_t shard, bool alive_now);
+
+  bool retired(std::size_t shard) const;
 
   /// Reachability oracle; unset means every site is always reachable.
   void set_probe(Probe probe) { probe_ = std::move(probe); }
@@ -69,6 +95,7 @@ class HealthMonitor {
     std::string site;
     double last_ok = 0.0;
     bool alive = true;
+    bool retired = false;
   };
 
   void sweep();

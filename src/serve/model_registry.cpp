@@ -93,6 +93,32 @@ std::uint64_t ModelRegistry::publish(std::shared_ptr<ml::DrivingModel> model,
   return current->version;
 }
 
+void ModelRegistry::adopt(std::shared_ptr<const ModelSnapshot> snapshot) {
+  if (!snapshot || !snapshot->model) {
+    throw std::invalid_argument("ModelRegistry::adopt: null snapshot");
+  }
+  // Level the plan too: the donor normally compiled it already (attach is
+  // an idempotent no-op then), but an adopter with plans enabled must not
+  // serve an interpreted model.
+  compile_model(*snapshot->model, "adopt");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot_ = snapshot;
+    if (next_version_ <= snapshot->version) {
+      next_version_ = snapshot->version + 1;
+    }
+  }
+  if (metrics_) metrics_->counter("serve.model.adoptions").inc();
+  if (tracer_) {
+    util::Json args = util::Json::object();
+    args.set("version", util::Json(snapshot->version));
+    args.set("tag", util::Json(snapshot->tag));
+    args.set("model", util::Json(std::string(snapshot->model->type_name())));
+    if (!label_.empty()) args.set("registry", util::Json(label_));
+    tracer_->instant("serve.model_adopt", "serve", std::move(args));
+  }
+}
+
 std::shared_ptr<const ModelSnapshot> ModelRegistry::current() const {
   std::lock_guard<std::mutex> lock(mu_);
   return snapshot_;

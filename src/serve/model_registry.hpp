@@ -63,6 +63,14 @@ class ModelRegistry {
   /// Plan batch cap compiled into published models; 0 when disabled.
   std::size_t plan_batch() const;
 
+  /// Installs an existing snapshot (shared with another replica) without
+  /// minting a new version: the registry's current() becomes `snapshot`
+  /// and the next publish() continues from snapshot->version + 1. The
+  /// replication tier uses this to bring a scaled-in replica level with
+  /// the incumbents — same model object, same version, plan already
+  /// attached — before the new shard admits traffic.
+  void adopt(std::shared_ptr<const ModelSnapshot> snapshot);
+
   /// Latest published snapshot; nullptr before the first publish.
   std::shared_ptr<const ModelSnapshot> current() const;
 

@@ -9,19 +9,25 @@
 
 namespace autolearn::serve {
 
-void CanaryOptions::validate() const {
+void CanaryOptions::check(ConfigIssues& out) const {
   if (canary_shards == 0) {
-    throw ConfigError("canary.canary_shards", "must be >= 1");
+    out.emplace_back("canary.canary_shards", "must be >= 1");
   }
   if (max_steering_drift < 0.0) {
-    throw ConfigError("canary.max_steering_drift", "must be >= 0");
+    out.emplace_back("canary.max_steering_drift", "must be >= 0");
   }
   if (max_error_rate < 0.0 || max_error_rate > 1.0) {
-    throw ConfigError("canary.max_error_rate", "must be in [0, 1]");
+    out.emplace_back("canary.max_error_rate", "must be in [0, 1]");
   }
   if (bake_s < 0.0) {
-    throw ConfigError("canary.bake_s", "must be >= 0");
+    out.emplace_back("canary.bake_s", "must be >= 0");
   }
+}
+
+void CanaryOptions::validate() const {
+  ConfigIssues issues;
+  check(issues);
+  if (!issues.empty()) throw issues.front();
 }
 
 ReplicatedRegistry::ReplicatedRegistry(std::size_t shards) {
@@ -49,6 +55,32 @@ const ModelRegistry& ReplicatedRegistry::shard(std::size_t index) const {
   return *replicas_[index];
 }
 
+std::size_t ReplicatedRegistry::add_replica() {
+  const std::size_t index = replicas_.size();
+  replicas_.push_back(std::make_unique<ModelRegistry>());
+  ModelRegistry& replica = *replicas_.back();
+  replica.set_label("shard-" + std::to_string(index));
+  replica.instrument(tracer_, metrics_);
+  if (plan_batch_ > 0) replica.set_plan_batch(plan_batch_);
+  level_replica(index);
+  return index;
+}
+
+void ReplicatedRegistry::level_replica(std::size_t index) {
+  if (index >= replicas_.size()) {
+    throw std::out_of_range("ReplicatedRegistry::level_replica: bad index");
+  }
+  if (index == 0) return;
+  const auto incumbent = replicas_[0]->current();
+  if (!incumbent) return;
+  const auto mine = replicas_[index]->current();
+  if (mine && mine->version == incumbent->version &&
+      mine->model == incumbent->model) {
+    return;
+  }
+  replicas_[index]->adopt(incumbent);
+}
+
 void ReplicatedRegistry::instrument(obs::Tracer* tracer,
                                     obs::MetricsRegistry* metrics) {
   tracer_ = tracer;
@@ -57,6 +89,7 @@ void ReplicatedRegistry::instrument(obs::Tracer* tracer,
 }
 
 void ReplicatedRegistry::set_plan_batch(std::size_t max_batch) {
+  plan_batch_ = max_batch;
   for (auto& r : replicas_) r->set_plan_batch(max_batch);
 }
 

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/errors.hpp"
 #include "serve/model_registry.hpp"
 #include "util/event_queue.hpp"
 
@@ -46,6 +47,9 @@ struct CanaryOptions {
   /// Virtual seconds the slice serves the candidate before the gate runs.
   double bake_s = 0.0;
 
+  /// Appends every violation (prefix "canary.") without throwing.
+  void check(ConfigIssues& out) const;
+  /// Throw-on-first shim over check().
   void validate() const;
 };
 
@@ -67,6 +71,19 @@ class ReplicatedRegistry {
   std::size_t shards() const { return replicas_.size(); }
   ModelRegistry& shard(std::size_t index);
   const ModelRegistry& shard(std::size_t index) const;
+
+  /// Appends one replica for a scaled-in shard and brings it level with
+  /// the incumbents before it sees traffic: sinks wired, the fleet's plan
+  /// batch applied, and replica 0's current snapshot adopted (same model
+  /// object, same version — publish_all stays convergent). Returns the
+  /// new replica's index. Scale-down never removes replicas; a retired
+  /// shard's replica idles and is re-leveled by the next grow.
+  std::size_t add_replica();
+
+  /// Re-levels an existing replica (a previously retired shard being
+  /// readmitted): adopts replica 0's current snapshot when the replica
+  /// has fallen behind. No-op when already level.
+  void level_replica(std::size_t index);
 
   /// Wires sinks into every replica; replica i's publish instants carry
   /// the label "shard-i".
@@ -102,6 +119,7 @@ class ReplicatedRegistry {
   std::vector<std::unique_ptr<ModelRegistry>> replicas_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  std::size_t plan_batch_ = 0;  // last set_plan_batch, for new replicas
   std::size_t promotions_ = 0;
   std::size_t rollbacks_ = 0;
 };

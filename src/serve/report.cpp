@@ -86,6 +86,24 @@ util::Json ServeReport::to_json() const {
   out.set("shard_downs", shard_downs);
   out.set("shard_ups", shard_ups);
   out.set("rebalanced", rebalanced);
+  out.set("initial_shards", initial_shards);
+  out.set("final_shards", final_shards);
+  out.set("scale_ups", scale_ups);
+  out.set("scale_downs", scale_downs);
+  util::Json scales = util::Json::array();
+  for (const ScaleEvent& e : scale_events) {
+    util::Json row = util::Json::object();
+    row.set("t", util::Json(e.t));
+    row.set("dir", util::Json(std::string(e.up ? "up" : "down")));
+    row.set("from", util::Json(e.from_shards));
+    row.set("to", util::Json(e.to_shards));
+    row.set("moved_cars", util::Json(e.moved_cars));
+    row.set("churn_frac", util::Json(e.churn_frac));
+    row.set("drained", util::Json(e.drained));
+    row.set("reason", util::Json(e.reason));
+    scales.push_back(std::move(row));
+  }
+  out.set("scale_events", std::move(scales));
   // Conservation invariant, spelled out so BENCH consumers can assert
   // "zero failed requests" without re-deriving it.
   out.set("failed", requests - completed - shed);
@@ -107,6 +125,8 @@ util::Json ServeReport::to_json() const {
     row.set("failed_over", util::Json(s.failed_over));
     row.set("rerouted_in", util::Json(s.rerouted_in));
     row.set("downs", util::Json(s.downs));
+    row.set("admitted_at", util::Json(s.admitted_at));
+    row.set("retired_at", util::Json(s.retired_at));
     shard_rows.push_back(std::move(row));
   }
   out.set("shard_stats", std::move(shard_rows));
@@ -143,6 +163,10 @@ std::string ServeReport::summary() const {
   if (shards > 1) {
     os << "; " << shards << " shards, " << shard_downs << " down(s), "
        << rebalanced << " rerouted";
+  }
+  if (!scale_events.empty()) {
+    os << "; scaled " << initial_shards << "->" << final_shards << " ("
+       << scale_ups << " up, " << scale_downs << " down)";
   }
   return os.str();
 }

@@ -28,6 +28,21 @@ struct ShardStats {
   std::size_t failed_over = 0;   // queued requests rerouted AWAY on death
   std::size_t rerouted_in = 0;   // failover requests absorbed FROM others
   std::size_t downs = 0;         // health-monitor death verdicts
+  double admitted_at = 0.0;      // virtual time the shard joined the fleet
+  double retired_at = -1.0;      // scale-down teardown time; -1 = never
+};
+
+/// One autoscaler ring resize in timeline order — part of the
+/// determinism fingerprint (same seed ⇒ identical event list).
+struct ScaleEvent {
+  double t = 0.0;
+  bool up = false;               // grow (true) or shrink
+  std::size_t from_shards = 0;   // active workers before
+  std::size_t to_shards = 0;     // active workers after
+  std::size_t moved_cars = 0;    // keys the ring remapped
+  double churn_frac = 0.0;       // moved_cars / fleet size
+  std::size_t drained = 0;       // queued requests moved off retiring shards
+  std::string reason;            // breached/idle band that tipped the scaler
 };
 
 struct ServeReport {
@@ -43,10 +58,18 @@ struct ServeReport {
   double throughput_rps = 0.0;       // completed / duration_s
 
   // --- sharded-fleet attribution -----------------------------------------
-  std::size_t shards = 1;
+  std::size_t shards = 1;        // PEAK worker slots over the run
   std::size_t shard_downs = 0;   // shard death verdicts across the run
   std::size_t shard_ups = 0;     // recoveries (re-admissions) across the run
   std::size_t rebalanced = 0;    // queued requests rerouted off dead shards
+
+  // --- autoscaling --------------------------------------------------------
+  std::size_t initial_shards = 1;  // workers at t = 0
+  std::size_t final_shards = 1;    // active workers when the run drained
+  std::size_t scale_ups = 0;
+  std::size_t scale_downs = 0;
+  /// Ring resizes in timeline order; empty when the autoscaler is off.
+  std::vector<ScaleEvent> scale_events;
   /// Per-car shed counts (size = cars): who paid for saturation.
   std::vector<std::size_t> shed_by_car;
   /// Per-shard count of queued requests rerouted away when that shard

@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -18,37 +19,76 @@ gpu::Precision pricing_precision(const ml::DrivingModel& model) {
                                                   : gpu::Precision::Fp32;
 }
 
+double p99(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double idx = 0.99 * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(idx));
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return v[lo] + (v[hi] - v[lo]) * frac;
+}
+
 }  // namespace
 
-void FleetOptions::validate() const {
-  if (cars == 0) throw ConfigError("fleet.cars", "must be >= 1");
+void FleetOptions::check(ConfigIssues& out) const {
+  if (cars == 0) out.emplace_back("fleet.cars", "must be >= 1");
   if (duration_s <= 0.0) {
-    throw ConfigError("fleet.duration_s", "must be > 0");
+    out.emplace_back("fleet.duration_s", "must be > 0");
   }
   if (mean_interarrival_s <= 0.0) {
-    throw ConfigError("fleet.mean_interarrival_s", "must be > 0");
+    out.emplace_back("fleet.mean_interarrival_s", "must be > 0");
   }
   if (queue_budget == 0) {
-    throw ConfigError("fleet.queue_budget", "must be >= 1");
+    out.emplace_back("fleet.queue_budget", "must be >= 1");
   }
   if (img_w == 0 || img_h == 0) {
-    throw ConfigError("fleet.img", "zero image dimension");
+    out.emplace_back("fleet.img", "zero image dimension");
   }
-  if (shards == 0) throw ConfigError("fleet.shards", "must be >= 1");
+  if (shards == 0) out.emplace_back("fleet.shards", "must be >= 1");
   if (ring_replicas == 0) {
-    throw ConfigError("fleet.ring_replicas", "must be >= 1");
+    out.emplace_back("fleet.ring_replicas", "must be >= 1");
   }
   for (const std::string& site : sites) {
-    if (site.empty()) throw ConfigError("fleet.sites", "empty site name");
+    if (site.empty()) {
+      out.emplace_back("fleet.sites", "empty site name");
+      break;
+    }
   }
-  health.validate();
-  batcher.validate();
+  for (const LoadSpike& spike : load_spikes) {
+    if (spike.at < 0.0) {
+      out.emplace_back("fleet.load_spikes.at", "must be >= 0");
+    }
+    if (spike.duration < 0.0) {
+      out.emplace_back("fleet.load_spikes.duration", "must be >= 0");
+    }
+    if (spike.factor <= 0.0) {
+      out.emplace_back("fleet.load_spikes.factor", "must be > 0");
+    }
+  }
+  if (autoscaler.enabled && shards != 0 &&
+      (shards < autoscaler.min_shards || shards > autoscaler.max_shards)) {
+    out.emplace_back("fleet.shards",
+                     "starting shard count outside the autoscaler clamp [" +
+                         std::to_string(autoscaler.min_shards) + ", " +
+                         std::to_string(autoscaler.max_shards) + "]");
+  }
+  health.check(out);
+  batcher.check(out);
+  autoscaler.check(out);
+}
+
+void FleetOptions::validate() const {
+  ConfigIssues issues;
+  check(issues);
+  if (!issues.empty()) throw issues.front();
 }
 
 FleetService::FleetService(util::EventQueue& queue, ModelRegistry& registry,
                            FleetOptions options)
     : queue_(queue), options_(std::move(options)) {
   options_.validate();
+  base_registry_ = &registry;
   // Unreplicated mode: every shard reads the same registry.
   init(std::vector<ModelRegistry*>(options_.shards, &registry));
 }
@@ -57,13 +97,14 @@ FleetService::FleetService(util::EventQueue& queue,
                            ReplicatedRegistry& registry, FleetOptions options)
     : queue_(queue), options_(std::move(options)) {
   options_.validate();
-  if (registry.shards() != options_.shards) {
+  if (registry.shards() < options_.shards) {
     throw ConfigError("fleet.shards",
                       "replicated registry has " +
                           std::to_string(registry.shards()) +
                           " replicas, options ask for " +
                           std::to_string(options_.shards));
   }
+  replicated_ = &registry;
   std::vector<ModelRegistry*> registries;
   registries.reserve(options_.shards);
   for (std::size_t i = 0; i < options_.shards; ++i) {
@@ -85,60 +126,41 @@ void FleetService::init(std::vector<ModelRegistry*> registries) {
     car_rng_.push_back(rng_.split());
   }
 
-  const std::vector<std::string> default_sites =
-      options_.sites.empty() ? testbed::shard_sites(options_.shards)
-                             : options_.sites;
-  obs::Tracer* tracer = options_.continuum.tracer;
-  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  sites_ = options_.sites.empty()
+               ? testbed::shard_sites(std::max(
+                     options_.shards, options_.autoscaler.enabled
+                                          ? options_.autoscaler.max_shards
+                                          : options_.shards))
+               : options_.sites;
 
   shards_.resize(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     Shard& shard = shards_[s];
-    shard.site = default_sites[s % default_sites.size()];
+    shard.site = sites_[s % sites_.size()];
     shard.registry = registries[s];
     shard.batcher = std::make_unique<DynamicBatcher>(options_.batcher);
     shard.breaker =
         std::make_unique<fault::CircuitBreaker>(options_.continuum.breaker);
     shard.jitter_rng = rng_.split();
-    shard.breaker->set_on_transition([this, s, tracer, metrics](
-                                         fault::CircuitBreaker::State from,
-                                         fault::CircuitBreaker::State to,
-                                         double now) {
-      if (to == fault::CircuitBreaker::State::Closed) {
-        shards_[s].awaiting_recovery = true;
-      }
-      if (tracer) {
-        util::Json args = util::Json::object();
-        args.set("from", util::Json(fault::to_string(from)));
-        args.set("to", util::Json(fault::to_string(to)));
-        args.set("t", util::Json(now));
-        args.set("shard", util::Json(s));
-        tracer->instant("fault.breaker", "fault", std::move(args));
-      }
-      if (metrics) {
-        metrics->counter("fault.breaker.transitions").inc();
-        metrics
-            ->counter(std::string("fault.breaker.to_") + fault::to_string(to))
-            .inc();
-      }
-    });
+    wire_breaker(s);
   }
+  active_shards_ = options_.shards;
 
   if (options_.compile_plans) {
     // Unreplicated mode aliases one registry across every shard — enable
     // plans once per distinct registry. Models published later compile at
     // publish() time; an already-published model compiles right here.
-    std::vector<ModelRegistry*> distinct;
-    for (ModelRegistry* r : registries) {
-      if (std::find(distinct.begin(), distinct.end(), r) == distinct.end()) {
-        distinct.push_back(r);
-      }
-    }
-    for (ModelRegistry* r : distinct) {
-      r->set_plan_batch(options_.batcher.max_batch);
+    if (replicated_) {
+      // Covers idle replicas too, so a scale-up past options_.shards
+      // serves a compiled model from its first batch.
+      replicated_->set_plan_batch(options_.batcher.max_batch);
+    } else {
+      base_registry_->set_plan_batch(options_.batcher.max_batch);
     }
   }
 
+  obs::Tracer* tracer = options_.continuum.tracer;
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
   if (options_.site_probe) {
     health_ = std::make_unique<HealthMonitor>(queue_, options_.health);
     for (const Shard& shard : shards_) health_->add_shard(shard.site);
@@ -148,13 +170,52 @@ void FleetService::init(std::vector<ModelRegistry*> registries) {
     health_->instrument(tracer, metrics);
   }
 
+  if (options_.autoscaler.enabled) {
+    scaler_ = std::make_unique<AutoScaler>(queue_, options_.autoscaler);
+    scaler_->set_sampler([this](double now) { return sample_signals(now); });
+    scaler_->set_resizer(
+        [this](std::size_t target, double, const std::string& reason) {
+          return resize(target, reason);
+        });
+    scaler_->instrument(tracer, metrics);
+  }
+
   report_.shards = options_.shards;
+  report_.initial_shards = options_.shards;
+  report_.final_shards = options_.shards;
   report_.shed_by_car.assign(options_.cars, 0);
   report_.failover_by_shard.assign(options_.shards, 0);
   report_.shard_stats.resize(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     report_.shard_stats[s].site = shards_[s].site;
   }
+}
+
+void FleetService::wire_breaker(std::size_t s) {
+  obs::Tracer* tracer = options_.continuum.tracer;
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  shards_[s].breaker->set_on_transition([this, s, tracer, metrics](
+                                            fault::CircuitBreaker::State from,
+                                            fault::CircuitBreaker::State to,
+                                            double now) {
+    if (to == fault::CircuitBreaker::State::Closed) {
+      shards_[s].awaiting_recovery = true;
+    }
+    if (tracer) {
+      util::Json args = util::Json::object();
+      args.set("from", util::Json(fault::to_string(from)));
+      args.set("to", util::Json(fault::to_string(to)));
+      args.set("t", util::Json(now));
+      args.set("shard", util::Json(s));
+      tracer->instant("fault.breaker", "fault", std::move(args));
+    }
+    if (metrics) {
+      metrics->counter("fault.breaker.transitions").inc();
+      metrics
+          ->counter(std::string("fault.breaker.to_") + fault::to_string(to))
+          .inc();
+    }
+  });
 }
 
 const fault::CircuitBreaker& FleetService::breaker(std::size_t shard) const {
@@ -174,6 +235,15 @@ ServeReport FleetService::run() {
   }
 
   if (health_) health_->start(options_.duration_s);
+  if (scaler_) scaler_->start(options_.duration_s);
+  for (const LoadSpike& spike : options_.load_spikes) {
+    queue_.schedule_at(spike.at,
+                       [this, spike] { set_load_factor(spike.factor); });
+    if (spike.duration > 0.0) {
+      queue_.schedule_at(spike.at + spike.duration,
+                         [this] { set_load_factor(1.0); });
+    }
+  }
   for (std::size_t car = 0; car < options_.cars; ++car) {
     schedule_arrival(car);
   }
@@ -214,13 +284,228 @@ ServeReport FleetService::run() {
     report_.shard_downs = health_->downs();
     report_.shard_ups = health_->ups();
   }
+  report_.shards = shards_.size();  // peak slots over the run
+  report_.final_shards = active_shards_;
   set_queue_gauge(0);
   return report_;
 }
 
+void FleetService::set_load_factor(double factor) {
+  if (factor <= 0.0 || !std::isfinite(factor)) {
+    throw std::invalid_argument(
+        "FleetService::set_load_factor: factor must be finite and > 0");
+  }
+  load_factor_ = factor;
+  if (obs::MetricsRegistry* metrics = options_.continuum.metrics) {
+    metrics->gauge("serve.load_factor").set(factor);
+  }
+}
+
+ScaleSignals FleetService::sample_signals(double now) {
+  ScaleSignals s;
+  s.active_shards = active_shards_;
+  std::size_t live = 0;
+  std::size_t busy = 0;
+  double queue_sum = 0.0;
+  for (std::size_t i = 0; i < active_shards_; ++i) {
+    if (!router_.alive(i)) continue;
+    ++live;
+    if (shards_[i].busy) ++busy;
+    const double depth = static_cast<double>(shards_[i].batcher->pending());
+    queue_sum += depth;
+    s.max_queue_depth = std::max(s.max_queue_depth, depth);
+  }
+  s.live_shards = live;
+  s.mean_queue_depth = live > 0 ? queue_sum / static_cast<double>(live) : 0.0;
+  s.queue_budget = static_cast<double>(options_.queue_budget);
+  s.p99_s = p99(std::move(window_queued_));
+  s.shed_rate = window_arrivals_ > 0
+                    ? static_cast<double>(window_sheds_) /
+                          static_cast<double>(window_arrivals_)
+                    : 0.0;
+  s.utilization = live > 0
+                      ? static_cast<double>(busy) / static_cast<double>(live)
+                      : 0.0;
+  s.arrivals = window_arrivals_;
+  window_queued_.clear();
+  window_sheds_ = 0;
+  window_arrivals_ = 0;
+  (void)now;
+  return s;
+}
+
+void FleetService::admit_shard(std::size_t s, double now) {
+  const bool fresh = s >= shards_.size();
+  if (fresh) {
+    shards_.emplace_back();
+    Shard& shard = shards_.back();
+    shard.site = sites_[s % sites_.size()];
+    shard.batcher = std::make_unique<DynamicBatcher>(options_.batcher);
+    shard.breaker =
+        std::make_unique<fault::CircuitBreaker>(options_.continuum.breaker);
+    shard.jitter_rng = rng_.split();
+    wire_breaker(s);
+    report_.failover_by_shard.push_back(0);
+    report_.shard_stats.emplace_back();
+    report_.shard_stats[s].site = shard.site;
+  }
+  Shard& shard = shards_[s];
+  shard.retired = false;
+  report_.shard_stats[s].admitted_at = now;
+  report_.shard_stats[s].retired_at = -1.0;
+
+  // Level the model BEFORE the shard can attract traffic: the newcomer
+  // serves the incumbent snapshot — compiled plan included — from its
+  // first batch.
+  if (replicated_) {
+    if (s < replicated_->shards()) {
+      replicated_->level_replica(s);
+    } else if (replicated_->add_replica() != s) {
+      throw std::logic_error("FleetService::admit_shard: replica index skew");
+    }
+    shard.registry = &replicated_->shard(s);
+  } else {
+    shard.registry = base_registry_;
+  }
+
+  // A shard scaled onto a still-dark site joins DEAD: it must not attract
+  // cars for a sweep interval while its heartbeats are already missing.
+  const bool alive_now = health_ ? site_reachable(s, now) : true;
+  if (health_) {
+    if (s < health_->shard_count()) {
+      health_->readmit(s, alive_now);
+    } else {
+      health_->add_shard(shard.site);
+      if (!alive_now) health_->readmit(s, false);
+    }
+  }
+  router_.set_alive(s, alive_now);
+}
+
+void FleetService::reroute(ServeRequest request,
+                           std::vector<bool>& touched) {
+  request.rerouted = true;
+  if (!router_.any_alive()) {
+    shed_request(std::move(request), kNoShard);
+    return;
+  }
+  const std::size_t target = router_.shard_for(request.car);
+  if (shards_[target].batcher->pending() >= options_.queue_budget) {
+    shed_request(std::move(request), target);
+  } else {
+    shards_[target].batcher->push(std::move(request));
+    ++report_.shard_stats[target].rerouted_in;
+    touched[target] = true;
+  }
+}
+
+bool FleetService::resize(std::size_t target, const std::string& reason) {
+  if (target == 0) {
+    throw ConfigError("fleet.shards", "resize target must be >= 1");
+  }
+  if (target == active_shards_ || draining_) return false;
+  const double now = queue_.now();
+  const std::size_t from = active_shards_;
+  const bool up = target > from;
+
+  const bool churn_known = router_.any_alive();
+  std::vector<std::size_t> before;
+  if (churn_known) before = router_.mapping(options_.cars);
+
+  std::size_t drained = 0;
+  if (up) {
+    for (std::size_t s = from; s < target; ++s) {
+      // Router first so set_alive() in admit_shard sees the slot.
+      router_.resize(s + 1);
+      admit_shard(s, now);
+    }
+  } else {
+    // Drain the retiring slots' queues BEFORE the ring forgets them, then
+    // reroute each orphan through the shrunken ring.
+    std::vector<ServeRequest> orphans;
+    for (std::size_t s = target; s < from; ++s) {
+      Shard& shard = shards_[s];
+      std::vector<ServeRequest> mine = shard.batcher->drain();
+      drained += mine.size();
+      for (ServeRequest& r : mine) orphans.push_back(std::move(r));
+      shard.retired = true;
+      report_.shard_stats[s].retired_at = now;
+      if (health_) health_->retire(s);
+    }
+    router_.resize(target);
+    std::vector<bool> touched(shards_.size(), false);
+    for (ServeRequest& r : orphans) reroute(std::move(r), touched);
+    for (std::size_t t = 0; t < shards_.size(); ++t) {
+      if (touched[t]) {
+        set_queue_gauge(t);
+        try_dispatch(t);
+      }
+    }
+  }
+  active_shards_ = target;
+
+  // Bounded-churn invariant (always on): a grow moves cars only TO the
+  // admitted shards, a shrink moves only the retired shards' cars. The
+  // statistical |to-from|/max bound lives in the tests; this structural
+  // half holds for every fleet size and even under partitions.
+  std::size_t moved = 0;
+  if (churn_known && router_.any_alive()) {
+    const std::vector<std::size_t> after = router_.mapping(options_.cars);
+    for (std::size_t car = 0; car < options_.cars; ++car) {
+      if (before[car] == after[car]) continue;
+      ++moved;
+      if (up && after[car] < from) {
+        throw std::logic_error(
+            "FleetService::resize: grow moved a car between incumbents");
+      }
+      if (!up && before[car] < target) {
+        throw std::logic_error(
+            "FleetService::resize: shrink moved a surviving shard's car");
+      }
+    }
+  }
+
+  ScaleEvent event;
+  event.t = now;
+  event.up = up;
+  event.from_shards = from;
+  event.to_shards = target;
+  event.moved_cars = moved;
+  event.churn_frac =
+      options_.cars > 0
+          ? static_cast<double>(moved) / static_cast<double>(options_.cars)
+          : 0.0;
+  event.drained = drained;
+  event.reason = reason;
+  report_.scale_events.push_back(event);
+  if (up) {
+    ++report_.scale_ups;
+  } else {
+    ++report_.scale_downs;
+  }
+
+  obs::MetricsRegistry* metrics = options_.continuum.metrics;
+  obs::Tracer* tracer = options_.continuum.tracer;
+  if (metrics) {
+    metrics->gauge("serve.shards").set(static_cast<double>(target));
+  }
+  if (tracer) {
+    util::Json args = util::Json::object();
+    args.set("dir", util::Json(std::string(up ? "up" : "down")));
+    args.set("from", util::Json(from));
+    args.set("to", util::Json(target));
+    args.set("moved_cars", util::Json(moved));
+    args.set("drained", util::Json(drained));
+    args.set("reason", util::Json(reason));
+    tracer->instant("serve.resize", "serve", std::move(args));
+  }
+  return true;
+}
+
 void FleetService::schedule_arrival(std::size_t car) {
-  const double t =
-      queue_.now() + car_rng_[car].exponential(options_.mean_interarrival_s);
+  const double t = queue_.now() + car_rng_[car].exponential(
+                                      options_.mean_interarrival_s /
+                                      load_factor_);
   if (t >= options_.duration_s) return;
   queue_.schedule_at(t, [this, car] { on_arrival(car); });
 }
@@ -230,6 +515,7 @@ void FleetService::on_arrival(std::size_t car) {
   // Any registry works for sampling geometry; route first so the sample
   // is drawn against the owning shard's served model.
   ++report_.requests;
+  ++window_arrivals_;
   obs::MetricsRegistry* metrics = options_.continuum.metrics;
   if (metrics) metrics->counter("serve.requests").inc();
 
@@ -270,6 +556,7 @@ void FleetService::on_arrival(std::size_t car) {
 
 void FleetService::shed_request(ServeRequest request, std::size_t shard) {
   const double now = queue_.now();
+  ++window_sheds_;
   ModelRegistry* registry =
       shard == kNoShard ? shards_[0].registry : shards_[shard].registry;
   const auto snapshot = registry->current();
@@ -321,6 +608,9 @@ void FleetService::shed_request(ServeRequest request, std::size_t shard) {
 
 void FleetService::try_dispatch(std::size_t s) {
   Shard& shard = shards_[s];
+  // A retired slot's queue was drained at retirement; late callbacks
+  // (deadline, batch completion) land here and must not revive it.
+  if (shard.retired) return;
   while (!shard.busy && !shard.batcher->empty() &&
          (draining_ || shard.batcher->ready(queue_.now()))) {
     dispatch_batch(s);
@@ -423,6 +713,7 @@ void FleetService::dispatch_batch(std::size_t s) {
     record.prediction = predictions[i];
 
     const double queued_s = now - r.t_arrive;
+    window_queued_.push_back(queued_s);
     if (metrics) metrics->histogram("serve.queued_s").observe(queued_s);
     if (tracer) {
       util::Json span = util::Json::object();
@@ -536,21 +827,7 @@ void FleetService::on_shard_down(std::size_t s) {
   report_.shard_stats[s].failed_over += orphans.size();
 
   std::vector<bool> touched(shards_.size(), false);
-  for (ServeRequest& r : orphans) {
-    r.rerouted = true;
-    if (!router_.any_alive()) {
-      shed_request(std::move(r), kNoShard);
-      continue;
-    }
-    const std::size_t target = router_.shard_for(r.car);
-    if (shards_[target].batcher->pending() >= options_.queue_budget) {
-      shed_request(std::move(r), target);
-    } else {
-      shards_[target].batcher->push(std::move(r));
-      ++report_.shard_stats[target].rerouted_in;
-      touched[target] = true;
-    }
-  }
+  for (ServeRequest& r : orphans) reroute(std::move(r), touched);
   for (std::size_t t = 0; t < shards_.size(); ++t) {
     if (touched[t]) {
       set_queue_gauge(t);
@@ -584,7 +861,7 @@ void FleetService::set_queue_gauge(std::size_t s) {
   std::size_t total = 0;
   for (const Shard& shard : shards_) total += shard.batcher->pending();
   metrics->gauge("serve.queue_depth").set(static_cast<double>(total));
-  if (options_.shards > 1) {
+  if (shards_.size() > 1) {
     metrics->gauge("serve.shard." + std::to_string(s) + ".queue_depth")
         .set(static_cast<double>(shards_[s].batcher->pending()));
   }

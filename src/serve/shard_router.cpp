@@ -3,17 +3,21 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "serve/errors.hpp"
-
 namespace autolearn::serve {
 
-void ShardRouterConfig::validate() const {
+void ShardRouterConfig::check(ConfigIssues& out) const {
   if (shards == 0) {
-    throw ConfigError("router.shards", "must be >= 1");
+    out.emplace_back("router.shards", "must be >= 1");
   }
   if (replicas == 0) {
-    throw ConfigError("router.replicas", "must be >= 1");
+    out.emplace_back("router.replicas", "must be >= 1");
   }
+}
+
+void ShardRouterConfig::validate() const {
+  ConfigIssues issues;
+  check(issues);
+  if (!issues.empty()) throw issues.front();
 }
 
 std::uint64_t hash_mix(std::uint64_t x) {
@@ -23,14 +27,30 @@ std::uint64_t hash_mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+double expected_remap_fraction(std::size_t from, std::size_t to) {
+  if (from == to || from == 0 || to == 0) return 0.0;
+  const std::size_t hi = std::max(from, to);
+  const std::size_t delta = hi - std::min(from, to);
+  return static_cast<double>(delta) / static_cast<double>(hi);
+}
+
+std::vector<ShardRouter::Point> ShardRouter::points_for(
+    const ShardRouterConfig& config, std::size_t shard) {
+  std::vector<Point> points;
+  points.reserve(config.replicas);
+  const std::uint64_t shard_seed = hash_mix(config.salt ^ (shard + 1));
+  for (std::size_t r = 0; r < config.replicas; ++r) {
+    points.push_back({hash_mix(shard_seed ^ (r + 1)), shard});
+  }
+  return points;
+}
+
 ShardRouter::ShardRouter(ShardRouterConfig config) : config_(config) {
   config_.validate();
   ring_.reserve(config_.shards * config_.replicas);
   for (std::size_t s = 0; s < config_.shards; ++s) {
-    const std::uint64_t shard_seed = hash_mix(config_.salt ^ (s + 1));
-    for (std::size_t r = 0; r < config_.replicas; ++r) {
-      ring_.push_back({hash_mix(shard_seed ^ (r + 1)), s});
-    }
+    const std::vector<Point> points = points_for(config_, s);
+    ring_.insert(ring_.end(), points.begin(), points.end());
   }
   std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
     if (a.hash != b.hash) return a.hash < b.hash;
@@ -54,6 +74,48 @@ void ShardRouter::set_alive(std::size_t shard, bool alive) {
   if (alive_[shard] == alive) return;
   alive_[shard] = alive;
   alive_count_ += alive ? 1 : std::size_t(-1);
+}
+
+void ShardRouter::resize(std::size_t shards) {
+  if (shards == 0) {
+    throw ConfigError("router.shards", "resize target must be >= 1");
+  }
+  if (shards == config_.shards) return;
+  const auto less = [](const Point& a, const Point& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.shard < b.shard;
+  };
+  if (shards > config_.shards) {
+    // Grow: merge the new shards' points into the sorted ring. The
+    // incumbents' points are untouched, so only keys whose first live
+    // point is now one of the inserts change owner.
+    for (std::size_t s = config_.shards; s < shards; ++s) {
+      std::vector<Point> points = points_for(config_, s);
+      std::sort(points.begin(), points.end(), less);
+      std::vector<Point> merged;
+      merged.reserve(ring_.size() + points.size());
+      std::merge(ring_.begin(), ring_.end(), points.begin(), points.end(),
+                 std::back_inserter(merged), less);
+      ring_ = std::move(merged);
+      alive_.push_back(true);
+      ++alive_count_;
+    }
+  } else {
+    // Shrink: retire the top indices wholesale. A retired shard's points
+    // leave the ring whether it was alive or dead, so a dead shard can
+    // never be "scaled back in" by a later grow — regrowth readmits the
+    // index with the same points but a fresh (live) state.
+    ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                               [shards](const Point& p) {
+                                 return p.shard >= shards;
+                               }),
+                ring_.end());
+    for (std::size_t s = shards; s < config_.shards; ++s) {
+      if (alive_[s]) --alive_count_;
+    }
+    alive_.resize(shards);
+  }
+  config_.shards = shards;
 }
 
 std::size_t ShardRouter::shard_for(std::uint64_t key) const {

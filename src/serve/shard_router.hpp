@@ -9,11 +9,21 @@
 // the shard heals exactly those cars move back. The hash is a fixed
 // SplitMix64 finalizer — not std::hash — so the mapping is part of the
 // seed contract and identical across platforms and runs.
+//
+// resize(n) is the elastic half of the same contract: a shard's ring
+// points are a pure function of (salt, shard index, replica index), so
+// growing N -> N+1 only inserts the new shard's points (stealing roughly
+// a 1/(N+1) key fraction from the incumbents) and shrinking removes
+// exactly the retired shard's points (only its keys spill clockwise).
+// Shrinking then growing back to N restores the original assignment
+// bit-for-bit — the autoscaler's churn tests pin all three properties.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "serve/errors.hpp"
 
 namespace autolearn::serve {
 
@@ -27,12 +37,21 @@ struct ShardRouterConfig {
   /// count draw independent rings.
   std::uint64_t salt = 0x9e3779b97f4a7c15ULL;
 
+  /// Appends every violation (prefix "router.") without throwing.
+  void check(ConfigIssues& out) const;
+  /// Throw-on-first shim over check().
   void validate() const;
 };
 
 /// Deterministic 64-bit mix (SplitMix64 finalizer). Exposed because the
 /// router's tests and the ring's documentation both reference it.
 std::uint64_t hash_mix(std::uint64_t x);
+
+/// Expected key fraction remapped by a resize between `from` and `to`
+/// shards (all live): |to - from| / max(from, to) — the consistent-hash
+/// "ships in the ring" bound the churn tests assert against (with slack
+/// for ring-position variance at finite replica counts).
+double expected_remap_fraction(std::size_t from, std::size_t to);
 
 class ShardRouter {
  public:
@@ -47,12 +66,21 @@ class ShardRouter {
   /// live again (exactly those keys return). Idempotent.
   void set_alive(std::size_t shard, bool alive);
 
+  /// Grows or shrinks the ring to `shards` workers while keys keep
+  /// routing. Grow appends shards [old, n) — each enters live and steals
+  /// only the keys whose hashes land on its points. Shrink retires the
+  /// top indices [n, old) — ring points removed entirely (dead or alive),
+  /// only their keys spill clockwise. Deterministic: the same (salt,
+  /// shard, replica) triples always hash to the same ring positions, so
+  /// resize(n) after resize(m) depends only on the final n.
+  void resize(std::size_t shards);
+
   /// Owning live shard for a key (car id). Throws std::logic_error when
   /// no shard is alive — callers gate on any_alive() and shed instead.
   std::size_t shard_for(std::uint64_t key) const;
 
   /// Current key -> shard mapping for keys [0, n). Churn between two
-  /// mappings is what the failover tests bound.
+  /// mappings is what the failover and autoscaler tests bound.
   std::vector<std::size_t> mapping(std::uint64_t n) const;
 
   const ShardRouterConfig& config() const { return config_; }
@@ -62,6 +90,9 @@ class ShardRouter {
     std::uint64_t hash;
     std::size_t shard;
   };
+
+  static std::vector<Point> points_for(const ShardRouterConfig& config,
+                                       std::size_t shard);
 
   ShardRouterConfig config_;
   std::vector<Point> ring_;  // sorted by hash
