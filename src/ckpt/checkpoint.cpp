@@ -150,6 +150,13 @@ void CheckpointStore::use_transfer(net::TransferManager& transfers,
   to_host_ = std::move(to_host);
 }
 
+void CheckpointStore::set_commit_hook(
+    std::function<void(const std::string&, std::uint64_t, std::size_t)> hook) {
+  commit_hook_ = std::move(hook);
+}
+
+void CheckpointStore::corrupt_next_upload() { corrupt_next_ = true; }
+
 void CheckpointStore::truncate_next_upload(double fraction) {
   truncate_fraction_ = std::clamp(fraction, 0.0, 1.0);
 }
@@ -258,6 +265,16 @@ void CheckpointStore::commit(const std::string& key, std::uint64_t generation,
     truncate_fraction_.reset();
     if (metrics_) metrics_->counter("ckpt.truncated_uploads").inc();
   }
+  if (corrupt_next_) {
+    // Injected in-transit corruption: flip a run of bytes in the back
+    // half of the envelope (the payload region — the header sits at the
+    // front), so the length checks pass but the payload CRC cannot.
+    const std::size_t begin = bytes.size() / 2;
+    const std::size_t end = std::min(bytes.size(), begin + 8);
+    for (std::size_t i = begin; i < end; ++i) bytes[i] ^= 0xFF;
+    corrupt_next_ = false;
+    if (metrics_) metrics_->counter("ckpt.corrupted_uploads").inc();
+  }
 
   GenerationInfo entry;
   entry.generation = generation;
@@ -308,6 +325,7 @@ void CheckpointStore::commit(const std::string& key, std::uint64_t generation,
     args.set("note", util::Json(info.note));
     tracer_->instant("ckpt.commit", "ckpt", std::move(args));
   }
+  if (commit_hook_) commit_hook_(key, generation, entry.bytes);
 }
 
 void CheckpointStore::spill(const std::string& key, std::uint64_t generation,

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <optional>
@@ -115,6 +116,15 @@ class CheckpointStore {
   /// spans, byte/outcome counters, and a per-key generation gauge.
   void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  /// Observer fired at every successful commit (after retention), with the
+  /// committed envelope size. On transfer-routed stores the hook runs when
+  /// the upload lands, so the federated tier uses it to timestamp delta
+  /// arrivals on the virtual clock. Replaces any previous hook.
+  void set_commit_hook(
+      std::function<void(const std::string& key, std::uint64_t generation,
+                         std::size_t bytes)>
+          hook);
+
   /// Routes every save through the simulated network: the envelope is
   /// staged immediately, but the commit (rename + manifest update) happens
   /// only when the transfer completes. Retries/backoff come from the
@@ -147,6 +157,12 @@ class CheckpointStore {
   /// store accepted. CRC catches it at load time.
   void truncate_next_upload(double fraction);
 
+  /// Chaos hook (FaultKind::DeltaCorrupt): the next commit's payload bytes
+  /// are bit-flipped in place (length preserved), modeling in-transit
+  /// corruption the transport accepted. The envelope CRC cannot match, so
+  /// load_latest quarantines the generation and falls back.
+  void corrupt_next_upload();
+
   std::size_t saves() const { return saves_; }
   std::size_t upload_failures() const { return upload_failures_; }
   std::size_t quarantined() const { return quarantined_; }
@@ -170,8 +186,11 @@ class CheckpointStore {
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   net::TransferManager* transfers_ = nullptr;
+  std::function<void(const std::string&, std::uint64_t, std::size_t)>
+      commit_hook_;
   std::string from_host_, to_host_;
   std::optional<double> truncate_fraction_;
+  bool corrupt_next_ = false;
   std::size_t saves_ = 0;
   std::size_t upload_failures_ = 0;
   std::size_t quarantined_ = 0;

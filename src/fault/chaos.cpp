@@ -29,6 +29,7 @@ void ChaosEngine::attach_checkpoints(ckpt::CheckpointStore& checkpoints) {
 void ChaosEngine::attach_load(std::function<void(double)> hook) {
   load_hook_ = std::move(hook);
 }
+void ChaosEngine::attach_fed(FedHooks hooks) { fed_ = std::move(hooks); }
 
 void ChaosEngine::instrument(obs::Tracer* tracer,
                              obs::MetricsRegistry* metrics) {
@@ -96,6 +97,16 @@ void ChaosEngine::inject(const FaultSpec& spec) {
       }
       if (spec.load_mult <= 0) {
         throw std::invalid_argument("chaos: load_mult must be > 0");
+      }
+      break;
+    case FaultKind::ClientDropout:
+      if (!fed_.client_state) {
+        throw std::logic_error("chaos: no fed client hook attached");
+      }
+      break;
+    case FaultKind::DeltaCorrupt:
+      if (!fed_.corrupt_next_delta) {
+        throw std::logic_error("chaos: no fed delta hook attached");
       }
       break;
     case FaultKind::TrainPreempt:
@@ -191,6 +202,16 @@ void ChaosEngine::apply(const FaultSpec& spec) {
              detail.str());
       break;
     }
+    case FaultKind::ClientDropout:
+      fed_.client_state(spec.target, true);
+      record(spec.kind, spec.target, false,
+             spec.duration > 0 ? "client offline" : "client gone for good");
+      break;
+    case FaultKind::DeltaCorrupt:
+      fed_.corrupt_next_delta(spec.target);
+      record(spec.kind, spec.target, false,
+             "next delta upload corrupted in transit");
+      break;
     case FaultKind::TrainPreempt:
       break;  // unreachable: rejected at inject()
   }
@@ -216,10 +237,15 @@ void ChaosEngine::revert(const FaultSpec& spec) {
       record(spec.kind, spec.target.empty() ? "fleet" : spec.target, true,
              "offered load restored");
       break;
+    case FaultKind::ClientDropout:
+      fed_.client_state(spec.target, false);
+      record(spec.kind, spec.target, true, "client back");
+      break;
     case FaultKind::ContainerKill:
     case FaultKind::LeasePreempt:
     case FaultKind::TrainPreempt:
     case FaultKind::CheckpointTruncate:
+    case FaultKind::DeltaCorrupt:
       // One-shot faults: recovery (auto-restart, a fresh lease, a resume
       // from the checkpoint store) is the responsibility of the resilience
       // policies under test.
@@ -264,26 +290,52 @@ std::vector<FaultSpec> ChaosEngine::random_plan(
   for (const std::string& h : options.partition_hosts) {
     if (!h.empty()) hosts.push_back(h);
   }
+  std::vector<std::string> clients;
+  for (const std::string& c : options.client_dropout_hosts) {
+    if (!c.empty()) clients.push_back(c);
+  }
+  // Uniform pick among a host list; a single candidate draws nothing so
+  // the one-host stream stays what it always was.
+  auto pick = [this](const std::vector<std::string>& from) {
+    return from.size() == 1
+               ? from.front()
+               : from[static_cast<std::size_t>(rng_.uniform_int(
+                     0, static_cast<std::int64_t>(from.size()) - 1))];
+  };
   std::vector<FaultSpec> plan;
   for (std::size_t i = 0; i < options.faults; ++i) {
     const bool can_partition = !hosts.empty();
     const bool can_degrade = !options.link_from.empty();
-    if (!can_partition && !can_degrade) break;
+    const bool can_dropout = !clients.empty();
+    if (!can_partition && !can_degrade && !can_dropout) break;
     FaultSpec spec;
-    const bool partition =
-        can_partition && (!can_degrade || rng_.chance(0.5));
+    FaultKind kind;
+    if (!can_dropout) {
+      // Pre-federated draw sequence, preserved verbatim: plans generated
+      // before client_dropout_hosts existed stay bitwise unchanged for
+      // the same seed (regression-tested in fed_test).
+      kind = can_partition && (!can_degrade || rng_.chance(0.5))
+                 ? FaultKind::Partition
+                 : FaultKind::LinkDegrade;
+    } else {
+      std::vector<FaultKind> kinds;
+      if (can_partition) kinds.push_back(FaultKind::Partition);
+      if (can_degrade) kinds.push_back(FaultKind::LinkDegrade);
+      kinds.push_back(FaultKind::ClientDropout);
+      kind = kinds.size() == 1
+                 ? kinds.front()
+                 : kinds[static_cast<std::size_t>(rng_.uniform_int(
+                       0, static_cast<std::int64_t>(kinds.size()) - 1))];
+    }
     spec.at = queue_.now() + rng_.uniform(0.0, options.horizon_s);
     spec.duration =
         std::min(options.horizon_s, rng_.exponential(options.mean_duration_s));
-    if (partition) {
-      spec.kind = FaultKind::Partition;
-      spec.target =
-          hosts.size() == 1
-              ? hosts.front()
-              : hosts[static_cast<std::size_t>(rng_.uniform_int(
-                    0, static_cast<std::int64_t>(hosts.size()) - 1))];
+    spec.kind = kind;
+    if (kind == FaultKind::Partition) {
+      spec.target = pick(hosts);
+    } else if (kind == FaultKind::ClientDropout) {
+      spec.target = pick(clients);
     } else {
-      spec.kind = FaultKind::LinkDegrade;
       spec.target = options.link_from;
       spec.peer = options.link_to;
       spec.latency_mult = options.latency_mult;

@@ -62,6 +62,24 @@ struct RandomPlanOptions {
   std::string link_to;
   double latency_mult = 5.0;
   double loss_add = 0.3;
+  /// Federated clients eligible for generated ClientDropout windows; each
+  /// generated dropout picks uniformly among them. Empty: no dropouts —
+  /// and the generated plan is bitwise identical to pre-federated plans
+  /// for the same seed (the extra draws only happen when this is set).
+  std::vector<std::string> client_dropout_hosts;
+};
+
+/// Attach points for the federated-learning tier (fault:: stays free of a
+/// fed:: dependency — the aggregator hands these in, mirroring
+/// attach_load). Either hook may be empty; injecting the matching fault
+/// kind then throws at inject() time.
+struct FedHooks {
+  /// FaultKind::ClientDropout: called with down=true when the client
+  /// vanishes and down=false on the recovery half (duration > 0).
+  std::function<void(const std::string& client, bool down)> client_state;
+  /// FaultKind::DeltaCorrupt (one-shot): the client's next weight-delta
+  /// upload is corrupted in transit; the CRC envelope catches it at load.
+  std::function<void(const std::string& client)> corrupt_next_delta;
 };
 
 /// Tick window for ChaosEngine::arm_preemption(): the fatal tick is drawn
@@ -88,6 +106,9 @@ class ChaosEngine {
   /// FaultKind::LoadSpike: apply calls hook(spec.load_mult), the recovery
   /// half calls hook(1.0).
   void attach_load(std::function<void(double)> hook);
+  /// Wires the federated tier (fed::Aggregator::fault_hooks()) for
+  /// FaultKind::ClientDropout / DeltaCorrupt.
+  void attach_fed(FedHooks hooks);
 
   /// Schedules one fault (and its recovery when duration > 0).
   void inject(const FaultSpec& spec);
@@ -134,6 +155,7 @@ class ChaosEngine {
   testbed::LeaseManager* leases_ = nullptr;
   ckpt::CheckpointStore* checkpoints_ = nullptr;
   std::function<void(double)> load_hook_;
+  FedHooks fed_;
   ChaosReport report_;
 };
 

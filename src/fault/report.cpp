@@ -15,6 +15,8 @@ const char* to_string(FaultKind k) {
     case FaultKind::TrainPreempt: return "train-preempt";
     case FaultKind::CheckpointTruncate: return "checkpoint-truncate";
     case FaultKind::LoadSpike: return "load-spike";
+    case FaultKind::ClientDropout: return "client-dropout";
+    case FaultKind::DeltaCorrupt: return "delta-corrupt";
   }
   return "?";
 }

@@ -21,7 +21,9 @@ enum class FaultKind {
   TransferFlap,       // transient full-loss window on a link (drops transfers)
   TrainPreempt,       // SIGKILL of a training loop mid-fit (PreemptionToken)
   CheckpointTruncate, // torn checkpoint upload the object store accepted
-  LoadSpike           // offered-load multiplier on an attached load source
+  LoadSpike,          // offered-load multiplier on an attached load source
+  ClientDropout,      // a federated client vanishes mid-round
+  DeltaCorrupt        // a client's next weight-delta upload is corrupted
 };
 
 const char* to_string(FaultKind k);

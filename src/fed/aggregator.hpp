@@ -1,0 +1,208 @@
+// Cloud-side FedAvg aggregator, designed failure-first.
+//
+// One Aggregator owns the round loop of the paper's federated continual
+// learning story: every round it asks each reachable car to fine-tune the
+// incumbent on its private slice, collects the resulting weight deltas
+// through the simulated network (each delta rides a ckpt:: CRC envelope
+// over net::TransferManager), merges the example-weighted average of the
+// deltas that beat the straggler cutoff, and rolls the merged model out
+// through serve::ReplicatedRegistry's canary gate so a bad round rolls
+// itself back.
+//
+// Failure semantics, in the order chaos will find them:
+//
+//   - Straggler cutoff: the round admits exactly the deltas whose uploads
+//     committed by t0 + round_timeout_s, scanned in client-index order —
+//     the accepted subset is a deterministic function of the timeline.
+//   - Quorum: fewer than ceil(quorum_frac * participants) accepted deltas
+//     means the round publishes nothing (the incumbent keeps serving) and
+//     every sender retries next round.
+//   - Torn / corrupt uploads (CheckpointTruncate, DeltaCorrupt): the CRC
+//     envelope quarantines them at load; decode + validate_delta() are a
+//     second fence, so no undetected-corrupt delta is ever merged. The
+//     sender's next upload is delayed by an exponential backoff.
+//   - Client dropout (ClientDropout): an offline car simply misses rounds;
+//     it rejoins — with its backoff streak intact — when the fault lifts.
+//   - Aggregator preemption (TrainPreempt): the merge loop ticks a
+//     PreemptionToken before every merge step and checkpoints
+//     {merged partial, accepted set, round RNG, report so far} after each,
+//     so a kill loses at most one step and a resumed run() continues to a
+//     bitwise-identical published model and an equal FedReport.
+//
+// The aggregator is itself ckpt::Checkpointable; run() restores from its
+// round checkpoint on entry, so calling run() again after a PreemptedError
+// IS the recovery path. Resume assumes the same process: the same event
+// queue (virtual clock), registry, and delta stores are still alive —
+// exactly the scope a lease-preempted aggregator node restarts with.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.hpp"
+#include "fault/chaos.hpp"
+#include "fault/preempt.hpp"
+#include "fed/client.hpp"
+#include "fed/report.hpp"
+#include "ml/driving_model.hpp"
+#include "net/transfer.hpp"
+#include "objectstore/objectstore.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/replication.hpp"
+#include "testbed/topology.hpp"
+#include "util/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace autolearn::fed {
+
+struct FedOptions {
+  /// Rounds to run (or finish, when resuming a preempted run).
+  std::uint64_t rounds = 3;
+  /// Straggler cutoff: deltas committed after t0 + round_timeout_s wait
+  /// for the next round (and are then stale — the client recomputes).
+  double round_timeout_s = 30.0;
+  /// Quorum fraction of the round's participants (clients online at round
+  /// start); the round needs ceil(quorum_frac * participants) accepted
+  /// deltas, and always at least one.
+  double quorum_frac = 0.5;
+  /// Server learning rate: incumbent + server_lr * weighted_mean(deltas).
+  double server_lr = 1.0;
+  /// Upload retry discipline for clients whose previous delta was
+  /// quarantined or whose transfer failed: the next upload waits
+  /// retry_backoff_s * backoff_mult^(streak-1), capped at max_backoff_s.
+  double retry_backoff_s = 2.0;
+  double backoff_mult = 2.0;
+  double max_backoff_s = 60.0;
+  /// Per-upload jitter drawn from the round RNG in [0, upload_jitter_s),
+  /// decorrelating clients with identical compute times.
+  double upload_jitter_s = 0.05;
+  /// Seed of the round RNG (jitter draws). Checkpointed, so a resumed run
+  /// continues the same stream.
+  std::uint64_t seed = 42;
+  /// Host the deltas upload to (must be in the TransferManager's network).
+  std::string cloud_host = testbed::kSiteUC;
+  /// Objectstore containers: per-client delta generations and the
+  /// aggregator's own round checkpoints.
+  std::string delta_container = "fed-deltas";
+  std::string state_container = "fed-state";
+  std::string ckpt_key = "fed/aggregator";
+  /// When true (default) merged models roll out via publish_canary and a
+  /// bad round auto-rolls back; set_probes() is then mandatory. When
+  /// false, publish_all() pushes every merged model unconditionally.
+  bool canary_gate = true;
+  serve::CanaryOptions canary;
+
+  void validate() const;
+};
+
+class Aggregator : public ckpt::Checkpointable {
+ public:
+  /// The registry must hold a bootstrap model (publish_all) of the same
+  /// (type, config) before run(); deltas are meaningless without a base.
+  Aggregator(util::EventQueue& queue, serve::ReplicatedRegistry& registry,
+             net::TransferManager& transfers, objectstore::ObjectStore& store,
+             ml::ModelType type, ml::ModelConfig config,
+             FedOptions options = {});
+
+  /// Registers a car. Its name must be a host in the transfer network
+  /// (uploads route name -> options().cloud_host). Returns the client
+  /// index; call order fixes the deterministic scan order.
+  std::size_t add_client(ClientOptions options, std::vector<ml::Sample> slice);
+
+  /// Probe set for the canary gate (required when options.canary_gate).
+  void set_probes(std::vector<ml::Sample> probes);
+
+  /// Spans ("fed.round" completes, cutoff/publish/resume instants) and
+  /// "fed.*" counters; also instruments the delta and state stores.
+  void instrument(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  /// Wires the merge loop's preemption points (FaultKind::TrainPreempt via
+  /// ChaosEngine::arm_preemption). Null detaches.
+  void set_preemption(fault::PreemptionToken* token);
+
+  /// Hooks for ChaosEngine::attach_fed: ClientDropout toggles a client's
+  /// reachability, DeltaCorrupt arms corruption on its next upload.
+  /// Unknown client names are ignored (chaos may target any host).
+  fault::FedHooks fault_hooks();
+
+  /// Runs rounds until options.rounds have completed. Restores from the
+  /// round checkpoint first, so re-calling after a PreemptedError resumes
+  /// mid-merge with at most one merge step repeated. Throws logic_error
+  /// when preconditions are missing (no clients, no bootstrap model, no
+  /// probes with the gate on).
+  FedReport run();
+
+  const FedReport& report() const { return report_; }
+  std::size_t clients() const { return clients_.size(); }
+  /// A client's delta store — the attach point for upload-path chaos
+  /// (truncate_next_upload / corrupt_next_upload) and for inspection.
+  ckpt::CheckpointStore& delta_store(std::size_t client) {
+    return *delta_stores_.at(client);
+  }
+  const FedOptions& options() const { return options_; }
+
+  // ckpt::Checkpointable — {round index, phase, merged partial, accepted
+  // set, round RNG, backoff streaks, report so far}.
+  const char* checkpoint_kind() const override { return "fed.aggregator"; }
+  void save_state(std::ostream& os) override;
+  void load_state(std::istream& is) override;
+
+ private:
+  enum class Phase : std::uint8_t { Collect = 0, Merge = 1 };
+
+  /// One admitted delta, pinned to the exact generation that passed
+  /// validation so the merge (and a resumed merge) reads the same bytes.
+  struct AcceptedEntry {
+    std::uint32_t client = 0;
+    std::uint64_t examples = 0;
+    std::uint64_t generation = 0;
+  };
+
+  std::string delta_key(std::size_t client) const;
+  double backoff_s(std::size_t client) const;
+  void collect_and_cutoff();
+  void merge_round();
+  void publish_round();
+  void finalize_round();
+  void preempt_tick();
+  void checkpoint();
+
+  util::EventQueue& queue_;
+  serve::ReplicatedRegistry& registry_;
+  net::TransferManager& transfers_;
+  objectstore::ObjectStore& objects_;
+  ml::ModelType type_;
+  ml::ModelConfig config_;
+  FedOptions options_;
+
+  std::vector<std::unique_ptr<EdgeClient>> clients_;
+  std::vector<std::unique_ptr<ckpt::CheckpointStore>> delta_stores_;
+  std::unique_ptr<ckpt::CheckpointStore> state_store_;
+  std::vector<ml::Sample> probes_;
+
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  fault::PreemptionToken* preempt_ = nullptr;
+
+  // Transient per-process chaos state (deliberately NOT checkpointed: a
+  // resumed aggregator re-learns reachability from the live hooks).
+  std::vector<char> down_;
+
+  // Checkpointed round state.
+  util::Rng rng_{42};
+  std::uint64_t round_index_ = 0;  // completed rounds
+  Phase phase_ = Phase::Collect;
+  std::uint64_t expected_params_ = 0;
+  std::vector<AcceptedEntry> accepted_;
+  std::vector<double> acc_;  // running weighted mean of accepted deltas
+  std::uint64_t weight_so_far_ = 0;
+  std::uint64_t merged_prefix_ = 0;  // accepted_ entries merged into acc_
+  std::vector<std::uint32_t> failure_streak_;
+  RoundRecord record_;  // round under construction
+  FedReport report_;
+};
+
+}  // namespace autolearn::fed

@@ -1,0 +1,79 @@
+#include "fed/client.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "gpu/perf_model.hpp"
+#include "ml/trainer.hpp"
+
+namespace autolearn::fed {
+
+void ClientOptions::validate() const {
+  if (name.empty()) {
+    throw std::invalid_argument("fed client: name must be non-empty");
+  }
+  if (local_epochs == 0) {
+    throw std::invalid_argument("fed client: local_epochs must be >= 1");
+  }
+  if (local_batch == 0) {
+    throw std::invalid_argument("fed client: local_batch must be >= 1");
+  }
+}
+
+EdgeClient::EdgeClient(ClientOptions options, ml::ModelType type,
+                       ml::ModelConfig config,
+                       std::vector<ml::Sample> local_data)
+    : options_(std::move(options)),
+      type_(type),
+      config_(config),
+      data_(std::move(local_data)) {
+  options_.validate();
+  if (data_.empty()) {
+    throw std::invalid_argument("fed client " + options_.name +
+                                ": local slice must be non-empty");
+  }
+}
+
+EdgeClient::LocalUpdate EdgeClient::compute_update(
+    ml::DrivingModel& incumbent, std::uint64_t base_version,
+    std::uint64_t round) {
+  // A fresh local model adopts the incumbent's *parameters* only:
+  // optimizer moments and dropout streams restart from the config seed
+  // every round, so the update is a pure function of (incumbent, round).
+  std::unique_ptr<ml::DrivingModel> local = ml::make_model(type_, config_);
+  std::stringstream weights;
+  incumbent.save(weights);
+  local->load(weights);
+
+  const std::vector<float> base = flatten_params(*local);
+
+  ml::TrainOptions topt;
+  topt.epochs = options_.local_epochs;
+  topt.batch_size = options_.local_batch;
+  // SplitMix-style round mixing keeps per-round shuffle streams apart
+  // without correlating adjacent rounds.
+  topt.shuffle_seed = options_.seed ^ (round * 0x9e3779b97f4a7c15ULL + 1);
+  const ml::TrainResult result = ml::fit(*local, data_, {}, topt);
+
+  const std::vector<float> tuned = flatten_params(*local);
+
+  LocalUpdate out;
+  out.delta.client = options_.name;
+  out.delta.round = round;
+  out.delta.base_version = base_version;
+  out.delta.examples = data_.size();
+  out.delta.values.resize(tuned.size());
+  for (std::size_t i = 0; i < tuned.size(); ++i) {
+    out.delta.values[i] = tuned[i] - base[i];
+  }
+  out.train_loss = result.final_train_loss;
+
+  gpu::TrainingWorkload load;
+  load.forward_flops = result.forward_flops;
+  load.samples = result.samples_seen;
+  load.batch_size = options_.local_batch;
+  out.compute_s = gpu::training_time_s(gpu::device(options_.device), load);
+  return out;
+}
+
+}  // namespace autolearn::fed

@@ -1,0 +1,72 @@
+// Edge-side participant of a federated round.
+//
+// Each car holds a private tub slice (its own collected observations —
+// non-IID by construction, since every car drives its own piece of the
+// track) and, when asked, fine-tunes a *copy* of the incumbent on that
+// slice for a few local epochs. What leaves the car is a WeightDelta: the
+// parameter difference times nothing else — no frames, no labels. The
+// local fit runs through the stock ml::Trainer, so it is bitwise
+// deterministic given (incumbent, round, seed), and its counted FLOPs are
+// priced on the client's device spec (a Raspberry Pi 4 by default) to get
+// the virtual-clock compute time the aggregator schedules the upload at.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fed/delta.hpp"
+#include "ml/driving_model.hpp"
+
+namespace autolearn::fed {
+
+struct ClientOptions {
+  /// Car name; must exist as a host in the network the TransferManager
+  /// routes over (uploads travel <name> -> aggregator cloud host).
+  std::string name = "car-01";
+  /// Local fine-tune shape. One epoch over a small slice keeps a round's
+  /// edge compute in the hundreds of milliseconds of virtual time.
+  std::size_t local_epochs = 1;
+  std::size_t local_batch = 4;
+  /// Mixed with the round number for the local shuffle stream, so every
+  /// (client, round) pair fine-tunes on its own deterministic order.
+  std::uint64_t seed = 1;
+  /// gpu:: device catalogue name pricing the local fit.
+  std::string device = "RaspberryPi4";
+
+  void validate() const;
+};
+
+class EdgeClient {
+ public:
+  /// `local_data` is the client's private slice; it must be non-empty and
+  /// shaped for the model type/config the aggregator serves.
+  EdgeClient(ClientOptions options, ml::ModelType type,
+             ml::ModelConfig config, std::vector<ml::Sample> local_data);
+
+  const std::string& name() const { return options_.name; }
+  std::size_t examples() const { return data_.size(); }
+
+  struct LocalUpdate {
+    WeightDelta delta;
+    double train_loss = 0.0;
+    /// Simulated seconds the local fine-tune took on options().device.
+    double compute_s = 0.0;
+  };
+
+  /// Fine-tunes a fresh copy of `incumbent` on the local slice and
+  /// returns the example-weighted delta. Pure and deterministic: the same
+  /// incumbent bytes and round always produce the same delta bytes.
+  LocalUpdate compute_update(ml::DrivingModel& incumbent,
+                             std::uint64_t base_version, std::uint64_t round);
+
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  ClientOptions options_;
+  ml::ModelType type_;
+  ml::ModelConfig config_;
+  std::vector<ml::Sample> data_;
+};
+
+}  // namespace autolearn::fed

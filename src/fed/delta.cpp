@@ -1,0 +1,159 @@
+#include "fed/delta.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace autolearn::fed {
+
+namespace {
+
+constexpr char kMagic[4] = {'A', 'L', 'F', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
+
+class Reader {
+ public:
+  explicit Reader(const std::string& data) : data_(data) {}
+
+  const char* take(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      throw DeltaError(DeltaError::Code::Truncated,
+                       "weight delta: truncated payload");
+    }
+    const char* p = data_.data() + pos_;
+    pos_ += n;
+    return p;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    std::memcpy(&v, take(sizeof v), sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    std::memcpy(&v, take(sizeof v), sizeof v);
+    return v;
+  }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::size_t param_count(ml::DrivingModel& model) {
+  std::size_t n = 0;
+  for (ml::Sequential* net : model.mutable_nets()) {
+    for (const ml::Param* p : net->params()) n += p->value.size();
+  }
+  return n;
+}
+
+std::vector<float> flatten_params(ml::DrivingModel& model) {
+  std::vector<float> out;
+  out.reserve(param_count(model));
+  for (ml::Sequential* net : model.mutable_nets()) {
+    for (const ml::Param* p : net->params()) {
+      const float* data = p->value.data();
+      out.insert(out.end(), data, data + p->value.size());
+    }
+  }
+  return out;
+}
+
+void add_scaled(ml::DrivingModel& model, const std::vector<float>& delta,
+                float scale) {
+  if (delta.size() != param_count(model)) {
+    throw DeltaError(DeltaError::Code::SizeMismatch,
+                     "weight delta: " + std::to_string(delta.size()) +
+                         " values for a model with " +
+                         std::to_string(param_count(model)) + " parameters");
+  }
+  std::size_t at = 0;
+  for (ml::Sequential* net : model.mutable_nets()) {
+    for (ml::Param* p : net->params()) {
+      float* data = p->value.data();
+      for (std::size_t i = 0; i < p->value.size(); ++i) {
+        data[i] += scale * delta[at++];
+      }
+    }
+  }
+}
+
+std::string encode_delta(const WeightDelta& delta) {
+  std::string out;
+  out.reserve(4 + 4 + 4 + delta.client.size() + 3 * 8 + 8 +
+              delta.values.size() * sizeof(float));
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, kVersion);
+  put_u32(out, static_cast<std::uint32_t>(delta.client.size()));
+  out.append(delta.client);
+  put_u64(out, delta.round);
+  put_u64(out, delta.base_version);
+  put_u64(out, delta.examples);
+  put_u64(out, delta.values.size());
+  out.append(reinterpret_cast<const char*>(delta.values.data()),
+             delta.values.size() * sizeof(float));
+  return out;
+}
+
+WeightDelta decode_delta(const std::string& payload) {
+  Reader r(payload);
+  if (std::memcmp(r.take(sizeof kMagic), kMagic, sizeof kMagic) != 0) {
+    throw DeltaError(DeltaError::Code::BadMagic,
+                     "weight delta: bad magic");
+  }
+  const std::uint32_t version = r.u32();
+  if (version != kVersion) {
+    throw DeltaError(DeltaError::Code::BadMagic,
+                     "weight delta: unknown version " +
+                         std::to_string(version));
+  }
+  WeightDelta out;
+  const std::uint32_t name_len = r.u32();
+  out.client.assign(r.take(name_len), name_len);
+  out.round = r.u64();
+  out.base_version = r.u64();
+  out.examples = r.u64();
+  const std::uint64_t count = r.u64();
+  out.values.resize(count);
+  std::memcpy(out.values.data(), r.take(count * sizeof(float)),
+              count * sizeof(float));
+  if (!r.exhausted()) {
+    throw DeltaError(DeltaError::Code::Truncated,
+                     "weight delta: trailing bytes");
+  }
+  return out;
+}
+
+void validate_delta(const WeightDelta& delta, std::size_t expected_params) {
+  if (delta.values.size() != expected_params) {
+    throw DeltaError(DeltaError::Code::SizeMismatch,
+                     "weight delta from " + delta.client + ": " +
+                         std::to_string(delta.values.size()) +
+                         " values, expected " +
+                         std::to_string(expected_params));
+  }
+  for (const float v : delta.values) {
+    if (!std::isfinite(v)) {
+      throw DeltaError(DeltaError::Code::NonFinite,
+                       "weight delta from " + delta.client +
+                           ": non-finite value");
+    }
+  }
+}
+
+}  // namespace autolearn::fed

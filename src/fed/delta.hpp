@@ -1,0 +1,77 @@
+// Weight-delta codec for federated rounds.
+//
+// A participating car never ships raw frames to the cloud — it ships the
+// *difference* between its locally fine-tuned parameters and the incumbent
+// it started from, weighted by how many examples produced it (the FedAvg
+// numerator). The delta is a flat float vector in the model's canonical
+// parameter order plus enough header to pin which client, round, and base
+// version it belongs to; the bytes then travel inside a ckpt:: CRC
+// envelope through net::TransferManager, so a torn or bit-flipped upload
+// is quarantined at load time instead of silently merged.
+//
+// decode_delta() validates structure (magic, declared sizes); the
+// aggregator additionally runs validate_delta() against the incumbent —
+// parameter-count match and all-finite values — so even a corruption that
+// somehow survives the CRC can never reach the merge.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ml/driving_model.hpp"
+
+namespace autolearn::fed {
+
+/// Typed decode/validation failure. The aggregator maps any DeltaError to
+/// a quarantined client round — never a crash, never an accepted merge.
+class DeltaError : public std::runtime_error {
+ public:
+  enum class Code {
+    BadMagic,      // not a weight-delta payload
+    Truncated,     // payload shorter than its declared value count
+    SizeMismatch,  // value count differs from the receiving model
+    NonFinite,     // NaN/Inf values (corruption or a diverged client)
+  };
+
+  DeltaError(Code code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  Code code() const { return code_; }
+
+ private:
+  Code code_;
+};
+
+/// One client's example-weighted model update for one round.
+struct WeightDelta {
+  std::string client;            // car / host name
+  std::uint64_t round = 0;       // round the delta was computed in
+  std::uint64_t base_version = 0;  // registry version it diffs against
+  std::uint64_t examples = 0;      // local sample count (FedAvg weight)
+  std::vector<float> values;       // fine-tuned params minus base params
+};
+
+/// Trainable scalar count of the model, in flatten_params order.
+std::size_t param_count(ml::DrivingModel& model);
+
+/// All parameter tensors of all the model's nets, concatenated in
+/// declaration order — the canonical delta coordinate system. Two models
+/// of the same type and config always flatten to the same layout.
+std::vector<float> flatten_params(ml::DrivingModel& model);
+
+/// params += scale * delta, in flatten_params order. Throws DeltaError
+/// (SizeMismatch) when the vector does not match the model's layout.
+void add_scaled(ml::DrivingModel& model, const std::vector<float>& delta,
+                float scale);
+
+/// Binary round trip. encode is self-describing (magic + header +
+/// declared value count); decode throws DeltaError on structural damage.
+std::string encode_delta(const WeightDelta& delta);
+WeightDelta decode_delta(const std::string& payload);
+
+/// Aggregator-side acceptance check: the delta must match the incumbent's
+/// parameter count and contain only finite values.
+void validate_delta(const WeightDelta& delta, std::size_t expected_params);
+
+}  // namespace autolearn::fed

@@ -1,0 +1,80 @@
+#include "fed/report.hpp"
+
+#include <sstream>
+
+namespace autolearn::fed {
+
+const char* to_string(ClientOutcome outcome) {
+  switch (outcome) {
+    case ClientOutcome::Accepted: return "accepted";
+    case ClientOutcome::Straggler: return "straggler";
+    case ClientOutcome::Dropout: return "dropout";
+    case ClientOutcome::TransferFailed: return "transfer-failed";
+    case ClientOutcome::Quarantined: return "quarantined";
+  }
+  return "?";
+}
+
+bool operator==(const ClientRoundRecord& a, const ClientRoundRecord& b) {
+  return a.client == b.client && a.outcome == b.outcome &&
+         a.examples == b.examples && a.backoff_s == b.backoff_s &&
+         a.upload_start_s == b.upload_start_s &&
+         a.committed_s == b.committed_s && a.detail == b.detail;
+}
+
+bool operator==(const RoundRecord& a, const RoundRecord& b) {
+  return a.round == b.round && a.started_s == b.started_s &&
+         a.cutoff_s == b.cutoff_s && a.finished_s == b.finished_s &&
+         a.base_version == b.base_version &&
+         a.published_version == b.published_version &&
+         a.quorum_met == b.quorum_met && a.promoted == b.promoted &&
+         a.rolled_back == b.rolled_back && a.accepted == b.accepted &&
+         a.total_examples == b.total_examples && a.clients == b.clients;
+}
+
+bool operator==(const FedReport& a, const FedReport& b) {
+  return a.rounds == b.rounds && a.rounds_published == b.rounds_published &&
+         a.rounds_rolled_back == b.rounds_rolled_back &&
+         a.rounds_no_quorum == b.rounds_no_quorum &&
+         a.deltas_accepted == b.deltas_accepted &&
+         a.deltas_quarantined == b.deltas_quarantined &&
+         a.stragglers == b.stragglers && a.dropouts == b.dropouts &&
+         a.transfer_failures == b.transfer_failures &&
+         a.delta_bytes_shipped == b.delta_bytes_shipped;
+}
+
+std::string FedReport::summary() const {
+  std::ostringstream os;
+  os << "fed: " << rounds.size() << " round(s), " << rounds_published
+     << " published, " << rounds_rolled_back << " rolled back, "
+     << rounds_no_quorum << " below quorum; deltas " << deltas_accepted
+     << " accepted / " << deltas_quarantined << " quarantined / "
+     << stragglers << " straggled / " << dropouts << " dropped out / "
+     << transfer_failures << " transfer-failed; " << delta_bytes_shipped
+     << " delta bytes shipped\n";
+  for (const RoundRecord& r : rounds) {
+    os << "  round " << r.round << " [t=" << r.started_s << " cutoff "
+       << r.cutoff_s << " done " << r.finished_s << "] v" << r.base_version
+       << " -> "
+       << (r.published_version == 0 ? std::string("none")
+                                    : "v" + std::to_string(
+                                                r.published_version))
+       << (r.rolled_back   ? " (rolled back)"
+           : r.promoted    ? " (promoted)"
+           : !r.quorum_met ? " (no quorum)"
+                           : "")
+       << ", " << r.accepted << " accepted, " << r.total_examples
+       << " examples\n";
+    for (const ClientRoundRecord& c : r.clients) {
+      os << "    " << c.client << ": " << to_string(c.outcome);
+      if (c.backoff_s > 0) os << " backoff=" << c.backoff_s;
+      if (c.upload_start_s >= 0) os << " up=" << c.upload_start_s;
+      if (c.committed_s >= 0) os << " landed=" << c.committed_s;
+      if (!c.detail.empty()) os << " (" << c.detail << ")";
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace autolearn::fed

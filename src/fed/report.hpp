@@ -1,0 +1,77 @@
+// Round-by-round ground truth of a federated run.
+//
+// Every client's fate in every round is recorded with virtual-clock
+// timestamps, so a seed pins the whole timeline bit-for-bit — including
+// runs where chaos dropped clients, corrupted deltas, or preempted the
+// aggregator mid-merge (a resumed run produces a report EQUAL to the
+// uninterrupted one; preemption accounting lives in the ChaosReport, not
+// here, precisely so that equality holds).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace autolearn::fed {
+
+/// What happened to one client in one round.
+enum class ClientOutcome {
+  Accepted,        // delta committed, decoded, validated, and merged
+  Straggler,       // upload still in flight at the cutoff
+  Dropout,         // client was offline (ClientDropout fault) and missed it
+  TransferFailed,  // every transfer attempt exhausted before the cutoff
+  Quarantined,     // delta committed but failed CRC/decode/validation
+};
+
+const char* to_string(ClientOutcome outcome);
+
+struct ClientRoundRecord {
+  std::string client;
+  ClientOutcome outcome = ClientOutcome::Accepted;
+  std::uint64_t examples = 0;    // FedAvg weight (accepted clients only)
+  double backoff_s = 0.0;        // retry delay applied this round
+  double upload_start_s = -1.0;  // virtual time the upload began; -1 = never
+  double committed_s = -1.0;     // virtual time the delta landed; -1 = never
+  std::string detail;            // human-readable cause
+};
+
+bool operator==(const ClientRoundRecord& a, const ClientRoundRecord& b);
+
+struct RoundRecord {
+  std::uint64_t round = 0;  // 1-based
+  double started_s = 0.0;
+  double cutoff_s = 0.0;
+  double finished_s = 0.0;
+  std::uint64_t base_version = 0;       // incumbent at round start
+  std::uint64_t published_version = 0;  // 0 = round published nothing
+  bool quorum_met = false;
+  bool promoted = false;     // canary gate passed (or ungated publish)
+  bool rolled_back = false;  // canary gate failed; incumbent kept
+  std::size_t accepted = 0;
+  std::uint64_t total_examples = 0;  // across accepted clients
+  std::vector<ClientRoundRecord> clients;  // client-index order
+};
+
+bool operator==(const RoundRecord& a, const RoundRecord& b);
+
+struct FedReport {
+  std::vector<RoundRecord> rounds;
+
+  std::size_t rounds_published = 0;
+  std::size_t rounds_rolled_back = 0;
+  std::size_t rounds_no_quorum = 0;
+  std::size_t deltas_accepted = 0;
+  std::size_t deltas_quarantined = 0;
+  std::size_t stragglers = 0;
+  std::size_t dropouts = 0;
+  std::size_t transfer_failures = 0;
+  std::uint64_t delta_bytes_shipped = 0;  // committed envelope bytes
+
+  /// One line per round plus one per client; equal for equal reports —
+  /// the determinism tests compare these strings across runs.
+  std::string summary() const;
+};
+
+bool operator==(const FedReport& a, const FedReport& b);
+
+}  // namespace autolearn::fed

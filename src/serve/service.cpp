@@ -55,15 +55,28 @@ void FleetOptions::check(ConfigIssues& out) const {
       break;
     }
   }
-  for (const LoadSpike& spike : load_spikes) {
-    if (spike.at < 0.0) {
-      out.emplace_back("fleet.load_spikes.at", "must be >= 0");
+  // Full load-spike sweep at validate() time: a NaN window or a
+  // non-positive factor used to sail through here and only blow up when
+  // run() scheduled the spike / set_load_factor rejected it mid-run.
+  // Paths are indexed so a config with several spikes names the culprit.
+  for (std::size_t i = 0; i < load_spikes.size(); ++i) {
+    const LoadSpike& spike = load_spikes[i];
+    const std::string path =
+        "fleet.load_spikes[" + std::to_string(i) + "].";
+    if (!std::isfinite(spike.at) || spike.at < 0.0) {
+      out.emplace_back(path + "at", "must be finite and >= 0");
     }
-    if (spike.duration < 0.0) {
-      out.emplace_back("fleet.load_spikes.duration", "must be >= 0");
+    if (!std::isfinite(spike.duration) || spike.duration < 0.0) {
+      out.emplace_back(path + "duration", "must be finite and >= 0");
     }
-    if (spike.factor <= 0.0) {
-      out.emplace_back("fleet.load_spikes.factor", "must be > 0");
+    if (!std::isfinite(spike.factor) || spike.factor <= 0.0) {
+      out.emplace_back(path + "factor", "must be finite and > 0");
+    }
+    if (std::isfinite(spike.at) && std::isfinite(spike.duration) &&
+        spike.duration > 0.0 && spike.at + spike.duration <= spike.at) {
+      // Inverted/degenerate window: the restore-to-1 event would be
+      // scheduled at or before the spike itself.
+      out.emplace_back(path + "duration", "window ends before it starts");
     }
   }
   if (autoscaler.enabled && shards != 0 &&

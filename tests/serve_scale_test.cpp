@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -212,6 +213,35 @@ TEST(ServeConfigTest, StartingShardsMustSitInsideTheAutoscalerClamp) {
 
   // Disabled scaler: the clamp is irrelevant.
   config.fleet.autoscaler.enabled = false;
+  EXPECT_TRUE(config.issues().empty());
+}
+
+TEST(ServeConfigTest, LoadSpikesAreValidatedUpFrontWithIndexedPaths) {
+  // These used to surface only at spike-attach time, as a mid-run throw
+  // from set_load_factor; validate() now collects them with the rest.
+  ServeConfig config;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  config.fleet.load_spikes.push_back({-1.0, 2.0, 4.0});   // negative at
+  config.fleet.load_spikes.push_back({0.5, nan, 4.0});    // NaN duration
+  config.fleet.load_spikes.push_back({0.5, 2.0, 0.0});    // non-positive factor
+  config.fleet.load_spikes.push_back(
+      {0.5, 2.0, std::numeric_limits<double>::infinity()});  // inf factor
+
+  ConfigIssues issues = config.issues();
+  EXPECT_GE(issues.size(), 4u);
+  for (const char* field :
+       {"fleet.load_spikes[0].at", "fleet.load_spikes[1].duration",
+        "fleet.load_spikes[2].factor", "fleet.load_spikes[3].factor"}) {
+    bool found = false;
+    for (const ConfigError& err : issues) {
+      if (err.field() == field) found = true;
+    }
+    EXPECT_TRUE(found) << "missing violation for " << field;
+  }
+
+  // A clean spike list stays clean.
+  config.fleet.load_spikes.clear();
+  config.fleet.load_spikes.push_back({0.5, 2.0, 4.0});
   EXPECT_TRUE(config.issues().empty());
 }
 
